@@ -1,0 +1,152 @@
+// Command itcbench regenerates the paper's evaluation (§5.2): every
+// quantitative claim has an experiment (E1–E10) that runs the corresponding
+// workload on the simulated cell and prints a paper-vs-measured table.
+//
+// Usage:
+//
+//	itcbench            # run the standard suite (a few minutes of CPU)
+//	itcbench -quick     # scaled-down versions of everything
+//	itcbench -full      # the paper-sized deployment (120 WS, 8-hour day)
+//	itcbench -run E4    # one experiment (comma-separated list accepted)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"itcfs"
+	"itcfs/internal/harness"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "scaled-down experiments (fast)")
+	full := flag.Bool("full", false, "paper-sized deployment (slow)")
+	run := flag.String("run", "", "comma-separated experiment IDs (default all)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *run != "" {
+		for _, id := range strings.Split(*run, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[strings.ToUpper(id)] }
+
+	type exp struct {
+		id string
+		fn func() (*harness.Report, error)
+	}
+	scale := 1.0
+	if *quick {
+		scale = 0.25
+	}
+	if *full {
+		scale = 4.0
+	}
+	dur := func(d time.Duration) time.Duration { return time.Duration(float64(d) * scale) }
+	users := func(n int) int {
+		u := int(float64(n) * scale)
+		if u < 4 {
+			u = 4
+		}
+		return u
+	}
+
+	experiments := []exp{
+		{"E1", func() (*harness.Report, error) {
+			cfg := harness.DefaultE1()
+			cfg.Load.UsersPer = users(20)
+			cfg.Warm = dur(30 * time.Minute)
+			cfg.Measure = dur(2 * time.Hour)
+			return harness.E1CallMix(cfg)
+		}},
+		{"E2", func() (*harness.Report, error) {
+			cfg := harness.DefaultE2()
+			if *quick {
+				cfg.Load.Clusters = 2
+				cfg.Load.UsersPer = 8
+			}
+			if *full {
+				cfg.Measure = 8 * time.Hour
+			}
+			return harness.E2Utilization(cfg)
+		}},
+		{"E3", func() (*harness.Report, error) {
+			cfg := harness.DefaultE3()
+			cfg.Load.UsersPer = users(20)
+			cfg.Warm = dur(30 * time.Minute)
+			cfg.Measure = dur(time.Hour)
+			return harness.E3HitRatio(cfg)
+		}},
+		{"E4", func() (*harness.Report, error) {
+			return harness.E4AndrewBenchmark(harness.DefaultE4())
+		}},
+		{"E4r", func() (*harness.Report, error) {
+			cfg := harness.DefaultE4()
+			cfg.Mode = itcfs.Revised
+			r, err := harness.E4AndrewBenchmark(cfg)
+			if err == nil {
+				r.ID = "E4r"
+				r.Title += " (revised implementation)"
+			}
+			return r, err
+		}},
+		{"E5", func() (*harness.Report, error) {
+			cfg := harness.DefaultE5()
+			if *quick {
+				cfg.LoadWS = []int{0, 10, 20}
+			}
+			if *full {
+				cfg.LoadWS = []int{0, 5, 10, 20, 30, 40, 50}
+			}
+			return harness.E5Scalability(cfg)
+		}},
+		{"E6", func() (*harness.Report, error) {
+			cfg := harness.DefaultE6()
+			cfg.UsersPer = users(20)
+			cfg.Warm = dur(30 * time.Minute)
+			cfg.Measure = dur(time.Hour)
+			return harness.E6ValidationAblation(cfg)
+		}},
+		{"E7", func() (*harness.Report, error) {
+			return harness.E7PathnameAblation(harness.DefaultE7())
+		}},
+		{"E8", func() (*harness.Report, error) {
+			return harness.E8WholeFileVsPaged(harness.DefaultE8())
+		}},
+		{"E9", func() (*harness.Report, error) {
+			cfg := harness.DefaultE9()
+			cfg.Readers = users(10)
+			return harness.E9ReadOnlyReplication(cfg)
+		}},
+		{"E10", func() (*harness.Report, error) {
+			return harness.E10Revocation(harness.DefaultE10())
+		}},
+		{"E11", func() (*harness.Report, error) {
+			return harness.E11Rebalance(harness.DefaultE11())
+		}},
+	}
+
+	fmt.Println("itcbench — reproduction of 'The ITC Distributed File System' (SOSP 1985), §5.2")
+	failed := 0
+	for _, e := range experiments {
+		if !selected(e.id) {
+			continue
+		}
+		start := time.Now()
+		r, err := e.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+			failed++
+			continue
+		}
+		r.Print(os.Stdout)
+		fmt.Printf("  (%.1fs wall clock)\n", time.Since(start).Seconds())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,397 @@
+// Command itcfs is an interactive client for a Vice server (cmd/itcfsd): a
+// complete Virtue workstation — local file system, Venus whole-file cache,
+// shared name space under /vice — driven from a small shell.
+//
+//	itcfs -addr localhost:7001 -user operator -password secret
+//
+// Type "help" at the prompt for commands.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"strings"
+
+	"itcfs/internal/prot"
+	"itcfs/internal/proto"
+	"itcfs/internal/rpc"
+	"itcfs/internal/secure"
+	"itcfs/internal/sim"
+	"itcfs/internal/unixfs"
+	"itcfs/internal/venus"
+	"itcfs/internal/vice"
+	"itcfs/internal/virtue"
+	"itcfs/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7001", "server address")
+	user := flag.String("user", "", "user name (required)")
+	password := flag.String("password", "", "password (required)")
+	serverName := flag.String("server", "server0", "server name (must match itcfsd -name)")
+	modeFlag := flag.String("mode", "revised", "client mode: prototype or revised")
+	flag.Parse()
+	if *user == "" || *password == "" {
+		fmt.Fprintln(os.Stderr, "itcfs: -user and -password are required")
+		os.Exit(2)
+	}
+	mode := vice.Revised
+	if *modeFlag == "prototype" {
+		mode = vice.Prototype
+	}
+
+	// The callback service: the server breaks our cached copies through it.
+	cbServer := rpc.NewServer()
+	var v *venus.Venus
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "itcfs: %v\n", err)
+		os.Exit(1)
+	}
+	peer, err := rpc.DialPeer(conn, *user, secure.DeriveKey(*user, *password), cbServer)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "itcfs: authentication failed: %v\n", err)
+		os.Exit(1)
+	}
+	defer peer.Close()
+
+	local := unixfs.New(nil)
+	v = venus.New(venus.Config{
+		Mode:       mode,
+		Machine:    "itcfs-cli",
+		Local:      local,
+		HomeServer: *serverName,
+		Connect: func(_ *sim.Proc, server string) (venus.Conn, error) {
+			if server != *serverName {
+				return nil, fmt.Errorf("unknown server %q (single-server client)", server)
+			}
+			return peer, nil
+		},
+	})
+	cbServer.Handle(rpc.Op(proto.OpCallbackBreak), v.HandleCallbackBreak)
+	v.Login(*user)
+	fs := virtue.New(local, v)
+	local.MkdirAll("/tmp", 0o777, *user)
+
+	fmt.Printf("connected to %s as %s (%s mode); shared space under /vice\n", *addr, *user, mode)
+	sh := &shell{fs: fs, v: v, peer: peer, user: *user}
+	scanner := bufio.NewScanner(os.Stdin)
+	fmt.Print("itcfs> ")
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line != "" {
+			if line == "quit" || line == "exit" {
+				break
+			}
+			if err := sh.exec(line); err != nil {
+				fmt.Printf("error: %v\n", err)
+			}
+		}
+		fmt.Print("itcfs> ")
+	}
+}
+
+type shell struct {
+	fs   *virtue.FS
+	v    *venus.Venus
+	peer *rpc.Peer
+	user string
+}
+
+func (sh *shell) exec(line string) error {
+	args := strings.Fields(line)
+	cmd, rest := args[0], args[1:]
+	need := func(n int) error {
+		if len(rest) < n {
+			return fmt.Errorf("%s: missing arguments (try help)", cmd)
+		}
+		return nil
+	}
+	switch cmd {
+	case "help":
+		fmt.Print(`commands:
+  ls PATH                 list a directory
+  cat PATH                print a file
+  write PATH TEXT...      write text to a file
+  get VICEPATH HOSTFILE   copy from the file system to the host OS
+  put HOSTFILE VICEPATH   copy a host OS file in
+  stat PATH               file status
+  mkdir / rm / rmdir / mv paths
+  ln -s TARGET PATH       symbolic link
+  chmod MODE PATH         octal protection bits
+  lock PATH [-x] / unlock PATH
+  acl PATH                show a directory's access list
+  grant PATH NAME RIGHTS  rights like rliwdka, "all", "none"
+  deny PATH NAME RIGHTS   negative rights (rapid revocation)
+  stats                   Venus cache statistics
+  adduser NAME PASSWORD   (operator) create a user + home volume
+  volstat ID              volume status
+  salvage [ID]            (operator) crash-recover volumes (0 or none = all)
+  quit
+`)
+		return nil
+	case "ls":
+		path := "/vice"
+		if len(rest) > 0 {
+			path = rest[0]
+		}
+		entries, err := sh.fs.ReadDir(nil, path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			suffix := ""
+			if e.IsDir {
+				suffix = "/"
+			}
+			fmt.Println(e.Name + suffix)
+		}
+		return nil
+	case "cat":
+		if err := need(1); err != nil {
+			return err
+		}
+		data, err := sh.fs.ReadFile(nil, rest[0])
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+		if len(data) > 0 && data[len(data)-1] != '\n' {
+			fmt.Println()
+		}
+		return nil
+	case "write":
+		if err := need(2); err != nil {
+			return err
+		}
+		return sh.fs.WriteFile(nil, rest[0], []byte(strings.Join(rest[1:], " ")+"\n"))
+	case "get":
+		if err := need(2); err != nil {
+			return err
+		}
+		data, err := sh.fs.ReadFile(nil, rest[0])
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(rest[1], data, 0o644)
+	case "put":
+		if err := need(2); err != nil {
+			return err
+		}
+		data, err := os.ReadFile(rest[0])
+		if err != nil {
+			return err
+		}
+		return sh.fs.WriteFile(nil, rest[1], data)
+	case "stat":
+		if err := need(1); err != nil {
+			return err
+		}
+		st, err := sh.fs.Stat(nil, rest[0])
+		if err != nil {
+			return err
+		}
+		space := "local"
+		if st.Shared {
+			space = "vice"
+		}
+		fmt.Printf("%s: %d bytes, mode %04o, owner %s, version %d (%s)\n",
+			st.Name, st.Size, st.Mode, st.Owner, st.Version, space)
+		return nil
+	case "mkdir":
+		if err := need(1); err != nil {
+			return err
+		}
+		return sh.fs.Mkdir(nil, rest[0], 0o755)
+	case "rm":
+		if err := need(1); err != nil {
+			return err
+		}
+		return sh.fs.Remove(nil, rest[0])
+	case "rmdir":
+		if err := need(1); err != nil {
+			return err
+		}
+		return sh.fs.RemoveDir(nil, rest[0])
+	case "mv":
+		if err := need(2); err != nil {
+			return err
+		}
+		return sh.fs.Rename(nil, rest[0], rest[1])
+	case "ln":
+		if len(rest) == 3 && rest[0] == "-s" {
+			return sh.fs.Symlink(nil, rest[1], rest[2])
+		}
+		return fmt.Errorf("usage: ln -s TARGET PATH")
+	case "chmod":
+		if err := need(2); err != nil {
+			return err
+		}
+		var mode uint16
+		if _, err := fmt.Sscanf(rest[0], "%o", &mode); err != nil {
+			return fmt.Errorf("bad mode %q", rest[0])
+		}
+		return sh.fs.Chmod(nil, rest[1], mode)
+	case "lock":
+		if err := need(1); err != nil {
+			return err
+		}
+		exclusive := len(rest) > 1 && rest[1] == "-x"
+		return sh.v.Lock(nil, strings.TrimPrefix(rest[0], "/vice"), exclusive)
+	case "unlock":
+		if err := need(1); err != nil {
+			return err
+		}
+		return sh.v.Unlock(nil, strings.TrimPrefix(rest[0], "/vice"))
+	case "acl":
+		if err := need(1); err != nil {
+			return err
+		}
+		raw, err := sh.v.GetACL(nil, strings.TrimPrefix(rest[0], "/vice"))
+		if err != nil {
+			return err
+		}
+		acl, err := proto.ACLDecode(raw)
+		if err != nil {
+			return err
+		}
+		printSide := func(label string, m map[string]prot.Right) {
+			names := make([]string, 0, len(m))
+			for n := range m {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				fmt.Printf("  %s %-24s %s\n", label, n, m[n])
+			}
+		}
+		printSide("+", acl.Positive)
+		printSide("-", acl.Negative)
+		return nil
+	case "grant", "deny":
+		if err := need(3); err != nil {
+			return err
+		}
+		dir := strings.TrimPrefix(rest[0], "/vice")
+		rights, err := prot.ParseRights(rest[2])
+		if err != nil {
+			return err
+		}
+		raw, err := sh.v.GetACL(nil, dir)
+		if err != nil {
+			return err
+		}
+		acl, err := proto.ACLDecode(raw)
+		if err != nil {
+			return err
+		}
+		if cmd == "grant" {
+			acl.Grant(rest[1], rights)
+		} else {
+			acl.Deny(rest[1], rights)
+		}
+		return sh.v.SetACL(nil, dir, proto.ACLEncode(acl))
+	case "stats":
+		st := sh.v.Stats()
+		fmt.Printf("opens %d  hits %d (%.1f%%)  fetches %d  stores %d  validations %d  breaks %d\n",
+			st.Opens, st.Hits, 100*st.HitRatio(), st.Fetches, st.Stores, st.Validations, st.CallbackBreaks)
+		files, bytes := sh.v.CacheUsage()
+		fmt.Printf("cache: %d entries, %d bytes\n", files, bytes)
+		return nil
+	case "adduser":
+		if err := need(2); err != nil {
+			return err
+		}
+		name, pw := rest[0], rest[1]
+		if err := sh.protect(prot.Mutation{
+			Kind: prot.MutAddUser, Name: name, Key: secure.DeriveKey(name, pw),
+		}); err != nil {
+			return err
+		}
+		if err := sh.fs.Mkdir(nil, "/vice/usr", 0o755); err != nil && !strings.Contains(err.Error(), "exists") {
+			return err
+		}
+		resp, err := sh.peer.Call(nil, rpc.Request{
+			Op: rpc.Op(proto.OpVolCreate),
+			Body: proto.Marshal(proto.VolCreateArgs{
+				Name: "user." + name, Path: "/usr/" + name, Owner: name,
+			}),
+		})
+		if err != nil {
+			return err
+		}
+		if !resp.OK() {
+			return proto.CodeToErr(resp.Code, string(resp.Body))
+		}
+		fmt.Printf("created user %s with home /vice/usr/%s\n", name, name)
+		return nil
+	case "salvage":
+		var id uint32
+		if len(rest) > 0 {
+			if _, err := fmt.Sscanf(rest[0], "%d", &id); err != nil {
+				return fmt.Errorf("bad volume id %q", rest[0])
+			}
+		}
+		resp, err := sh.peer.Call(nil, rpc.Request{
+			Op:   rpc.Op(proto.OpVolSalvage),
+			Body: proto.Marshal(proto.VolStatusArgs{Volume: id}),
+		})
+		if err != nil {
+			return err
+		}
+		if !resp.OK() {
+			return proto.CodeToErr(resp.Code, string(resp.Body))
+		}
+		d := wire.NewDecoder(resp.Body)
+		orphans, dangling, links := d.Int(), d.Int(), d.Int()
+		if err := d.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("salvage: %d orphans removed, %d dangling entries dropped, %d link counts fixed\n",
+			orphans, dangling, links)
+		return nil
+	case "volstat":
+		if err := need(1); err != nil {
+			return err
+		}
+		var id uint32
+		if _, err := fmt.Sscanf(rest[0], "%d", &id); err != nil {
+			return fmt.Errorf("bad volume id %q", rest[0])
+		}
+		resp, err := sh.peer.Call(nil, rpc.Request{
+			Op:   rpc.Op(proto.OpVolStatus),
+			Body: proto.Marshal(proto.VolStatusArgs{Volume: id}),
+		})
+		if err != nil {
+			return err
+		}
+		if !resp.OK() {
+			return proto.CodeToErr(resp.Code, string(resp.Body))
+		}
+		vs, err := proto.Unmarshal(resp.Body, proto.DecodeVolStatusReply)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("volume %d %q on %s: %d/%d bytes, online=%v readonly=%v\n",
+			vs.Volume, vs.Name, vs.Server, vs.Used, vs.Quota, vs.Online, vs.ReadOnly)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+}
+
+func (sh *shell) protect(m prot.Mutation) error {
+	resp, err := sh.peer.Call(nil, rpc.Request{Op: rpc.Op(proto.OpProtMutate), Body: proto.Marshal(m)})
+	if err != nil {
+		return err
+	}
+	if !resp.OK() {
+		return proto.CodeToErr(resp.Code, string(resp.Body))
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+// Command itcfsd runs a real Vice cluster server over TCP. It serves the
+// same protocol — authenticated handshake, sealed records, whole-file
+// transfer, callbacks — that the simulator evaluates, using the identical
+// server code.
+//
+//	itcfsd -addr :7001 -operator-password secret
+//
+// Clients connect with cmd/itcfs. The first user is "operator" (a member of
+// System:Administrators), who can create users and volumes from the client
+// shell.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"itcfs/internal/prot"
+	"itcfs/internal/proto"
+	"itcfs/internal/rpc"
+	"itcfs/internal/secure"
+	"itcfs/internal/vice"
+	"itcfs/internal/volume"
+)
+
+func main() {
+	addr := flag.String("addr", ":7001", "listen address")
+	name := flag.String("name", "server0", "server name (custodian identity)")
+	modeFlag := flag.String("mode", "revised", "implementation mode: prototype or revised")
+	opPassword := flag.String("operator-password", "", "password for the bootstrap operator account (required)")
+	flag.Parse()
+	if *opPassword == "" {
+		fmt.Fprintln(os.Stderr, "itcfsd: -operator-password is required")
+		os.Exit(2)
+	}
+	mode := vice.Revised
+	if *modeFlag == "prototype" {
+		mode = vice.Prototype
+	}
+
+	db := prot.NewDB()
+	must := func(err error) {
+		if err != nil {
+			log.Fatalf("itcfsd: bootstrap: %v", err)
+		}
+	}
+	must(db.Apply(prot.Mutation{
+		Kind: prot.MutAddUser, Name: "operator",
+		Key: secure.DeriveKey("operator", *opPassword),
+	}))
+	must(db.Apply(prot.Mutation{Kind: prot.MutAddGroup, Name: vice.AdminGroup, Owner: "operator"}))
+	must(db.Apply(prot.Mutation{Kind: prot.MutAddMember, Name: vice.AdminGroup, Member: "operator"}))
+
+	nextVol := uint32(1)
+	clock := func() int64 { return time.Now().UnixNano() }
+	srv := vice.New(vice.Config{
+		Name:          *name,
+		Mode:          mode,
+		DB:            db,
+		Loc:           vice.NewLocDB(),
+		Clock:         clock,
+		ProtAuthority: true,
+		AllocVolID:    func() uint32 { nextVol++; return nextVol },
+	})
+	rootACL := prot.NewACL()
+	rootACL.Grant(prot.AnyUser, prot.RightLookup|prot.RightRead)
+	rootACL.Grant(vice.AdminGroup, prot.RightsAll)
+	srv.AddVolume(volume.New(1, "root", rootACL, 0, "operator", clock))
+	srv.Loc().Install([]proto.LocEntry{{Prefix: "/", Volume: 1, Custodian: *name}}, nil)
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("itcfsd: listen: %v", err)
+	}
+	log.Printf("itcfsd: %s (%s mode) serving Vice on %s", *name, mode, l.Addr())
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			log.Fatalf("itcfsd: accept: %v", err)
+		}
+		go func(c net.Conn) {
+			peer, err := rpc.AcceptPeer(c, db.LookupKey, srv.Dispatcher())
+			if err != nil {
+				log.Printf("itcfsd: %s: handshake rejected: %v", c.RemoteAddr(), err)
+				c.Close()
+				return
+			}
+			log.Printf("itcfsd: %s authenticated as %q", c.RemoteAddr(), peer.User())
+			<-peer.Done()
+			srv.Locks().ReleaseAllFor(peer.User())
+			srv.Callbacks().Drop(peer)
+			log.Printf("itcfsd: %s (%q) disconnected", c.RemoteAddr(), peer.User())
+		}(conn)
+	}
+}

@@ -1,0 +1,178 @@
+package itcfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"itcfs/internal/proto"
+	"itcfs/internal/sim"
+)
+
+// Many workstations race updates to one shared file. Whatever interleaving
+// the virtual time produces, the system must converge: when the dust
+// settles, every workstation re-reading the file sees the custodian's
+// single current version — one of the written values, intact (§3.2, §3.6).
+func TestSharedFileConvergence(t *testing.T) {
+	for _, mode := range []Mode{Prototype, Revised} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cell := NewCell(CellConfig{Mode: mode, Clusters: 2})
+			var err error
+			cell.Run(func(p *sim.Proc) {
+				admin, aerr := cell.Admin(p, 0)
+				if aerr != nil {
+					err = aerr
+					return
+				}
+				if _, err = admin.NewUserAt(p, "team", "pw", 0, ""); err != nil {
+					return
+				}
+				// Everyone writes through one account; the racing is what
+				// matters here, not protection.
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			const writers = 10
+			var stations []*Workstation
+			for i := 0; i < writers; i++ {
+				stations = append(stations, cell.AddWorkstation(i%2, fmt.Sprintf("racer%d", i)))
+			}
+			cell.Run(func(p *sim.Proc) {
+				for _, ws := range stations {
+					if lerr := ws.Login(p, "team", "pw"); lerr != nil {
+						err = lerr
+						return
+					}
+				}
+				err = stations[0].FS.WriteFile(p, "/vice/usr/team/shared", []byte("genesis"))
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Each station repeatedly reads and rewrites the file on its own
+			// schedule; iterations interleave arbitrarily in virtual time.
+			var writeErr error
+			for i, ws := range stations {
+				i, ws := i, ws
+				cell.Kernel.Spawn(fmt.Sprintf("racer-%d", i), func(p *sim.Proc) {
+					r := rand.New(rand.NewSource(int64(i)))
+					for round := 0; round < 15; round++ {
+						p.Sleep(time.Duration(r.Intn(5000)) * time.Millisecond)
+						if _, rerr := ws.FS.ReadFile(p, "/vice/usr/team/shared"); rerr != nil {
+							writeErr = rerr
+							return
+						}
+						payload := []byte(fmt.Sprintf("writer-%d-round-%d|%s", i, round,
+							string(make([]byte, r.Intn(500)))))
+						if werr := ws.FS.WriteFile(p, "/vice/usr/team/shared", payload); werr != nil {
+							writeErr = werr
+							return
+						}
+					}
+				})
+			}
+			cell.Kernel.Run()
+			if writeErr != nil {
+				t.Fatal(writeErr)
+			}
+
+			// Convergence: every station re-reads and sees the same, intact
+			// payload matching the custodian's copy.
+			var versions []string
+			cell.Run(func(p *sim.Proc) {
+				for _, ws := range stations {
+					data, rerr := ws.FS.ReadFile(p, "/vice/usr/team/shared")
+					if rerr != nil {
+						err = rerr
+						return
+					}
+					versions = append(versions, string(data))
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i < len(versions); i++ {
+				if versions[i] != versions[0] {
+					t.Fatalf("stations disagree after convergence:\n%q\nvs\n%q", versions[0], versions[i])
+				}
+			}
+			// The surviving value is a complete writer payload, never a blend.
+			if len(versions[0]) < len("writer-0-round-0|") || versions[0][:7] != "writer-" {
+				t.Fatalf("converged value is not an intact write: %q", versions[0])
+			}
+		})
+	}
+}
+
+// Determinism: two cells built and driven identically produce identical
+// call histograms and identical virtual clocks — the property every
+// experiment's reproducibility rests on.
+func TestCellDeterminism(t *testing.T) {
+	run := func() (sim.Time, map[string]int64) {
+		cell := NewCell(CellConfig{Mode: Prototype, Clusters: 2})
+		var err error
+		cell.Run(func(p *sim.Proc) {
+			admin, aerr := cell.Admin(p, 0)
+			if aerr != nil {
+				err = aerr
+				return
+			}
+			err = admin.NewUser(p, "u", "pw", 0)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := cell.AddWorkstation(1, "ws")
+		cell.Run(func(p *sim.Proc) {
+			if err = ws.Login(p, "u", "pw"); err != nil {
+				return
+			}
+			r := rand.New(rand.NewSource(42))
+			for i := 0; i < 40; i++ {
+				path := fmt.Sprintf("/vice/usr/u/f%d", r.Intn(8))
+				if r.Intn(3) == 0 {
+					err = ws.FS.WriteFile(p, path, make([]byte, r.Intn(4000)))
+				} else {
+					_, err = ws.FS.Stat(p, path)
+				}
+				if err != nil && !isExpected(err) {
+					return
+				}
+				err = nil
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[string]int64)
+		for _, s := range cell.Servers {
+			for op, n := range s.Endpoint.CallCounts() {
+				counts[fmt.Sprintf("%s/%d", s.Vice.Name(), op)] += n
+			}
+		}
+		return cell.Now(), counts
+	}
+	t1, c1 := run()
+	t2, c2 := run()
+	if t1 != t2 {
+		t.Fatalf("virtual clocks diverge: %v vs %v", t1, t2)
+	}
+	if len(c1) != len(c2) {
+		t.Fatalf("histograms diverge: %v vs %v", c1, c2)
+	}
+	for k, v := range c1 {
+		if c2[k] != v {
+			t.Fatalf("histograms diverge at %s: %d vs %d", k, v, c2[k])
+		}
+	}
+}
+
+func isExpected(err error) bool {
+	return errors.Is(err, proto.ErrNoEnt) || errors.Is(err, proto.ErrAccess)
+}

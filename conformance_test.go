@@ -1,0 +1,291 @@
+package itcfs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"itcfs/internal/sim"
+	"itcfs/internal/unixfs"
+	"itcfs/internal/virtue"
+)
+
+// Conformance: "other than performance, there is no difference between
+// accessing a local file and a file in the shared name space" (§3.2).
+// Random operation sequences applied in parallel to a Vice home directory
+// and to a plain local file system must leave identical trees.
+
+type confOp int
+
+const (
+	opWrite confOp = iota
+	opRead
+	opMkdir
+	opRemove
+	opRemoveDir
+	opRename
+	opOverwrite
+	confOps
+)
+
+// confRunner applies mirrored operations to the shared space (through the
+// full Venus/Vice stack) and to a local reference file system.
+type confRunner struct {
+	t     *testing.T
+	err   error // first divergence; checked after the kernel run
+	ws    *Workstation
+	ref   *unixfs.FS
+	base  string // Vice-side base directory ("/vice/usr/satya")
+	rbase string // reference-side base ("/model")
+	r     *rand.Rand
+	dirs  []string // relative dir paths ("" = base itself)
+	files []string // relative file paths
+}
+
+func (c *confRunner) vicePath(rel string) string { return c.base + rel }
+func (c *confRunner) refPath(rel string) string  { return c.rbase + rel }
+
+func (c *confRunner) pickDir() string {
+	return c.dirs[c.r.Intn(len(c.dirs))]
+}
+
+func (c *confRunner) pickFile() (string, bool) {
+	if len(c.files) == 0 {
+		return "", false
+	}
+	return c.files[c.r.Intn(len(c.files))], true
+}
+
+// step applies one random mirrored operation; both sides must agree on
+// success or failure.
+func (c *confRunner) step(p *sim.Proc, n int) {
+	switch confOp(c.r.Intn(int(confOps))) {
+	case opWrite, opOverwrite:
+		rel := c.pickDir() + fmt.Sprintf("/f%d", c.r.Intn(12))
+		data := make([]byte, c.r.Intn(3000))
+		for i := range data {
+			data[i] = byte(c.r.Intn(256))
+		}
+		errV := c.ws.FS.WriteFile(p, c.vicePath(rel), data)
+		errR := c.ref.WriteFile(c.refPath(rel), data, 0o644, "satya")
+		c.agree(n, "write "+rel, errV, errR)
+		if errV == nil {
+			c.noteFile(rel)
+		}
+	case opRead:
+		rel, ok := c.pickFile()
+		if !ok {
+			return
+		}
+		dataV, errV := c.ws.FS.ReadFile(p, c.vicePath(rel))
+		dataR, errR := c.ref.ReadFile(c.refPath(rel))
+		c.agree(n, "read "+rel, errV, errR)
+		if errV == nil && !bytes.Equal(dataV, dataR) {
+			c.fail(fmt.Errorf("op %d: read %s: contents diverge (%d vs %d bytes)", n, rel, len(dataV), len(dataR)))
+		}
+	case opMkdir:
+		rel := c.pickDir() + fmt.Sprintf("/d%d", c.r.Intn(6))
+		errV := c.ws.FS.Mkdir(p, c.vicePath(rel), 0o755)
+		errR := c.ref.Mkdir(c.refPath(rel), 0o755, "satya")
+		c.agree(n, "mkdir "+rel, errV, errR)
+		if errV == nil {
+			c.dirs = append(c.dirs, rel)
+		}
+	case opRemove:
+		rel, ok := c.pickFile()
+		if !ok {
+			return
+		}
+		errV := c.ws.FS.Remove(p, c.vicePath(rel))
+		errR := c.ref.Remove(c.refPath(rel))
+		c.agree(n, "remove "+rel, errV, errR)
+		if errV == nil {
+			c.dropFile(rel)
+		}
+	case opRemoveDir:
+		if len(c.dirs) < 2 {
+			return
+		}
+		rel := c.dirs[1+c.r.Intn(len(c.dirs)-1)] // never the base
+		errV := c.ws.FS.RemoveDir(p, c.vicePath(rel))
+		errR := c.ref.RemoveDir(c.refPath(rel))
+		c.agree(n, "rmdir "+rel, errV, errR)
+		if errV == nil {
+			c.dropDir(rel)
+		}
+	case opRename:
+		rel, ok := c.pickFile()
+		if !ok {
+			return
+		}
+		to := c.pickDir() + fmt.Sprintf("/r%d", c.r.Intn(12))
+		errV := c.ws.FS.Rename(p, c.vicePath(rel), c.vicePath(to))
+		errR := c.ref.Rename(c.refPath(rel), c.refPath(to))
+		c.agree(n, fmt.Sprintf("rename %s -> %s", rel, to), errV, errR)
+		if errV == nil {
+			c.dropFile(rel)
+			c.dropFile(to)
+			c.noteFile(to)
+		}
+	}
+}
+
+func (c *confRunner) agree(n int, op string, errV, errR error) {
+	if (errV == nil) != (errR == nil) {
+		c.fail(fmt.Errorf("op %d (%s): vice err=%v, reference err=%v", n, op, errV, errR))
+	}
+}
+
+// fail records the first divergence. t.Fatal must not run inside a sim
+// process (Goexit would abandon the kernel), so errors surface after Run.
+func (c *confRunner) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+func (c *confRunner) noteFile(rel string) {
+	for _, f := range c.files {
+		if f == rel {
+			return
+		}
+	}
+	c.files = append(c.files, rel)
+}
+
+func (c *confRunner) dropFile(rel string) {
+	out := c.files[:0]
+	for _, f := range c.files {
+		if f != rel {
+			out = append(out, f)
+		}
+	}
+	c.files = out
+}
+
+func (c *confRunner) dropDir(rel string) {
+	out := c.dirs[:0]
+	for _, d := range c.dirs {
+		if d != rel {
+			out = append(out, d)
+		}
+	}
+	c.dirs = out
+}
+
+// snapshotVice walks a tree into sorted "path size hash" lines.
+func snapshotVice(p *sim.Proc, fs *virtue.FS, root string) ([]string, error) {
+	var out []string
+	var walk func(dir, rel string) error
+	walk = func(dir, rel string) error {
+		entries, err := fs.ReadDir(p, dir)
+		if err != nil {
+			return fmt.Errorf("snapshot %s: %w", dir, err)
+		}
+		for _, e := range entries {
+			child, childRel := dir+"/"+e.Name, rel+"/"+e.Name
+			if e.IsDir {
+				out = append(out, childRel+"/")
+				if err := walk(child, childRel); err != nil {
+					return err
+				}
+				continue
+			}
+			data, err := fs.ReadFile(p, child)
+			if err != nil {
+				return fmt.Errorf("snapshot read %s: %w", child, err)
+			}
+			out = append(out, fmt.Sprintf("%s %d %x", childRel, len(data), checksum(data)))
+		}
+		return nil
+	}
+	if err := walk(root, ""); err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func snapshotRef(fs *unixfs.FS, root string) ([]string, error) {
+	var out []string
+	err := fs.Walk(root, func(path string, st unixfs.Stat) error {
+		rel := path[len(root):]
+		if rel == "" {
+			return nil
+		}
+		if st.Type == unixfs.TypeDir {
+			out = append(out, rel+"/")
+			return nil
+		}
+		data, err := fs.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		out = append(out, fmt.Sprintf("%s %d %x", rel, len(data), checksum(data)))
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("snapshot ref: %w", err)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func checksum(b []byte) uint32 {
+	var h uint32 = 2166136261
+	for _, c := range b {
+		h = (h ^ uint32(c)) * 16777619
+	}
+	return h
+}
+
+func TestViceMatchesLocalSemantics(t *testing.T) {
+	for _, mode := range []Mode{Prototype, Revised} {
+		for seed := int64(1); seed <= 8; seed++ {
+			t.Run(fmt.Sprintf("%v/seed%d", mode, seed), func(t *testing.T) {
+				cell, ws := provision(t, mode, 1)
+				ref := unixfs.New(nil)
+				if err := ref.Mkdir("/model", 0o755, "satya"); err != nil {
+					t.Fatal(err)
+				}
+				c := &confRunner{
+					t: t, ws: ws, ref: ref,
+					base: "/vice/usr/satya", rbase: "/model",
+					r:    rand.New(rand.NewSource(seed)),
+					dirs: []string{""},
+				}
+				var got, want []string
+				cell.Run(func(p *sim.Proc) {
+					for n := 0; n < 250 && c.err == nil; n++ {
+						c.step(p, n)
+					}
+					if c.err != nil {
+						return
+					}
+					var serr error
+					if got, serr = snapshotVice(p, ws.FS, c.base); serr != nil {
+						c.fail(serr)
+						return
+					}
+					if want, serr = snapshotRef(ref, c.rbase); serr != nil {
+						c.fail(serr)
+					}
+				})
+				if c.err != nil {
+					t.Fatal(c.err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("trees diverge: %d vs %d entries\nvice: %v\nref:  %v",
+						len(got), len(want), got, want)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("trees diverge at %d:\nvice: %s\nref:  %s", i, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package itcfs
+
+import (
+	"strings"
+	"time"
+
+	"itcfs/internal/proto"
+	"itcfs/internal/rpc"
+	"itcfs/internal/vice"
+)
+
+// CostConfig is the calibrated resource model for a mid-1980s cluster
+// server (a Vax-class machine with one disk arm) serving the Vice protocol.
+// The simulator charges these costs per call; utilization percentages and
+// latency ratios in the evaluation emerge from the queueing they induce.
+//
+// Absolute values are calibrated so the five-phase benchmark of §5.2 lands
+// near its reported shape (≈1000 s locally, ≈80 % longer fully remote); the
+// comparative results are insensitive to modest changes in them.
+type CostConfig struct {
+	// AuthCPU is charged per handshake message served.
+	AuthCPU time.Duration
+	// BaseCPU is charged for every call (request parsing, dispatch).
+	BaseCPU time.Duration
+	// ProcessSwitch models the prototype's per-client Unix server
+	// processes: "significant performance degradation is caused by context
+	// switching" (§3.5.2). Zero in revised mode's single-process server.
+	ProcessSwitch time.Duration
+	// WalkComponent is charged per pathname component the server walks
+	// (prototype mode; revised clients present FIDs).
+	WalkComponent time.Duration
+	// Per-op CPU beyond BaseCPU.
+	ValidCPU  time.Duration // TestValid
+	StatCPU   time.Duration // FetchStatus / SetStatus
+	FetchCPU  time.Duration // Fetch, plus FetchCPUPerKB
+	StoreCPU  time.Duration // Store, plus StoreCPUPerKB
+	DirCPU    time.Duration // directory mutations
+	OtherCPU  time.Duration // everything else
+	PerKBCPU  time.Duration // data handling (copying, checksums) per KB
+	FetchDisk time.Duration // disk seek+rotate per fetch
+	StoreDisk time.Duration // per store
+	PerKBDisk time.Duration // transfer per KB
+	// LightDisk is charged on validations and status calls: the prototype
+	// stored Vice status in .admin files, so even a TestValid touched the
+	// server's disk (§3.5.2).
+	LightDisk time.Duration
+}
+
+// DefaultCosts returns the calibrated 1985-era model. The scale is set by
+// the paper's own data: its five-phase benchmark ran ≈80% longer remotely
+// (≈800 extra seconds over a few hundred whole-file operations), so a
+// whole-file fetch or store on the prototype cost on the order of seconds —
+// user-level servers, per-client processes, server-side pathname walks and
+// software data handling on a ~1 MIPS machine. Light calls (validations,
+// status) cost ≈100-200 ms, which is what makes 20 workstations per server
+// land near the paper's ≈40% CPU utilization.
+func DefaultCosts() CostConfig {
+	return CostConfig{
+		AuthCPU:       40 * time.Millisecond,
+		BaseCPU:       15 * time.Millisecond,
+		ProcessSwitch: 40 * time.Millisecond,
+		WalkComponent: 20 * time.Millisecond,
+		ValidCPU:      30 * time.Millisecond,
+		StatCPU:       50 * time.Millisecond,
+		FetchCPU:      1600 * time.Millisecond,
+		StoreCPU:      2000 * time.Millisecond,
+		DirCPU:        520 * time.Millisecond,
+		OtherCPU:      40 * time.Millisecond,
+		PerKBCPU:      20 * time.Millisecond,
+		FetchDisk:     350 * time.Millisecond,
+		StoreDisk:     450 * time.Millisecond,
+		PerKBDisk:     10 * time.Millisecond,
+		LightDisk:     65 * time.Millisecond,
+	}
+}
+
+// Model builds the rpc.CostModel for a server in the given mode.
+func (c CostConfig) Model(mode vice.Mode) rpc.CostModel {
+	return func(ctx rpc.Ctx, req rpc.Request, resp rpc.Response) rpc.Cost {
+		cost := rpc.Cost{CPU: c.BaseCPU}
+		if mode == vice.Prototype {
+			cost.CPU += c.ProcessSwitch
+			cost.CPU += time.Duration(pathComponents(req)) * c.WalkComponent
+		}
+		kbIn := time.Duration((len(req.Bulk) + 1023) / 1024)
+		kbOut := time.Duration((len(resp.Bulk) + 1023) / 1024)
+		switch uint16(req.Op) {
+		case proto.OpTestValid:
+			cost.CPU += c.ValidCPU
+			cost.Disk += c.LightDisk
+		case proto.OpFetchStatus, proto.OpSetStatus:
+			cost.CPU += c.StatCPU
+			cost.Disk += c.LightDisk
+		case proto.OpFetch:
+			cost.CPU += c.FetchCPU + kbOut*c.PerKBCPU
+			cost.Disk += c.FetchDisk + kbOut*c.PerKBDisk
+		case proto.OpStore:
+			cost.CPU += c.StoreCPU + kbIn*c.PerKBCPU
+			cost.Disk += c.StoreDisk + kbIn*c.PerKBDisk
+		case proto.OpCreate, proto.OpMakeDir, proto.OpRemove, proto.OpRemoveDir,
+			proto.OpRename, proto.OpSymlink, proto.OpLink, proto.OpSetACL:
+			cost.CPU += c.DirCPU
+			cost.Disk += c.StoreDisk / 2
+		default:
+			cost.CPU += c.OtherCPU
+		}
+		return cost
+	}
+}
+
+// pathComponents counts the pathname components a prototype server walks
+// for this request. Every file-op body begins with a Ref whose first field
+// is the length-prefixed path, so the count can be read without coupling
+// the cost model to each message layout; non-path bodies yield zero.
+func pathComponents(req rpc.Request) int {
+	if len(req.Body) < 4 {
+		return 0
+	}
+	n := int(uint32(req.Body[0]) | uint32(req.Body[1])<<8 | uint32(req.Body[2])<<16 | uint32(req.Body[3])<<24)
+	if n <= 0 || 4+n > len(req.Body) {
+		return 0
+	}
+	path := string(req.Body[4 : 4+n])
+	if !strings.HasPrefix(path, "/") {
+		return 0
+	}
+	return strings.Count(path, "/")
+}

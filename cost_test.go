@@ -1,0 +1,112 @@
+package itcfs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"itcfs/internal/proto"
+	"itcfs/internal/rpc"
+)
+
+func TestPathComponents(t *testing.T) {
+	mk := func(path string) rpc.Request {
+		return rpc.Request{
+			Op:   rpc.Op(proto.OpFetch),
+			Body: proto.Marshal(proto.FetchArgs{Ref: proto.Ref{Path: path}}),
+		}
+	}
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/", 1},
+		{"/usr", 1},
+		{"/usr/satya", 2},
+		{"/usr/satya/src/main.c", 4},
+	}
+	for _, c := range cases {
+		if got := pathComponents(mk(c.path)); got != c.want {
+			t.Errorf("pathComponents(%q) = %d, want %d", c.path, got, c.want)
+		}
+	}
+	// FID-mode requests carry an empty path: no walk charge.
+	fidReq := rpc.Request{
+		Op:   rpc.Op(proto.OpFetch),
+		Body: proto.Marshal(proto.FetchArgs{Ref: proto.Ref{FID: proto.FID{Volume: 1, Vnode: 2, Uniq: 3}}}),
+	}
+	if got := pathComponents(fidReq); got != 0 {
+		t.Errorf("FID request walked %d components", got)
+	}
+	// Bodies that are not path-shaped charge nothing and never panic.
+	for _, body := range [][]byte{nil, {1}, {255, 255, 255, 255}, []byte("garbage!")} {
+		if got := pathComponents(rpc.Request{Body: body}); got != 0 {
+			t.Errorf("garbage body %v walked %d", body, got)
+		}
+	}
+}
+
+func TestCostModelModes(t *testing.T) {
+	costs := DefaultCosts()
+	ctx := rpc.Ctx{User: "u"}
+	fetch := rpc.Request{
+		Op:   rpc.Op(proto.OpFetch),
+		Body: proto.Marshal(proto.FetchArgs{Ref: proto.Ref{Path: "/usr/satya/file"}}),
+	}
+	resp := rpc.Response{Bulk: make([]byte, 8192)}
+
+	protoCost := costs.Model(Prototype)(ctx, fetch, resp)
+	revCost := costs.Model(Revised)(ctx, fetch, resp)
+	// The prototype pays the process switch and the per-component walk on
+	// top of everything the revised server pays.
+	wantDelta := costs.ProcessSwitch + 3*costs.WalkComponent
+	if protoCost.CPU-revCost.CPU != wantDelta {
+		t.Errorf("prototype surcharge = %v, want %v", protoCost.CPU-revCost.CPU, wantDelta)
+	}
+	if protoCost.Disk != revCost.Disk {
+		t.Errorf("disk differs across modes: %v vs %v", protoCost.Disk, revCost.Disk)
+	}
+	// Data size scales both CPU and disk.
+	small := costs.Model(Revised)(ctx, fetch, rpc.Response{Bulk: make([]byte, 1024)})
+	if small.CPU >= revCost.CPU || small.Disk >= revCost.Disk {
+		t.Error("larger responses must cost more")
+	}
+}
+
+func TestCostModelValidationIsCheapFetchIsNot(t *testing.T) {
+	// The entire E6 argument rests on this ordering.
+	costs := DefaultCosts()
+	model := costs.Model(Prototype)
+	ctx := rpc.Ctx{}
+	valid := model(ctx, rpc.Request{
+		Op:   rpc.Op(proto.OpTestValid),
+		Body: proto.Marshal(proto.TestValidArgs{Ref: proto.Ref{Path: "/u/f"}}),
+	}, rpc.Response{})
+	fetch := model(ctx, rpc.Request{
+		Op:   rpc.Op(proto.OpFetch),
+		Body: proto.Marshal(proto.FetchArgs{Ref: proto.Ref{Path: "/u/f"}}),
+	}, rpc.Response{Bulk: make([]byte, 4096)})
+	if valid.CPU*5 > fetch.CPU {
+		t.Errorf("validation (%v) not much cheaper than fetch (%v)", valid.CPU, fetch.CPU)
+	}
+}
+
+// Property: the cost model never returns negative charges, for any op and
+// any payload size.
+func TestQuickCostsNonNegative(t *testing.T) {
+	costs := DefaultCosts()
+	models := []rpc.CostModel{costs.Model(Prototype), costs.Model(Revised)}
+	f := func(op uint16, body []byte, bulkLen uint16) bool {
+		req := rpc.Request{Op: rpc.Op(op), Body: body, Bulk: make([]byte, bulkLen)}
+		resp := rpc.Response{Bulk: make([]byte, bulkLen/2)}
+		for _, m := range models {
+			c := m(rpc.Ctx{}, req, resp)
+			if c.CPU < 0 || c.Disk < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

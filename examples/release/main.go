@@ -1,0 +1,98 @@
+// Release: the orderly release of system software with volumes (§3.2,
+// §5.3). System binaries live in a read-write volume; each release is an
+// atomic, copy-on-write Clone — a frozen read-only snapshot — replicated to
+// every cluster server so workstations fetch from their nearest replica.
+// Multiple coexisting versions are simply multiple clones.
+//
+//	go run ./examples/release
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"itcfs"
+	"itcfs/internal/sim"
+)
+
+func main() {
+	cell := itcfs.NewCell(itcfs.CellConfig{Mode: itcfs.Revised, Clusters: 2})
+
+	var binVol uint32
+	cell.Run(func(p *sim.Proc) {
+		admin, err := cell.Admin(p, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := admin.MkdirAll(p, "/unix"); err != nil {
+			log.Fatal(err)
+		}
+		binVol, err = admin.CreateVolume(p, "sys.bin", "/unix/bin", "operator", 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := admin.NewUser(p, "student", "pw", 0); err != nil {
+			log.Fatal(err)
+		}
+
+		// The operations staff installs version 1 of the tools.
+		op := cell.AddWorkstation(0, "op-console")
+		if err := op.Login(p, "operator", "operator-password"); err != nil {
+			log.Fatal(err)
+		}
+		for _, tool := range []string{"cc", "ld", "emacs"} {
+			if err := op.FS.WriteFile(p, "/vice/unix/bin/"+tool, []byte(tool+" v1")); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Println("installed cc, ld, emacs (v1) into the read-write volume /unix/bin")
+
+		// Release v1: one atomic clone, mounted at a versioned path and
+		// replicated to the second cluster's server.
+		cloneID, err := admin.CloneVolume(p, binVol, "/unix/bin-v1", cell.Servers[1].Vice.Name())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("released /unix/bin-v1 (read-only clone, volume %d, replica on %s)\n",
+			cloneID, cell.Servers[1].Vice.Name())
+
+		// Development continues on the read-write volume.
+		if err := op.FS.WriteFile(p, "/vice/unix/bin/cc", []byte("cc v2 (experimental)")); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("development continues: /unix/bin/cc is now v2")
+	})
+
+	// A student in cluster 1 uses the released version. The fetch comes
+	// from the replica on the student's own cluster server: no backbone
+	// crossing for the data ("localize if possible", §4).
+	student := cell.AddWorkstation(1, "dorm-ws")
+	cell.Run(func(p *sim.Proc) {
+		if err := student.Login(p, "student", "pw"); err != nil {
+			log.Fatal(err)
+		}
+		frames0 := cell.Net.CrossClusterFrames()
+		data, err := student.FS.ReadFile(p, "/vice/unix/bin-v1/cc")
+		if err != nil {
+			log.Fatal(err)
+		}
+		crossed := cell.Net.CrossClusterFrames() - frames0
+		fmt.Printf("student runs the released compiler: %q (fetch crossed the backbone %d times)\n",
+			data, crossed)
+
+		// The release is immutable: even the operator cannot overwrite it.
+		op2 := cell.AddWorkstation(1, "op-2")
+		if err := op2.Login(p, "operator", "operator-password"); err != nil {
+			log.Fatal(err)
+		}
+		err = op2.FS.WriteFile(p, "/vice/unix/bin-v1/cc", []byte("tamper"))
+		fmt.Printf("attempt to modify the released clone: %v\n", err)
+
+		// Both versions coexist; the experimental one is separate.
+		dev, err := student.FS.ReadFile(p, "/vice/unix/bin/cc")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("meanwhile /unix/bin/cc (read-write volume) serves: %q\n", dev)
+	})
+}

@@ -1,0 +1,91 @@
+// Surrogate: §3.3's answer for machines that cannot run Venus. A
+// low-function workstation (the paper names IBM PCs and the Apple
+// Macintosh) speaks a simple open/read-page/write-page protocol to a
+// Surrogate server running on a full Virtue workstation — and is thereby
+// "transparently accessing Vice files on account of a Virtue workstation's
+// transparent Vice attachment."
+//
+//	go run ./examples/surrogate
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"itcfs"
+	"itcfs/internal/baseline"
+	"itcfs/internal/rpc"
+	"itcfs/internal/sim"
+	"itcfs/internal/virtue"
+)
+
+func main() {
+	cell := itcfs.NewCell(itcfs.CellConfig{Mode: itcfs.Revised, Clusters: 1})
+
+	cell.Run(func(p *sim.Proc) {
+		admin, err := cell.Admin(p, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := admin.NewUser(p, "satya", "pw", 0); err != nil {
+			log.Fatal(err)
+		}
+	})
+
+	// A full Virtue workstation hosts the surrogate.
+	host := cell.AddWorkstation(0, "surrogate-host")
+	var sur *virtue.Surrogate
+	cell.Run(func(p *sim.Proc) {
+		if err := host.Login(p, "satya", "pw"); err != nil {
+			log.Fatal(err)
+		}
+		sur = virtue.NewSurrogate(host.FS)
+	})
+
+	// The "PC" is attached to the surrogate host over a cheap link; here it
+	// dispatches page-protocol requests straight into the surrogate. (The
+	// paper imagined a machine with interfaces to both the campus LAN and
+	// a cheap PC network.)
+	pcConn := pcLink{sur: sur}
+	pc := baseline.NewClient(pcConn)
+
+	cell.Run(func(p *sim.Proc) {
+		// The PC writes a spreadsheet into the shared name space...
+		data := []byte("LOTUS 1-2-3 worksheet: budget figures for the ITC")
+		if err := pc.WriteFile(p, "/vice/usr/satya/budget.wks", data); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("PC: wrote /vice/usr/satya/budget.wks through the surrogate")
+
+		// ...which is a perfectly ordinary Vice file: the host workstation
+		// (or any other) sees it at once.
+		got, err := host.FS.ReadFile(p, "/vice/usr/satya/budget.wks")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Virtue host reads it back: %q\n", got)
+
+		// And the PC reads shared files other workstations produced, page
+		// by page, with Venus caching doing its work underneath.
+		if err := host.FS.WriteFile(p, "/vice/usr/satya/memo.txt",
+			[]byte("whole-file caching serves the PC too")); err != nil {
+			log.Fatal(err)
+		}
+		memo, err := pc.ReadFile(p, "/vice/usr/satya/memo.txt")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("PC reads the memo: %q\n", memo)
+
+		opens, reads, writes := sur.OpCounts()
+		fmt.Printf("surrogate served %d opens, %d page reads, %d page writes\n",
+			opens, reads, writes)
+	})
+}
+
+// pcLink carries page-protocol calls from the PC into the surrogate.
+type pcLink struct{ sur *virtue.Surrogate }
+
+func (l pcLink) Call(p *sim.Proc, req rpc.Request) (rpc.Response, error) {
+	return l.sur.Dispatcher().Dispatch(rpc.Ctx{User: "pc", Proc: p}, req), nil
+}

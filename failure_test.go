@@ -1,0 +1,271 @@
+package itcfs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"itcfs/internal/rpc"
+	"itcfs/internal/sim"
+)
+
+// Availability (§2.2): "single point network or machine failures should
+// not affect the entire user community. We are willing, however, to accept
+// temporary loss of service to small groups of users."
+
+func TestPartitionIsolatesOneClusterOnly(t *testing.T) {
+	cell := NewCell(CellConfig{Mode: Prototype, Clusters: 2})
+	var err error
+	cell.Run(func(p *sim.Proc) {
+		admin, aerr := cell.Admin(p, 0)
+		if aerr != nil {
+			err = aerr
+			return
+		}
+		// alice's volume on server0 (cluster 0), bob's on server1.
+		if _, err = admin.NewUserAt(p, "alice", "pw", 0, "server0"); err != nil {
+			return
+		}
+		_, err = admin.NewUserAt(p, "bob", "pw", 0, "server1")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice := cell.AddWorkstation(0, "alice-ws")
+	bob := cell.AddWorkstation(1, "bob-ws")
+	cell.Run(func(p *sim.Proc) {
+		if err = alice.Login(p, "alice", "pw"); err != nil {
+			return
+		}
+		if err = bob.Login(p, "bob", "pw"); err != nil {
+			return
+		}
+		if err = alice.FS.WriteFile(p, "/vice/usr/alice/f", []byte("a")); err != nil {
+			return
+		}
+		err = bob.FS.WriteFile(p, "/vice/usr/bob/f", []byte("b"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cluster 1 falls off the backbone.
+	cell.Net.Partition(cell.Clusters[1])
+	var aliceErr, bobLocalErr, bobRemoteErr error
+	cell.Run(func(p *sim.Proc) {
+		// alice (cluster 0, custodian in cluster 0): unaffected.
+		_, aliceErr = alice.FS.ReadFile(p, "/vice/usr/alice/f")
+		// bob reaching his own cluster server: unaffected.
+		_, bobLocalErr = bob.FS.ReadFile(p, "/vice/usr/bob/f")
+		// bob reaching alice's custodian across the backbone: lost.
+		_, bobRemoteErr = bob.FS.ReadFile(p, "/vice/usr/alice/f")
+	})
+	if aliceErr != nil {
+		t.Errorf("cluster-0 user affected by cluster-1 partition: %v", aliceErr)
+	}
+	if bobLocalErr != nil {
+		t.Errorf("intra-cluster service lost during partition: %v", bobLocalErr)
+	}
+	if !errors.Is(bobRemoteErr, rpc.ErrUnreachable) {
+		t.Errorf("cross-partition access: %v, want ErrUnreachable", bobRemoteErr)
+	}
+
+	// Healing restores service.
+	cell.Net.Heal(cell.Clusters[1])
+	cell.Run(func(p *sim.Proc) {
+		_, err = bob.FS.ReadFile(p, "/vice/usr/alice/f")
+	})
+	if err != nil {
+		t.Errorf("service not restored after heal: %v", err)
+	}
+}
+
+func TestCrashSalvageAndContinue(t *testing.T) {
+	cell, ws := provision(t, Prototype, 1)
+	var err error
+	cell.Run(func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			if err = ws.FS.WriteFile(p, fmt.Sprintf("/vice/usr/satya/f%d", i), []byte("data")); err != nil {
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The server crashes, leaving volume damage; the operator salvages.
+	for _, id := range cell.Servers[0].Vice.VolumeIDs() {
+		if v, ok := cell.Servers[0].Vice.Volume(id); ok && !v.ReadOnly() {
+			v.CorruptForTest()
+		}
+	}
+	reports := cell.Servers[0].Vice.SalvageAll()
+	repaired := 0
+	for _, rep := range reports {
+		repaired += rep.OrphansRemoved + rep.DanglingEntries + rep.LinksFixed
+	}
+	if repaired == 0 {
+		t.Fatal("salvage found nothing to repair after corruption")
+	}
+	// Clients continue unharmed.
+	cell.Run(func(p *sim.Proc) {
+		var data []byte
+		data, err = ws.FS.ReadFile(p, "/vice/usr/satya/f0")
+		if err == nil && string(data) != "data" {
+			err = fmt.Errorf("data corrupted: %q", data)
+		}
+		if err != nil {
+			return
+		}
+		err = ws.FS.WriteFile(p, "/vice/usr/satya/post-salvage", []byte("alive"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Action consistency (§3.6): with two workstations updating the same file,
+// the custodian holds one version or the other in its entirety — whichever
+// close arrived last — never a mixture.
+func TestConcurrentWritersLastCloseWins(t *testing.T) {
+	cell, ws1 := provision(t, Prototype, 1)
+	ws2 := cell.AddWorkstation(0, "ws-2")
+	var err error
+	cell.Run(func(p *sim.Proc) {
+		if err = ws2.Login(p, "satya", "pw"); err != nil {
+			return
+		}
+		err = ws1.FS.WriteFile(p, "/vice/usr/satya/race", []byte("original"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	versionA := []byte("AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA")
+	versionB := []byte("BB")
+	// Both stations open, write locally, then close; ws2's close lands
+	// second in virtual time.
+	cell.Run(func(p *sim.Proc) {
+		f1, oerr := ws1.FS.Open(p, "/vice/usr/satya/race", FlagWrite|FlagTrunc)
+		if oerr != nil {
+			err = oerr
+			return
+		}
+		f2, oerr := ws2.FS.Open(p, "/vice/usr/satya/race", FlagWrite|FlagTrunc)
+		if oerr != nil {
+			err = oerr
+			return
+		}
+		if _, err = f1.Write(versionA); err != nil {
+			return
+		}
+		if _, err = f2.Write(versionB); err != nil {
+			return
+		}
+		if err = f1.Close(p); err != nil {
+			return
+		}
+		err = f2.Close(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A third, cold workstation sees exactly version B.
+	ws3 := cell.AddWorkstation(0, "ws-3")
+	var got []byte
+	cell.Run(func(p *sim.Proc) {
+		if err = ws3.Login(p, "satya", "pw"); err != nil {
+			return
+		}
+		got, err = ws3.FS.ReadFile(p, "/vice/usr/satya/race")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(versionB) {
+		t.Fatalf("observer sees %q, want the last-closed version %q", got, versionB)
+	}
+}
+
+// Salvage is also an administrative RPC (OpVolSalvage), usable from any
+// authenticated operator connection.
+func TestSalvageRPC(t *testing.T) {
+	cell, ws := provision(t, Prototype, 1)
+	var err error
+	cell.Run(func(p *sim.Proc) {
+		err = ws.FS.WriteFile(p, "/vice/usr/satya/f", []byte("x"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range cell.Servers[0].Vice.VolumeIDs() {
+		if v, ok := cell.Servers[0].Vice.Volume(id); ok && !v.ReadOnly() {
+			v.CorruptForTest()
+		}
+	}
+	var repairs int
+	cell.Run(func(p *sim.Proc) {
+		admin, aerr := cell.Admin(p, 0)
+		if aerr != nil {
+			err = aerr
+			return
+		}
+		repairs, err = admin.Salvage(p, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repairs == 0 {
+		t.Fatal("salvage RPC repaired nothing after corruption")
+	}
+	// Non-admins are refused.
+	var denied error
+	cell.Run(func(p *sim.Proc) {
+		resp, cerr := cell.Workstations()[0].Endpoint.Dial(p, cell.Servers[0].Node.ID, "nobody", [32]byte{})
+		_ = resp
+		denied = cerr
+	})
+	if denied == nil {
+		t.Fatal("unauthenticated dial succeeded")
+	}
+}
+
+// Quota lifecycle: fill, fail, free, succeed.
+func TestQuotaLifecycle(t *testing.T) {
+	cell := NewCell(CellConfig{Mode: Prototype, Clusters: 1})
+	var err error
+	cell.Run(func(p *sim.Proc) {
+		admin, aerr := cell.Admin(p, 0)
+		if aerr != nil {
+			err = aerr
+			return
+		}
+		err = admin.NewUser(p, "tight", "pw", 4096)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := cell.AddWorkstation(0, "ws")
+	cell.Run(func(p *sim.Proc) {
+		if err = ws.Login(p, "tight", "pw"); err != nil {
+			return
+		}
+		if err = ws.FS.WriteFile(p, "/vice/usr/tight/a", make([]byte, 3000)); err != nil {
+			return
+		}
+		// Over quota.
+		werr := ws.FS.WriteFile(p, "/vice/usr/tight/b", make([]byte, 2000))
+		if !errors.Is(werr, ErrQuota) {
+			err = fmt.Errorf("over-quota write: %v, want ErrQuota", werr)
+			return
+		}
+		// Freeing space makes room.
+		if err = ws.FS.Remove(p, "/vice/usr/tight/a"); err != nil {
+			return
+		}
+		err = ws.FS.WriteFile(p, "/vice/usr/tight/b", make([]byte, 2000))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module itcfs
+
+go 1.22

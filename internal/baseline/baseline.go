@@ -1,0 +1,331 @@
+// Package baseline implements the design alternative the paper argues
+// against: a remote-open, page-at-a-time file service in the style of Locus
+// or a diskless workstation's disk server (§2.3, §6.3). Every read and
+// write of an open remote file is an RPC to the server that stores it;
+// nothing is cached on the workstation.
+//
+// The evaluation uses it as the comparator for whole-file transfer
+// (experiment E8): page access pays per-operation protocol overhead on
+// every read and keeps the server in the loop between open and close, while
+// whole-file caching contacts custodians only at opens and closes. The
+// honest flip side also falls out: for a small read out of a very large
+// file, paging wins — which is exactly why the paper limits its design to
+// files "up to a few megabytes" (§2.2).
+package baseline
+
+import (
+	"sync"
+	"time"
+
+	"itcfs/internal/proto"
+	"itcfs/internal/rpc"
+	"itcfs/internal/sim"
+	"itcfs/internal/unixfs"
+	"itcfs/internal/wire"
+)
+
+// PageSize is the transfer unit, a 4 KB page.
+const PageSize = 4096
+
+// Ops of the page protocol (distinct from the Vice range).
+const (
+	OpOpen  = 100
+	OpRead  = 101
+	OpWrite = 102
+	OpClose = 103
+	OpStat  = 104
+)
+
+// Server is a page server over an in-memory Unix file system.
+type Server struct {
+	mu     sync.Mutex
+	fs     *unixfs.FS
+	disp   *rpc.Server
+	nextFD uint64
+	open   map[uint64]string // fd -> path
+
+	reads, writes, opens int64
+}
+
+// NewServer builds a page server around fs.
+func NewServer(fs *unixfs.FS) *Server {
+	s := &Server{fs: fs, disp: rpc.NewServer(), open: make(map[uint64]string)}
+	s.disp.Handle(OpOpen, s.handleOpen)
+	s.disp.Handle(OpRead, s.handleRead)
+	s.disp.Handle(OpWrite, s.handleWrite)
+	s.disp.Handle(OpClose, s.handleClose)
+	s.disp.Handle(OpStat, s.handleStat)
+	return s
+}
+
+// FS returns the backing file system (for populating test data).
+func (s *Server) FS() *unixfs.FS { return s.fs }
+
+// Dispatcher returns the handler set to bind to a transport.
+func (s *Server) Dispatcher() *rpc.Server { return s.disp }
+
+// OpCounts reports opens, page reads and page writes served.
+func (s *Server) OpCounts() (opens, reads, writes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.opens, s.reads, s.writes
+}
+
+func (s *Server) handleOpen(_ rpc.Ctx, req rpc.Request) rpc.Response {
+	d := wire.NewDecoder(req.Body)
+	path := d.String()
+	create := d.Bool()
+	if d.Close() != nil {
+		return rpc.Response{Code: proto.CodeBadRequest}
+	}
+	if !s.fs.Exists(path) {
+		if !create {
+			return rpc.Response{Code: proto.CodeNoEnt, Body: []byte(path)}
+		}
+		if err := s.fs.WriteFile(path, nil, 0o644, ""); err != nil {
+			return rpc.Response{Code: proto.ErrToCode(err), Body: []byte(err.Error())}
+		}
+	}
+	st, err := s.fs.Stat(path)
+	if err != nil {
+		return rpc.Response{Code: proto.ErrToCode(err), Body: []byte(err.Error())}
+	}
+	s.mu.Lock()
+	s.nextFD++
+	fd := s.nextFD
+	s.open[fd] = path
+	s.opens++
+	s.mu.Unlock()
+	var e wire.Encoder
+	e.U64(fd)
+	e.I64(st.Size)
+	return rpc.Response{Body: append([]byte(nil), e.Buf()...)}
+}
+
+func (s *Server) path(fd uint64) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.open[fd]
+	return p, ok
+}
+
+func (s *Server) handleRead(_ rpc.Ctx, req rpc.Request) rpc.Response {
+	d := wire.NewDecoder(req.Body)
+	fd := d.U64()
+	off := d.I64()
+	n := d.Int()
+	if d.Close() != nil || n <= 0 || n > PageSize {
+		return rpc.Response{Code: proto.CodeBadRequest}
+	}
+	path, ok := s.path(fd)
+	if !ok {
+		return rpc.Response{Code: proto.CodeStale}
+	}
+	buf := make([]byte, n)
+	got, err := s.fs.ReadAt(path, buf, off)
+	if err != nil {
+		return rpc.Response{Code: proto.ErrToCode(err), Body: []byte(err.Error())}
+	}
+	s.mu.Lock()
+	s.reads++
+	s.mu.Unlock()
+	return rpc.Response{Bulk: buf[:got]}
+}
+
+func (s *Server) handleWrite(_ rpc.Ctx, req rpc.Request) rpc.Response {
+	d := wire.NewDecoder(req.Body)
+	fd := d.U64()
+	off := d.I64()
+	if d.Close() != nil || len(req.Bulk) > PageSize {
+		return rpc.Response{Code: proto.CodeBadRequest}
+	}
+	path, ok := s.path(fd)
+	if !ok {
+		return rpc.Response{Code: proto.CodeStale}
+	}
+	if _, err := s.fs.WriteAt(path, req.Bulk, off); err != nil {
+		return rpc.Response{Code: proto.ErrToCode(err), Body: []byte(err.Error())}
+	}
+	s.mu.Lock()
+	s.writes++
+	s.mu.Unlock()
+	return rpc.Response{}
+}
+
+func (s *Server) handleClose(_ rpc.Ctx, req rpc.Request) rpc.Response {
+	d := wire.NewDecoder(req.Body)
+	fd := d.U64()
+	if d.Close() != nil {
+		return rpc.Response{Code: proto.CodeBadRequest}
+	}
+	s.mu.Lock()
+	delete(s.open, fd)
+	s.mu.Unlock()
+	return rpc.Response{}
+}
+
+func (s *Server) handleStat(_ rpc.Ctx, req rpc.Request) rpc.Response {
+	d := wire.NewDecoder(req.Body)
+	path := d.String()
+	if d.Close() != nil {
+		return rpc.Response{Code: proto.CodeBadRequest}
+	}
+	st, err := s.fs.Stat(path)
+	if err != nil {
+		return rpc.Response{Code: proto.ErrToCode(err), Body: []byte(err.Error())}
+	}
+	var e wire.Encoder
+	e.I64(st.Size)
+	e.U64(st.Version)
+	return rpc.Response{Body: append([]byte(nil), e.Buf()...)}
+}
+
+// Conn abstracts the transport, as in venus.
+type Conn interface {
+	Call(p *sim.Proc, req rpc.Request) (rpc.Response, error)
+}
+
+// Client accesses remote files page by page with no local cache.
+type Client struct {
+	conn Conn
+}
+
+// NewClient wraps a connection to a page server.
+func NewClient(conn Conn) *Client {
+	return &Client{conn: conn}
+}
+
+// File is an open remote file.
+type File struct {
+	c    *Client
+	fd   uint64
+	size int64
+}
+
+func respErr(resp rpc.Response, err error) error {
+	if err != nil {
+		return err
+	}
+	if !resp.OK() {
+		return proto.CodeToErr(resp.Code, string(resp.Body))
+	}
+	return nil
+}
+
+// Open opens (optionally creating) a remote file.
+func (c *Client) Open(p *sim.Proc, path string, create bool) (*File, error) {
+	var e wire.Encoder
+	e.String(path)
+	e.Bool(create)
+	resp, err := c.conn.Call(p, rpc.Request{Op: OpOpen, Body: append([]byte(nil), e.Buf()...)})
+	if err := respErr(resp, err); err != nil {
+		return nil, err
+	}
+	d := wire.NewDecoder(resp.Body)
+	f := &File{c: c, fd: d.U64(), size: d.I64()}
+	if err := d.Close(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Size returns the size reported at open.
+func (f *File) Size() int64 { return f.size }
+
+// ReadAt fetches up to len(buf) bytes at off, one page per RPC.
+func (f *File) ReadAt(p *sim.Proc, buf []byte, off int64) (int, error) {
+	total := 0
+	for total < len(buf) {
+		want := len(buf) - total
+		if want > PageSize {
+			want = PageSize
+		}
+		var e wire.Encoder
+		e.U64(f.fd)
+		e.I64(off + int64(total))
+		e.Int(want)
+		resp, err := f.c.conn.Call(p, rpc.Request{Op: OpRead, Body: append([]byte(nil), e.Buf()...)})
+		if err := respErr(resp, err); err != nil {
+			return total, err
+		}
+		n := copy(buf[total:], resp.Bulk)
+		total += n
+		if len(resp.Bulk) < want {
+			return total, nil // EOF
+		}
+	}
+	return total, nil
+}
+
+// WriteAt writes buf at off, one page per RPC.
+func (f *File) WriteAt(p *sim.Proc, buf []byte, off int64) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n := len(buf) - total
+		if n > PageSize {
+			n = PageSize
+		}
+		var e wire.Encoder
+		e.U64(f.fd)
+		e.I64(off + int64(total))
+		resp, err := f.c.conn.Call(p, rpc.Request{
+			Op:   OpWrite,
+			Body: append([]byte(nil), e.Buf()...),
+			Bulk: buf[total : total+n],
+		})
+		if err := respErr(resp, err); err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// Close releases the remote descriptor.
+func (f *File) Close(p *sim.Proc) error {
+	var e wire.Encoder
+	e.U64(f.fd)
+	resp, err := f.c.conn.Call(p, rpc.Request{Op: OpClose, Body: append([]byte(nil), e.Buf()...)})
+	return respErr(resp, err)
+}
+
+// ReadFile reads a whole remote file page by page.
+func (c *Client) ReadFile(p *sim.Proc, path string) ([]byte, error) {
+	f, err := c.Open(p, path, false)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close(p)
+	out := make([]byte, f.size)
+	n, err := f.ReadAt(p, out, 0)
+	return out[:n], err
+}
+
+// WriteFile writes a whole remote file page by page.
+func (c *Client) WriteFile(p *sim.Proc, path string, data []byte) error {
+	f, err := c.Open(p, path, true)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(p, data, 0); err != nil {
+		f.Close(p)
+		return err
+	}
+	return f.Close(p)
+}
+
+// Costs builds the server cost model for the page protocol, using the same
+// per-call and per-byte charges as the Vice model so the comparison is
+// fair: the difference measured in E8 is protocol structure, not hardware.
+func Costs(baseCPU, perKBCPU, diskOp, perKBDisk time.Duration) rpc.CostModel {
+	return func(_ rpc.Ctx, req rpc.Request, resp rpc.Response) rpc.Cost {
+		cost := rpc.Cost{CPU: baseCPU}
+		kb := time.Duration((len(req.Bulk) + len(resp.Bulk) + 1023) / 1024)
+		cost.CPU += kb * perKBCPU
+		switch req.Op {
+		case OpRead, OpWrite:
+			cost.Disk = diskOp + kb*perKBDisk
+		}
+		return cost
+	}
+}

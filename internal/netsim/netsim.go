@@ -1,0 +1,278 @@
+// Package netsim models the ITC network topology of the paper's Figure 2-2:
+// semi-autonomous clusters, each a LAN segment of workstations plus a
+// cluster server, joined by bridges to a backbone LAN. Bridges are
+// store-and-forward routers; the detailed topology is invisible to nodes,
+// which see one uniform address space (as the paper requires).
+//
+// Each LAN segment is a shared medium: frames serialize over it at the
+// configured bandwidth and contend FIFO, so utilization and queueing delays
+// emerge naturally. The package accounts per-link busy time, frames and
+// bytes, and counts cross-cluster traffic, which the evaluation harness uses
+// to reproduce the paper's locality arguments.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"itcfs/internal/sim"
+)
+
+// NodeID identifies a network node. IDs are dense, assigned in AddNode order.
+type NodeID int
+
+// Message is a delivered network frame.
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Size    int // payload bytes, excluding frame overhead
+	Payload interface{}
+}
+
+// Config holds the physical parameters of the network. ITCDefaults matches
+// the paper's era: 10 Mbit/s Ethernets.
+type Config struct {
+	ClusterBandwidth  int64         // bits per second on cluster LANs
+	BackboneBandwidth int64         // bits per second on the backbone
+	Propagation       time.Duration // per-segment propagation delay
+	BridgeDelay       time.Duration // store-and-forward delay per bridge crossing
+	FrameOverhead     int           // header bytes added to every frame
+	LocalDelay        time.Duration // loopback delivery delay (same node)
+}
+
+// ITCDefaults returns parameters for a mid-1980s campus network: 10 Mbit/s
+// Ethernet segments, millisecond-scale bridge forwarding.
+func ITCDefaults() Config {
+	return Config{
+		ClusterBandwidth:  10_000_000,
+		BackboneBandwidth: 10_000_000,
+		Propagation:       200 * time.Microsecond,
+		BridgeDelay:       2 * time.Millisecond,
+		FrameOverhead:     64,
+		LocalDelay:        50 * time.Microsecond,
+	}
+}
+
+// Link is a shared-medium LAN segment. Frames transmit one at a time in
+// arrival order.
+type Link struct {
+	k         *sim.Kernel
+	name      string
+	bandwidth int64
+
+	busy      bool
+	busySince sim.Time
+	busyTime  time.Duration
+	queue     []pending
+
+	frames int64
+	bytes  int64
+}
+
+type pending struct {
+	size int
+	then func()
+}
+
+func newLink(k *sim.Kernel, name string, bandwidth int64) *Link {
+	if bandwidth <= 0 {
+		panic("netsim: non-positive bandwidth")
+	}
+	return &Link{k: k, name: name, bandwidth: bandwidth}
+}
+
+// Name returns the link's name.
+func (l *Link) Name() string { return l.name }
+
+// Frames returns the number of frames transmitted or in transmission.
+func (l *Link) Frames() int64 { return l.frames }
+
+// Bytes returns the total bytes (including frame overhead) carried.
+func (l *Link) Bytes() int64 { return l.bytes }
+
+// BusyTime returns cumulative transmission time on the segment.
+func (l *Link) BusyTime() time.Duration {
+	bt := l.busyTime
+	if l.busy {
+		bt += l.k.Now().Sub(l.busySince)
+	}
+	return bt
+}
+
+// Utilization returns BusyTime over the interval since the reference time.
+func (l *Link) Utilization(since sim.Time) float64 {
+	elapsed := l.k.Now().Sub(since)
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(l.BusyTime()) / float64(elapsed)
+}
+
+// serialization returns the time to clock size bytes onto the medium.
+func (l *Link) serialization(size int) time.Duration {
+	bits := int64(size) * 8
+	return time.Duration(bits * int64(time.Second) / l.bandwidth)
+}
+
+// transmit queues a frame of size bytes; then runs (in kernel context) when
+// the frame has fully left the segment.
+func (l *Link) transmit(size int, then func()) {
+	if l.busy {
+		l.queue = append(l.queue, pending{size, then})
+		return
+	}
+	l.begin(size, then)
+}
+
+func (l *Link) begin(size int, then func()) {
+	l.busy = true
+	l.busySince = l.k.Now()
+	l.frames++
+	l.bytes += int64(size)
+	l.k.After(l.serialization(size), func() {
+		l.busyTime += l.k.Now().Sub(l.busySince)
+		l.busy = false
+		if len(l.queue) > 0 {
+			next := l.queue[0]
+			l.queue = l.queue[1:]
+			l.begin(next.size, next.then)
+		}
+		then()
+	})
+}
+
+// Cluster is one LAN segment bridged to the backbone.
+type Cluster struct {
+	ID   int
+	Name string
+	LAN  *Link
+}
+
+// Node is an addressable endpoint on some cluster LAN.
+type Node struct {
+	ID      NodeID
+	Name    string
+	Cluster *Cluster
+	Inbox   *sim.Mailbox[Message]
+}
+
+// Network is the campus internetwork: a backbone plus bridged clusters.
+type Network struct {
+	k        *sim.Kernel
+	cfg      Config
+	Backbone *Link
+	clusters []*Cluster
+	nodes    []*Node
+
+	crossClusterFrames int64
+	drops              int64
+	partitioned        map[int]bool // clusters cut off from the backbone
+}
+
+// New creates an empty network with the given physical parameters.
+func New(k *sim.Kernel, cfg Config) *Network {
+	return &Network{
+		k:           k,
+		cfg:         cfg,
+		Backbone:    newLink(k, "backbone", cfg.BackboneBandwidth),
+		partitioned: make(map[int]bool),
+	}
+}
+
+// Kernel returns the simulation kernel the network runs on.
+func (n *Network) Kernel() *sim.Kernel { return n.k }
+
+// AddCluster creates a new cluster LAN bridged to the backbone.
+func (n *Network) AddCluster(name string) *Cluster {
+	c := &Cluster{
+		ID:   len(n.clusters),
+		Name: name,
+		LAN:  newLink(n.k, fmt.Sprintf("lan-%s", name), n.cfg.ClusterBandwidth),
+	}
+	n.clusters = append(n.clusters, c)
+	return c
+}
+
+// AddNode attaches a new node to a cluster LAN and returns it.
+func (n *Network) AddNode(name string, c *Cluster) *Node {
+	node := &Node{
+		ID:      NodeID(len(n.nodes)),
+		Name:    name,
+		Cluster: c,
+		Inbox:   sim.NewMailbox[Message](n.k),
+	}
+	n.nodes = append(n.nodes, node)
+	return node
+}
+
+// Node returns the node with the given ID.
+func (n *Network) Node(id NodeID) *Node { return n.nodes[id] }
+
+// Clusters returns all clusters in creation order.
+func (n *Network) Clusters() []*Cluster { return n.clusters }
+
+// CrossClusterFrames returns the number of frames that crossed the backbone.
+func (n *Network) CrossClusterFrames() int64 { return n.crossClusterFrames }
+
+// Drops returns the number of frames lost to partitions.
+func (n *Network) Drops() int64 { return n.drops }
+
+// Partition detaches a cluster's bridge from the backbone: frames between
+// that cluster and any other cluster are silently dropped (single point
+// failures must not affect the whole community — §2.2 Availability).
+func (n *Network) Partition(c *Cluster) { n.partitioned[c.ID] = true }
+
+// Heal reattaches a partitioned cluster.
+func (n *Network) Heal(c *Cluster) { delete(n.partitioned, c.ID) }
+
+// Partitioned reports whether the cluster's bridge is detached.
+func (n *Network) Partitioned(c *Cluster) bool { return n.partitioned[c.ID] }
+
+// Send routes a frame from src to dst. Delivery is asynchronous: the payload
+// appears in the destination node's Inbox after the frame traverses every
+// segment on the path. Send never blocks the caller.
+func (n *Network) Send(src, dst NodeID, size int, payload interface{}) {
+	s, d := n.nodes[src], n.nodes[dst]
+	msg := Message{From: src, To: dst, Size: size, Payload: payload}
+	deliver := func() { d.Inbox.Put(msg) }
+	wire := size + n.cfg.FrameOverhead
+
+	switch {
+	case s == d:
+		n.k.After(n.cfg.LocalDelay, deliver)
+	case s.Cluster == d.Cluster:
+		// One hop on the shared cluster LAN.
+		n.k.After(0, func() {
+			s.Cluster.LAN.transmit(wire, func() {
+				n.k.After(n.cfg.Propagation, deliver)
+			})
+		})
+	default:
+		if n.partitioned[s.Cluster.ID] || n.partitioned[d.Cluster.ID] {
+			n.drops++
+			return
+		}
+		// Cluster LAN -> bridge -> backbone -> bridge -> cluster LAN.
+		n.crossClusterFrames++
+		n.k.After(0, func() {
+			s.Cluster.LAN.transmit(wire, func() {
+				n.k.After(n.cfg.Propagation+n.cfg.BridgeDelay, func() {
+					if n.partitioned[s.Cluster.ID] || n.partitioned[d.Cluster.ID] {
+						n.drops++
+						return
+					}
+					n.Backbone.transmit(wire, func() {
+						n.k.After(n.cfg.Propagation+n.cfg.BridgeDelay, func() {
+							d.Cluster.LAN.transmit(wire, func() {
+								n.k.After(n.cfg.Propagation, deliver)
+							})
+						})
+					})
+				})
+			})
+		})
+	}
+}
+
+// Recv blocks the calling process until a frame arrives at the node.
+func (nd *Node) Recv(p *sim.Proc) Message { return nd.Inbox.Get(p) }

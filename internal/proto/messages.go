@@ -1,0 +1,499 @@
+package proto
+
+import (
+	"fmt"
+
+	"itcfs/internal/wire"
+)
+
+// This file defines the argument and reply messages for every Vice
+// operation. Each type encodes explicitly; Unmarshal helpers wrap decoding
+// with error handling so server handlers can reject malformed requests with
+// CodeBadRequest.
+
+// Unmarshal decodes body into any message with a decode function.
+func Unmarshal[T any](body []byte, decode func(*wire.Decoder) T) (T, error) {
+	d := wire.NewDecoder(body)
+	v := decode(d)
+	if err := d.Close(); err != nil {
+		var zero T
+		return zero, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return v, nil
+}
+
+// Marshal encodes any message.
+func Marshal(m wire.Message) []byte { return wire.Marshal(m) }
+
+// FetchArgs requests a whole file (data returned as the bulk side effect)
+// along with its status. In revised mode a successful fetch also records a
+// callback promise for the connection.
+type FetchArgs struct {
+	Ref Ref
+}
+
+func (a FetchArgs) Encode(e *wire.Encoder) { a.Ref.Encode(e) }
+
+// DecodeFetchArgs unmarshals FetchArgs.
+func DecodeFetchArgs(d *wire.Decoder) FetchArgs { return FetchArgs{Ref: DecodeRef(d)} }
+
+// StoreArgs stores a whole file (data in the bulk side effect), creating it
+// if absent in prototype (path) mode.
+type StoreArgs struct {
+	Ref  Ref
+	Mode uint16
+}
+
+func (a StoreArgs) Encode(e *wire.Encoder) {
+	a.Ref.Encode(e)
+	e.U16(a.Mode)
+}
+
+// DecodeStoreArgs unmarshals StoreArgs.
+func DecodeStoreArgs(d *wire.Decoder) StoreArgs {
+	return StoreArgs{Ref: DecodeRef(d), Mode: d.U16()}
+}
+
+// StatusArgs requests the status record of a file ("GetFileStat").
+type StatusArgs struct {
+	Ref Ref
+}
+
+func (a StatusArgs) Encode(e *wire.Encoder) { a.Ref.Encode(e) }
+
+// DecodeStatusArgs unmarshals StatusArgs.
+func DecodeStatusArgs(d *wire.Decoder) StatusArgs { return StatusArgs{Ref: DecodeRef(d)} }
+
+// SetStatusArgs updates mutable status fields.
+type SetStatusArgs struct {
+	Ref      Ref
+	SetMode  bool
+	Mode     uint16
+	SetOwner bool
+	Owner    string
+}
+
+func (a SetStatusArgs) Encode(e *wire.Encoder) {
+	a.Ref.Encode(e)
+	e.Bool(a.SetMode)
+	e.U16(a.Mode)
+	e.Bool(a.SetOwner)
+	e.String(a.Owner)
+}
+
+// DecodeSetStatusArgs unmarshals SetStatusArgs.
+func DecodeSetStatusArgs(d *wire.Decoder) SetStatusArgs {
+	return SetStatusArgs{
+		Ref:      DecodeRef(d),
+		SetMode:  d.Bool(),
+		Mode:     d.U16(),
+		SetOwner: d.Bool(),
+		Owner:    d.String(),
+	}
+}
+
+// TestValidArgs asks whether a cached copy at Version is still current.
+type TestValidArgs struct {
+	Ref     Ref
+	Version uint64
+}
+
+func (a TestValidArgs) Encode(e *wire.Encoder) {
+	a.Ref.Encode(e)
+	e.U64(a.Version)
+}
+
+// DecodeTestValidArgs unmarshals TestValidArgs.
+func DecodeTestValidArgs(d *wire.Decoder) TestValidArgs {
+	return TestValidArgs{Ref: DecodeRef(d), Version: d.U64()}
+}
+
+// TestValidReply answers a validity check.
+type TestValidReply struct {
+	Valid   bool
+	Version uint64 // the current version at the custodian
+}
+
+func (r TestValidReply) Encode(e *wire.Encoder) {
+	e.Bool(r.Valid)
+	e.U64(r.Version)
+}
+
+// DecodeTestValidReply unmarshals TestValidReply.
+func DecodeTestValidReply(d *wire.Decoder) TestValidReply {
+	return TestValidReply{Valid: d.Bool(), Version: d.U64()}
+}
+
+// NameArgs addresses an entry Name within directory Dir: Create, MakeDir,
+// Remove, RemoveDir.
+type NameArgs struct {
+	Dir  Ref
+	Name string
+	Mode uint16 // for Create/MakeDir
+}
+
+func (a NameArgs) Encode(e *wire.Encoder) {
+	a.Dir.Encode(e)
+	e.String(a.Name)
+	e.U16(a.Mode)
+}
+
+// DecodeNameArgs unmarshals NameArgs.
+func DecodeNameArgs(d *wire.Decoder) NameArgs {
+	return NameArgs{Dir: DecodeRef(d), Name: d.String(), Mode: d.U16()}
+}
+
+// RenameArgs moves FromName in FromDir to ToName in ToDir.
+type RenameArgs struct {
+	FromDir  Ref
+	FromName string
+	ToDir    Ref
+	ToName   string
+}
+
+func (a RenameArgs) Encode(e *wire.Encoder) {
+	a.FromDir.Encode(e)
+	e.String(a.FromName)
+	a.ToDir.Encode(e)
+	e.String(a.ToName)
+}
+
+// DecodeRenameArgs unmarshals RenameArgs.
+func DecodeRenameArgs(d *wire.Decoder) RenameArgs {
+	return RenameArgs{
+		FromDir:  DecodeRef(d),
+		FromName: d.String(),
+		ToDir:    DecodeRef(d),
+		ToName:   d.String(),
+	}
+}
+
+// SymlinkArgs creates a symbolic link Name in Dir pointing at Target.
+type SymlinkArgs struct {
+	Dir    Ref
+	Name   string
+	Target string
+}
+
+func (a SymlinkArgs) Encode(e *wire.Encoder) {
+	a.Dir.Encode(e)
+	e.String(a.Name)
+	e.String(a.Target)
+}
+
+// DecodeSymlinkArgs unmarshals SymlinkArgs.
+func DecodeSymlinkArgs(d *wire.Decoder) SymlinkArgs {
+	return SymlinkArgs{Dir: DecodeRef(d), Name: d.String(), Target: d.String()}
+}
+
+// LinkArgs creates a hard link Name in Dir to the existing file Target.
+type LinkArgs struct {
+	Dir    Ref
+	Name   string
+	Target Ref
+}
+
+func (a LinkArgs) Encode(e *wire.Encoder) {
+	a.Dir.Encode(e)
+	e.String(a.Name)
+	a.Target.Encode(e)
+}
+
+// DecodeLinkArgs unmarshals LinkArgs.
+func DecodeLinkArgs(d *wire.Decoder) LinkArgs {
+	return LinkArgs{Dir: DecodeRef(d), Name: d.String(), Target: DecodeRef(d)}
+}
+
+// ACLArgs addresses a directory's access list. For SetACL the new list
+// rides in the body after the args; use with ACLEncode/ACLDecode.
+type ACLArgs struct {
+	Dir Ref
+	ACL []byte // encoded prot.ACL for SetACL; empty for GetACL
+}
+
+func (a ACLArgs) Encode(e *wire.Encoder) {
+	a.Dir.Encode(e)
+	e.Bytes(a.ACL)
+}
+
+// DecodeACLArgs unmarshals ACLArgs.
+func DecodeACLArgs(d *wire.Decoder) ACLArgs {
+	return ACLArgs{Dir: DecodeRef(d), ACL: append([]byte(nil), d.Bytes()...)}
+}
+
+// LockArgs sets or releases an advisory lock (§3.6).
+type LockArgs struct {
+	Ref       Ref
+	Exclusive bool
+}
+
+func (a LockArgs) Encode(e *wire.Encoder) {
+	a.Ref.Encode(e)
+	e.Bool(a.Exclusive)
+}
+
+// DecodeLockArgs unmarshals LockArgs.
+func DecodeLockArgs(d *wire.Decoder) LockArgs {
+	return LockArgs{Ref: DecodeRef(d), Exclusive: d.Bool()}
+}
+
+// CustodianArgs asks which server is the custodian for a path.
+type CustodianArgs struct {
+	Path string
+}
+
+func (a CustodianArgs) Encode(e *wire.Encoder) { e.String(a.Path) }
+
+// DecodeCustodianArgs unmarshals CustodianArgs.
+func DecodeCustodianArgs(d *wire.Decoder) CustodianArgs {
+	return CustodianArgs{Path: d.String()}
+}
+
+// CustodianReply answers a location query: the matched subtree prefix, the
+// volume mounted there, its custodian, and any read-only replica sites.
+type CustodianReply struct {
+	Prefix    string
+	Volume    uint32
+	Custodian string
+	Replicas  []string
+}
+
+func (r CustodianReply) Encode(e *wire.Encoder) {
+	e.String(r.Prefix)
+	e.U32(r.Volume)
+	e.String(r.Custodian)
+	e.U32(uint32(len(r.Replicas)))
+	for _, rep := range r.Replicas {
+		e.String(rep)
+	}
+}
+
+// DecodeCustodianReply unmarshals CustodianReply.
+func DecodeCustodianReply(d *wire.Decoder) CustodianReply {
+	r := CustodianReply{Prefix: d.String(), Volume: d.U32(), Custodian: d.String()}
+	n := d.U32()
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		r.Replicas = append(r.Replicas, d.String())
+	}
+	return r
+}
+
+// CallbackBreakArgs tells a workstation its cached copy is no longer valid.
+type CallbackBreakArgs struct {
+	FID  FID
+	Path string // set in path mode so prototype-style clients can match
+}
+
+func (a CallbackBreakArgs) Encode(e *wire.Encoder) {
+	a.FID.Encode(e)
+	e.String(a.Path)
+}
+
+// DecodeCallbackBreakArgs unmarshals CallbackBreakArgs.
+func DecodeCallbackBreakArgs(d *wire.Decoder) CallbackBreakArgs {
+	return CallbackBreakArgs{FID: DecodeFID(d), Path: d.String()}
+}
+
+// VolCreateArgs creates a volume and mounts it at Path in the shared name
+// space.
+type VolCreateArgs struct {
+	Name  string
+	Path  string
+	Quota int64
+	Owner string
+}
+
+func (a VolCreateArgs) Encode(e *wire.Encoder) {
+	e.String(a.Name)
+	e.String(a.Path)
+	e.I64(a.Quota)
+	e.String(a.Owner)
+}
+
+// DecodeVolCreateArgs unmarshals VolCreateArgs.
+func DecodeVolCreateArgs(d *wire.Decoder) VolCreateArgs {
+	return VolCreateArgs{Name: d.String(), Path: d.String(), Quota: d.I64(), Owner: d.String()}
+}
+
+// VolCloneArgs clones a volume into a read-only snapshot, optionally
+// replicating it to other servers and mounting it at Path.
+type VolCloneArgs struct {
+	Volume   uint32
+	Path     string   // mount point for the clone ("" = do not mount)
+	Replicas []string // additional servers to install the clone on
+}
+
+func (a VolCloneArgs) Encode(e *wire.Encoder) {
+	e.U32(a.Volume)
+	e.String(a.Path)
+	e.U32(uint32(len(a.Replicas)))
+	for _, r := range a.Replicas {
+		e.String(r)
+	}
+}
+
+// DecodeVolCloneArgs unmarshals VolCloneArgs.
+func DecodeVolCloneArgs(d *wire.Decoder) VolCloneArgs {
+	a := VolCloneArgs{Volume: d.U32(), Path: d.String()}
+	n := d.U32()
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		a.Replicas = append(a.Replicas, d.String())
+	}
+	return a
+}
+
+// VolStatusArgs asks about one volume.
+type VolStatusArgs struct {
+	Volume uint32
+}
+
+func (a VolStatusArgs) Encode(e *wire.Encoder) { e.U32(a.Volume) }
+
+// DecodeVolStatusArgs unmarshals VolStatusArgs.
+func DecodeVolStatusArgs(d *wire.Decoder) VolStatusArgs { return VolStatusArgs{Volume: d.U32()} }
+
+// VolStatusReply describes one volume.
+type VolStatusReply struct {
+	Volume   uint32
+	Name     string
+	Quota    int64
+	Used     int64
+	Online   bool
+	ReadOnly bool
+	Server   string
+}
+
+func (r VolStatusReply) Encode(e *wire.Encoder) {
+	e.U32(r.Volume)
+	e.String(r.Name)
+	e.I64(r.Quota)
+	e.I64(r.Used)
+	e.Bool(r.Online)
+	e.Bool(r.ReadOnly)
+	e.String(r.Server)
+}
+
+// DecodeVolStatusReply unmarshals VolStatusReply.
+func DecodeVolStatusReply(d *wire.Decoder) VolStatusReply {
+	return VolStatusReply{
+		Volume:   d.U32(),
+		Name:     d.String(),
+		Quota:    d.I64(),
+		Used:     d.I64(),
+		Online:   d.Bool(),
+		ReadOnly: d.Bool(),
+		Server:   d.String(),
+	}
+}
+
+// VolSetQuotaArgs changes a volume's quota.
+type VolSetQuotaArgs struct {
+	Volume uint32
+	Quota  int64
+}
+
+func (a VolSetQuotaArgs) Encode(e *wire.Encoder) {
+	e.U32(a.Volume)
+	e.I64(a.Quota)
+}
+
+// DecodeVolSetQuotaArgs unmarshals VolSetQuotaArgs.
+func DecodeVolSetQuotaArgs(d *wire.Decoder) VolSetQuotaArgs {
+	return VolSetQuotaArgs{Volume: d.U32(), Quota: d.I64()}
+}
+
+// VolMoveArgs reassigns a volume to another custodian.
+type VolMoveArgs struct {
+	Volume uint32
+	Target string // destination server name
+}
+
+func (a VolMoveArgs) Encode(e *wire.Encoder) {
+	e.U32(a.Volume)
+	e.String(a.Target)
+}
+
+// DecodeVolMoveArgs unmarshals VolMoveArgs.
+func DecodeVolMoveArgs(d *wire.Decoder) VolMoveArgs {
+	return VolMoveArgs{Volume: d.U32(), Target: d.String()}
+}
+
+// LocEntry is one row of the replicated location database: the volume
+// mounted at Prefix, its custodian and read-only replica sites (§3.1).
+type LocEntry struct {
+	Prefix    string
+	Volume    uint32
+	Custodian string
+	Replicas  []string
+}
+
+func (le LocEntry) Encode(e *wire.Encoder) {
+	e.String(le.Prefix)
+	e.U32(le.Volume)
+	e.String(le.Custodian)
+	e.U32(uint32(len(le.Replicas)))
+	for _, r := range le.Replicas {
+		e.String(r)
+	}
+}
+
+// DecodeLocEntry unmarshals a LocEntry.
+func DecodeLocEntry(d *wire.Decoder) LocEntry {
+	le := LocEntry{Prefix: d.String(), Volume: d.U32(), Custodian: d.String()}
+	n := d.U32()
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		le.Replicas = append(le.Replicas, d.String())
+	}
+	return le
+}
+
+// LocInstallArgs pushes location-database rows to a replica. Remove lists
+// prefixes to delete.
+type LocInstallArgs struct {
+	Entries []LocEntry
+	Remove  []string
+}
+
+func (a LocInstallArgs) Encode(e *wire.Encoder) {
+	e.U32(uint32(len(a.Entries)))
+	for _, le := range a.Entries {
+		le.Encode(e)
+	}
+	e.U32(uint32(len(a.Remove)))
+	for _, p := range a.Remove {
+		e.String(p)
+	}
+}
+
+// DecodeLocInstallArgs unmarshals LocInstallArgs.
+func DecodeLocInstallArgs(d *wire.Decoder) LocInstallArgs {
+	var a LocInstallArgs
+	n := d.U32()
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		a.Entries = append(a.Entries, DecodeLocEntry(d))
+	}
+	m := d.U32()
+	for i := uint32(0); i < m && d.Err() == nil; i++ {
+		a.Remove = append(a.Remove, d.String())
+	}
+	return a
+}
+
+// VolInstallArgs carries a serialized volume image (in the bulk payload) to
+// install on the receiving server, for moves and read-only replication.
+type VolInstallArgs struct {
+	Volume   uint32
+	Name     string
+	ReadOnly bool
+}
+
+func (a VolInstallArgs) Encode(e *wire.Encoder) {
+	e.U32(a.Volume)
+	e.String(a.Name)
+	e.Bool(a.ReadOnly)
+}
+
+// DecodeVolInstallArgs unmarshals VolInstallArgs.
+func DecodeVolInstallArgs(d *wire.Decoder) VolInstallArgs {
+	return VolInstallArgs{Volume: d.U32(), Name: d.String(), ReadOnly: d.Bool()}
+}

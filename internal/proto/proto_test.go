@@ -1,0 +1,272 @@
+package proto
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"itcfs/internal/prot"
+	"itcfs/internal/wire"
+)
+
+func TestFIDRoundTripAndString(t *testing.T) {
+	f := FID{Volume: 7, Vnode: 42, Uniq: 3}
+	var e wire.Encoder
+	f.Encode(&e)
+	d := wire.NewDecoder(e.Buf())
+	if got := DecodeFID(d); got != f {
+		t.Fatalf("round trip: %v != %v", got, f)
+	}
+	if f.String() != "7.42.3" {
+		t.Fatalf("String = %q", f.String())
+	}
+	if f.IsZero() || (FID{}).IsZero() != true {
+		t.Fatal("IsZero wrong")
+	}
+}
+
+func TestRefModes(t *testing.T) {
+	byPath := Ref{Path: "/usr/satya/f"}
+	if byPath.ByFID() {
+		t.Fatal("path ref claims FID")
+	}
+	byFID := Ref{FID: FID{1, 2, 3}}
+	if !byFID.ByFID() {
+		t.Fatal("FID ref not recognized")
+	}
+	if byPath.String() != "/usr/satya/f" || byFID.String() != "1.2.3" {
+		t.Fatal("String forms wrong")
+	}
+}
+
+func TestStatusRoundTrip(t *testing.T) {
+	s := Status{
+		FID:     FID{1, 2, 3},
+		Type:    TypeSymlink,
+		Size:    12345,
+		Version: 99,
+		Mtime:   -7,
+		Owner:   "satya",
+		Mode:    0o644,
+		Links:   2,
+		Target:  "/vice/bin",
+	}
+	var e wire.Encoder
+	s.Encode(&e)
+	d := wire.NewDecoder(e.Buf())
+	got := DecodeStatus(d)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("round trip: %+v != %+v", got, s)
+	}
+}
+
+func TestDirEntriesRoundTrip(t *testing.T) {
+	entries := []DirEntry{
+		{Name: "paper.mss", FID: FID{1, 5, 1}, Type: TypeFile},
+		{Name: "src", FID: FID{1, 6, 1}, Type: TypeDir},
+		{Name: "bin", FID: FID{1, 7, 2}, Type: TypeSymlink},
+	}
+	data := EncodeDirEntries(entries)
+	got, err := DecodeDirEntries(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range entries {
+		if got[i] != entries[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, got[i], entries[i])
+		}
+	}
+	if _, err := DecodeDirEntries([]byte("junk")); err == nil {
+		t.Fatal("garbage directory accepted")
+	}
+	empty, err := DecodeDirEntries(EncodeDirEntries(nil))
+	if err != nil || len(empty) != 0 {
+		t.Fatal("empty listing round trip failed")
+	}
+}
+
+func TestErrorCodeMapping(t *testing.T) {
+	for code, sentinel := range map[uint16]error{
+		CodeNoEnt:    ErrNoEnt,
+		CodeAccess:   ErrAccess,
+		CodeQuota:    ErrQuota,
+		CodeOffline:  ErrOffline,
+		CodeReadOnly: ErrReadOnly,
+		CodeLocked:   ErrLocked,
+		CodeStale:    ErrStale,
+	} {
+		if got := ErrToCode(sentinel); got != code {
+			t.Errorf("ErrToCode(%v) = %d, want %d", sentinel, got, code)
+		}
+		if err := CodeToErr(code, "detail"); !errors.Is(err, sentinel) {
+			t.Errorf("CodeToErr(%d) = %v, not %v", code, err, sentinel)
+		}
+	}
+	if CodeToErr(CodeOK, "") != nil {
+		t.Error("CodeOK should map to nil")
+	}
+	if ErrToCode(nil) != CodeOK {
+		t.Error("nil should map to CodeOK")
+	}
+	if ErrToCode(errors.New("mystery")) != CodeInternal {
+		t.Error("unknown error should map to CodeInternal")
+	}
+	// Wrapped errors map through.
+	wrapped := CodeToErr(CodeNoEnt, "missing file")
+	if ErrToCode(wrapped) != CodeNoEnt {
+		t.Error("wrapped sentinel lost its code")
+	}
+}
+
+func TestWrongServerCarriesCustodian(t *testing.T) {
+	err := &WrongServer{Custodian: "server3"}
+	if !errors.Is(err, ErrWrongServer) {
+		t.Fatal("WrongServer does not unwrap to ErrWrongServer")
+	}
+	if ErrToCode(err) != CodeWrongServer {
+		t.Fatal("WrongServer code mapping wrong")
+	}
+	var ws *WrongServer
+	if !errors.As(error(err), &ws) || ws.Custodian != "server3" {
+		t.Fatal("custodian hint lost")
+	}
+}
+
+func TestACLBodyRoundTrip(t *testing.T) {
+	a := prot.NewACL()
+	a.Grant("satya", prot.RightsAll)
+	a.Deny("mallory", prot.RightWrite)
+	got, err := ACLDecode(ACLEncode(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Positive["satya"] != prot.RightsAll || got.Negative["mallory"] != prot.RightWrite {
+		t.Fatalf("ACL round trip: %+v", got)
+	}
+	if _, err := ACLDecode([]byte{1, 2}); err == nil {
+		t.Fatal("garbage ACL accepted")
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	// Every message type round-trips through its encode/decode pair.
+	ref := Ref{Path: "/usr/f", FID: FID{1, 2, 3}}
+
+	fa, err := Unmarshal(Marshal(FetchArgs{Ref: ref}), DecodeFetchArgs)
+	if err != nil || fa.Ref != ref {
+		t.Fatalf("FetchArgs: %+v %v", fa, err)
+	}
+	sa, err := Unmarshal(Marshal(StoreArgs{Ref: ref, Mode: 0o600}), DecodeStoreArgs)
+	if err != nil || sa.Mode != 0o600 {
+		t.Fatalf("StoreArgs: %+v %v", sa, err)
+	}
+	tv, err := Unmarshal(Marshal(TestValidArgs{Ref: ref, Version: 9}), DecodeTestValidArgs)
+	if err != nil || tv.Version != 9 {
+		t.Fatalf("TestValidArgs: %+v %v", tv, err)
+	}
+	tvr, err := Unmarshal(Marshal(TestValidReply{Valid: true, Version: 12}), DecodeTestValidReply)
+	if err != nil || !tvr.Valid || tvr.Version != 12 {
+		t.Fatalf("TestValidReply: %+v %v", tvr, err)
+	}
+	na, err := Unmarshal(Marshal(NameArgs{Dir: ref, Name: "child", Mode: 0o755}), DecodeNameArgs)
+	if err != nil || na.Name != "child" {
+		t.Fatalf("NameArgs: %+v %v", na, err)
+	}
+	ra, err := Unmarshal(Marshal(RenameArgs{FromDir: ref, FromName: "a", ToDir: ref, ToName: "b"}), DecodeRenameArgs)
+	if err != nil || ra.FromName != "a" || ra.ToName != "b" {
+		t.Fatalf("RenameArgs: %+v %v", ra, err)
+	}
+	sy, err := Unmarshal(Marshal(SymlinkArgs{Dir: ref, Name: "l", Target: "/t"}), DecodeSymlinkArgs)
+	if err != nil || sy.Target != "/t" {
+		t.Fatalf("SymlinkArgs: %+v %v", sy, err)
+	}
+	la, err := Unmarshal(Marshal(LinkArgs{Dir: ref, Name: "l", Target: ref}), DecodeLinkArgs)
+	if err != nil || la.Target != ref {
+		t.Fatalf("LinkArgs: %+v %v", la, err)
+	}
+	ca, err := Unmarshal(Marshal(CustodianArgs{Path: "/usr"}), DecodeCustodianArgs)
+	if err != nil || ca.Path != "/usr" {
+		t.Fatalf("CustodianArgs: %+v %v", ca, err)
+	}
+	cr, err := Unmarshal(Marshal(CustodianReply{
+		Prefix: "/usr", Volume: 4, Custodian: "s1", Replicas: []string{"s2", "s3"},
+	}), DecodeCustodianReply)
+	if err != nil || cr.Custodian != "s1" || len(cr.Replicas) != 2 {
+		t.Fatalf("CustodianReply: %+v %v", cr, err)
+	}
+	cb, err := Unmarshal(Marshal(CallbackBreakArgs{FID: FID{1, 2, 3}, Path: "/f"}), DecodeCallbackBreakArgs)
+	if err != nil || cb.FID != (FID{1, 2, 3}) {
+		t.Fatalf("CallbackBreakArgs: %+v %v", cb, err)
+	}
+	vc, err := Unmarshal(Marshal(VolCreateArgs{Name: "user.satya", Path: "/usr/satya", Quota: 1 << 20, Owner: "satya"}), DecodeVolCreateArgs)
+	if err != nil || vc.Quota != 1<<20 {
+		t.Fatalf("VolCreateArgs: %+v %v", vc, err)
+	}
+	vcl, err := Unmarshal(Marshal(VolCloneArgs{Volume: 3, Path: "/bin", Replicas: []string{"s2"}}), DecodeVolCloneArgs)
+	if err != nil || vcl.Volume != 3 || len(vcl.Replicas) != 1 {
+		t.Fatalf("VolCloneArgs: %+v %v", vcl, err)
+	}
+	vs, err := Unmarshal(Marshal(VolStatusReply{Volume: 3, Name: "n", Quota: 5, Used: 4, Online: true, ReadOnly: true, Server: "s"}), DecodeVolStatusReply)
+	if err != nil || !vs.ReadOnly || vs.Used != 4 {
+		t.Fatalf("VolStatusReply: %+v %v", vs, err)
+	}
+	li, err := Unmarshal(Marshal(LocInstallArgs{
+		Entries: []LocEntry{{Prefix: "/usr/satya", Volume: 4, Custodian: "s1", Replicas: []string{"s2"}}},
+		Remove:  []string{"/old"},
+	}), DecodeLocInstallArgs)
+	if err != nil || len(li.Entries) != 1 || li.Entries[0].Volume != 4 || len(li.Remove) != 1 {
+		t.Fatalf("LocInstallArgs: %+v %v", li, err)
+	}
+	ss, err := Unmarshal(Marshal(SetStatusArgs{Ref: ref, SetMode: true, Mode: 0o600, SetOwner: true, Owner: "o"}), DecodeSetStatusArgs)
+	if err != nil || !ss.SetMode || ss.Owner != "o" {
+		t.Fatalf("SetStatusArgs: %+v %v", ss, err)
+	}
+	lk, err := Unmarshal(Marshal(LockArgs{Ref: ref, Exclusive: true}), DecodeLockArgs)
+	if err != nil || !lk.Exclusive {
+		t.Fatalf("LockArgs: %+v %v", lk, err)
+	}
+	vi, err := Unmarshal(Marshal(VolInstallArgs{Volume: 8, Name: "ro", ReadOnly: true}), DecodeVolInstallArgs)
+	if err != nil || vi.Volume != 8 || !vi.ReadOnly {
+		t.Fatalf("VolInstallArgs: %+v %v", vi, err)
+	}
+}
+
+func TestUnmarshalRejectsTrailingGarbage(t *testing.T) {
+	body := append(Marshal(CustodianArgs{Path: "/x"}), 0xFF)
+	if _, err := Unmarshal(body, DecodeCustodianArgs); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("err = %v, want ErrBadRequest", err)
+	}
+}
+
+// Property: directory listings of arbitrary names round-trip.
+func TestQuickDirEntries(t *testing.T) {
+	f := func(names []string, vols []uint32) bool {
+		var entries []DirEntry
+		for i, n := range names {
+			var v uint32
+			if len(vols) > 0 {
+				v = vols[i%len(vols)]
+			}
+			entries = append(entries, DirEntry{Name: n, FID: FID{Volume: v, Vnode: uint32(i)}, Type: TypeFile})
+		}
+		got, err := DecodeDirEntries(EncodeDirEntries(entries))
+		if err != nil || len(got) != len(entries) {
+			return false
+		}
+		for i := range entries {
+			if got[i] != entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+package rpc
+
+import (
+	"time"
+
+	"itcfs/internal/sim"
+)
+
+// Cost is the simulated resource consumption of serving one call.
+type Cost struct {
+	CPU  time.Duration // server CPU time
+	Disk time.Duration // server disk time
+}
+
+// CostModel maps a served call to its resource consumption. It runs after
+// the handler, so response sizes (e.g. the number of bytes a Fetch read from
+// disk) are available. A nil model charges nothing.
+type CostModel func(ctx Ctx, req Request, resp Response) Cost
+
+// Meters holds the simulated server devices that calls are charged against.
+// Either field may be nil to skip that device.
+type Meters struct {
+	CPU  *sim.Resource
+	Disk *sim.Resource
+}
+
+// charge applies c to the meters from process p, queueing FIFO behind other
+// calls (the server CPU bottleneck of §5.2 emerges from this queueing).
+func (m Meters) charge(p *sim.Proc, c Cost) {
+	if m.CPU != nil && c.CPU > 0 {
+		m.CPU.Use(p, c.CPU)
+	}
+	if m.Disk != nil && c.Disk > 0 {
+		m.Disk.Use(p, c.Disk)
+	}
+}

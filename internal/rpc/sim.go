@@ -1,0 +1,416 @@
+package rpc
+
+import (
+	"fmt"
+	"time"
+
+	"itcfs/internal/netsim"
+	"itcfs/internal/secure"
+	"itcfs/internal/sim"
+)
+
+// pkt is the unit carried through the simulated network. Data is real
+// encrypted bytes — the simulation does not fake the cryptography, only the
+// passage of time.
+type pkt struct {
+	Conn uint64
+	Kind uint8
+	Data []byte
+	From netsim.NodeID
+}
+
+func (p *pkt) size() int { return packetOverhead + len(p.Data) }
+
+// Backchannel lets a server place calls back to a connected client (the
+// callback path of the revised design). The proc argument is the calling
+// simulated process; real transports accept nil.
+type Backchannel interface {
+	CallBack(p *sim.Proc, req Request) (Response, error)
+	BackUser() string
+}
+
+// EndpointConfig configures an Endpoint.
+type EndpointConfig struct {
+	// Keys authenticates inbound connections; nil endpoints refuse them.
+	Keys secure.KeyLookup
+	// Server handles inbound calls; nil endpoints refuse them.
+	Server *Server
+	// Model computes per-call resource charges (may be nil).
+	Model CostModel
+	// Meters are the devices charges apply to (fields may be nil).
+	Meters Meters
+	// AuthCost is charged per handshake message served.
+	AuthCost Cost
+	// CallTimeout bounds Dial and Call waits; 0 means 60 simulated seconds.
+	CallTimeout time.Duration
+}
+
+// Endpoint binds RPC to one node of the simulated network. It serves
+// inbound connections (if configured with keys and a server) and originates
+// outbound ones. Create it before running the kernel, or from kernel
+// context: it spawns its dispatcher process at construction.
+type Endpoint struct {
+	k    *sim.Kernel
+	net  *netsim.Network
+	node *netsim.Node
+	cfg  EndpointConfig
+
+	nextConn uint64
+	outbound map[uint64]*SimConn
+	inbound  map[inKey]*inConn
+
+	callCounts map[Op]int64
+	callsTotal int64
+}
+
+type inKey struct {
+	from netsim.NodeID
+	conn uint64
+}
+
+type callKey struct {
+	conn uint64
+	seq  uint32
+}
+
+type outcome struct {
+	resp Response
+	err  error
+}
+
+// SimConn is an authenticated outbound connection.
+type SimConn struct {
+	ep      *Endpoint
+	remote  netsim.NodeID
+	id      uint64
+	user    string
+	box     *secure.Box
+	nextSeq uint32
+	pending map[uint32]*sim.Future[outcome]
+	hsReply *sim.Future[[]byte] // in-flight handshake step
+	closed  bool
+}
+
+// inConn is the server-side state of an accepted connection.
+type inConn struct {
+	ep      *Endpoint
+	key     inKey
+	hs      *secure.ServerHandshake
+	box     *secure.Box
+	user    string
+	nextSeq uint32
+	pending map[uint32]*sim.Future[outcome]
+}
+
+// NewEndpoint attaches an endpoint to node and starts its dispatcher.
+func NewEndpoint(net *netsim.Network, node *netsim.Node, cfg EndpointConfig) *Endpoint {
+	if cfg.CallTimeout == 0 {
+		cfg.CallTimeout = 60 * time.Second
+	}
+	ep := &Endpoint{
+		k:          net.Kernel(),
+		net:        net,
+		node:       node,
+		cfg:        cfg,
+		outbound:   make(map[uint64]*SimConn),
+		inbound:    make(map[inKey]*inConn),
+		callCounts: make(map[Op]int64),
+	}
+	ep.k.Spawn("rpc-dispatch:"+node.Name, ep.dispatch)
+	return ep
+}
+
+// Node returns the network node the endpoint is bound to.
+func (ep *Endpoint) Node() *netsim.Node { return ep.node }
+
+// CallCounts returns a copy of the per-op histogram of calls served. This is
+// the raw data behind the paper's "histogram of calls received by servers".
+func (ep *Endpoint) CallCounts() map[Op]int64 {
+	out := make(map[Op]int64, len(ep.callCounts))
+	for op, n := range ep.callCounts {
+		out[op] = n
+	}
+	return out
+}
+
+// CallsTotal returns the total number of calls served.
+func (ep *Endpoint) CallsTotal() int64 { return ep.callsTotal }
+
+func (ep *Endpoint) send(to netsim.NodeID, p *pkt) {
+	p.From = ep.node.ID
+	ep.net.Send(ep.node.ID, to, p.size(), p)
+}
+
+// dispatch is the endpoint's receive loop. It never parks on anything but
+// the inbox; all potentially-blocking work runs in per-call worker
+// processes, which is exactly the single-process/many-LWPs server structure
+// of the revised implementation (§3.5.2).
+func (ep *Endpoint) dispatch(p *sim.Proc) {
+	for {
+		msg := ep.node.Recv(p)
+		pk, ok := msg.Payload.(*pkt)
+		if !ok {
+			continue
+		}
+		switch pk.Kind {
+		case kindHello, kindProof:
+			ep.handleHandshake(pk)
+		case kindChallenge, kindSession:
+			if c := ep.outbound[pk.Conn]; c != nil && c.remote == pk.From && c.hsReply != nil {
+				f := c.hsReply
+				c.hsReply = nil
+				f.Set(pk.Data)
+			}
+		case kindCall:
+			ep.handleCall(pk)
+		case kindReply:
+			ep.handleReply(pk)
+		case kindClose:
+			delete(ep.inbound, inKey{pk.From, pk.Conn})
+		}
+	}
+}
+
+// handleHandshake serves handshake messages 1 and 3 in a worker process,
+// charging the configured authentication cost.
+func (ep *Endpoint) handleHandshake(pk *pkt) {
+	if ep.cfg.Keys == nil {
+		return // not accepting connections; silence, like a dark host
+	}
+	key := inKey{pk.From, pk.Conn}
+	ep.k.Spawn("rpc-auth", func(p *sim.Proc) {
+		ep.cfg.Meters.charge(p, ep.cfg.AuthCost)
+		switch pk.Kind {
+		case kindHello:
+			hs := secure.NewServerHandshake(ep.cfg.Keys)
+			challenge, err := hs.Challenge(pk.Data)
+			if err != nil {
+				return // authentication failure: no reply, client times out
+			}
+			ep.inbound[key] = &inConn{
+				ep:      ep,
+				key:     key,
+				hs:      hs,
+				pending: make(map[uint32]*sim.Future[outcome]),
+			}
+			ep.send(pk.From, &pkt{Conn: pk.Conn, Kind: kindChallenge, Data: challenge})
+		case kindProof:
+			ic := ep.inbound[key]
+			if ic == nil || ic.hs == nil {
+				return
+			}
+			final, session, err := ic.hs.Complete(pk.Data)
+			if err != nil {
+				delete(ep.inbound, key)
+				return
+			}
+			ic.user = ic.hs.User()
+			ic.box = secure.NewBox(session)
+			ic.hs = nil
+			ep.send(pk.From, &pkt{Conn: pk.Conn, Kind: kindSession, Data: final})
+		}
+	})
+}
+
+// handleCall decrypts, dispatches and answers one inbound call in a worker
+// process. Calls arrive on inbound connections (a client calling the
+// server) or on outbound ones (the server breaking a callback to us).
+func (ep *Endpoint) handleCall(pk *pkt) {
+	var box *secure.Box
+	var user string
+	var back Backchannel
+	if ic := ep.inbound[inKey{pk.From, pk.Conn}]; ic != nil && ic.box != nil {
+		box, user, back = ic.box, ic.user, ic
+	} else if c := ep.outbound[pk.Conn]; c != nil && c.remote == pk.From && c.box != nil {
+		box, user, back = c.box, "", c
+	} else {
+		return // unknown or unauthenticated connection
+	}
+	plain, err := box.Open(pk.Data)
+	if err != nil {
+		return // tampered or replayed under the wrong key
+	}
+	seq, req, err := decodeCall(plain)
+	if err != nil {
+		return
+	}
+	if ep.cfg.Server == nil {
+		return
+	}
+	ep.callCounts[req.Op]++
+	ep.callsTotal++
+	ep.k.Spawn(fmt.Sprintf("rpc-worker-op%d", req.Op), func(p *sim.Proc) {
+		ctx := Ctx{User: user, Peer: ep.net.Node(pk.From).Name, Back: back, Proc: p}
+		resp := ep.cfg.Server.Dispatch(ctx, req)
+		if ep.cfg.Model != nil {
+			ep.cfg.Meters.charge(p, ep.cfg.Model(ctx, req, resp))
+		}
+		ep.send(pk.From, &pkt{Conn: pk.Conn, Kind: kindReply, Data: box.Seal(encodeReply(seq, resp))})
+	})
+}
+
+// handleReply resolves the pending future for a reply to a call this
+// endpoint originated — on an outbound connection, or a callback on an
+// inbound one.
+func (ep *Endpoint) handleReply(pk *pkt) {
+	if c := ep.outbound[pk.Conn]; c != nil && c.remote == pk.From {
+		c.resolve(pk)
+		return
+	}
+	if ic := ep.inbound[inKey{pk.From, pk.Conn}]; ic != nil && ic.box != nil {
+		ic.resolve(pk)
+	}
+}
+
+func (c *SimConn) resolve(pk *pkt) {
+	plain, err := c.box.Open(pk.Data)
+	if err != nil {
+		return
+	}
+	seq, resp, err := decodeReply(plain)
+	if err != nil {
+		return
+	}
+	if f := c.pending[seq]; f != nil {
+		delete(c.pending, seq)
+		f.TrySet(outcome{resp: resp})
+	}
+}
+
+func (ic *inConn) resolve(pk *pkt) {
+	plain, err := ic.box.Open(pk.Data)
+	if err != nil {
+		return
+	}
+	seq, resp, err := decodeReply(plain)
+	if err != nil {
+		return
+	}
+	if f := ic.pending[seq]; f != nil {
+		delete(ic.pending, seq)
+		f.TrySet(outcome{resp: resp})
+	}
+}
+
+// Dial establishes an authenticated connection to the endpoint on the
+// remote node, performing the full four-message handshake in virtual time.
+// It must be called from a simulated process.
+func (ep *Endpoint) Dial(p *sim.Proc, remote netsim.NodeID, user string, key secure.Key) (*SimConn, error) {
+	ep.nextConn++
+	c := &SimConn{
+		ep:      ep,
+		remote:  remote,
+		id:      ep.nextConn,
+		user:    user,
+		pending: make(map[uint32]*sim.Future[outcome]),
+	}
+	ep.outbound[c.id] = c
+	hs := secure.NewClientHandshake(user, key)
+
+	challenge, err := c.handshakeStep(p, kindHello, hs.Hello())
+	if err != nil {
+		delete(ep.outbound, c.id)
+		return nil, err
+	}
+	proof, err := hs.Proof(challenge)
+	if err != nil {
+		delete(ep.outbound, c.id)
+		return nil, err
+	}
+	final, err := c.handshakeStep(p, kindProof, proof)
+	if err != nil {
+		delete(ep.outbound, c.id)
+		return nil, err
+	}
+	session, err := hs.Session(final)
+	if err != nil {
+		delete(ep.outbound, c.id)
+		return nil, err
+	}
+	c.box = secure.NewBox(session)
+	return c, nil
+}
+
+// handshakeStep sends one handshake message and waits for its reply or a
+// timeout.
+func (c *SimConn) handshakeStep(p *sim.Proc, kind uint8, data []byte) ([]byte, error) {
+	f := sim.NewFuture[[]byte](c.ep.k)
+	c.hsReply = f
+	c.ep.send(c.remote, &pkt{Conn: c.id, Kind: kind, Data: data})
+	c.ep.k.After(c.ep.cfg.CallTimeout, func() {
+		if f.TrySet(nil) {
+			c.hsReply = nil
+		}
+	})
+	reply := f.Wait(p)
+	if reply == nil {
+		return nil, fmt.Errorf("%w: handshake timeout to node %d", ErrUnreachable, c.remote)
+	}
+	return reply, nil
+}
+
+// User returns the identity the connection authenticated as.
+func (c *SimConn) User() string { return c.user }
+
+// Remote returns the node at the far end.
+func (c *SimConn) Remote() netsim.NodeID { return c.remote }
+
+// Call performs one RPC and waits (in virtual time) for the reply.
+func (c *SimConn) Call(p *sim.Proc, req Request) (Response, error) {
+	if c.closed {
+		return Response{}, ErrClosed
+	}
+	c.nextSeq++
+	seq := c.nextSeq
+	f := sim.NewFuture[outcome](c.ep.k)
+	c.pending[seq] = f
+	c.ep.send(c.remote, &pkt{Conn: c.id, Kind: kindCall, Data: c.box.Seal(encodeCall(seq, req))})
+	c.ep.k.After(c.ep.cfg.CallTimeout, func() {
+		if f.TrySet(outcome{err: fmt.Errorf("%w: call op %d timed out", ErrUnreachable, req.Op)}) {
+			delete(c.pending, seq)
+		}
+	})
+	out := f.Wait(p)
+	return out.resp, out.err
+}
+
+// Close tears down the connection; the server forgets its state.
+func (c *SimConn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.ep.send(c.remote, &pkt{Conn: c.id, Kind: kindClose})
+	delete(c.ep.outbound, c.id)
+}
+
+// CallBack places a call from the server back to the client on an accepted
+// connection (callback breaking). It implements Backchannel.
+func (ic *inConn) CallBack(p *sim.Proc, req Request) (Response, error) {
+	if ic.box == nil {
+		return Response{}, ErrClosed
+	}
+	ic.nextSeq++
+	seq := ic.nextSeq
+	f := sim.NewFuture[outcome](ic.ep.k)
+	ic.pending[seq] = f
+	ic.ep.send(ic.key.from, &pkt{Conn: ic.key.conn, Kind: kindCall, Data: ic.box.Seal(encodeCall(seq, req))})
+	ic.ep.k.After(ic.ep.cfg.CallTimeout, func() {
+		if f.TrySet(outcome{err: fmt.Errorf("%w: callback op %d timed out", ErrUnreachable, req.Op)}) {
+			delete(ic.pending, seq)
+		}
+	})
+	out := f.Wait(p)
+	return out.resp, out.err
+}
+
+// BackUser returns the authenticated user of the connection.
+func (ic *inConn) BackUser() string { return ic.user }
+
+// CallBack on an outbound connection is an ordinary call: the client side of
+// a connection reaches the server the same way in both roles. It implements
+// Backchannel so callback handlers can answer the server symmetrically.
+func (c *SimConn) CallBack(p *sim.Proc, req Request) (Response, error) { return c.Call(p, req) }
+
+// BackUser returns the identity this connection authenticated as.
+func (c *SimConn) BackUser() string { return c.user }

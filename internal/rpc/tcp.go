@@ -1,0 +1,222 @@
+package rpc
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"itcfs/internal/secure"
+	"itcfs/internal/sim"
+	"itcfs/internal/wire"
+)
+
+// Peer is an authenticated, encrypted, full-duplex RPC connection over a
+// real byte stream (typically TCP). Both sides may place calls; both sides
+// may serve them. It carries exactly the bytes the simulated transport
+// models, so cmd/itcfsd is the same Vice the simulator evaluates.
+type Peer struct {
+	conn   io.ReadWriteCloser
+	box    *secure.Box
+	user   string
+	name   string
+	server *Server
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	nextSeq uint32
+	pending map[uint32]chan outcome
+	closed  bool
+	done    chan struct{}
+}
+
+// DialPeer authenticates as user over conn (handshake messages 1-4) and
+// returns a connected peer. server, which may be nil, handles calls the far
+// side places on this connection (callbacks).
+func DialPeer(conn io.ReadWriteCloser, user string, key secure.Key, server *Server) (*Peer, error) {
+	hs := secure.NewClientHandshake(user, key)
+	if err := wire.WriteFrame(conn, hs.Hello()); err != nil {
+		return nil, fmt.Errorf("rpc: handshake: %w", err)
+	}
+	challenge, err := wire.ReadFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: handshake: %w", err)
+	}
+	proof, err := hs.Proof(challenge)
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.WriteFrame(conn, proof); err != nil {
+		return nil, fmt.Errorf("rpc: handshake: %w", err)
+	}
+	final, err := wire.ReadFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: handshake: %w", err)
+	}
+	session, err := hs.Session(final)
+	if err != nil {
+		return nil, err
+	}
+	p := newPeer(conn, secure.NewBox(session), user, "server", server)
+	go p.readLoop()
+	return p, nil
+}
+
+// AcceptPeer performs the server side of the handshake on conn, resolving
+// client keys through keys, and returns the authenticated peer. server
+// handles the client's calls.
+func AcceptPeer(conn io.ReadWriteCloser, keys secure.KeyLookup, server *Server) (*Peer, error) {
+	hs := secure.NewServerHandshake(keys)
+	hello, err := wire.ReadFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: handshake: %w", err)
+	}
+	challenge, err := hs.Challenge(hello)
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.WriteFrame(conn, challenge); err != nil {
+		return nil, fmt.Errorf("rpc: handshake: %w", err)
+	}
+	proof, err := wire.ReadFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: handshake: %w", err)
+	}
+	final, session, err := hs.Complete(proof)
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.WriteFrame(conn, final); err != nil {
+		return nil, fmt.Errorf("rpc: handshake: %w", err)
+	}
+	p := newPeer(conn, secure.NewBox(session), hs.User(), hs.User(), server)
+	go p.readLoop()
+	return p, nil
+}
+
+func newPeer(conn io.ReadWriteCloser, box *secure.Box, user, name string, server *Server) *Peer {
+	return &Peer{
+		conn:    conn,
+		box:     box,
+		user:    user,
+		name:    name,
+		server:  server,
+		pending: make(map[uint32]chan outcome),
+		done:    make(chan struct{}),
+	}
+}
+
+// User returns the authenticated identity of the connection: on an accepted
+// peer, the client's user; on a dialed peer, the local user.
+func (p *Peer) User() string { return p.user }
+
+// Call performs one RPC and blocks until the reply arrives or the
+// connection dies. The proc argument exists for signature compatibility
+// with the simulated transport and is ignored.
+func (p *Peer) Call(_ *sim.Proc, req Request) (Response, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return Response{}, ErrClosed
+	}
+	p.nextSeq++
+	seq := p.nextSeq
+	ch := make(chan outcome, 1)
+	p.pending[seq] = ch
+	p.mu.Unlock()
+
+	plain := append([]byte{kindCall}, encodeCall(seq, req)...)
+	if err := p.writeSealed(plain); err != nil {
+		p.mu.Lock()
+		delete(p.pending, seq)
+		p.mu.Unlock()
+		return Response{}, err
+	}
+	select {
+	case out := <-ch:
+		return out.resp, out.err
+	case <-p.done:
+		return Response{}, ErrClosed
+	}
+}
+
+// CallBack implements Backchannel.
+func (p *Peer) CallBack(proc *sim.Proc, req Request) (Response, error) { return p.Call(proc, req) }
+
+// BackUser implements Backchannel.
+func (p *Peer) BackUser() string { return p.user }
+
+// Close tears the connection down and fails all in-flight calls.
+func (p *Peer) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	close(p.done)
+	for seq, ch := range p.pending {
+		ch <- outcome{err: ErrClosed}
+		delete(p.pending, seq)
+	}
+	p.mu.Unlock()
+	return p.conn.Close()
+}
+
+// Done is closed when the connection has terminated.
+func (p *Peer) Done() <-chan struct{} { return p.done }
+
+func (p *Peer) writeSealed(plain []byte) error {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	return wire.WriteFrame(p.conn, p.box.Seal(plain))
+}
+
+// readLoop demultiplexes inbound frames until the connection dies.
+func (p *Peer) readLoop() {
+	defer p.Close()
+	for {
+		frame, err := wire.ReadFrame(p.conn)
+		if err != nil {
+			return
+		}
+		plain, err := p.box.Open(frame)
+		if err != nil || len(plain) == 0 {
+			return // tampering: drop the connection, per mutual suspicion
+		}
+		kind, rest := plain[0], plain[1:]
+		switch kind {
+		case kindCall:
+			seq, req, err := decodeCall(rest)
+			if err != nil {
+				return
+			}
+			go p.serve(seq, req)
+		case kindReply:
+			seq, resp, err := decodeReply(rest)
+			if err != nil {
+				return
+			}
+			p.mu.Lock()
+			ch := p.pending[seq]
+			delete(p.pending, seq)
+			p.mu.Unlock()
+			if ch != nil {
+				ch <- outcome{resp: resp}
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *Peer) serve(seq uint32, req Request) {
+	var resp Response
+	if p.server == nil {
+		resp = Response{Code: CodeUnknownOp, Body: []byte("no server on this peer")}
+	} else {
+		resp = p.server.Dispatch(Ctx{User: p.user, Peer: p.name, Back: p}, req)
+	}
+	plain := append([]byte{kindReply}, encodeReply(seq, resp)...)
+	_ = p.writeSealed(plain) // a write failure kills the readLoop shortly
+}

@@ -1,0 +1,180 @@
+package rpc
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+)
+
+// pipePair connects a dialed and an accepted peer over an in-memory duplex
+// stream.
+func pipePair(t *testing.T, clientSrv, serverSrv *Server) (*Peer, *Peer) {
+	t.Helper()
+	cc, sc := net.Pipe()
+	var wg sync.WaitGroup
+	var accepted *Peer
+	var acceptErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		accepted, acceptErr = AcceptPeer(sc, keys, serverSrv)
+	}()
+	dialed, dialErr := DialPeer(cc, "satya", userKey, clientSrv)
+	wg.Wait()
+	if dialErr != nil || acceptErr != nil {
+		t.Fatalf("dial: %v accept: %v", dialErr, acceptErr)
+	}
+	t.Cleanup(func() { dialed.Close(); accepted.Close() })
+	return dialed, accepted
+}
+
+func TestPeerCallRoundTrip(t *testing.T) {
+	dialed, accepted := pipePair(t, nil, echoServer())
+	if accepted.User() != "satya" {
+		t.Fatalf("accepted user = %q", accepted.User())
+	}
+	resp, err := dialed.Call(nil, Request{Op: opEcho, Body: []byte("over tcp"), Bulk: []byte("bulk")})
+	if err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	if string(resp.Body) != "over tcp" || string(resp.Bulk) != "bulk" {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestPeerConcurrentCalls(t *testing.T) {
+	dialed, _ := pipePair(t, nil, echoServer())
+	var wg sync.WaitGroup
+	errs := make([]error, 20)
+	for i := 0; i < 20; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body := []byte{byte(i)}
+			resp, err := dialed.Call(nil, Request{Op: opEcho, Body: body})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if len(resp.Body) != 1 || resp.Body[0] != byte(i) {
+				errs[i] = errors.New("reply mismatch")
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+}
+
+func TestPeerServerCallback(t *testing.T) {
+	clientSrv := NewServer()
+	clientSrv.Handle(opPoke, func(_ Ctx, _ Request) Response {
+		return Response{Body: []byte("acked")}
+	})
+	serverSrv := NewServer()
+	serverSrv.Handle(opStat, func(ctx Ctx, _ Request) Response {
+		resp, err := ctx.Back.CallBack(nil, Request{Op: opPoke})
+		if err != nil || string(resp.Body) != "acked" {
+			return Response{Code: 2}
+		}
+		return Response{Body: []byte("stored")}
+	})
+	dialed, _ := pipePair(t, clientSrv, serverSrv)
+	resp, err := dialed.Call(nil, Request{Op: opStat})
+	if err != nil || !resp.OK() || string(resp.Body) != "stored" {
+		t.Fatalf("resp = %+v err = %v", resp, err)
+	}
+}
+
+func TestPeerWrongPasswordRejected(t *testing.T) {
+	cc, sc := net.Pipe()
+	defer cc.Close()
+	defer sc.Close()
+	go func() {
+		// The server rejects at Challenge and drops the connection.
+		if _, err := AcceptPeer(sc, keys, nil); err == nil {
+			t.Error("server accepted a bad password")
+		}
+		sc.Close()
+	}()
+	if _, err := DialPeer(cc, "satya", userKey2(), nil); err == nil {
+		t.Fatal("client connected with wrong password")
+	}
+}
+
+func userKey2() [32]byte {
+	k := userKey
+	k[0] ^= 0xFF
+	return k
+}
+
+func TestPeerCloseFailsInflight(t *testing.T) {
+	stall := make(chan struct{})
+	srv := NewServer()
+	srv.Handle(opEcho, func(_ Ctx, req Request) Response {
+		<-stall
+		return Response{}
+	})
+	dialed, _ := pipePair(t, nil, srv)
+	done := make(chan error, 1)
+	go func() {
+		_, err := dialed.Call(nil, Request{Op: opEcho})
+		done <- err
+	}()
+	dialed.Close()
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	close(stall)
+	if _, err := dialed.Call(nil, Request{Op: opEcho}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close call err = %v", err)
+	}
+}
+
+func TestPeerNoServerReturnsUnknownOp(t *testing.T) {
+	dialed, accepted := pipePair(t, nil, echoServer())
+	// The accepted side calls the dialed side, which has no server.
+	resp, err := accepted.Call(nil, Request{Op: opEcho})
+	if err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	if resp.Code != CodeUnknownOp {
+		t.Fatalf("code = %d, want CodeUnknownOp", resp.Code)
+	}
+	_ = dialed
+}
+
+func TestPeerOverRealTCP(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		if _, err := AcceptPeer(c, keys, echoServer()); err != nil {
+			t.Errorf("accept: %v", err)
+		}
+	}()
+	c, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, err := DialPeer(c, "satya", userKey, nil)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer peer.Close()
+	resp, err := peer.Call(nil, Request{Op: opEcho, Body: []byte("real tcp")})
+	if err != nil || string(resp.Body) != "real tcp" {
+		t.Fatalf("resp = %+v err = %v", resp, err)
+	}
+}

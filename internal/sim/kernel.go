@@ -1,0 +1,211 @@
+// Package sim provides a deterministic, process-oriented discrete-event
+// simulation kernel.
+//
+// A Kernel advances a virtual clock over a heap of timed events. Processes
+// are ordinary goroutines that run one at a time under kernel control: a
+// process runs until it parks (Sleep, mailbox receive, resource acquisition,
+// future wait), at which point control returns to the kernel, which fires the
+// next event. Events at equal times fire in scheduling order, so every run of
+// a simulation is exactly reproducible.
+//
+// The one-runnable-at-a-time discipline means simulation state shared
+// between processes needs no locking, provided a process never parks in the
+// middle of a critical section. Code that is also used outside the simulator
+// (for example the Vice server logic, which serves real TCP clients too)
+// keeps its ordinary mutexes; the rule there is only that a lock is never
+// held across a park point.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, measured as an offset from the start of
+// the simulation.
+type Time time.Duration
+
+// Duration re-exports time.Duration for virtual intervals.
+type Duration = time.Duration
+
+// String formats the virtual time as a duration offset.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Seconds reports the virtual time in seconds.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the interval t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation executive. The zero value is not
+// usable; create one with NewKernel.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	parked  chan struct{} // signalled by a proc when it parks or exits
+	stopped bool
+	nprocs  int // live (spawned, not yet exited) processes
+	current *Proc
+}
+
+// NewKernel returns a kernel with an empty event queue and the clock at zero.
+func NewKernel() *Kernel {
+	return &Kernel{parked: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// At schedules fn to run in kernel context at virtual time t. Scheduling in
+// the past (t < Now) panics: it would silently reorder causality.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v before now %v", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (k *Kernel) After(d Duration, fn func()) { k.At(k.now.Add(d), fn) }
+
+// Stop makes Run return after the current event completes. Pending events
+// remain queued; Run may be called again to continue.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run fires events in time order until the queue is empty or Stop is called.
+// It returns the virtual time at which it stopped.
+func (k *Kernel) Run() Time {
+	k.stopped = false
+	for len(k.events) > 0 && !k.stopped {
+		e := heap.Pop(&k.events).(*event)
+		k.now = e.at
+		e.fn()
+	}
+	return k.now
+}
+
+// RunUntil fires events until virtual time t (inclusive of events at t),
+// the queue empties, or Stop is called. The clock is left at t if the run
+// reached it.
+func (k *Kernel) RunUntil(t Time) Time {
+	k.stopped = false
+	for len(k.events) > 0 && !k.stopped && k.events[0].at <= t {
+		e := heap.Pop(&k.events).(*event)
+		k.now = e.at
+		e.fn()
+	}
+	if !k.stopped && k.now < t {
+		k.now = t
+	}
+	return k.now
+}
+
+// Idle reports whether no events are pending.
+func (k *Kernel) Idle() bool { return len(k.events) == 0 }
+
+// Procs returns the number of live processes.
+func (k *Kernel) Procs() int { return k.nprocs }
+
+// Proc is a simulated process: a goroutine scheduled by the kernel. All Proc
+// methods must be called from the process's own goroutine.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{}
+	exited bool
+}
+
+// Name returns the name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Spawn creates a process running fn, starting at the current virtual time
+// (after already-queued events at that time).
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	return k.SpawnAt(k.now, name, fn)
+}
+
+// SpawnAt creates a process running fn, starting at virtual time t.
+func (k *Kernel) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.nprocs++
+	k.At(t, func() {
+		go func() {
+			<-p.resume
+			fn(p)
+			p.exited = true
+			k.nprocs--
+			k.parked <- struct{}{}
+		}()
+		k.dispatch(p)
+	})
+	return p
+}
+
+// dispatch hands the CPU to p and waits for it to park or exit. Must be
+// called from kernel context.
+func (k *Kernel) dispatch(p *Proc) {
+	prev := k.current
+	k.current = p
+	p.resume <- struct{}{}
+	<-k.parked
+	k.current = prev
+}
+
+// park suspends the calling process and returns control to the kernel. The
+// process resumes when some event calls k.dispatch(p).
+func (p *Proc) park() {
+	p.k.parked <- struct{}{}
+	<-p.resume
+}
+
+// Sleep suspends the process for virtual duration d.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	k := p.k
+	k.After(d, func() { k.dispatch(p) })
+	p.park()
+}
+
+// Yield reschedules the process after all currently-queued events at the
+// present instant.
+func (p *Proc) Yield() { p.Sleep(0) }

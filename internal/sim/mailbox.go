@@ -1,0 +1,105 @@
+package sim
+
+// Mailbox is an unbounded FIFO queue connecting simulated processes. Put may
+// be called from kernel context (an event callback) or from a running
+// process; Get may only be called from a process and parks until a value is
+// available.
+type Mailbox[T any] struct {
+	k       *Kernel
+	queue   []T
+	waiters []*Proc
+}
+
+// NewMailbox returns an empty mailbox on kernel k.
+func NewMailbox[T any](k *Kernel) *Mailbox[T] {
+	return &Mailbox[T]{k: k}
+}
+
+// Len reports the number of queued values.
+func (m *Mailbox[T]) Len() int { return len(m.queue) }
+
+// Put enqueues v. If a process is waiting, it is scheduled to wake at the
+// current virtual time.
+func (m *Mailbox[T]) Put(v T) {
+	m.queue = append(m.queue, v)
+	if len(m.waiters) > 0 {
+		p := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		m.k.After(0, func() { m.k.dispatch(p) })
+	}
+}
+
+// Get dequeues the oldest value, parking the calling process until one is
+// available.
+func (m *Mailbox[T]) Get(p *Proc) T {
+	for len(m.queue) == 0 {
+		m.waiters = append(m.waiters, p)
+		p.park()
+	}
+	v := m.queue[0]
+	m.queue = m.queue[1:]
+	return v
+}
+
+// TryGet dequeues a value if one is present without parking.
+func (m *Mailbox[T]) TryGet() (T, bool) {
+	var zero T
+	if len(m.queue) == 0 {
+		return zero, false
+	}
+	v := m.queue[0]
+	m.queue = m.queue[1:]
+	return v, true
+}
+
+// Future is a write-once value that processes can wait on. It is the reply
+// slot for simulated RPCs.
+type Future[T any] struct {
+	k       *Kernel
+	done    bool
+	v       T
+	waiters []*Proc
+}
+
+// NewFuture returns an unresolved future on kernel k.
+func NewFuture[T any](k *Kernel) *Future[T] {
+	return &Future[T]{k: k}
+}
+
+// Done reports whether the future has been resolved.
+func (f *Future[T]) Done() bool { return f.done }
+
+// TrySet resolves the future if it is still unresolved, reporting whether it
+// did. Use it when several events race to resolve the same future (a reply
+// racing a timeout).
+func (f *Future[T]) TrySet(v T) bool {
+	if f.done {
+		return false
+	}
+	f.Set(v)
+	return true
+}
+
+// Set resolves the future and wakes all waiters. Setting twice panics.
+func (f *Future[T]) Set(v T) {
+	if f.done {
+		panic("sim: future set twice")
+	}
+	f.done = true
+	f.v = v
+	for _, p := range f.waiters {
+		p := p
+		f.k.After(0, func() { f.k.dispatch(p) })
+	}
+	f.waiters = nil
+}
+
+// Wait parks the calling process until the future resolves, then returns the
+// value.
+func (f *Future[T]) Wait(p *Proc) T {
+	for !f.done {
+		f.waiters = append(f.waiters, p)
+		p.park()
+	}
+	return f.v
+}

@@ -1,0 +1,89 @@
+package venus
+
+import (
+	"errors"
+	"testing"
+
+	"itcfs/internal/prot"
+	"itcfs/internal/proto"
+	"itcfs/internal/vice"
+)
+
+// Public workstations (§1.1 mentions libraries): when a different user
+// logs in, Venus must not serve another user's cached files without the
+// custodian re-checking rights under the new identity.
+
+func TestUserSwitchRevalidatesCache(t *testing.T) {
+	c := newTestCell(t, vice.Revised, "s0")
+	c.mkVolume("u.satya", "/usr/satya", "satya", 0)
+
+	// satya restricts the home directory to himself, writes a private
+	// file, and reads it so it lands in the workstation cache.
+	v := c.newVenus("s0", "satya", nil)
+	op := c.newVenus("s0", "operator", nil)
+	acl := prot.NewACL()
+	acl.Grant("satya", prot.RightsAll)
+	if err := op.SetACL(nil, "/usr/satya", proto.ACLEncode(acl)); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, v, "/usr/satya/private", "secret research")
+	if got := readFile(t, v, "/usr/satya/private"); got != "secret research" {
+		t.Fatal("warm-up read failed")
+	}
+
+	// howard sits down at the same workstation. The cached bytes are
+	// still on the local disk, but Venus revalidates under howard's
+	// identity and the custodian refuses.
+	v.Login("howard")
+	if _, err := v.Open(nil, "/usr/satya/private", FlagRead); !errors.Is(err, proto.ErrAccess) {
+		t.Fatalf("howard read satya's cached private file: err = %v", err)
+	}
+}
+
+func TestUserSwitchPrototypeModeToo(t *testing.T) {
+	c := newTestCell(t, vice.Prototype, "s0")
+	c.mkVolume("u.satya", "/usr/satya", "satya", 0)
+	v := c.newVenus("s0", "satya", nil)
+	op := c.newVenus("s0", "operator", nil)
+	acl := prot.NewACL()
+	acl.Grant("satya", prot.RightsAll)
+	if err := op.SetACL(nil, "/usr/satya", proto.ACLEncode(acl)); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, v, "/usr/satya/private", "secret")
+	readFile(t, v, "/usr/satya/private")
+	v.Login("howard")
+	// Check-on-open validates with the custodian, which enforces rights.
+	if _, err := v.Open(nil, "/usr/satya/private", FlagRead); !errors.Is(err, proto.ErrAccess) {
+		t.Fatalf("err = %v, want ErrAccess", err)
+	}
+}
+
+func TestSameUserReloginKeepsWarmCache(t *testing.T) {
+	c := newTestCell(t, vice.Revised, "s0")
+	c.mkVolume("u", "/u", "satya", 0)
+	v := c.newVenus("s0", "satya", nil)
+	writeFile(t, v, "/u/f", "warm")
+	readFile(t, v, "/u/f")
+	v.Login("satya") // re-login, same identity
+	v.ResetStats()
+	readFile(t, v, "/u/f")
+	st := v.Stats()
+	if st.Fetches != 0 || st.Hits != 1 {
+		t.Fatalf("cache cold after same-user re-login: %+v", st)
+	}
+}
+
+func TestUserSwitchKeepsServingAfterRefetch(t *testing.T) {
+	// The new user CAN read files the ACL allows; switching merely forces
+	// revalidation, not a broken cache.
+	c := newTestCell(t, vice.Revised, "s0")
+	c.mkVolume("shared", "/shared", "satya", 0)
+	v := c.newVenus("s0", "satya", nil)
+	writeFile(t, v, "/shared/pub", "for everyone")
+	readFile(t, v, "/shared/pub")
+	v.Login("howard")
+	if got := readFile(t, v, "/shared/pub"); got != "for everyone" {
+		t.Fatalf("howard read %q", got)
+	}
+}

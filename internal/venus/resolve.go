@@ -1,0 +1,778 @@
+package venus
+
+import (
+	"fmt"
+
+	"itcfs/internal/proto"
+	"itcfs/internal/rpc"
+	"itcfs/internal/sim"
+	"itcfs/internal/unixfs"
+	"itcfs/internal/vice"
+)
+
+// Routing: Venus caches custodianship information and uses it as hints
+// (§3.1). A request sent to the wrong server comes back with the identity
+// of the right one; Venus updates its hint and retries.
+
+const maxRedirects = 4
+
+// conn returns (dialing if necessary) a connection to server.
+func (v *Venus) conn(p *sim.Proc, server string) (Conn, error) {
+	v.mu.Lock()
+	c := v.conns[server]
+	user := v.user
+	v.mu.Unlock()
+	if c != nil {
+		return c, nil
+	}
+	if user == "" {
+		return nil, fmt.Errorf("%w: no user logged in", proto.ErrAccess)
+	}
+	c, err := v.cfg.Connect(p, server)
+	if err != nil {
+		return nil, err
+	}
+	v.mu.Lock()
+	v.conns[server] = c
+	v.mu.Unlock()
+	return c, nil
+}
+
+// locate finds the location entry covering path, consulting the cached
+// hints first and the home cluster server on a miss.
+func (v *Venus) locate(p *sim.Proc, path string) (proto.CustodianReply, error) {
+	path = unixfs.Clean(path)
+	v.mu.Lock()
+	probe := path
+	for {
+		if cr, ok := v.pathLoc[probe]; ok {
+			v.mu.Unlock()
+			return cr, nil
+		}
+		if probe == "/" {
+			break
+		}
+		probe = unixfs.Dir(probe)
+	}
+	v.mu.Unlock()
+
+	v.mu.Lock()
+	v.stats.OtherRPCs++
+	v.mu.Unlock()
+	c, err := v.conn(p, v.cfg.HomeServer)
+	if err != nil {
+		return proto.CustodianReply{}, err
+	}
+	resp, err := c.Call(p, rpc.Request{
+		Op:   rpc.Op(proto.OpGetCustodian),
+		Body: proto.Marshal(proto.CustodianArgs{Path: path}),
+	})
+	if err != nil {
+		return proto.CustodianReply{}, err
+	}
+	if !resp.OK() {
+		return proto.CustodianReply{}, proto.CodeToErr(resp.Code, string(resp.Body))
+	}
+	cr, err := proto.Unmarshal(resp.Body, proto.DecodeCustodianReply)
+	if err != nil {
+		return proto.CustodianReply{}, err
+	}
+	v.mu.Lock()
+	v.pathLoc[cr.Prefix] = cr
+	v.volLoc[cr.Volume] = cr
+	v.mu.Unlock()
+	return cr, nil
+}
+
+// serverFor picks the server to ask for a location entry: the custodian,
+// unless a read-only replica lives on our home cluster server and the
+// operation is a read (fetch from the nearest replica, §4 "localize if
+// possible").
+func (v *Venus) serverFor(cr proto.CustodianReply, readOnlyOK bool) string {
+	if readOnlyOK {
+		for _, rep := range cr.Replicas {
+			if rep == v.cfg.HomeServer {
+				return rep
+			}
+		}
+	}
+	return cr.Custodian
+}
+
+func readOp(op rpc.Op) bool {
+	switch uint16(op) {
+	case proto.OpFetch, proto.OpFetchStatus, proto.OpTestValid, proto.OpGetACL:
+		return true
+	}
+	return false
+}
+
+// callPath routes a request by pathname, following wrong-server hints.
+func (v *Venus) callPath(p *sim.Proc, path string, req rpc.Request) (rpc.Response, error) {
+	cr, err := v.locate(p, path)
+	if err != nil {
+		return rpc.Response{}, err
+	}
+	server := v.serverFor(cr, readOp(req.Op))
+	return v.callAt(p, server, path, cr, req)
+}
+
+// locateVolume finds the location entry for a specific volume. Unlike
+// locate, a cached path prefix is not good enough: a mount-point crossing
+// means the path cache's entry names the wrong (parent) volume, so on a
+// miss the home server is asked about the full path, whose answer names the
+// deepest prefix and its replicas.
+func (v *Venus) locateVolume(p *sim.Proc, vol uint32, pathHint string) (proto.CustodianReply, error) {
+	v.mu.Lock()
+	cr, ok := v.volLoc[vol]
+	v.mu.Unlock()
+	if ok {
+		return cr, nil
+	}
+	v.mu.Lock()
+	v.stats.OtherRPCs++
+	v.mu.Unlock()
+	c, err := v.conn(p, v.cfg.HomeServer)
+	if err != nil {
+		return proto.CustodianReply{}, err
+	}
+	resp, err := c.Call(p, rpc.Request{
+		Op:   rpc.Op(proto.OpGetCustodian),
+		Body: proto.Marshal(proto.CustodianArgs{Path: pathHint}),
+	})
+	if err != nil {
+		return proto.CustodianReply{}, err
+	}
+	if !resp.OK() {
+		return proto.CustodianReply{}, proto.CodeToErr(resp.Code, string(resp.Body))
+	}
+	cr, err = proto.Unmarshal(resp.Body, proto.DecodeCustodianReply)
+	if err != nil {
+		return proto.CustodianReply{}, err
+	}
+	v.mu.Lock()
+	v.pathLoc[cr.Prefix] = cr
+	v.volLoc[cr.Volume] = cr
+	v.mu.Unlock()
+	if cr.Volume != vol {
+		// The hint path did not land in the volume (renamed mount?); use
+		// the reply anyway — the wrong-server redirect corrects the rest.
+		return cr, nil
+	}
+	return cr, nil
+}
+
+// callRef routes by FID when the reference has one, else by path. pathHint
+// is used for location lookups of FID refs whose volume is unknown.
+func (v *Venus) callRef(p *sim.Proc, ref proto.Ref, pathHint string, req rpc.Request) (rpc.Response, error) {
+	if !ref.ByFID() {
+		return v.callPath(p, ref.Path, req)
+	}
+	cr, err := v.locateVolume(p, ref.FID.Volume, pathHint)
+	if err != nil {
+		return rpc.Response{}, err
+	}
+	server := v.serverFor(cr, readOp(req.Op))
+	return v.callAt(p, server, pathHint, cr, req)
+}
+
+// callAt performs the call, retrying at the hinted custodian on
+// CodeWrongServer (stale hints are corrected, not fatal).
+func (v *Venus) callAt(p *sim.Proc, server, path string, cr proto.CustodianReply, req rpc.Request) (rpc.Response, error) {
+	for i := 0; i < maxRedirects; i++ {
+		c, err := v.conn(p, server)
+		if err != nil {
+			return rpc.Response{}, err
+		}
+		resp, err := c.Call(p, req)
+		if err != nil {
+			return rpc.Response{}, err
+		}
+		if resp.Code != proto.CodeWrongServer {
+			return resp, nil
+		}
+		// Stale hint: drop it and follow the custodian the server named.
+		hinted := string(resp.Body)
+		v.mu.Lock()
+		delete(v.pathLoc, cr.Prefix)
+		delete(v.volLoc, cr.Volume)
+		v.mu.Unlock()
+		if hinted == "" || hinted == server {
+			return resp, nil
+		}
+		server = hinted
+	}
+	return rpc.Response{}, fmt.Errorf("%w: too many custodian redirects for %s", proto.ErrInternal, path)
+}
+
+// Resolve translates a Vice pathname to a FID by traversing cached
+// directories — the revised implementation's client-side pathname walk
+// (§5.3). Directories are fetched (and cached, with callback promises)
+// like any other file.
+func (v *Venus) Resolve(p *sim.Proc, path string) (proto.FID, error) {
+	return v.resolve(p, path, true, 0)
+}
+
+func (v *Venus) resolve(p *sim.Proc, path string, followLast bool, depth int) (proto.FID, error) {
+	if depth > 16 {
+		return proto.FID{}, fmt.Errorf("%w: %s", proto.ErrLoop, path)
+	}
+	path = unixfs.Clean(path)
+	cr, err := v.locate(p, path)
+	if err != nil {
+		return proto.FID{}, err
+	}
+	cur := proto.FID{Volume: cr.Volume, Vnode: 1, Uniq: 1} // volume root
+	prefix := cr.Prefix
+	components := splitComponents(path, prefix)
+	for i, comp := range components {
+		entries, err := v.dirEntries(p, cur, unixfs.Join(prefix, joinComponents(components[:i])))
+		if err != nil {
+			return proto.FID{}, err
+		}
+		var found *proto.DirEntry
+		for j := range entries {
+			if entries[j].Name == comp {
+				found = &entries[j]
+				break
+			}
+		}
+		if found == nil {
+			return proto.FID{}, fmt.Errorf("%w: %s", proto.ErrNoEnt, path)
+		}
+		last := i == len(components)-1
+		if found.Type == proto.TypeSymlink && (!last || followLast) {
+			st, err := v.statFID(p, found.FID, path)
+			if err != nil {
+				return proto.FID{}, err
+			}
+			target := st.Target
+			if len(target) == 0 || target[0] != '/' {
+				target = unixfs.Join(prefix, joinComponents(components[:i]), target)
+			}
+			rest := joinComponents(components[i+1:])
+			return v.resolve(p, unixfs.Join(target, rest), followLast, depth+1)
+		}
+		cur = found.FID
+	}
+	return cur, nil
+}
+
+func splitComponents(path, prefix string) []string {
+	rest := path
+	if prefix != "/" {
+		rest = path[len(prefix):]
+	}
+	var out []string
+	comp := ""
+	for i := 0; i <= len(rest); i++ {
+		if i == len(rest) || rest[i] == '/' {
+			if comp != "" {
+				out = append(out, comp)
+			}
+			comp = ""
+		} else {
+			comp += string(rest[i])
+		}
+	}
+	return out
+}
+
+func joinComponents(parts []string) string {
+	out := ""
+	for _, p := range parts {
+		out += "/" + p
+	}
+	return out
+}
+
+// dirEntries returns a directory's listing, through the cache. Directory
+// files participate in caching and callbacks exactly like plain files.
+func (v *Venus) dirEntries(p *sim.Proc, dir proto.FID, path string) ([]proto.DirEntry, error) {
+	v.mu.Lock()
+	e := v.byFID[dir]
+	v.mu.Unlock()
+	if e != nil && e.cacheFile != "" && e.valid {
+		data, err := v.cfg.Local.ReadFile(e.cacheFile)
+		if err == nil {
+			v.mu.Lock()
+			v.touch(e)
+			v.mu.Unlock()
+			return proto.DecodeDirEntries(data)
+		}
+	}
+	e, err := v.fetchEntry(p, proto.Ref{FID: dir}, path, 0)
+	if err != nil {
+		return nil, err
+	}
+	data, err := v.cfg.Local.ReadFile(e.cacheFile)
+	if err != nil {
+		return nil, err
+	}
+	return proto.DecodeDirEntries(data)
+}
+
+// statFID fetches status by FID (symlink targets during resolution).
+func (v *Venus) statFID(p *sim.Proc, fid proto.FID, pathHint string) (proto.Status, error) {
+	v.mu.Lock()
+	if e := v.byFID[fid]; e != nil && e.valid {
+		st := e.status
+		v.mu.Unlock()
+		return st, nil
+	}
+	v.stats.StatRPCs++
+	v.mu.Unlock()
+	resp, err := v.callRef(p, proto.Ref{FID: fid}, pathHint, rpc.Request{
+		Op:   rpc.Op(proto.OpFetchStatus),
+		Body: proto.Marshal(proto.StatusArgs{Ref: proto.Ref{FID: fid}}),
+	})
+	if err != nil {
+		return proto.Status{}, err
+	}
+	if !resp.OK() {
+		return proto.Status{}, proto.CodeToErr(resp.Code, string(resp.Body))
+	}
+	return proto.Unmarshal(resp.Body, proto.DecodeStatus)
+}
+
+// refFor builds the Ref for path in the current mode.
+func (v *Venus) refFor(p *sim.Proc, path string) (proto.Ref, error) {
+	if v.cfg.Mode == vice.Prototype {
+		return proto.Ref{Path: unixfs.Clean(path)}, nil
+	}
+	fid, err := v.Resolve(p, path)
+	if err != nil {
+		return proto.Ref{}, err
+	}
+	return proto.Ref{FID: fid}, nil
+}
+
+// refForDir is refFor for a directory argument.
+func (v *Venus) refForDir(p *sim.Proc, dir string) (proto.Ref, error) {
+	return v.refFor(p, dir)
+}
+
+// Stat returns the Vice status of path. The prototype always asks the
+// custodian — status caching was ineffective in it, which is why
+// "GetFileStat" contributed 27% of all server calls (§5.2). The revised
+// implementation answers from valid cached status under callback.
+func (v *Venus) Stat(p *sim.Proc, path string) (proto.Status, error) {
+	path = unixfs.Clean(path)
+	if v.cfg.Mode == vice.Prototype {
+		v.mu.Lock()
+		v.stats.StatRPCs++
+		v.mu.Unlock()
+		resp, err := v.callPath(p, path, rpc.Request{
+			Op:   rpc.Op(proto.OpFetchStatus),
+			Body: proto.Marshal(proto.StatusArgs{Ref: proto.Ref{Path: path}}),
+		})
+		if err != nil {
+			return proto.Status{}, err
+		}
+		if !resp.OK() {
+			return proto.Status{}, proto.CodeToErr(resp.Code, string(resp.Body))
+		}
+		return proto.Unmarshal(resp.Body, proto.DecodeStatus)
+	}
+	fid, err := v.Resolve(p, path)
+	if err != nil {
+		return proto.Status{}, err
+	}
+	return v.statFID(p, fid, path)
+}
+
+// ReadDir lists a Vice directory.
+func (v *Venus) ReadDir(p *sim.Proc, path string) ([]proto.DirEntry, error) {
+	path = unixfs.Clean(path)
+	if v.cfg.Mode == vice.Revised {
+		fid, err := v.Resolve(p, path)
+		if err != nil {
+			return nil, err
+		}
+		return v.dirEntries(p, fid, path)
+	}
+	// Prototype: fetch the directory like a file, through the cache with
+	// check-on-open validation.
+	e, err := v.lookupPrototype(p, path, 0)
+	if err != nil {
+		return nil, err
+	}
+	data, err := v.cfg.Local.ReadFile(e.cacheFile)
+	if err != nil {
+		return nil, err
+	}
+	return proto.DecodeDirEntries(data)
+}
+
+// dirPatch edits a cached directory listing after a successful mutation.
+// It receives the decoded entries and the RPC reply (whose body carries the
+// new object's status for create-like ops) and returns the updated listing.
+type dirPatch func(entries []proto.DirEntry, resp rpc.Response) []proto.DirEntry
+
+// dirCall performs a directory-mutating op. In revised mode the cached
+// listing is patched in place — the server does not break the mutator's own
+// callback, and refetching a directory it just changed would waste a
+// whole-file transfer per mutation. The prototype cannot patch (its
+// validation compares versions with the custodian, which incremented), so
+// there the stale listing is dropped.
+func (v *Venus) dirCall(p *sim.Proc, dir string, op uint16, body []byte, patch dirPatch) (rpc.Response, error) {
+	v.mu.Lock()
+	v.stats.OtherRPCs++
+	v.mu.Unlock()
+	ref, err := v.refForDir(p, dir)
+	if err != nil {
+		return rpc.Response{}, err
+	}
+	resp, err := v.callRef(p, ref, dir, rpc.Request{Op: rpc.Op(op), Body: body})
+	if err != nil {
+		return resp, err
+	}
+	if !resp.OK() {
+		return resp, proto.CodeToErr(resp.Code, string(resp.Body))
+	}
+	if v.cfg.Mode == vice.Revised && patch != nil && v.patchDir(ref.FID, patch, resp) {
+		return resp, nil
+	}
+	v.dropDir(dir)
+	if ref.ByFID() {
+		v.mu.Lock()
+		if e := v.byFID[ref.FID]; e != nil {
+			v.removeLocked(e)
+		}
+		v.mu.Unlock()
+	}
+	return resp, nil
+}
+
+// patchDir applies a patch to the cached listing of dir, reporting whether
+// it succeeded (false falls back to dropping the cache).
+func (v *Venus) patchDir(dir proto.FID, patch dirPatch, resp rpc.Response) bool {
+	if dir.IsZero() {
+		return false
+	}
+	v.mu.Lock()
+	e := v.byFID[dir]
+	v.mu.Unlock()
+	if e == nil || e.cacheFile == "" || !e.valid {
+		return false
+	}
+	data, err := v.cfg.Local.ReadFile(e.cacheFile)
+	if err != nil {
+		return false
+	}
+	entries, err := proto.DecodeDirEntries(data)
+	if err != nil {
+		return false
+	}
+	updated := proto.EncodeDirEntries(patch(entries, resp))
+	if err := v.cfg.Local.WriteFile(e.cacheFile, updated, 0o600, "venus"); err != nil {
+		return false
+	}
+	v.mu.Lock()
+	v.bytes += int64(len(updated)) - e.status.Size
+	e.status.Size = int64(len(updated))
+	v.evictLocked() // the listing may have grown past the cache limit
+	v.mu.Unlock()
+	return true
+}
+
+// patchAdd appends an entry whose FID comes from the reply status.
+func patchAdd(name string, typ proto.FileType) dirPatch {
+	return func(entries []proto.DirEntry, resp rpc.Response) []proto.DirEntry {
+		st, err := proto.Unmarshal(resp.Body, proto.DecodeStatus)
+		if err != nil {
+			return entries
+		}
+		return append(entries, proto.DirEntry{Name: name, FID: st.FID, Type: typ})
+	}
+}
+
+// patchDel removes an entry by name.
+func patchDel(name string) dirPatch {
+	return func(entries []proto.DirEntry, _ rpc.Response) []proto.DirEntry {
+		out := entries[:0]
+		for _, e := range entries {
+			if e.Name != name {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+}
+
+// Mkdir creates a directory in the shared space.
+func (v *Venus) Mkdir(p *sim.Proc, path string, mode uint16) error {
+	dir, name := unixfs.Dir(path), unixfs.Base(path)
+	ref, err := v.refForDir(p, dir)
+	if err != nil {
+		return err
+	}
+	_, err = v.dirCall(p, dir, proto.OpMakeDir,
+		proto.Marshal(proto.NameArgs{Dir: ref, Name: name, Mode: mode}),
+		patchAdd(name, proto.TypeDir))
+	return err
+}
+
+// Remove unlinks a file or symlink.
+func (v *Venus) Remove(p *sim.Proc, path string) error {
+	path = unixfs.Clean(path)
+	dir, name := unixfs.Dir(path), unixfs.Base(path)
+	ref, err := v.refForDir(p, dir)
+	if err != nil {
+		return err
+	}
+	if _, err := v.dirCall(p, dir, proto.OpRemove,
+		proto.Marshal(proto.NameArgs{Dir: ref, Name: name}), patchDel(name)); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	if e := v.byPath[path]; e != nil {
+		v.removeLocked(e)
+	}
+	v.mu.Unlock()
+	return nil
+}
+
+// RemoveDir removes an empty directory.
+func (v *Venus) RemoveDir(p *sim.Proc, path string) error {
+	path = unixfs.Clean(path)
+	dir, name := unixfs.Dir(path), unixfs.Base(path)
+	ref, err := v.refForDir(p, dir)
+	if err != nil {
+		return err
+	}
+	if _, err := v.dirCall(p, dir, proto.OpRemoveDir,
+		proto.Marshal(proto.NameArgs{Dir: ref, Name: name}), patchDel(name)); err != nil {
+		return err
+	}
+	v.dropDir(path)
+	return nil
+}
+
+// Rename moves a file or subtree within one volume.
+func (v *Venus) Rename(p *sim.Proc, from, to string) error {
+	from, to = unixfs.Clean(from), unixfs.Clean(to)
+	fromDir, fromName := unixfs.Dir(from), unixfs.Base(from)
+	toDir, toName := unixfs.Dir(to), unixfs.Base(to)
+	fromRef, err := v.refForDir(p, fromDir)
+	if err != nil {
+		return err
+	}
+	toRef, err := v.refForDir(p, toDir)
+	if err != nil {
+		return err
+	}
+	// Within one directory the cached listing can be edited in place; a
+	// cross-directory move patches the source and drops the target.
+	var patch dirPatch
+	if fromDir == toDir {
+		patch = func(entries []proto.DirEntry, _ rpc.Response) []proto.DirEntry {
+			if fromName == toName {
+				return entries // identity rename: the server no-opped too
+			}
+			// Build a fresh slice: compacting in place would alias the
+			// moved entry with entries being shifted over it.
+			out := make([]proto.DirEntry, 0, len(entries))
+			var moved proto.DirEntry
+			found := false
+			for _, e := range entries {
+				switch e.Name {
+				case toName: // replaced by the rename
+				case fromName:
+					moved = e
+					found = true
+				default:
+					out = append(out, e)
+				}
+			}
+			if found {
+				moved.Name = toName
+				out = append(out, moved)
+			}
+			return out
+		}
+	} else {
+		patch = patchDel(fromName)
+	}
+	_, err = v.dirCall(p, fromDir, proto.OpRename, proto.Marshal(proto.RenameArgs{
+		FromDir: fromRef, FromName: fromName, ToDir: toRef, ToName: toName,
+	}), patch)
+	if err != nil {
+		return err
+	}
+	if fromDir != toDir {
+		v.dropDir(toDir)
+		if toRef.ByFID() {
+			v.mu.Lock()
+			if e := v.byFID[toRef.FID]; e != nil {
+				v.removeLocked(e)
+			}
+			v.mu.Unlock()
+		}
+	}
+	v.mu.Lock()
+	if e := v.byPath[from]; e != nil {
+		v.removeLocked(e)
+	}
+	if e := v.byPath[to]; e != nil {
+		v.removeLocked(e)
+	}
+	v.mu.Unlock()
+	return nil
+}
+
+// Symlink creates a symbolic link in the shared space.
+func (v *Venus) Symlink(p *sim.Proc, target, path string) error {
+	dir, name := unixfs.Dir(path), unixfs.Base(path)
+	ref, err := v.refForDir(p, dir)
+	if err != nil {
+		return err
+	}
+	_, err = v.dirCall(p, dir, proto.OpSymlink,
+		proto.Marshal(proto.SymlinkArgs{Dir: ref, Name: name, Target: target}),
+		patchAdd(name, proto.TypeSymlink))
+	return err
+}
+
+// Link creates a hard link within one volume.
+func (v *Venus) Link(p *sim.Proc, oldPath, newPath string) error {
+	dir, name := unixfs.Dir(newPath), unixfs.Base(newPath)
+	dirRef, err := v.refForDir(p, dir)
+	if err != nil {
+		return err
+	}
+	oldRef, err := v.refFor(p, oldPath)
+	if err != nil {
+		return err
+	}
+	_, err = v.dirCall(p, dir, proto.OpLink,
+		proto.Marshal(proto.LinkArgs{Dir: dirRef, Name: name, Target: oldRef}),
+		func(entries []proto.DirEntry, _ rpc.Response) []proto.DirEntry {
+			if !oldRef.ByFID() {
+				return entries
+			}
+			return append(entries, proto.DirEntry{Name: name, FID: oldRef.FID, Type: proto.TypeFile})
+		})
+	return err
+}
+
+// SetMode changes per-file protection bits.
+func (v *Venus) SetMode(p *sim.Proc, path string, mode uint16) error {
+	ref, err := v.refFor(p, path)
+	if err != nil {
+		return err
+	}
+	v.mu.Lock()
+	v.stats.OtherRPCs++
+	v.mu.Unlock()
+	resp, err := v.callRef(p, ref, path, rpc.Request{
+		Op:   rpc.Op(proto.OpSetStatus),
+		Body: proto.Marshal(proto.SetStatusArgs{Ref: ref, SetMode: true, Mode: mode}),
+	})
+	if err != nil {
+		return err
+	}
+	if !resp.OK() {
+		return proto.CodeToErr(resp.Code, string(resp.Body))
+	}
+	st, err := proto.Unmarshal(resp.Body, proto.DecodeStatus)
+	if err != nil {
+		return err
+	}
+	v.mu.Lock()
+	if e := v.byFID[st.FID]; e != nil {
+		e.status = st
+	} else if e := v.byPath[unixfs.Clean(path)]; e != nil {
+		e.status = st
+	}
+	v.mu.Unlock()
+	return nil
+}
+
+// GetACL fetches the access list of a directory.
+func (v *Venus) GetACL(p *sim.Proc, dir string) ([]byte, error) {
+	ref, err := v.refForDir(p, dir)
+	if err != nil {
+		return nil, err
+	}
+	v.mu.Lock()
+	v.stats.OtherRPCs++
+	v.mu.Unlock()
+	resp, err := v.callRef(p, ref, dir, rpc.Request{
+		Op:   rpc.Op(proto.OpGetACL),
+		Body: proto.Marshal(proto.ACLArgs{Dir: ref}),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK() {
+		return nil, proto.CodeToErr(resp.Code, string(resp.Body))
+	}
+	return resp.Body, nil
+}
+
+// SetACL replaces the access list of a directory.
+func (v *Venus) SetACL(p *sim.Proc, dir string, acl []byte) error {
+	ref, err := v.refForDir(p, dir)
+	if err != nil {
+		return err
+	}
+	v.mu.Lock()
+	v.stats.OtherRPCs++
+	v.mu.Unlock()
+	resp, err := v.callRef(p, ref, dir, rpc.Request{
+		Op:   rpc.Op(proto.OpSetACL),
+		Body: proto.Marshal(proto.ACLArgs{Dir: ref, ACL: acl}),
+	})
+	if err != nil {
+		return err
+	}
+	if !resp.OK() {
+		return proto.CodeToErr(resp.Code, string(resp.Body))
+	}
+	return nil
+}
+
+// Lock acquires an advisory lock.
+func (v *Venus) Lock(p *sim.Proc, path string, exclusive bool) error {
+	ref, err := v.refFor(p, path)
+	if err != nil {
+		return err
+	}
+	v.mu.Lock()
+	v.stats.OtherRPCs++
+	v.mu.Unlock()
+	resp, err := v.callRef(p, ref, path, rpc.Request{
+		Op:   rpc.Op(proto.OpSetLock),
+		Body: proto.Marshal(proto.LockArgs{Ref: ref, Exclusive: exclusive}),
+	})
+	if err != nil {
+		return err
+	}
+	if !resp.OK() {
+		return proto.CodeToErr(resp.Code, string(resp.Body))
+	}
+	return nil
+}
+
+// Unlock releases an advisory lock.
+func (v *Venus) Unlock(p *sim.Proc, path string) error {
+	ref, err := v.refFor(p, path)
+	if err != nil {
+		return err
+	}
+	v.mu.Lock()
+	v.stats.OtherRPCs++
+	v.mu.Unlock()
+	resp, err := v.callRef(p, ref, path, rpc.Request{
+		Op:   rpc.Op(proto.OpReleaseLock),
+		Body: proto.Marshal(proto.LockArgs{Ref: ref}),
+	})
+	if err != nil {
+		return err
+	}
+	if !resp.OK() {
+		return proto.CodeToErr(resp.Code, string(resp.Body))
+	}
+	return nil
+}

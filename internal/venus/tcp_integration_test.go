@@ -1,0 +1,157 @@
+package venus
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"itcfs/internal/prot"
+	"itcfs/internal/proto"
+	"itcfs/internal/rpc"
+	"itcfs/internal/secure"
+	"itcfs/internal/sim"
+	"itcfs/internal/unixfs"
+	"itcfs/internal/vice"
+	"itcfs/internal/volume"
+)
+
+// Venus over the real TCP transport: the same cache-manager logic the
+// simulator evaluates, talking to the same Vice server code, through
+// authenticated encrypted rpc.Peer connections — exactly what cmd/itcfsd
+// and cmd/itcfs deploy.
+
+// tcpCell serves one Vice server on a real TCP listener.
+type tcpCell struct {
+	srv  *vice.Server
+	db   *prot.DB
+	addr string
+	l    net.Listener
+	wg   sync.WaitGroup
+}
+
+func newTCPCell(t *testing.T, mode vice.Mode) *tcpCell {
+	t.Helper()
+	db := prot.NewDB()
+	for _, m := range []prot.Mutation{
+		{Kind: prot.MutAddUser, Name: "satya", Key: secure.DeriveKey("satya", "pw")},
+		{Kind: prot.MutAddUser, Name: "howard", Key: secure.DeriveKey("howard", "pw")},
+		{Kind: prot.MutAddGroup, Name: vice.AdminGroup},
+	} {
+		if err := db.Apply(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	next := uint32(1)
+	srv := vice.New(vice.Config{
+		Name: "tcp0", Mode: mode, DB: db,
+		AllocVolID: func() uint32 { next++; return next },
+	})
+	acl := prot.NewACL()
+	acl.Grant(prot.AnyUser, prot.RightsAll) // open cell: this test is about transport
+	srv.AddVolume(volume.New(1, "root", acl, 0, "satya", nil))
+	srv.Loc().Install([]proto.LocEntry{{Prefix: "/", Volume: 1, Custodian: "tcp0"}}, nil)
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &tcpCell{srv: srv, db: db, addr: l.Addr().String(), l: l}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(nc net.Conn) {
+				peer, err := rpc.AcceptPeer(nc, db.LookupKey, srv.Dispatcher())
+				if err != nil {
+					nc.Close()
+					return
+				}
+				<-peer.Done()
+				srv.Callbacks().Drop(peer)
+			}(conn)
+		}
+	}()
+	t.Cleanup(func() { l.Close(); c.wg.Wait() })
+	return c
+}
+
+// tcpVenus is a full workstation connected over TCP.
+func (c *tcpCell) tcpVenus(t *testing.T, mode vice.Mode, user, password string) *Venus {
+	t.Helper()
+	cbServer := rpc.NewServer()
+	var v *Venus
+	v = New(Config{
+		Mode:       mode,
+		Machine:    "tcp-ws-" + user,
+		Local:      unixfs.New(nil),
+		HomeServer: "tcp0",
+		Connect: func(_ *sim.Proc, server string) (Conn, error) {
+			nc, err := net.Dial("tcp", c.addr)
+			if err != nil {
+				return nil, err
+			}
+			peer, err := rpc.DialPeer(nc, user, secure.DeriveKey(user, password), cbServer)
+			if err != nil {
+				nc.Close()
+				return nil, err
+			}
+			t.Cleanup(func() { peer.Close() })
+			return peer, nil
+		},
+	})
+	cbServer.Handle(rpc.Op(proto.OpCallbackBreak), v.HandleCallbackBreak)
+	v.Login(user)
+	return v
+}
+
+func TestVenusOverTCPRoundTrip(t *testing.T) {
+	for _, mode := range []vice.Mode{vice.Prototype, vice.Revised} {
+		t.Run(mode.String(), func(t *testing.T) {
+			c := newTCPCell(t, mode)
+			v := c.tcpVenus(t, mode, "satya", "pw")
+			writeFile(t, v, "/doc", "over real TCP with real encryption")
+			if got := readFile(t, v, "/doc"); got != "over real TCP with real encryption" {
+				t.Fatalf("read %q", got)
+			}
+			if err := v.Mkdir(nil, "/dir", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			entries, err := v.ReadDir(nil, "/")
+			if err != nil || len(entries) != 2 {
+				t.Fatalf("ReadDir: %+v %v", entries, err)
+			}
+		})
+	}
+}
+
+func TestVenusOverTCPCallbackBreak(t *testing.T) {
+	c := newTCPCell(t, vice.Revised)
+	reader := c.tcpVenus(t, vice.Revised, "satya", "pw")
+	writer := c.tcpVenus(t, vice.Revised, "howard", "pw")
+
+	writeFile(t, reader, "/shared", "v1")
+	if got := readFile(t, reader, "/shared"); got != "v1" {
+		t.Fatalf("warm read %q", got)
+	}
+	// howard stores a new version over his own TCP connection; the server
+	// breaks satya's callback over hers.
+	writeFile(t, writer, "/shared", "v2")
+	if got := readFile(t, reader, "/shared"); got != "v2" {
+		t.Fatalf("after remote update: %q", got)
+	}
+	if reader.Stats().CallbackBreaks == 0 {
+		t.Fatal("no callback break delivered over TCP")
+	}
+}
+
+func TestVenusOverTCPWrongPassword(t *testing.T) {
+	c := newTCPCell(t, vice.Revised)
+	v := c.tcpVenus(t, vice.Revised, "satya", "wrong")
+	if _, err := v.Stat(nil, "/"); err == nil {
+		t.Fatal("operations succeeded with a wrong password")
+	}
+}

@@ -1,0 +1,651 @@
+// Package venus implements Venus, the user-level cache manager of §3.5.1:
+// it handles management of the workstation's whole-file cache, communication
+// with Vice, and the emulation of native file-system primitives for Vice
+// files. Application programs never talk to Vice; they operate on cached
+// copies through handles Venus hands out, and Venus contacts custodians
+// only on opens, closes and directory operations.
+//
+// Venus supports both of the paper's implementations:
+//
+//   - Prototype mode: whole pathnames go to the server, every open
+//     revalidates the cached copy (check-on-open), and the cache holds at
+//     most MaxFiles entries (count-limited LRU — the paper's "negative
+//     experience" the revised space-limited algorithm fixes).
+//   - Revised mode: Venus translates pathnames to FIDs itself by caching
+//     and traversing directories, cached entries stay valid until the
+//     server breaks a callback, and the cache is limited by bytes.
+package venus
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"itcfs/internal/proto"
+	"itcfs/internal/rpc"
+	"itcfs/internal/sim"
+	"itcfs/internal/unixfs"
+	"itcfs/internal/vice"
+)
+
+// Conn abstracts an authenticated connection to one server.
+type Conn interface {
+	Call(p *sim.Proc, req rpc.Request) (rpc.Response, error)
+}
+
+// Connector dials the named server, authenticating as the current user.
+type Connector func(p *sim.Proc, server string) (Conn, error)
+
+// Stats counts Venus activity; the evaluation harness reads these for the
+// cache-hit-ratio and call-mix experiments.
+type Stats struct {
+	Opens          int64
+	Hits           int64 // opens served without fetching data
+	Misses         int64 // opens that fetched the file
+	Validations    int64 // TestValid RPCs (check-on-open)
+	Fetches        int64 // Fetch RPCs (data)
+	Stores         int64 // Store RPCs
+	StatRPCs       int64 // FetchStatus RPCs
+	OtherRPCs      int64 // directory ops, locks, custodian queries
+	CallbackBreaks int64 // invalidations received
+	Evictions      int64
+	BytesFetched   int64
+	BytesStored    int64
+}
+
+// HitRatio returns hits over opens (0 when no opens).
+func (s Stats) HitRatio() float64 {
+	if s.Opens == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Opens)
+}
+
+// Config assembles a Venus instance.
+type Config struct {
+	Mode       vice.Mode
+	Machine    string // workstation name, for diagnostics
+	Local      *unixfs.FS
+	CacheDir   string // directory in Local holding cached copies
+	MaxFiles   int    // prototype cache limit (entry count)
+	MaxBytes   int64  // revised cache limit (bytes)
+	HomeServer string // this cluster's server, asked first for locations
+	Connect    Connector
+}
+
+// entry is one cached whole file (or directory listing, or status-only
+// record).
+type entry struct {
+	path      string // canonical Vice path (prototype key; hint in revised)
+	fid       proto.FID
+	status    proto.Status
+	cacheFile string // local file holding the data ("" = status-only)
+	valid     bool   // revised: callback promise still held
+	dirty     bool   // modified locally, not yet stored
+	open      int    // open handle count (pinned)
+	lruEl     *list.Element
+}
+
+// Venus is one workstation's cache manager.
+type Venus struct {
+	cfg Config
+
+	mu      sync.Mutex
+	user    string
+	conns   map[string]Conn
+	byPath  map[string]*entry
+	byFID   map[proto.FID]*entry
+	lru     *list.List // front = most recently used
+	bytes   int64
+	nextID  int64
+	volLoc  map[uint32]proto.CustodianReply // volume -> location
+	pathLoc map[string]proto.CustodianReply // prefix -> location
+	stats   Stats
+	// breakGen counts callback breaks received. Fetch and store snapshot
+	// it around their RPCs: a break that lands mid-flight must win over the
+	// reply's "valid" — otherwise a racing writer's invalidation would be
+	// silently clobbered and this workstation would stay stale forever.
+	breakGen int64
+}
+
+// New creates a Venus. Call Login before any file operation.
+func New(cfg Config) *Venus {
+	if cfg.CacheDir == "" {
+		cfg.CacheDir = "/cache"
+	}
+	if cfg.MaxFiles == 0 {
+		cfg.MaxFiles = 200 // the prototype's count limit
+	}
+	if cfg.MaxBytes == 0 {
+		cfg.MaxBytes = 20 << 20 // a 1980s workstation disk partition
+	}
+	_ = cfg.Local.MkdirAll(cfg.CacheDir, 0o700, "venus")
+	return &Venus{
+		cfg:     cfg,
+		conns:   make(map[string]Conn),
+		byPath:  make(map[string]*entry),
+		byFID:   make(map[proto.FID]*entry),
+		lru:     list.New(),
+		volLoc:  make(map[uint32]proto.CustodianReply),
+		pathLoc: make(map[string]proto.CustodianReply),
+	}
+}
+
+// Login sets the workstation's user. Existing connections (authenticated
+// as the previous user) are discarded. When the user actually changes —
+// someone else sits down at a public workstation — every clean cached entry
+// is invalidated: the data stays on the local disk (nothing can hide it
+// from the machine's owner), but Venus will revalidate or refetch before
+// serving it, so the custodian's access lists are enforced for the new
+// identity. A same-user re-login keeps the warm cache.
+func (v *Venus) Login(user string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if user != v.user && v.user != "" {
+		for _, e := range v.byFID {
+			if !e.dirty {
+				e.valid = false
+			}
+		}
+		for _, e := range v.byPath {
+			if !e.dirty {
+				e.valid = false
+			}
+		}
+	}
+	v.user = user
+	v.conns = make(map[string]Conn)
+}
+
+// User returns the current user.
+func (v *Venus) User() string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.user
+}
+
+// Stats returns a copy of the counters.
+func (v *Venus) Stats() Stats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.stats
+}
+
+// ResetStats zeroes the counters (between experiment phases).
+func (v *Venus) ResetStats() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.stats = Stats{}
+}
+
+// CacheUsage reports the cached entry count and byte total.
+func (v *Venus) CacheUsage() (files int, bytes int64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.lru.Len(), v.bytes
+}
+
+// Flags for Open.
+type OpenFlag uint32
+
+// Open flags, a subset of Unix open(2).
+const (
+	FlagRead   OpenFlag = 1 << iota // open for reading
+	FlagWrite                       // open for writing
+	FlagCreate                      // create if absent
+	FlagTrunc                       // truncate on open
+)
+
+// Handle is an open Vice file: reads and writes go to the cached copy; the
+// store happens at Close (§3.2).
+type Handle struct {
+	v      *Venus
+	e      *entry
+	flags  OpenFlag
+	offset int64
+	closed bool
+}
+
+// Open opens the Vice file at path (a path inside the shared space, e.g.
+// "/usr/satya/paper.mss").
+func (v *Venus) Open(p *sim.Proc, path string, flags OpenFlag) (*Handle, error) {
+	path = unixfs.Clean(path)
+	e, err := v.lookupEntry(p, path, flags)
+	if err != nil {
+		return nil, err
+	}
+	v.mu.Lock()
+	e.open++
+	v.touch(e)
+	v.mu.Unlock()
+	h := &Handle{v: v, e: e, flags: flags}
+	if flags&FlagTrunc != 0 {
+		if err := v.cfg.Local.Truncate(e.cacheFile, 0); err != nil {
+			v.mu.Lock()
+			e.open--
+			v.mu.Unlock()
+			return nil, err
+		}
+		v.mu.Lock()
+		e.dirty = true
+		v.mu.Unlock()
+	}
+	return h, nil
+}
+
+// lookupEntry finds or creates the cache entry for path, fetching data from
+// Vice as needed. This is where the two validation disciplines differ.
+func (v *Venus) lookupEntry(p *sim.Proc, path string, flags OpenFlag) (*entry, error) {
+	if v.cfg.Mode == vice.Prototype {
+		return v.lookupPrototype(p, path, flags)
+	}
+	return v.lookupRevised(p, path, flags)
+}
+
+// lookupPrototype implements check-on-open: a cached copy is revalidated
+// with the custodian on every open.
+func (v *Venus) lookupPrototype(p *sim.Proc, path string, flags OpenFlag) (*entry, error) {
+	v.mu.Lock()
+	v.stats.Opens++
+	e := v.byPath[path]
+	v.mu.Unlock()
+	if e != nil && e.cacheFile != "" {
+		if e.dirty {
+			// Locally modified and not yet stored: our copy is the newest.
+			v.mu.Lock()
+			v.stats.Hits++
+			v.mu.Unlock()
+			return e, nil
+		}
+		ok, version, err := v.testValid(p, proto.Ref{Path: path}, e.status.Version)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			v.mu.Lock()
+			v.stats.Hits++
+			v.mu.Unlock()
+			return e, nil
+		}
+		_ = version
+		v.invalidate(e)
+	}
+	return v.fetchEntry(p, proto.Ref{Path: path}, path, flags)
+}
+
+// lookupRevised trusts callbacks: a valid cached copy needs no server
+// traffic at all.
+func (v *Venus) lookupRevised(p *sim.Proc, path string, flags OpenFlag) (*entry, error) {
+	v.mu.Lock()
+	v.stats.Opens++
+	v.mu.Unlock()
+	fid, err := v.Resolve(p, path)
+	if err != nil {
+		if proto.ErrToCode(err) == proto.CodeNoEnt && flags&FlagCreate != 0 {
+			return v.createFile(p, path)
+		}
+		return nil, err
+	}
+	v.mu.Lock()
+	e := v.byFID[fid]
+	v.mu.Unlock()
+	if e != nil && e.cacheFile != "" && (e.valid || e.dirty) {
+		v.mu.Lock()
+		v.stats.Hits++
+		v.mu.Unlock()
+		return e, nil
+	}
+	return v.fetchEntry(p, proto.Ref{FID: fid}, path, flags)
+}
+
+// testValid asks the custodian whether a cached version is current.
+func (v *Venus) testValid(p *sim.Proc, ref proto.Ref, version uint64) (bool, uint64, error) {
+	v.mu.Lock()
+	v.stats.Validations++
+	v.mu.Unlock()
+	resp, err := v.callPath(p, ref.Path, rpc.Request{
+		Op:   rpc.Op(proto.OpTestValid),
+		Body: proto.Marshal(proto.TestValidArgs{Ref: ref, Version: version}),
+	})
+	if err != nil {
+		return false, 0, err
+	}
+	if !resp.OK() {
+		return false, 0, proto.CodeToErr(resp.Code, string(resp.Body))
+	}
+	tv, err := proto.Unmarshal(resp.Body, proto.DecodeTestValidReply)
+	if err != nil {
+		return false, 0, err
+	}
+	return tv.Valid, tv.Version, nil
+}
+
+// fetchEntry fetches the whole file from its custodian into the cache.
+func (v *Venus) fetchEntry(p *sim.Proc, ref proto.Ref, path string, flags OpenFlag) (*entry, error) {
+	v.mu.Lock()
+	v.stats.Fetches++
+	gen := v.breakGen
+	v.mu.Unlock()
+	resp, err := v.callRef(p, ref, path, rpc.Request{
+		Op:   rpc.Op(proto.OpFetch),
+		Body: proto.Marshal(proto.FetchArgs{Ref: ref}),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Code == proto.CodeNoEnt && flags&FlagCreate != 0 {
+		return v.createFile(p, path)
+	}
+	if !resp.OK() {
+		return nil, proto.CodeToErr(resp.Code, string(resp.Body))
+	}
+	st, err := proto.Unmarshal(resp.Body, proto.DecodeStatus)
+	if err != nil {
+		return nil, err
+	}
+	v.mu.Lock()
+	v.stats.Misses++
+	v.stats.BytesFetched += int64(len(resp.Bulk))
+	v.mu.Unlock()
+	e, err := v.installEntry(path, st, resp.Bulk)
+	if err != nil {
+		return nil, err
+	}
+	v.mu.Lock()
+	if v.breakGen != gen {
+		// A break arrived while the fetch was in flight; the copy we just
+		// installed may already be stale. Conservatively revalidate next
+		// open rather than trust it.
+		e.valid = false
+	}
+	v.mu.Unlock()
+	return e, nil
+}
+
+// createFile creates a new empty file at path on the custodian.
+func (v *Venus) createFile(p *sim.Proc, path string) (*entry, error) {
+	dir, name := unixfs.Dir(path), unixfs.Base(path)
+	dirRef, err := v.refForDir(p, dir)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := v.callRef(p, dirRef, dir, rpc.Request{
+		Op:   rpc.Op(proto.OpCreate),
+		Body: proto.Marshal(proto.NameArgs{Dir: dirRef, Name: name, Mode: 0o644}),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK() {
+		return nil, proto.CodeToErr(resp.Code, string(resp.Body))
+	}
+	st, err := proto.Unmarshal(resp.Body, proto.DecodeStatus)
+	if err != nil {
+		return nil, err
+	}
+	// Keep the cached directory listing usable: patch the new entry in
+	// (revised mode), else drop the now-stale copy.
+	if v.cfg.Mode != vice.Revised || !v.patchDir(dirRef.FID, patchAdd(name, proto.TypeFile), resp) {
+		v.dropDir(dir)
+	}
+	return v.installEntry(path, st, nil)
+}
+
+// installEntry writes fetched data into the local cache and indexes it.
+func (v *Venus) installEntry(path string, st proto.Status, data []byte) (*entry, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	e := v.byFID[st.FID]
+	if e == nil && path != "" {
+		e = v.byPath[path]
+	}
+	if e == nil {
+		v.nextID++
+		e = &entry{cacheFile: fmt.Sprintf("%s/c%d", v.cfg.CacheDir, v.nextID)}
+	} else if e.cacheFile == "" {
+		v.nextID++
+		e.cacheFile = fmt.Sprintf("%s/c%d", v.cfg.CacheDir, v.nextID)
+	} else {
+		v.bytes -= e.status.Size
+	}
+	if err := v.cfg.Local.WriteFile(e.cacheFile, data, 0o600, "venus"); err != nil {
+		return nil, err
+	}
+	e.path = path
+	e.fid = st.FID
+	e.status = st
+	e.valid = true
+	e.dirty = false
+	v.bytes += st.Size
+	v.index(e)
+	v.touch(e)
+	v.evictLocked()
+	return e, nil
+}
+
+// index registers the entry under both keys. Caller holds v.mu.
+func (v *Venus) index(e *entry) {
+	if e.path != "" {
+		v.byPath[e.path] = e
+	}
+	if !e.fid.IsZero() {
+		v.byFID[e.fid] = e
+	}
+	if e.lruEl == nil {
+		e.lruEl = v.lru.PushFront(e)
+	}
+}
+
+// touch moves the entry to the LRU front. Caller holds v.mu.
+func (v *Venus) touch(e *entry) {
+	if e.lruEl != nil {
+		v.lru.MoveToFront(e.lruEl)
+	}
+}
+
+// evictLocked enforces the cache limit: entry count in prototype mode,
+// bytes in revised mode (§5.3). Dirty or open entries are never evicted.
+func (v *Venus) evictLocked() {
+	over := func() bool {
+		if v.cfg.Mode == vice.Prototype {
+			return v.lru.Len() > v.cfg.MaxFiles
+		}
+		return v.bytes > v.cfg.MaxBytes
+	}
+	el := v.lru.Back()
+	for over() && el != nil {
+		prev := el.Prev()
+		e := el.Value.(*entry)
+		if e.open == 0 && !e.dirty {
+			v.removeLocked(e)
+			v.stats.Evictions++
+		}
+		el = prev
+	}
+}
+
+// removeLocked drops an entry entirely. Caller holds v.mu.
+func (v *Venus) removeLocked(e *entry) {
+	if e.lruEl != nil {
+		v.lru.Remove(e.lruEl)
+		e.lruEl = nil
+	}
+	if e.path != "" {
+		delete(v.byPath, e.path)
+	}
+	if !e.fid.IsZero() {
+		delete(v.byFID, e.fid)
+	}
+	if e.cacheFile != "" {
+		v.bytes -= e.status.Size
+		_ = v.cfg.Local.Remove(e.cacheFile)
+	}
+}
+
+// invalidate marks a cached copy unusable without touching its data file.
+func (v *Venus) invalidate(e *entry) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	e.valid = false
+}
+
+// dropDir removes a cached directory listing after a local mutation makes
+// it stale (the server does not break the mutator's own callback).
+func (v *Venus) dropDir(path string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if e := v.byPath[unixfs.Clean(path)]; e != nil {
+		v.removeLocked(e)
+	}
+}
+
+// HandleCallbackBreak is wired to OpCallbackBreak on the workstation's
+// endpoint: Vice tells us a cached copy is no longer valid.
+func (v *Venus) HandleCallbackBreak(_ rpc.Ctx, req rpc.Request) rpc.Response {
+	args, err := proto.Unmarshal(req.Body, proto.DecodeCallbackBreakArgs)
+	if err != nil {
+		return rpc.Response{Code: proto.CodeBadRequest}
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.stats.CallbackBreaks++
+	v.breakGen++
+	if e := v.byFID[args.FID]; e != nil {
+		e.valid = false
+	}
+	if args.Path != "" {
+		if e := v.byPath[unixfs.Clean(args.Path)]; e != nil {
+			e.valid = false
+		}
+	}
+	return rpc.Response{}
+}
+
+// Read reads from the cached copy at the handle's offset.
+func (h *Handle) Read(buf []byte) (int, error) {
+	n, err := h.ReadAt(buf, h.offset)
+	h.offset += int64(n)
+	return n, err
+}
+
+// ReadAt reads from the cached copy at an absolute offset.
+func (h *Handle) ReadAt(buf []byte, off int64) (int, error) {
+	if h.closed {
+		return 0, fmt.Errorf("%w: handle closed", proto.ErrBadRequest)
+	}
+	return h.v.cfg.Local.ReadAt(h.e.cacheFile, buf, off)
+}
+
+// Write writes to the cached copy at the handle's offset. Vice is not
+// contacted until Close.
+func (h *Handle) Write(buf []byte) (int, error) {
+	n, err := h.WriteAt(buf, h.offset)
+	h.offset += int64(n)
+	return n, err
+}
+
+// WriteAt writes to the cached copy at an absolute offset.
+func (h *Handle) WriteAt(buf []byte, off int64) (int, error) {
+	if h.closed {
+		return 0, fmt.Errorf("%w: handle closed", proto.ErrBadRequest)
+	}
+	if h.flags&FlagWrite == 0 {
+		return 0, fmt.Errorf("%w: handle not open for writing", proto.ErrAccess)
+	}
+	n, err := h.v.cfg.Local.WriteAt(h.e.cacheFile, buf, off)
+	if err == nil {
+		h.v.mu.Lock()
+		h.e.dirty = true
+		h.v.mu.Unlock()
+	}
+	return n, err
+}
+
+// Seek positions the handle (whence 0=set, 1=cur, 2=end).
+func (h *Handle) Seek(off int64, whence int) (int64, error) {
+	switch whence {
+	case 0:
+		h.offset = off
+	case 1:
+		h.offset += off
+	case 2:
+		st, err := h.v.cfg.Local.Stat(h.e.cacheFile)
+		if err != nil {
+			return 0, err
+		}
+		h.offset = st.Size + off
+	default:
+		return 0, fmt.Errorf("%w: whence %d", proto.ErrBadRequest, whence)
+	}
+	return h.offset, nil
+}
+
+// Status returns the Vice status of the open file (as of open/last store).
+func (h *Handle) Status() proto.Status { return h.e.status }
+
+// Close releases the handle. If the cached copy was modified, it is
+// transmitted to the custodian now — write-on-close, which keeps crash
+// recovery simple and approximates timesharing visibility (§3.2).
+func (h *Handle) Close(p *sim.Proc) error {
+	if h.closed {
+		return nil
+	}
+	h.closed = true
+	v := h.v
+	defer func() {
+		v.mu.Lock()
+		h.e.open--
+		v.mu.Unlock()
+	}()
+	v.mu.Lock()
+	dirty := h.e.dirty
+	v.mu.Unlock()
+	if !dirty {
+		return nil
+	}
+	return v.storeEntry(p, h.e)
+}
+
+// storeEntry transmits the cached copy back to the custodian.
+func (v *Venus) storeEntry(p *sim.Proc, e *entry) error {
+	data, err := v.cfg.Local.ReadFile(e.cacheFile)
+	if err != nil {
+		return err
+	}
+	ref := proto.Ref{Path: e.path}
+	if v.cfg.Mode == vice.Revised {
+		ref = proto.Ref{FID: e.fid}
+	}
+	v.mu.Lock()
+	v.stats.Stores++
+	v.stats.BytesStored += int64(len(data))
+	gen := v.breakGen
+	v.mu.Unlock()
+	resp, err := v.callRef(p, ref, e.path, rpc.Request{
+		Op:   rpc.Op(proto.OpStore),
+		Body: proto.Marshal(proto.StoreArgs{Ref: ref}),
+		Bulk: data,
+	})
+	if err != nil {
+		return err
+	}
+	if !resp.OK() {
+		return proto.CodeToErr(resp.Code, string(resp.Body))
+	}
+	st, err := proto.Unmarshal(resp.Body, proto.DecodeStatus)
+	if err != nil {
+		return err
+	}
+	v.mu.Lock()
+	v.bytes += st.Size - e.status.Size
+	e.status = st
+	e.fid = st.FID
+	e.dirty = false
+	// Valid only if no break raced the store: a concurrent writer may have
+	// superseded our version while the reply was in flight.
+	e.valid = v.breakGen == gen
+	v.index(e)
+	v.evictLocked() // the stored file may have grown past the cache limit
+	v.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,407 @@
+package vice
+
+import (
+	"fmt"
+
+	"itcfs/internal/prot"
+	"itcfs/internal/proto"
+	"itcfs/internal/rpc"
+	"itcfs/internal/sim"
+	"itcfs/internal/volume"
+	"itcfs/internal/wire"
+)
+
+// Volume and protection administration. These operations are rare,
+// human-initiated, and deliberately expensive when they touch the
+// replicated databases: "changing the location database is relatively
+// expensive because it involves updating all the cluster servers in the
+// system" (§3.1). That cost is exactly what experiment E10 measures against
+// negative-rights revocation.
+
+// broadcast sends a request to every peer server, returning the first
+// error. The caller must not hold s.mu (peer calls park).
+func (s *Server) broadcast(p *sim.Proc, req rpc.Request) error {
+	s.mu.Lock()
+	peers := make([]Caller, 0, len(s.peers))
+	names := make([]string, 0, len(s.peers))
+	for name, c := range s.peers {
+		peers = append(peers, c)
+		names = append(names, name)
+	}
+	s.mu.Unlock()
+	for i, c := range peers {
+		resp, err := c.Call(p, req)
+		if err != nil {
+			return fmt.Errorf("vice: broadcast to %s: %w", names[i], err)
+		}
+		if !resp.OK() {
+			return fmt.Errorf("vice: broadcast to %s: %w", names[i], proto.CodeToErr(resp.Code, string(resp.Body)))
+		}
+	}
+	return nil
+}
+
+// installLoc applies a location update locally and on every peer.
+func (s *Server) installLoc(p *sim.Proc, entries []proto.LocEntry, remove []string) error {
+	s.cfg.Loc.Install(entries, remove)
+	return s.broadcast(p, rpc.Request{
+		Op:   rpc.Op(proto.OpLocInstall),
+		Body: proto.Marshal(proto.LocInstallArgs{Entries: entries, Remove: remove}),
+	})
+}
+
+// handleVolCreate creates a volume on this server and mounts it at the
+// requested path. The parent directory's volume must be local: the mount
+// entry lives there. The new location row is pushed to every server.
+func (s *Server) handleVolCreate(ctx rpc.Ctx, req rpc.Request) rpc.Response {
+	if !s.isAdmin(ctx.User) {
+		return respErr(fmt.Errorf("%w: volume creation is operations-staff only", proto.ErrNotAllowed))
+	}
+	args, err := proto.Unmarshal(req.Body, proto.DecodeVolCreateArgs)
+	if err != nil {
+		return respErr(err)
+	}
+	if args.Path == "" || args.Name == "" {
+		return respErr(fmt.Errorf("%w: name and path required", proto.ErrBadRequest))
+	}
+	parentPath, leaf := dirOfPath(args.Path)
+	pv, pdir, err := s.resolvePath(parentPath, true)
+	if err != nil {
+		return respErr(err)
+	}
+	acl := prot.NewACL()
+	acl.Grant(args.Owner, prot.RightsAll)
+	acl.Grant(prot.AnyUser, prot.RightLookup|prot.RightRead)
+	id := s.cfg.AllocVolID()
+	vol := volume.New(id, args.Name, acl, args.Quota, args.Owner, s.cfg.Clock)
+	if err := pv.Mount(pdir, leaf, vol.Root()); err != nil {
+		return respErr(err)
+	}
+	s.mu.Lock()
+	s.vols[id] = vol
+	s.mu.Unlock()
+	le := proto.LocEntry{Prefix: args.Path, Volume: id, Custodian: s.cfg.Name}
+	if err := s.installLoc(ctx.Proc, []proto.LocEntry{le}, nil); err != nil {
+		return respErr(err)
+	}
+	if s.cfg.Mode == Revised {
+		s.callbacks.Break(ctx.Proc, pdir, parentPath, nil)
+	}
+	return rpc.Response{Body: proto.Marshal(s.volStatusLocked(vol))}
+}
+
+// handleVolClone freezes a read-only snapshot of a volume, optionally
+// installs it on replica servers, and optionally mounts it. This is the
+// orderly-release mechanism for system software (§3.2).
+func (s *Server) handleVolClone(ctx rpc.Ctx, req rpc.Request) rpc.Response {
+	if !s.isAdmin(ctx.User) {
+		return respErr(fmt.Errorf("%w: cloning is operations-staff only", proto.ErrNotAllowed))
+	}
+	args, err := proto.Unmarshal(req.Body, proto.DecodeVolCloneArgs)
+	if err != nil {
+		return respErr(err)
+	}
+	s.mu.Lock()
+	src, ok := s.vols[args.Volume]
+	s.mu.Unlock()
+	if !ok {
+		if le, found := s.cfg.Loc.ResolveVolume(args.Volume); found {
+			return respErr(&proto.WrongServer{Custodian: le.Custodian})
+		}
+		return respErr(fmt.Errorf("%w: volume %d", proto.ErrStale, args.Volume))
+	}
+	id := s.cfg.AllocVolID()
+	clone := src.Clone(id, src.Name()+".readonly")
+	s.mu.Lock()
+	s.vols[id] = clone
+	s.mu.Unlock()
+
+	// Install the image on each replica server.
+	image := clone.Serialize()
+	for _, rep := range args.Replicas {
+		s.mu.Lock()
+		peer, ok := s.peers[rep]
+		s.mu.Unlock()
+		if !ok {
+			return respErr(fmt.Errorf("%w: unknown replica server %s", proto.ErrBadRequest, rep))
+		}
+		resp, err := peer.Call(ctx.Proc, rpc.Request{
+			Op:   rpc.Op(proto.OpVolInstall),
+			Body: proto.Marshal(proto.VolInstallArgs{Volume: id, Name: clone.Name(), ReadOnly: true}),
+			Bulk: image,
+		})
+		if err != nil {
+			return respErr(err)
+		}
+		if !resp.OK() {
+			return respErr(proto.CodeToErr(resp.Code, string(resp.Body)))
+		}
+	}
+
+	if args.Path != "" {
+		parentPath, leaf := dirOfPath(args.Path)
+		pv, pdir, err := s.resolvePath(parentPath, true)
+		if err != nil {
+			return respErr(err)
+		}
+		// "The creation of a read-only subtree is an atomic operation,
+		// thus providing a convenient mechanism to support the orderly
+		// release of new system software" (§3.2): if the mount point is
+		// already occupied by an earlier release, the new clone replaces
+		// it in one step. The old clone volume stays installed (multiple
+		// coexisting versions), merely unmounted from this name.
+		if old, lookErr := pv.Lookup(pdir, leaf); lookErr == nil && old.FID.Volume != pv.ID() {
+			if err := pv.Unmount(pdir, leaf); err != nil {
+				return respErr(err)
+			}
+		}
+		if err := pv.Mount(pdir, leaf, clone.Root()); err != nil {
+			return respErr(err)
+		}
+		le := proto.LocEntry{Prefix: args.Path, Volume: id, Custodian: s.cfg.Name, Replicas: args.Replicas}
+		if err := s.installLoc(ctx.Proc, []proto.LocEntry{le}, nil); err != nil {
+			return respErr(err)
+		}
+		if s.cfg.Mode == Revised {
+			s.callbacks.Break(ctx.Proc, pdir, parentPath, nil)
+		}
+	}
+	return rpc.Response{Body: proto.Marshal(s.volStatusLocked(clone))}
+}
+
+func (s *Server) volStatusLocked(v *volume.Volume) proto.VolStatusReply {
+	return proto.VolStatusReply{
+		Volume:   v.ID(),
+		Name:     v.Name(),
+		Quota:    v.Quota(),
+		Used:     v.Used(),
+		Online:   v.Online(),
+		ReadOnly: v.ReadOnly(),
+		Server:   s.cfg.Name,
+	}
+}
+
+func (s *Server) handleVolStatus(ctx rpc.Ctx, req rpc.Request) rpc.Response {
+	args, err := proto.Unmarshal(req.Body, proto.DecodeVolStatusArgs)
+	if err != nil {
+		return respErr(err)
+	}
+	s.mu.Lock()
+	v, ok := s.vols[args.Volume]
+	s.mu.Unlock()
+	if !ok {
+		if le, found := s.cfg.Loc.ResolveVolume(args.Volume); found {
+			return respErr(&proto.WrongServer{Custodian: le.Custodian})
+		}
+		return respErr(fmt.Errorf("%w: volume %d", proto.ErrStale, args.Volume))
+	}
+	return rpc.Response{Body: proto.Marshal(s.volStatusLocked(v))}
+}
+
+func (s *Server) handleVolSetQuota(ctx rpc.Ctx, req rpc.Request) rpc.Response {
+	if !s.isAdmin(ctx.User) {
+		return respErr(fmt.Errorf("%w: quota changes are operations-staff only", proto.ErrNotAllowed))
+	}
+	args, err := proto.Unmarshal(req.Body, proto.DecodeVolSetQuotaArgs)
+	if err != nil {
+		return respErr(err)
+	}
+	s.mu.Lock()
+	v, ok := s.vols[args.Volume]
+	s.mu.Unlock()
+	if !ok {
+		return respErr(fmt.Errorf("%w: volume %d", proto.ErrStale, args.Volume))
+	}
+	v.SetQuota(args.Quota)
+	return rpc.Response{}
+}
+
+func (s *Server) handleVolOnlineOffline(online bool) rpc.HandlerFunc {
+	return func(ctx rpc.Ctx, req rpc.Request) rpc.Response {
+		if !s.isAdmin(ctx.User) {
+			return respErr(fmt.Errorf("%w: operations-staff only", proto.ErrNotAllowed))
+		}
+		args, err := proto.Unmarshal(req.Body, proto.DecodeVolStatusArgs)
+		if err != nil {
+			return respErr(err)
+		}
+		s.mu.Lock()
+		v, ok := s.vols[args.Volume]
+		s.mu.Unlock()
+		if !ok {
+			return respErr(fmt.Errorf("%w: volume %d", proto.ErrStale, args.Volume))
+		}
+		v.SetOnline(online)
+		return rpc.Response{}
+	}
+}
+
+// handleVolMove reassigns a volume to another custodian: serialize, ship,
+// delete locally, and update the location database everywhere. The files
+// are unavailable during the change (§3.1).
+func (s *Server) handleVolMove(ctx rpc.Ctx, req rpc.Request) rpc.Response {
+	if !s.isAdmin(ctx.User) {
+		return respErr(fmt.Errorf("%w: volume moves are operations-staff only", proto.ErrNotAllowed))
+	}
+	args, err := proto.Unmarshal(req.Body, proto.DecodeVolMoveArgs)
+	if err != nil {
+		return respErr(err)
+	}
+	s.mu.Lock()
+	v, ok := s.vols[args.Volume]
+	peer, havePeer := s.peers[args.Target]
+	s.mu.Unlock()
+	if !ok {
+		if le, found := s.cfg.Loc.ResolveVolume(args.Volume); found {
+			return respErr(&proto.WrongServer{Custodian: le.Custodian})
+		}
+		return respErr(fmt.Errorf("%w: volume %d", proto.ErrStale, args.Volume))
+	}
+	if !havePeer {
+		return respErr(fmt.Errorf("%w: unknown server %s", proto.ErrBadRequest, args.Target))
+	}
+	le, found := s.cfg.Loc.ResolveVolume(args.Volume)
+	if !found {
+		return respErr(fmt.Errorf("%w: volume %d not in location database", proto.ErrStale, args.Volume))
+	}
+
+	v.SetOnline(false) // unavailable during the change
+	image := v.Serialize()
+	resp, err := peer.Call(ctx.Proc, rpc.Request{
+		Op:   rpc.Op(proto.OpVolInstall),
+		Body: proto.Marshal(proto.VolInstallArgs{Volume: v.ID(), Name: v.Name(), ReadOnly: v.ReadOnly()}),
+		Bulk: image,
+	})
+	if err != nil || !resp.OK() {
+		v.SetOnline(true) // move failed; restore service
+		if err == nil {
+			err = proto.CodeToErr(resp.Code, string(resp.Body))
+		}
+		return respErr(err)
+	}
+	s.mu.Lock()
+	delete(s.vols, args.Volume)
+	s.mu.Unlock()
+	le.Custodian = args.Target
+	if err := s.installLoc(ctx.Proc, []proto.LocEntry{le}, nil); err != nil {
+		return respErr(err)
+	}
+	return rpc.Response{}
+}
+
+// handleVolSalvage runs crash recovery on one volume (or, with volume 0,
+// every local volume): "each volume may be … salvaged after a system
+// crash" (§5.3). The reply body carries the aggregate repair counts:
+// orphans removed, dangling entries dropped, link counts fixed.
+func (s *Server) handleVolSalvage(ctx rpc.Ctx, req rpc.Request) rpc.Response {
+	if !s.isAdmin(ctx.User) {
+		return respErr(fmt.Errorf("%w: salvage is operations-staff only", proto.ErrNotAllowed))
+	}
+	args, err := proto.Unmarshal(req.Body, proto.DecodeVolStatusArgs)
+	if err != nil {
+		return respErr(err)
+	}
+	var reports []volume.SalvageReport
+	if args.Volume == 0 {
+		for _, rep := range s.SalvageAll() {
+			reports = append(reports, rep)
+		}
+	} else {
+		s.mu.Lock()
+		v, ok := s.vols[args.Volume]
+		s.mu.Unlock()
+		if !ok {
+			return respErr(fmt.Errorf("%w: volume %d", proto.ErrStale, args.Volume))
+		}
+		reports = append(reports, v.Salvage())
+	}
+	var orphans, dangling, links int
+	for _, rep := range reports {
+		orphans += rep.OrphansRemoved
+		dangling += rep.DanglingEntries
+		links += rep.LinksFixed
+	}
+	var e wire.Encoder
+	e.Int(orphans)
+	e.Int(dangling)
+	e.Int(links)
+	return rpc.Response{Body: append([]byte(nil), e.Buf()...)}
+}
+
+// handleProtMutate is the protection server (§3.4): it validates the
+// mutation, applies it authoritatively, and pushes it to every replica.
+func (s *Server) handleProtMutate(ctx rpc.Ctx, req rpc.Request) rpc.Response {
+	if !s.cfg.ProtAuthority {
+		return respErr(fmt.Errorf("%w: not the protection server", proto.ErrNotAllowed))
+	}
+	if !s.isAdmin(ctx.User) {
+		return respErr(fmt.Errorf("%w: protection changes are operations-staff only", proto.ErrNotAllowed))
+	}
+	m, err := proto.Unmarshal(req.Body, prot.DecodeMutation)
+	if err != nil {
+		return respErr(err)
+	}
+	if err := s.cfg.DB.Apply(m); err != nil {
+		return respErr(fmt.Errorf("%w: %v", proto.ErrBadRequest, err))
+	}
+	if err := s.broadcast(ctx.Proc, rpc.Request{Op: rpc.Op(proto.OpProtInstall), Body: req.Body}); err != nil {
+		return respErr(err)
+	}
+	var e wire.Encoder
+	e.U64(s.cfg.DB.Version())
+	return rpc.Response{Body: append([]byte(nil), e.Buf()...)}
+}
+
+func (s *Server) handleProtSnapshot(ctx rpc.Ctx, req rpc.Request) rpc.Response {
+	if !s.isAdmin(ctx.User) {
+		return respErr(fmt.Errorf("%w: operations-staff only", proto.ErrNotAllowed))
+	}
+	return rpc.Response{Bulk: s.cfg.DB.Snapshot()}
+}
+
+// Server-to-server installs. Only peers inside the trust boundary may call
+// these.
+
+func (s *Server) handleLocInstall(ctx rpc.Ctx, req rpc.Request) rpc.Response {
+	if ctx.User != ServerUser {
+		return respErr(fmt.Errorf("%w: server-to-server only", proto.ErrNotAllowed))
+	}
+	args, err := proto.Unmarshal(req.Body, proto.DecodeLocInstallArgs)
+	if err != nil {
+		return respErr(err)
+	}
+	s.cfg.Loc.Install(args.Entries, args.Remove)
+	return rpc.Response{}
+}
+
+func (s *Server) handleVolInstall(ctx rpc.Ctx, req rpc.Request) rpc.Response {
+	if ctx.User != ServerUser {
+		return respErr(fmt.Errorf("%w: server-to-server only", proto.ErrNotAllowed))
+	}
+	if _, err := proto.Unmarshal(req.Body, proto.DecodeVolInstallArgs); err != nil {
+		return respErr(err)
+	}
+	vol, err := volume.Deserialize(req.Bulk, s.cfg.Clock)
+	if err != nil {
+		return respErr(fmt.Errorf("%w: %v", proto.ErrBadRequest, err))
+	}
+	vol.SetOnline(true)
+	s.mu.Lock()
+	s.vols[vol.ID()] = vol
+	s.mu.Unlock()
+	return rpc.Response{}
+}
+
+func (s *Server) handleProtInstall(ctx rpc.Ctx, req rpc.Request) rpc.Response {
+	if ctx.User != ServerUser {
+		return respErr(fmt.Errorf("%w: server-to-server only", proto.ErrNotAllowed))
+	}
+	m, err := proto.Unmarshal(req.Body, prot.DecodeMutation)
+	if err != nil {
+		return respErr(err)
+	}
+	if err := s.cfg.DB.Apply(m); err != nil {
+		return respErr(fmt.Errorf("%w: %v", proto.ErrBadRequest, err))
+	}
+	return rpc.Response{}
+}

@@ -1,0 +1,115 @@
+package vice
+
+import (
+	"sync"
+
+	"itcfs/internal/proto"
+	"itcfs/internal/rpc"
+	"itcfs/internal/sim"
+)
+
+// CallbackTable records callback promises: when a workstation fetches a
+// file in revised mode, the server promises to notify it before the file
+// changes. This inverts the prototype's check-on-open validation — the 65%
+// of server calls that were cache-validity checks (§5.2) disappear, at the
+// cost of server state and an invalidation message on each update (§3.2).
+type CallbackTable struct {
+	mu       sync.Mutex
+	promises map[proto.FID]map[rpc.Backchannel]bool
+	breaks   int64
+	promised int64
+}
+
+// NewCallbackTable returns an empty table.
+func NewCallbackTable() *CallbackTable {
+	return &CallbackTable{promises: make(map[proto.FID]map[rpc.Backchannel]bool)}
+}
+
+// Promise records that the connection holds a valid copy of fid.
+func (t *CallbackTable) Promise(fid proto.FID, back rpc.Backchannel) {
+	if back == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	set := t.promises[fid]
+	if set == nil {
+		set = make(map[rpc.Backchannel]bool)
+		t.promises[fid] = set
+	}
+	if !set[back] {
+		set[back] = true
+		t.promised++
+	}
+}
+
+// Drop forgets all promises for one connection (teardown) without breaking.
+func (t *CallbackTable) Drop(back rpc.Backchannel) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for fid, set := range t.promises {
+		delete(set, back)
+		if len(set) == 0 {
+			delete(t.promises, fid)
+		}
+	}
+}
+
+// take removes and returns the backchannels holding promises on fid,
+// excluding skip (the connection performing the update — its own cache
+// entry is being replaced by the store itself).
+func (t *CallbackTable) take(fid proto.FID, skip rpc.Backchannel) []rpc.Backchannel {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	set := t.promises[fid]
+	if len(set) == 0 {
+		return nil
+	}
+	var out []rpc.Backchannel
+	for back := range set {
+		if back == skip {
+			continue
+		}
+		out = append(out, back)
+		delete(set, back)
+	}
+	if skip != nil && set[skip] {
+		// The updater keeps its promise: its cache copy is the new version.
+		return out
+	}
+	if len(set) == 0 {
+		delete(t.promises, fid)
+	}
+	return out
+}
+
+// Break notifies every workstation holding a promise on fid, except the
+// updater's own connection, that its copy is invalid. It must be called
+// without server locks held: callback calls park the worker process.
+func (t *CallbackTable) Break(p *sim.Proc, fid proto.FID, path string, skip rpc.Backchannel) {
+	targets := t.take(fid, skip)
+	for _, back := range targets {
+		t.breaks++
+		args := proto.CallbackBreakArgs{FID: fid, Path: path}
+		// A dead workstation just times out; the promise is already gone.
+		_, _ = back.CallBack(p, rpc.Request{Op: rpc.Op(proto.OpCallbackBreak), Body: proto.Marshal(args)})
+	}
+}
+
+// Stats reports cumulative promises granted and callbacks broken.
+func (t *CallbackTable) Stats() (promised, breaks int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.promised, t.breaks
+}
+
+// Outstanding reports the number of live promises (server state size).
+func (t *CallbackTable) Outstanding() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, set := range t.promises {
+		n += len(set)
+	}
+	return n
+}

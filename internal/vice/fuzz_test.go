@@ -1,0 +1,111 @@
+package vice
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"itcfs/internal/proto"
+	"itcfs/internal/rpc"
+)
+
+// Vice serves mutually suspicious workstations: whatever bytes arrive in a
+// request body, the server must answer with an error code — never panic,
+// never hang, never corrupt state.
+
+var allOps = []uint16{
+	proto.OpFetch, proto.OpStore, proto.OpFetchStatus, proto.OpSetStatus,
+	proto.OpTestValid, proto.OpCreate, proto.OpMakeDir, proto.OpRemove,
+	proto.OpRemoveDir, proto.OpRename, proto.OpSymlink, proto.OpLink,
+	proto.OpSetACL, proto.OpGetACL, proto.OpSetLock, proto.OpReleaseLock,
+	proto.OpGetCustodian, proto.OpVolCreate, proto.OpVolClone,
+	proto.OpVolStatus, proto.OpVolSetQuota, proto.OpVolOffline,
+	proto.OpVolOnline, proto.OpVolMove, proto.OpVolSalvage,
+	proto.OpProtMutate, proto.OpProtSnapshot, proto.OpLocInstall,
+	proto.OpVolInstall, proto.OpProtInstall, proto.OpCallbackBreak, 9999,
+}
+
+func TestHandlersSurviveGarbage(t *testing.T) {
+	c := newCell(t, Revised, 1)
+	c.mkVolume(t, "u", "/u", "satya", 0)
+	c.store(t, "satya", "/u/f", []byte("seed data"))
+
+	f := func(seed int64, body, bulk []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		op := allOps[r.Intn(len(allOps))]
+		for _, user := range []string{"mallory", "operator", ServerUser} {
+			resp := c.servers[0].Dispatcher().Dispatch(
+				rpc.Ctx{User: user},
+				rpc.Request{Op: rpc.Op(op), Body: body, Bulk: bulk},
+			)
+			_ = resp
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+	// The server still works after the bombardment.
+	resp := c.call("satya", 0, proto.OpFetch, proto.Marshal(proto.FetchArgs{Ref: pathRef("/u/f")}), nil)
+	if !resp.OK() || string(resp.Bulk) != "seed data" {
+		t.Fatalf("server damaged by garbage: code %d %q", resp.Code, resp.Bulk)
+	}
+}
+
+// Well-formed requests against nonsense references must come back with
+// clean service errors.
+func TestHandlersRejectNonsenseRefs(t *testing.T) {
+	c := newCell(t, Revised, 1)
+	bogus := []proto.Ref{
+		{},                                       // empty
+		{Path: "not-absolute"},                   // relative path
+		{FID: proto.FID{Volume: 9999, Vnode: 1}}, // unknown volume
+		{FID: proto.FID{Volume: 1, Vnode: 9999, Uniq: 3}}, // unknown vnode
+	}
+	for _, ref := range bogus {
+		resp := c.call("satya", 0, proto.OpFetch, proto.Marshal(proto.FetchArgs{Ref: ref}), nil)
+		if resp.OK() {
+			t.Errorf("fetch of %v succeeded", ref)
+		}
+		if resp.Code == rpc.CodeUnknownOp {
+			t.Errorf("fetch of %v fell through dispatch", ref)
+		}
+	}
+}
+
+func TestAtomicReRelease(t *testing.T) {
+	// Releasing v2 at the same path atomically replaces v1; both clones
+	// coexist as volumes (§3.2's multiple coexisting versions).
+	c := newCell(t, Prototype, 1)
+	vid := c.mkVolume(t, "sys", "/sys", "operator", 0)
+	c.store(t, "operator", "/sys/tool", []byte("tool-v1"))
+	resp := mustOK(t, c.call("operator", 0, proto.OpVolClone,
+		proto.Marshal(proto.VolCloneArgs{Volume: vid, Path: "/sys-release"}), nil))
+	v1, _ := proto.Unmarshal(resp.Body, proto.DecodeVolStatusReply)
+
+	c.store(t, "operator", "/sys/tool", []byte("tool-v2"))
+	resp = mustOK(t, c.call("operator", 0, proto.OpVolClone,
+		proto.Marshal(proto.VolCloneArgs{Volume: vid, Path: "/sys-release"}), nil))
+	v2, _ := proto.Unmarshal(resp.Body, proto.DecodeVolStatusReply)
+	if v1.Volume == v2.Volume {
+		t.Fatal("re-release reused the volume id")
+	}
+
+	// The release path now serves v2.
+	got, _ := c.fetch(t, "satya", "/sys-release/tool")
+	if string(got) != "tool-v2" {
+		t.Fatalf("release path serves %q", got)
+	}
+	// The old clone volume still exists and still holds v1.
+	if _, ok := c.servers[0].Volume(v1.Volume); !ok {
+		t.Fatal("old release volume destroyed")
+	}
+	resp = mustOK(t, c.call("satya", 0, proto.OpFetch, proto.Marshal(proto.FetchArgs{
+		Ref: proto.Ref{FID: proto.FID{Volume: v1.Volume, Vnode: 2, Uniq: 2}},
+	}), nil))
+}

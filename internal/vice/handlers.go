@@ -1,0 +1,551 @@
+package vice
+
+import (
+	"fmt"
+
+	"itcfs/internal/prot"
+	"itcfs/internal/proto"
+	"itcfs/internal/rpc"
+	"itcfs/internal/unixfs"
+	"itcfs/internal/volume"
+)
+
+// registerHandlers wires every Vice operation into the dispatcher. Handlers
+// hold s.mu only across in-memory state transitions and never across
+// callback breaks or peer calls, so a handler worker never parks while
+// holding a lock.
+func (s *Server) registerHandlers() {
+	h := s.disp.Handle
+	h(rpc.Op(proto.OpFetch), s.handleFetch)
+	h(rpc.Op(proto.OpStore), s.handleStore)
+	h(rpc.Op(proto.OpFetchStatus), s.handleFetchStatus)
+	h(rpc.Op(proto.OpSetStatus), s.handleSetStatus)
+	h(rpc.Op(proto.OpTestValid), s.handleTestValid)
+	h(rpc.Op(proto.OpCreate), s.handleCreate)
+	h(rpc.Op(proto.OpMakeDir), s.handleMakeDir)
+	h(rpc.Op(proto.OpRemove), s.handleRemove)
+	h(rpc.Op(proto.OpRemoveDir), s.handleRemoveDir)
+	h(rpc.Op(proto.OpRename), s.handleRename)
+	h(rpc.Op(proto.OpSymlink), s.handleSymlink)
+	h(rpc.Op(proto.OpLink), s.handleLink)
+	h(rpc.Op(proto.OpSetACL), s.handleSetACL)
+	h(rpc.Op(proto.OpGetACL), s.handleGetACL)
+	h(rpc.Op(proto.OpSetLock), s.handleSetLock)
+	h(rpc.Op(proto.OpReleaseLock), s.handleReleaseLock)
+	h(rpc.Op(proto.OpGetCustodian), s.handleGetCustodian)
+	h(rpc.Op(proto.OpVolCreate), s.handleVolCreate)
+	h(rpc.Op(proto.OpVolClone), s.handleVolClone)
+	h(rpc.Op(proto.OpVolStatus), s.handleVolStatus)
+	h(rpc.Op(proto.OpVolSetQuota), s.handleVolSetQuota)
+	h(rpc.Op(proto.OpVolOffline), s.handleVolOnlineOffline(false))
+	h(rpc.Op(proto.OpVolOnline), s.handleVolOnlineOffline(true))
+	h(rpc.Op(proto.OpVolMove), s.handleVolMove)
+	h(rpc.Op(proto.OpVolSalvage), s.handleVolSalvage)
+	h(rpc.Op(proto.OpProtMutate), s.handleProtMutate)
+	h(rpc.Op(proto.OpProtSnapshot), s.handleProtSnapshot)
+	h(rpc.Op(proto.OpLocInstall), s.handleLocInstall)
+	h(rpc.Op(proto.OpVolInstall), s.handleVolInstall)
+	h(rpc.Op(proto.OpProtInstall), s.handleProtInstall)
+}
+
+// handleFetch serves a whole-file (or directory-listing) fetch. In revised
+// mode a successful fetch leaves a callback promise for the connection.
+func (s *Server) handleFetch(ctx rpc.Ctx, req rpc.Request) rpc.Response {
+	args, err := proto.Unmarshal(req.Body, proto.DecodeFetchArgs)
+	if err != nil {
+		return respErr(err)
+	}
+	v, fid, err := s.resolveRef(args.Ref, true)
+	if err != nil {
+		return respErr(err)
+	}
+	s.noteAccess(ctx.Peer, v.ID())
+	acl, err := v.GoverningACL(fid)
+	if err != nil {
+		return respErr(err)
+	}
+	data, vn, err := v.ReadData(fid)
+	if err != nil {
+		return respErr(err)
+	}
+	need := prot.RightRead
+	if vn.Status.Type == proto.TypeDir {
+		need = prot.RightLookup
+	}
+	if err := s.checkRights(ctx.User, acl, need); err != nil {
+		return respErr(err)
+	}
+	s.mu.Lock()
+	s.fetchBytes += int64(len(data))
+	s.mu.Unlock()
+	if s.cfg.Mode == Revised && !v.ReadOnly() {
+		// Read-only clones can never be invalid, so no promise is needed
+		// (caching from read-only subtrees is simplified, §3.2).
+		s.callbacks.Promise(fid, ctx.Back)
+	}
+	return rpc.Response{Body: proto.Marshal(vn.Status), Bulk: data}
+}
+
+// handleStore accepts a whole-file store on close. It breaks callbacks to
+// every other workstation caching the file before the reply, so "changes by
+// one user are immediately visible to all other users" (§3.2).
+func (s *Server) handleStore(ctx rpc.Ctx, req rpc.Request) rpc.Response {
+	args, err := proto.Unmarshal(req.Body, proto.DecodeStoreArgs)
+	if err != nil {
+		return respErr(err)
+	}
+	v, fid, err := s.resolveRef(args.Ref, true)
+	if err != nil {
+		return respErr(err)
+	}
+	s.noteAccess(ctx.Peer, v.ID())
+	acl, err := v.GoverningACL(fid)
+	if err != nil {
+		return respErr(err)
+	}
+	if err := s.checkRights(ctx.User, acl, prot.RightWrite); err != nil {
+		return respErr(err)
+	}
+	vn, err := v.Get(fid)
+	if err != nil {
+		return respErr(err)
+	}
+	if s.cfg.Mode == Revised && ctx.User != ServerUser && vn.Status.Mode&0o222 == 0 {
+		// Per-file protection bits (§5.1): a file with no write bits cannot
+		// be overwritten even by holders of directory write rights.
+		return respErr(fmt.Errorf("%w: file mode %04o forbids writing", proto.ErrAccess, vn.Status.Mode))
+	}
+	vn, err = v.WriteData(fid, req.Bulk)
+	if err != nil {
+		return respErr(err)
+	}
+	st := vn.Status // reply with the version this store produced
+	s.mu.Lock()
+	s.storeBytes += int64(len(req.Bulk))
+	s.mu.Unlock()
+	if s.cfg.Mode == Revised {
+		s.callbacks.Break(ctx.Proc, fid, args.Ref.Path, ctx.Back)
+		// The updater's cached copy is the current version — unless another
+		// store slipped in while we were breaking callbacks (Break parks
+		// this worker). Promise only if our version still stands; otherwise
+		// break the updater too, so no client is left believing a stale
+		// copy valid.
+		if cur, gerr := v.Get(fid); gerr == nil && cur.Status.Version == st.Version {
+			s.callbacks.Promise(fid, ctx.Back)
+		} else if ctx.Back != nil {
+			_, _ = ctx.Back.CallBack(ctx.Proc, rpc.Request{
+				Op:   rpc.Op(proto.OpCallbackBreak),
+				Body: proto.Marshal(proto.CallbackBreakArgs{FID: fid, Path: args.Ref.Path}),
+			})
+		}
+	}
+	return respStatus(st)
+}
+
+func (s *Server) handleFetchStatus(ctx rpc.Ctx, req rpc.Request) rpc.Response {
+	args, err := proto.Unmarshal(req.Body, proto.DecodeStatusArgs)
+	if err != nil {
+		return respErr(err)
+	}
+	v, fid, err := s.resolveRef(args.Ref, false)
+	if err != nil {
+		return respErr(err)
+	}
+	s.noteAccess(ctx.Peer, v.ID())
+	acl, err := v.GoverningACL(fid)
+	if err != nil {
+		return respErr(err)
+	}
+	if err := s.checkRights(ctx.User, acl, prot.RightLookup); err != nil {
+		return respErr(err)
+	}
+	vn, err := v.Get(fid)
+	if err != nil {
+		return respErr(err)
+	}
+	return respStatus(vn.Status)
+}
+
+func (s *Server) handleSetStatus(ctx rpc.Ctx, req rpc.Request) rpc.Response {
+	args, err := proto.Unmarshal(req.Body, proto.DecodeSetStatusArgs)
+	if err != nil {
+		return respErr(err)
+	}
+	v, fid, err := s.resolveRef(args.Ref, true)
+	if err != nil {
+		return respErr(err)
+	}
+	acl, err := v.GoverningACL(fid)
+	if err != nil {
+		return respErr(err)
+	}
+	if err := s.checkRights(ctx.User, acl, prot.RightWrite); err != nil {
+		return respErr(err)
+	}
+	if args.SetOwner && !s.isAdmin(ctx.User) {
+		return respErr(fmt.Errorf("%w: only operations staff may change owners", proto.ErrNotAllowed))
+	}
+	if args.SetMode {
+		if err := v.SetMode(fid, args.Mode); err != nil {
+			return respErr(err)
+		}
+	}
+	if args.SetOwner {
+		if err := v.SetOwner(fid, args.Owner); err != nil {
+			return respErr(err)
+		}
+	}
+	vn, err := v.Get(fid)
+	if err != nil {
+		return respErr(err)
+	}
+	if s.cfg.Mode == Revised {
+		s.callbacks.Break(ctx.Proc, fid, args.Ref.Path, ctx.Back)
+	}
+	return respStatus(vn.Status)
+}
+
+// handleTestValid is the prototype's cache-validity check: the call that
+// dominated the prototype server's workload (65% of all calls, §5.2).
+func (s *Server) handleTestValid(ctx rpc.Ctx, req rpc.Request) rpc.Response {
+	args, err := proto.Unmarshal(req.Body, proto.DecodeTestValidArgs)
+	if err != nil {
+		return respErr(err)
+	}
+	v, fid, err := s.resolveRef(args.Ref, true)
+	if err != nil {
+		return respErr(err)
+	}
+	s.noteAccess(ctx.Peer, v.ID())
+	vn, err := v.Get(fid)
+	if err != nil {
+		return respErr(err)
+	}
+	// Validation is the gate to a cached copy, so it enforces the same
+	// rights a fetch would: otherwise revocation (negative rights) would
+	// never catch up with workstations holding cached data.
+	acl, err := v.GoverningACL(fid)
+	if err != nil {
+		return respErr(err)
+	}
+	need := prot.RightRead
+	if vn.Status.Type == proto.TypeDir {
+		need = prot.RightLookup
+	}
+	if err := s.checkRights(ctx.User, acl, need); err != nil {
+		return respErr(err)
+	}
+	reply := proto.TestValidReply{
+		Valid:   vn.Status.Version == args.Version,
+		Version: vn.Status.Version,
+	}
+	return rpc.Response{Body: proto.Marshal(reply)}
+}
+
+func (s *Server) handleCreate(ctx rpc.Ctx, req rpc.Request) rpc.Response {
+	args, err := proto.Unmarshal(req.Body, proto.DecodeNameArgs)
+	if err != nil {
+		return respErr(err)
+	}
+	v, dir, err := s.resolveRef(args.Dir, true)
+	if err != nil {
+		return respErr(err)
+	}
+	acl, err := v.GetACL(dir)
+	if err != nil {
+		return respErr(err)
+	}
+	if err := s.checkRights(ctx.User, acl, prot.RightInsert); err != nil {
+		return respErr(err)
+	}
+	vn, err := v.Create(dir, args.Name, args.Mode, ctx.User)
+	if err != nil {
+		return respErr(err)
+	}
+	if s.cfg.Mode == Revised {
+		s.callbacks.Break(ctx.Proc, dir, args.Dir.Path, ctx.Back)
+		s.callbacks.Promise(vn.Status.FID, ctx.Back)
+	}
+	return respStatus(vn.Status)
+}
+
+func (s *Server) handleMakeDir(ctx rpc.Ctx, req rpc.Request) rpc.Response {
+	args, err := proto.Unmarshal(req.Body, proto.DecodeNameArgs)
+	if err != nil {
+		return respErr(err)
+	}
+	v, dir, err := s.resolveRef(args.Dir, true)
+	if err != nil {
+		return respErr(err)
+	}
+	acl, err := v.GetACL(dir)
+	if err != nil {
+		return respErr(err)
+	}
+	if err := s.checkRights(ctx.User, acl, prot.RightInsert); err != nil {
+		return respErr(err)
+	}
+	vn, err := v.MakeDir(dir, args.Name, args.Mode, ctx.User)
+	if err != nil {
+		return respErr(err)
+	}
+	if s.cfg.Mode == Revised {
+		s.callbacks.Break(ctx.Proc, dir, args.Dir.Path, ctx.Back)
+	}
+	return respStatus(vn.Status)
+}
+
+func (s *Server) handleRemove(ctx rpc.Ctx, req rpc.Request) rpc.Response {
+	return s.removeCommon(ctx, req, false)
+}
+
+func (s *Server) handleRemoveDir(ctx rpc.Ctx, req rpc.Request) rpc.Response {
+	return s.removeCommon(ctx, req, true)
+}
+
+func (s *Server) removeCommon(ctx rpc.Ctx, req rpc.Request, isDir bool) rpc.Response {
+	args, err := proto.Unmarshal(req.Body, proto.DecodeNameArgs)
+	if err != nil {
+		return respErr(err)
+	}
+	v, dir, err := s.resolveRef(args.Dir, true)
+	if err != nil {
+		return respErr(err)
+	}
+	acl, err := v.GetACL(dir)
+	if err != nil {
+		return respErr(err)
+	}
+	if err := s.checkRights(ctx.User, acl, prot.RightDelete); err != nil {
+		return respErr(err)
+	}
+	victim, lookupErr := v.Lookup(dir, args.Name)
+	if isDir {
+		err = v.RemoveDir(dir, args.Name)
+	} else {
+		err = v.Remove(dir, args.Name)
+	}
+	if err != nil {
+		return respErr(err)
+	}
+	if s.cfg.Mode == Revised {
+		s.callbacks.Break(ctx.Proc, dir, args.Dir.Path, ctx.Back)
+		if lookupErr == nil {
+			s.callbacks.Break(ctx.Proc, victim.FID, "", ctx.Back)
+		}
+	}
+	return rpc.Response{}
+}
+
+func (s *Server) handleRename(ctx rpc.Ctx, req rpc.Request) rpc.Response {
+	args, err := proto.Unmarshal(req.Body, proto.DecodeRenameArgs)
+	if err != nil {
+		return respErr(err)
+	}
+	v, from, err := s.resolveRef(args.FromDir, true)
+	if err != nil {
+		return respErr(err)
+	}
+	v2, to, err := s.resolveRef(args.ToDir, true)
+	if err != nil {
+		return respErr(err)
+	}
+	if v != v2 {
+		return respErr(fmt.Errorf("%w: rename across volumes", proto.ErrBadRequest))
+	}
+	fromACL, err := v.GetACL(from)
+	if err != nil {
+		return respErr(err)
+	}
+	toACL, err := v.GetACL(to)
+	if err != nil {
+		return respErr(err)
+	}
+	if err := s.checkRights(ctx.User, fromACL, prot.RightDelete); err != nil {
+		return respErr(err)
+	}
+	if err := s.checkRights(ctx.User, toACL, prot.RightInsert); err != nil {
+		return respErr(err)
+	}
+	if err := v.Rename(from, args.FromName, to, args.ToName); err != nil {
+		return respErr(err)
+	}
+	if s.cfg.Mode == Revised {
+		s.callbacks.Break(ctx.Proc, from, args.FromDir.Path, ctx.Back)
+		if from != to {
+			s.callbacks.Break(ctx.Proc, to, args.ToDir.Path, ctx.Back)
+		}
+	}
+	return rpc.Response{}
+}
+
+func (s *Server) handleSymlink(ctx rpc.Ctx, req rpc.Request) rpc.Response {
+	args, err := proto.Unmarshal(req.Body, proto.DecodeSymlinkArgs)
+	if err != nil {
+		return respErr(err)
+	}
+	v, dir, err := s.resolveRef(args.Dir, true)
+	if err != nil {
+		return respErr(err)
+	}
+	acl, err := v.GetACL(dir)
+	if err != nil {
+		return respErr(err)
+	}
+	if err := s.checkRights(ctx.User, acl, prot.RightInsert); err != nil {
+		return respErr(err)
+	}
+	vn, err := v.Symlink(dir, args.Name, args.Target)
+	if err != nil {
+		return respErr(err)
+	}
+	if s.cfg.Mode == Revised {
+		s.callbacks.Break(ctx.Proc, dir, args.Dir.Path, ctx.Back)
+	}
+	return respStatus(vn.Status)
+}
+
+func (s *Server) handleLink(ctx rpc.Ctx, req rpc.Request) rpc.Response {
+	args, err := proto.Unmarshal(req.Body, proto.DecodeLinkArgs)
+	if err != nil {
+		return respErr(err)
+	}
+	v, dir, err := s.resolveRef(args.Dir, true)
+	if err != nil {
+		return respErr(err)
+	}
+	vt, target, err := s.resolveRef(args.Target, true)
+	if err != nil {
+		return respErr(err)
+	}
+	if v != vt {
+		return respErr(fmt.Errorf("%w: hard link across volumes", proto.ErrBadRequest))
+	}
+	acl, err := v.GetACL(dir)
+	if err != nil {
+		return respErr(err)
+	}
+	if err := s.checkRights(ctx.User, acl, prot.RightInsert); err != nil {
+		return respErr(err)
+	}
+	if err := v.Link(dir, args.Name, target); err != nil {
+		return respErr(err)
+	}
+	if s.cfg.Mode == Revised {
+		s.callbacks.Break(ctx.Proc, dir, args.Dir.Path, ctx.Back)
+	}
+	return rpc.Response{}
+}
+
+func (s *Server) handleSetACL(ctx rpc.Ctx, req rpc.Request) rpc.Response {
+	args, err := proto.Unmarshal(req.Body, proto.DecodeACLArgs)
+	if err != nil {
+		return respErr(err)
+	}
+	newACL, err := proto.ACLDecode(args.ACL)
+	if err != nil {
+		return respErr(err)
+	}
+	v, dir, err := s.resolveRef(args.Dir, true)
+	if err != nil {
+		return respErr(err)
+	}
+	acl, err := v.GetACL(dir)
+	if err != nil {
+		return respErr(err)
+	}
+	if err := s.checkRights(ctx.User, acl, prot.RightAdmin); err != nil {
+		return respErr(err)
+	}
+	if err := v.SetACL(dir, newACL); err != nil {
+		return respErr(err)
+	}
+	if s.cfg.Mode == Revised {
+		s.callbacks.Break(ctx.Proc, dir, args.Dir.Path, ctx.Back)
+	}
+	return rpc.Response{}
+}
+
+func (s *Server) handleGetACL(ctx rpc.Ctx, req rpc.Request) rpc.Response {
+	args, err := proto.Unmarshal(req.Body, proto.DecodeACLArgs)
+	if err != nil {
+		return respErr(err)
+	}
+	v, dir, err := s.resolveRef(args.Dir, true)
+	if err != nil {
+		return respErr(err)
+	}
+	acl, err := v.GetACL(dir)
+	if err != nil {
+		return respErr(err)
+	}
+	if err := s.checkRights(ctx.User, acl, prot.RightLookup); err != nil {
+		return respErr(err)
+	}
+	return rpc.Response{Body: proto.ACLEncode(acl)}
+}
+
+func (s *Server) handleSetLock(ctx rpc.Ctx, req rpc.Request) rpc.Response {
+	args, err := proto.Unmarshal(req.Body, proto.DecodeLockArgs)
+	if err != nil {
+		return respErr(err)
+	}
+	v, fid, err := s.resolveRef(args.Ref, true)
+	if err != nil {
+		return respErr(err)
+	}
+	acl, err := v.GoverningACL(fid)
+	if err != nil {
+		return respErr(err)
+	}
+	if err := s.checkRights(ctx.User, acl, prot.RightLock); err != nil {
+		return respErr(err)
+	}
+	if err := s.locks.Lock(fid, ctx.User, args.Exclusive); err != nil {
+		return respErr(err)
+	}
+	return rpc.Response{}
+}
+
+func (s *Server) handleReleaseLock(ctx rpc.Ctx, req rpc.Request) rpc.Response {
+	args, err := proto.Unmarshal(req.Body, proto.DecodeLockArgs)
+	if err != nil {
+		return respErr(err)
+	}
+	_, fid, err := s.resolveRef(args.Ref, true)
+	if err != nil {
+		return respErr(err)
+	}
+	if err := s.locks.Unlock(fid, ctx.User); err != nil {
+		return respErr(err)
+	}
+	return rpc.Response{}
+}
+
+// handleGetCustodian answers location queries from workstations. Any server
+// can answer any query: the location database is replicated everywhere.
+func (s *Server) handleGetCustodian(ctx rpc.Ctx, req rpc.Request) rpc.Response {
+	args, err := proto.Unmarshal(req.Body, proto.DecodeCustodianArgs)
+	if err != nil {
+		return respErr(err)
+	}
+	le, ok := s.cfg.Loc.Resolve(args.Path)
+	if !ok {
+		return respErr(fmt.Errorf("%w: no volume covers %s", proto.ErrNoEnt, args.Path))
+	}
+	reply := proto.CustodianReply{
+		Prefix:    le.Prefix,
+		Volume:    le.Volume,
+		Custodian: le.Custodian,
+		Replicas:  le.Replicas,
+	}
+	return rpc.Response{Body: proto.Marshal(reply)}
+}
+
+// dirOfPath returns the parent path and leaf name for mount placement.
+func dirOfPath(path string) (string, string) {
+	return unixfs.Dir(path), unixfs.Base(path)
+}
+
+// ensure volume import is used even if handlers evolve.
+var _ = volume.RootVnode

@@ -1,0 +1,378 @@
+package vice
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"itcfs/internal/prot"
+	"itcfs/internal/proto"
+	"itcfs/internal/rpc"
+	"itcfs/internal/sim"
+	"itcfs/internal/unixfs"
+	"itcfs/internal/volume"
+)
+
+// Mode selects which of the paper's two implementations the server (and the
+// Venus clients talking to it) behaves as.
+type Mode int
+
+// Modes.
+const (
+	// Prototype: workstations present entire pathnames and validate cached
+	// copies on every open; servers walk paths and keep no callback state.
+	Prototype Mode = iota
+	// Revised: fixed-length FIDs, client-side pathname traversal against
+	// cached directories, and callback-based cache invalidation.
+	Revised
+)
+
+func (m Mode) String() string {
+	if m == Prototype {
+		return "prototype"
+	}
+	return "revised"
+}
+
+// ServerUser is the identity servers use with each other. It is inside the
+// boundary of trustworthiness: requests authenticated as ServerUser bypass
+// access lists.
+const ServerUser = "System:Server"
+
+// AdminGroup is the operations-staff group; members may administer volumes
+// and the protection database.
+const AdminGroup = "System:Administrators"
+
+// Caller abstracts an outbound authenticated connection to a peer server
+// (both rpc.SimConn and rpc.Peer satisfy it).
+type Caller interface {
+	Call(p *sim.Proc, req rpc.Request) (rpc.Response, error)
+}
+
+// Config assembles a server's dependencies.
+type Config struct {
+	Name  string
+	Mode  Mode
+	DB    *prot.DB // this server's replica of the protection database
+	Loc   *LocDB   // this server's replica of the location database
+	Clock volume.Clock
+	// ProtAuthority marks the server hosting the protection server role;
+	// only it accepts OpProtMutate, pushing the mutation to every replica.
+	ProtAuthority bool
+	// AllocVolID issues cell-wide unique volume IDs.
+	AllocVolID func() uint32
+	// MaxWalkDepth bounds symlink-following during server-side walks.
+	MaxWalkDepth int
+}
+
+// Server is one Vice cluster server.
+type Server struct {
+	cfg Config
+
+	mu    sync.Mutex
+	vols  map[uint32]*volume.Volume
+	peers map[string]Caller
+
+	locks     *LockTable
+	callbacks *CallbackTable
+	disp      *rpc.Server
+
+	// Traffic counters for the evaluation harness.
+	fetchBytes     int64
+	storeBytes     int64
+	walkComponents int64 // pathname components walked server-side (prototype cost)
+	// volAccess counts hot-path operations per volume per requesting node,
+	// the raw data for the monitoring tools of §3.6 (recognizing long-term
+	// access patterns and recommending custodian reassignment).
+	volAccess map[uint32]map[string]int64
+}
+
+// New creates a server. Register its Dispatcher with an rpc transport to
+// serve clients.
+func New(cfg Config) *Server {
+	if cfg.Clock == nil {
+		cfg.Clock = func() int64 { return 0 }
+	}
+	if cfg.MaxWalkDepth == 0 {
+		cfg.MaxWalkDepth = 16
+	}
+	if cfg.Loc == nil {
+		cfg.Loc = NewLocDB()
+	}
+	if cfg.DB == nil {
+		cfg.DB = prot.NewDB()
+	}
+	s := &Server{
+		cfg:       cfg,
+		vols:      make(map[uint32]*volume.Volume),
+		peers:     make(map[string]Caller),
+		locks:     NewLockTable(),
+		callbacks: NewCallbackTable(),
+		disp:      rpc.NewServer(),
+		volAccess: make(map[uint32]map[string]int64),
+	}
+	s.registerHandlers()
+	return s
+}
+
+// Name returns the server's name.
+func (s *Server) Name() string { return s.cfg.Name }
+
+// Mode returns the implementation mode.
+func (s *Server) Mode() Mode { return s.cfg.Mode }
+
+// DB returns the protection-database replica (it doubles as the key lookup
+// for the authentication handshake).
+func (s *Server) DB() *prot.DB { return s.cfg.DB }
+
+// Loc returns the location-database replica.
+func (s *Server) Loc() *LocDB { return s.cfg.Loc }
+
+// Locks returns the advisory lock table.
+func (s *Server) Locks() *LockTable { return s.locks }
+
+// Callbacks returns the callback table (revised mode).
+func (s *Server) Callbacks() *CallbackTable { return s.callbacks }
+
+// Dispatcher returns the rpc handler set to attach to a transport.
+func (s *Server) Dispatcher() *rpc.Server { return s.disp }
+
+// AddPeer registers an authenticated connection to another server.
+func (s *Server) AddPeer(name string, c Caller) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.peers[name] = c
+}
+
+// AddVolume installs a volume on this server (bootstrap and tests).
+func (s *Server) AddVolume(v *volume.Volume) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vols[v.ID()] = v
+}
+
+// Volume returns a locally stored volume.
+func (s *Server) Volume(id uint32) (*volume.Volume, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.vols[id]
+	return v, ok
+}
+
+// VolumeIDs lists the volumes stored here.
+func (s *Server) VolumeIDs() []uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint32, 0, len(s.vols))
+	for id := range s.vols {
+		out = append(out, id)
+	}
+	return out
+}
+
+// TrafficStats reports bytes served and stored, and pathname components
+// walked server-side.
+func (s *Server) TrafficStats() (fetchBytes, storeBytes, walked int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fetchBytes, s.storeBytes, s.walkComponents
+}
+
+// noteAccess records one hot-path operation on vol by the named peer node.
+func (s *Server) noteAccess(peer string, vol uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.volAccess[vol]
+	if m == nil {
+		m = make(map[string]int64)
+		s.volAccess[vol] = m
+	}
+	m[peer]++
+}
+
+// AccessStats returns a copy of the per-volume, per-node operation counts.
+func (s *Server) AccessStats() map[uint32]map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[uint32]map[string]int64, len(s.volAccess))
+	for vol, m := range s.volAccess {
+		cp := make(map[string]int64, len(m))
+		for peer, n := range m {
+			cp[peer] = n
+		}
+		out[vol] = cp
+	}
+	return out
+}
+
+// ResetAccessStats clears the per-volume counters (between observation
+// windows).
+func (s *Server) ResetAccessStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.volAccess = make(map[uint32]map[string]int64)
+}
+
+// SalvageAll runs crash recovery on every local volume.
+func (s *Server) SalvageAll() map[uint32]volume.SalvageReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[uint32]volume.SalvageReport, len(s.vols))
+	for id, v := range s.vols {
+		out[id] = v.Salvage()
+	}
+	return out
+}
+
+// cps computes the caller's protection subdomain.
+func (s *Server) cps(user string) []string { return s.cfg.DB.CPS(user) }
+
+// isAdmin reports whether the caller may administer volumes and protection.
+func (s *Server) isAdmin(user string) bool {
+	if user == ServerUser {
+		return true
+	}
+	for _, n := range s.cps(user) {
+		if n == AdminGroup {
+			return true
+		}
+	}
+	return false
+}
+
+// checkRights enforces an access list. Peer servers and operations staff
+// (the AdminGroup) hold implicit rights on every object, as the
+// administrators who physically control Vice necessarily do.
+func (s *Server) checkRights(user string, acl prot.ACL, want prot.Right) error {
+	if user == ServerUser {
+		return nil
+	}
+	cps := s.cps(user)
+	if acl.Check(cps, want) {
+		return nil
+	}
+	for _, n := range cps {
+		if n == AdminGroup {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: need %v", proto.ErrAccess, want)
+}
+
+// resolveFID locates the volume for a FID, returning WrongServer with the
+// custodian hint when the volume lives elsewhere.
+func (s *Server) resolveFID(fid proto.FID) (*volume.Volume, error) {
+	s.mu.Lock()
+	v, ok := s.vols[fid.Volume]
+	s.mu.Unlock()
+	if ok {
+		return v, nil
+	}
+	if le, ok := s.cfg.Loc.ResolveVolume(fid.Volume); ok {
+		return nil, &proto.WrongServer{Custodian: le.Custodian}
+	}
+	return nil, fmt.Errorf("%w: volume %d", proto.ErrStale, fid.Volume)
+}
+
+// resolvePath walks an entire pathname server-side (prototype mode, §3.5).
+// It resolves the longest location-database prefix, walks the remaining
+// components inside that volume, follows symlinks (restarting resolution,
+// since a link may lead anywhere in the shared space), and returns the
+// volume and FID reached. followLast selects whether a final symlink is
+// followed.
+func (s *Server) resolvePath(path string, followLast bool) (*volume.Volume, proto.FID, error) {
+	return s.walkPath(path, followLast, 0)
+}
+
+func (s *Server) walkPath(path string, followLast bool, depth int) (*volume.Volume, proto.FID, error) {
+	if depth > s.cfg.MaxWalkDepth {
+		return nil, proto.FID{}, fmt.Errorf("%w: %s", proto.ErrLoop, path)
+	}
+	if path == "" || path[0] != '/' {
+		// Clean would coerce a malformed path to "/"; a hostile client
+		// must not reach the root that way.
+		return nil, proto.FID{}, fmt.Errorf("%w: path %q not absolute", proto.ErrBadRequest, path)
+	}
+	path = unixfs.Clean(path)
+	le, ok := s.cfg.Loc.Resolve(path)
+	if !ok {
+		return nil, proto.FID{}, fmt.Errorf("%w: no volume covers %s", proto.ErrNoEnt, path)
+	}
+	s.mu.Lock()
+	v, local := s.vols[le.Volume]
+	s.mu.Unlock()
+	if !local {
+		return nil, proto.FID{}, &proto.WrongServer{Custodian: le.Custodian}
+	}
+	cur := v.Root()
+	components := PathWithin(le, path)
+	prefix := le.Prefix
+	for i, comp := range components {
+		s.mu.Lock()
+		s.walkComponents++
+		s.mu.Unlock()
+		de, err := v.Lookup(cur, comp)
+		if err != nil {
+			return nil, proto.FID{}, fmt.Errorf("%s: %w", path, err)
+		}
+		last := i == len(components)-1
+		if de.FID.Volume != v.ID() {
+			// A mount point: the remainder lives in another volume, whose
+			// prefix the location database already covers. Restart there.
+			return s.walkPath(path, followLast, depth+1)
+		}
+		vn, err := v.Get(de.FID)
+		if err != nil {
+			return nil, proto.FID{}, err
+		}
+		if vn.Status.Type == proto.TypeSymlink && (!last || followLast) {
+			target := vn.Status.Target
+			if len(target) == 0 || target[0] != '/' {
+				target = unixfs.Join(prefix, join(components[:i]), target)
+			}
+			rest := join(components[i+1:])
+			return s.walkPath(unixfs.Join(target, rest), followLast, depth+1)
+		}
+		cur = de.FID
+	}
+	return v, cur, nil
+}
+
+func join(parts []string) string {
+	out := ""
+	for _, p := range parts {
+		out += "/" + p
+	}
+	return out
+}
+
+// resolveRef resolves either addressing mode. Prototype-mode requests carry
+// paths; revised-mode requests carry FIDs (after Venus has walked cached
+// directories itself).
+func (s *Server) resolveRef(ref proto.Ref, followLast bool) (*volume.Volume, proto.FID, error) {
+	if ref.ByFID() {
+		v, err := s.resolveFID(ref.FID)
+		if err != nil {
+			return nil, proto.FID{}, err
+		}
+		return v, ref.FID, nil
+	}
+	if ref.Path == "" {
+		return nil, proto.FID{}, fmt.Errorf("%w: empty ref", proto.ErrBadRequest)
+	}
+	return s.resolvePath(ref.Path, followLast)
+}
+
+// respErr converts an error to an rpc.Response, attaching the custodian
+// hint for WrongServer.
+func respErr(err error) rpc.Response {
+	var ws *proto.WrongServer
+	if errors.As(err, &ws) {
+		return rpc.Response{Code: proto.CodeWrongServer, Body: []byte(ws.Custodian)}
+	}
+	return rpc.Response{Code: proto.ErrToCode(err), Body: []byte(err.Error())}
+}
+
+func respStatus(st proto.Status) rpc.Response {
+	return rpc.Response{Body: proto.Marshal(st)}
+}

@@ -1,0 +1,186 @@
+package virtue
+
+import (
+	"io"
+	iofs "io/fs"
+	"time"
+
+	"itcfs/internal/sim"
+	"itcfs/internal/unixfs"
+	"itcfs/internal/venus"
+)
+
+// IOFS adapts the workstation view to Go's io/fs.FS, so standard tooling —
+// fs.WalkDir, fs.ReadFile, fs.Glob — operates over the combined local and
+// shared name spaces. The adapter is bound to a simulated process (nil
+// outside the simulator) and rooted at a workstation path: IOFS(p, "/vice")
+// walks the shared space.
+func (fs *FS) IOFS(p *sim.Proc, root string) iofs.FS {
+	return &ioFS{fs: fs, p: p, root: unixfs.Clean(root)}
+}
+
+type ioFS struct {
+	fs   *FS
+	p    *sim.Proc
+	root string
+}
+
+func (f *ioFS) abs(name string) (string, error) {
+	if !iofs.ValidPath(name) {
+		return "", &iofs.PathError{Op: "open", Path: name, Err: iofs.ErrInvalid}
+	}
+	if name == "." {
+		return f.root, nil
+	}
+	return unixfs.Join(f.root, name), nil
+}
+
+// Open implements fs.FS.
+func (f *ioFS) Open(name string) (iofs.File, error) {
+	path, err := f.abs(name)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.fs.Stat(f.p, path)
+	if err != nil {
+		return nil, &iofs.PathError{Op: "open", Path: name, Err: mapErr(err)}
+	}
+	if st.IsDir {
+		return &ioDir{fs: f, name: name, path: path, info: st}, nil
+	}
+	file, err := f.fs.Open(f.p, path, venus.FlagRead)
+	if err != nil {
+		return nil, &iofs.PathError{Op: "open", Path: name, Err: mapErr(err)}
+	}
+	return &ioFile{fs: f, f: file, name: name, info: st}, nil
+}
+
+// ReadDir implements fs.ReadDirFS.
+func (f *ioFS) ReadDir(name string) ([]iofs.DirEntry, error) {
+	path, err := f.abs(name)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := f.fs.ReadDir(f.p, path)
+	if err != nil {
+		return nil, &iofs.PathError{Op: "readdir", Path: name, Err: mapErr(err)}
+	}
+	out := make([]iofs.DirEntry, len(entries))
+	for i, e := range entries {
+		out[i] = &ioDirEntry{fs: f, parent: path, e: e}
+	}
+	return out, nil
+}
+
+func mapErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	}
+	return err
+}
+
+// ioFile is an open regular file.
+type ioFile struct {
+	fs   *ioFS
+	f    *File
+	name string
+	info Stat
+}
+
+func (x *ioFile) Stat() (iofs.FileInfo, error) { return fileInfo{x.info}, nil }
+func (x *ioFile) Read(b []byte) (int, error) {
+	n, err := x.f.Read(b)
+	if err != nil {
+		return n, err
+	}
+	if n == 0 && len(b) > 0 {
+		return 0, io.EOF
+	}
+	return n, nil
+}
+func (x *ioFile) Close() error { return x.f.Close(x.fs.p) }
+
+// ioDir is an open directory.
+type ioDir struct {
+	fs      *ioFS
+	name    string
+	path    string
+	info    Stat
+	entries []iofs.DirEntry
+	off     int
+}
+
+func (d *ioDir) Stat() (iofs.FileInfo, error) { return fileInfo{d.info}, nil }
+func (d *ioDir) Read([]byte) (int, error) {
+	return 0, &iofs.PathError{Op: "read", Path: d.name, Err: iofs.ErrInvalid}
+}
+func (d *ioDir) Close() error { return nil }
+
+// ReadDir implements fs.ReadDirFile.
+func (d *ioDir) ReadDir(n int) ([]iofs.DirEntry, error) {
+	if d.entries == nil {
+		entries, err := d.fs.fs.ReadDir(d.fs.p, d.path)
+		if err != nil {
+			return nil, err
+		}
+		d.entries = make([]iofs.DirEntry, len(entries))
+		for i, e := range entries {
+			d.entries[i] = &ioDirEntry{fs: d.fs, parent: d.path, e: e}
+		}
+	}
+	if n <= 0 {
+		out := d.entries[d.off:]
+		d.off = len(d.entries)
+		return out, nil
+	}
+	if d.off >= len(d.entries) {
+		return nil, io.EOF
+	}
+	end := d.off + n
+	if end > len(d.entries) {
+		end = len(d.entries)
+	}
+	out := d.entries[d.off:end]
+	d.off = end
+	return out, nil
+}
+
+// ioDirEntry is one listing entry, stat-ed lazily.
+type ioDirEntry struct {
+	fs     *ioFS
+	parent string
+	e      DirEntry
+}
+
+func (de *ioDirEntry) Name() string { return de.e.Name }
+func (de *ioDirEntry) IsDir() bool  { return de.e.IsDir }
+func (de *ioDirEntry) Type() iofs.FileMode {
+	if de.e.IsDir {
+		return iofs.ModeDir
+	}
+	return 0
+}
+func (de *ioDirEntry) Info() (iofs.FileInfo, error) {
+	st, err := de.fs.fs.Stat(de.fs.p, unixfs.Join(de.parent, de.e.Name))
+	if err != nil {
+		return nil, err
+	}
+	return fileInfo{st}, nil
+}
+
+// fileInfo adapts virtue.Stat to fs.FileInfo.
+type fileInfo struct{ st Stat }
+
+func (fi fileInfo) Name() string { return fi.st.Name }
+func (fi fileInfo) Size() int64  { return fi.st.Size }
+func (fi fileInfo) Mode() iofs.FileMode {
+	m := iofs.FileMode(fi.st.Mode & 0o777)
+	if fi.st.IsDir {
+		m |= iofs.ModeDir
+	}
+	return m
+}
+func (fi fileInfo) ModTime() time.Time { return time.Time{} }
+func (fi fileInfo) IsDir() bool        { return fi.st.IsDir }
+func (fi fileInfo) Sys() interface{}   { return nil }

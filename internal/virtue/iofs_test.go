@@ -1,0 +1,106 @@
+package virtue
+
+import (
+	iofs "io/fs"
+	"sort"
+	"testing"
+	"testing/fstest"
+
+	"itcfs/internal/vice"
+)
+
+func buildTree(t *testing.T, fs *FS) {
+	t.Helper()
+	for _, d := range []string{"/vice/docs", "/vice/docs/sub"} {
+		if err := fs.Mkdir(nil, d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files := map[string]string{
+		"/vice/docs/readme.txt":   "hello io/fs",
+		"/vice/docs/sub/deep.txt": "deep contents",
+		"/vice/top.txt":           "top",
+	}
+	for path, contents := range files {
+		if err := fs.WriteFile(nil, path, []byte(contents)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestIOFSWalkAndRead(t *testing.T) {
+	fs, _ := rig(t, vice.Revised)
+	buildTree(t, fs)
+	ifs := fs.IOFS(nil, "/vice")
+
+	var visited []string
+	err := iofs.WalkDir(ifs, ".", func(path string, d iofs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		visited = append(visited, path)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(visited)
+	want := []string{".", "docs", "docs/readme.txt", "docs/sub", "docs/sub/deep.txt", "top.txt"}
+	if len(visited) != len(want) {
+		t.Fatalf("visited %v", visited)
+	}
+	for i := range want {
+		if visited[i] != want[i] {
+			t.Fatalf("visited %v, want %v", visited, want)
+		}
+	}
+
+	data, err := iofs.ReadFile(ifs, "docs/sub/deep.txt")
+	if err != nil || string(data) != "deep contents" {
+		t.Fatalf("ReadFile: %q %v", data, err)
+	}
+	matches, err := iofs.Glob(ifs, "docs/*.txt")
+	if err != nil || len(matches) != 1 || matches[0] != "docs/readme.txt" {
+		t.Fatalf("Glob: %v %v", matches, err)
+	}
+}
+
+func TestIOFSConformance(t *testing.T) {
+	fs, _ := rig(t, vice.Prototype)
+	buildTree(t, fs)
+	ifs := fs.IOFS(nil, "/vice")
+	if err := fstest.TestFS(ifs, "docs/readme.txt", "docs/sub/deep.txt", "top.txt"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIOFSInvalidPaths(t *testing.T) {
+	fs, _ := rig(t, vice.Prototype)
+	ifs := fs.IOFS(nil, "/vice")
+	for _, bad := range []string{"/abs", "../escape", "a//b", ""} {
+		if _, err := ifs.Open(bad); err == nil {
+			t.Errorf("Open(%q) succeeded", bad)
+		}
+	}
+	if _, err := ifs.Open("missing.txt"); err == nil {
+		t.Error("Open of missing file succeeded")
+	}
+}
+
+func TestIOFSStatInfo(t *testing.T) {
+	fs, _ := rig(t, vice.Revised)
+	buildTree(t, fs)
+	ifs := fs.IOFS(nil, "/vice")
+	f, err := ifs.Open("docs/readme.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Name() != "readme.txt" || fi.Size() != int64(len("hello io/fs")) || fi.IsDir() {
+		t.Fatalf("info = %v %d %v", fi.Name(), fi.Size(), fi.IsDir())
+	}
+}

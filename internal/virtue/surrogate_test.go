@@ -1,0 +1,133 @@
+package virtue
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"itcfs/internal/baseline"
+	"itcfs/internal/proto"
+	"itcfs/internal/rpc"
+	"itcfs/internal/sim"
+	"itcfs/internal/vice"
+)
+
+// surrogateConn dispatches page-protocol calls into a Surrogate, playing
+// the part of the low-function client's network attachment.
+type surrogateConn struct{ s *Surrogate }
+
+func (c surrogateConn) Call(p *sim.Proc, req rpc.Request) (rpc.Response, error) {
+	return c.s.Dispatcher().Dispatch(rpc.Ctx{User: "pc", Proc: p}, req), nil
+}
+
+func TestSurrogateGivesPCAccessToVice(t *testing.T) {
+	fs, srv := rig(t, vice.Revised)
+	sur := NewSurrogate(fs)
+	pc := baseline.NewClient(surrogateConn{sur})
+
+	// The PC writes into the shared name space through the surrogate.
+	data := bytes.Repeat([]byte("pc data "), 1024) // ~8 KB, several pages
+	if err := pc.WriteFile(nil, "/vice/report.doc", data); err != nil {
+		t.Fatal(err)
+	}
+	// The write reached Vice: the server stored it.
+	_, stored, _ := srv.TrafficStats()
+	if stored == 0 {
+		t.Fatal("PC write never reached Vice")
+	}
+	// And reads back page by page.
+	got, err := pc.ReadFile(nil, "/vice/report.doc")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("PC read back %d bytes, %v", len(got), err)
+	}
+	opens, reads, writes := sur.OpCounts()
+	if opens != 2 || reads < 2 || writes < 2 {
+		t.Fatalf("surrogate counts: opens=%d reads=%d writes=%d", opens, reads, writes)
+	}
+}
+
+func TestSurrogateSharesViceWithWorkstations(t *testing.T) {
+	fs, _ := rig(t, vice.Prototype)
+	sur := NewSurrogate(fs)
+	pc := baseline.NewClient(surrogateConn{sur})
+
+	// A normal Virtue application writes a file; the PC sees it.
+	if err := fs.WriteFile(nil, "/vice/shared.txt", []byte("from virtue")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pc.ReadFile(nil, "/vice/shared.txt")
+	if err != nil || string(got) != "from virtue" {
+		t.Fatalf("PC read: %q %v", got, err)
+	}
+	// The PC updates it; the store-on-close happens at the PC's Close, and
+	// the Virtue side sees the new contents.
+	if err := pc.WriteFile(nil, "/vice/shared.txt", []byte("from the PC")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile(nil, "/vice/shared.txt")
+	if err != nil || string(data) != "from the PC" {
+		t.Fatalf("virtue read after PC write: %q %v", data, err)
+	}
+}
+
+func TestSurrogateServesLocalFilesToo(t *testing.T) {
+	fs, _ := rig(t, vice.Prototype)
+	fs.Local().MkdirAll("/tmp", 0o777, "pc")
+	sur := NewSurrogate(fs)
+	pc := baseline.NewClient(surrogateConn{sur})
+	if err := pc.WriteFile(nil, "/tmp/scratch", []byte("local via surrogate")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Local().ReadFile("/tmp/scratch")
+	if err != nil || string(got) != "local via surrogate" {
+		t.Fatalf("local file: %q %v", got, err)
+	}
+}
+
+func TestSurrogateMissingFile(t *testing.T) {
+	fs, _ := rig(t, vice.Prototype)
+	pc := baseline.NewClient(surrogateConn{NewSurrogate(fs)})
+	if _, err := pc.Open(nil, "/vice/nope", false); !errors.Is(err, proto.ErrNoEnt) {
+		t.Fatalf("err = %v, want ErrNoEnt", err)
+	}
+}
+
+func TestSurrogateStaleFD(t *testing.T) {
+	fs, _ := rig(t, vice.Prototype)
+	pc := baseline.NewClient(surrogateConn{NewSurrogate(fs)})
+	if err := pc.WriteFile(nil, "/vice/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	f, err := pc.Open(nil, "/vice/f", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := f.ReadAt(nil, buf, 0); !errors.Is(err, proto.ErrStale) {
+		t.Fatalf("err = %v, want ErrStale", err)
+	}
+	// Double close reports staleness too.
+	if err := f.Close(nil); !errors.Is(err, proto.ErrStale) {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestSurrogateReadOnlyFallback(t *testing.T) {
+	// A file whose mode forbids writing still opens for reading through
+	// the surrogate (revised-mode per-file bits).
+	fs, _ := rig(t, vice.Revised)
+	if err := fs.WriteFile(nil, "/vice/ro", []byte("read me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Chmod(nil, "/vice/ro", 0o444); err != nil {
+		t.Fatal(err)
+	}
+	pc := baseline.NewClient(surrogateConn{NewSurrogate(fs)})
+	got, err := pc.ReadFile(nil, "/vice/ro")
+	if err != nil || string(got) != "read me" {
+		t.Fatalf("read-only open: %q %v", got, err)
+	}
+}

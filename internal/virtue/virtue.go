@@ -1,0 +1,458 @@
+// Package virtue implements the workstation file-system layer of §3.1 and
+// Figure 3-2: a Unix-style interface over two name spaces. The local name
+// space (the workstation's root file system) holds boot files, temporaries
+// and private data; everything under the mount point (conventionally
+// "/vice") is the shared name space, served by Venus from its whole-file
+// cache. Symbolic links in the local space may point into "/vice" — that is
+// how "/bin" on a Sun resolves to "/vice/unix/sun/bin" while the same name
+// on a Vax resolves to "/vice/unix/vax/bin".
+//
+// Application programs see one hierarchical file system; whether a file is
+// local or shared changes performance, never semantics (§3.2).
+package virtue
+
+import (
+	"fmt"
+	"strings"
+
+	"itcfs/internal/proto"
+	"itcfs/internal/sim"
+	"itcfs/internal/unixfs"
+	"itcfs/internal/venus"
+)
+
+// MountPoint is the conventional root of the shared name space.
+const MountPoint = "/vice"
+
+// Open flags, re-exported from Venus so applications import only virtue.
+const (
+	FlagRead   = venus.FlagRead
+	FlagWrite  = venus.FlagWrite
+	FlagCreate = venus.FlagCreate
+	FlagTrunc  = venus.FlagTrunc
+)
+
+// DirEntry is one name in a directory listing.
+type DirEntry struct {
+	Name  string
+	IsDir bool
+}
+
+// Stat describes a file in either name space.
+type Stat struct {
+	Name    string
+	Size    int64
+	IsDir   bool
+	Mode    uint16
+	Owner   string
+	Version uint64
+	Shared  bool // true when the file lives in Vice
+}
+
+// FS is one workstation's file system view.
+type FS struct {
+	local *unixfs.FS
+	venus *venus.Venus
+	mount string
+	// maxLinkDepth bounds local->vice symlink expansion.
+	maxLinkDepth int
+}
+
+// New assembles the workstation view from a local file system and a Venus.
+func New(local *unixfs.FS, v *venus.Venus) *FS {
+	return &FS{local: local, venus: v, mount: MountPoint, maxLinkDepth: 16}
+}
+
+// Local exposes the local file system (boot scripts, tests).
+func (fs *FS) Local() *unixfs.FS { return fs.local }
+
+// Venus exposes the cache manager (stats, login).
+func (fs *FS) Venus() *venus.Venus { return fs.venus }
+
+// Login authenticates the workstation's user to Vice.
+func (fs *FS) Login(user string) { fs.venus.Login(user) }
+
+// target is the result of resolving a workstation path: either a path in
+// the shared space (shared=true, path relative to the Vice root) or a local
+// path.
+type target struct {
+	shared bool
+	path   string
+}
+
+// resolve walks path at the Virtue level: component by component through
+// the local space, expanding symbolic links, and diverting into the shared
+// space the moment the walk enters the mount point. followLast controls
+// whether a symlink in the final component is expanded.
+func (fs *FS) resolve(path string, followLast bool) (target, error) {
+	return fs.resolveDepth(path, followLast, 0)
+}
+
+func (fs *FS) resolveDepth(path string, followLast bool, depth int) (target, error) {
+	if depth > fs.maxLinkDepth {
+		return target{}, fmt.Errorf("%w: %s", unixfs.ErrLoop, path)
+	}
+	path = unixfs.Clean(path)
+	if vicePath, ok := fs.underMount(path); ok {
+		return target{shared: true, path: vicePath}, nil
+	}
+	// Walk local components looking for a symlink that crosses into /vice
+	// or elsewhere.
+	parts := strings.Split(strings.TrimPrefix(path, "/"), "/")
+	prefix := ""
+	for i, comp := range parts {
+		if comp == "" {
+			continue
+		}
+		prefix = prefix + "/" + comp
+		last := i == len(parts)-1
+		st, err := fs.local.Lstat(prefix)
+		if err != nil {
+			// Leaf may legitimately not exist (create); interior must.
+			if last {
+				return target{shared: false, path: path}, nil
+			}
+			return target{}, err
+		}
+		if st.Type == unixfs.TypeSymlink && (!last || followLast) {
+			tgt := st.Target
+			if !strings.HasPrefix(tgt, "/") {
+				tgt = unixfs.Join(unixfs.Dir(prefix), tgt)
+			}
+			rest := strings.Join(parts[i+1:], "/")
+			return fs.resolveDepth(unixfs.Join(tgt, rest), followLast, depth+1)
+		}
+	}
+	return target{shared: false, path: path}, nil
+}
+
+// underMount reports whether path is inside the shared name space,
+// returning the Vice-relative remainder.
+func (fs *FS) underMount(path string) (string, bool) {
+	if path == fs.mount {
+		return "/", true
+	}
+	if strings.HasPrefix(path, fs.mount+"/") {
+		return path[len(fs.mount):], true
+	}
+	return "", false
+}
+
+// File is an open file in either name space.
+type File struct {
+	fs     *FS
+	vh     *venus.Handle // shared files
+	lpath  string        // local files
+	flags  venus.OpenFlag
+	offset int64
+	closed bool
+}
+
+// Open opens path with the given flags.
+func (fs *FS) Open(p *sim.Proc, path string, flags venus.OpenFlag) (*File, error) {
+	tgt, err := fs.resolve(path, true)
+	if err != nil {
+		return nil, err
+	}
+	if tgt.shared {
+		vh, err := fs.venus.Open(p, tgt.path, flags)
+		if err != nil {
+			return nil, err
+		}
+		return &File{fs: fs, vh: vh, flags: flags}, nil
+	}
+	lp := tgt.path
+	exists := fs.local.Exists(lp)
+	switch {
+	case !exists && flags&venus.FlagCreate != 0:
+		if err := fs.local.WriteFile(lp, nil, 0o644, fs.venus.User()); err != nil {
+			return nil, err
+		}
+	case !exists:
+		return nil, fmt.Errorf("%w: %s", unixfs.ErrNotExist, path)
+	case flags&venus.FlagTrunc != 0:
+		if err := fs.local.Truncate(lp, 0); err != nil {
+			return nil, err
+		}
+	}
+	return &File{fs: fs, lpath: lp, flags: flags}, nil
+}
+
+// Read reads at the file offset.
+func (f *File) Read(buf []byte) (int, error) {
+	n, err := f.ReadAt(buf, f.offset)
+	f.offset += int64(n)
+	return n, err
+}
+
+// ReadAt reads at an absolute offset.
+func (f *File) ReadAt(buf []byte, off int64) (int, error) {
+	if f.closed {
+		return 0, fmt.Errorf("%w: closed file", unixfs.ErrInvalid)
+	}
+	if f.vh != nil {
+		return f.vh.ReadAt(buf, off)
+	}
+	return f.fs.local.ReadAt(f.lpath, buf, off)
+}
+
+// Write writes at the file offset.
+func (f *File) Write(buf []byte) (int, error) {
+	n, err := f.WriteAt(buf, f.offset)
+	f.offset += int64(n)
+	return n, err
+}
+
+// WriteAt writes at an absolute offset.
+func (f *File) WriteAt(buf []byte, off int64) (int, error) {
+	if f.closed {
+		return 0, fmt.Errorf("%w: closed file", unixfs.ErrInvalid)
+	}
+	if f.vh != nil {
+		return f.vh.WriteAt(buf, off)
+	}
+	if f.flags&venus.FlagWrite == 0 {
+		return 0, fmt.Errorf("%w: not open for writing", proto.ErrAccess)
+	}
+	return f.fs.local.WriteAt(f.lpath, buf, off)
+}
+
+// Seek positions the file offset.
+func (f *File) Seek(off int64, whence int) (int64, error) {
+	if f.vh != nil {
+		pos, err := f.vh.Seek(off, whence)
+		f.offset = pos
+		return pos, err
+	}
+	switch whence {
+	case 0:
+		f.offset = off
+	case 1:
+		f.offset += off
+	case 2:
+		st, err := f.fs.local.Stat(f.lpath)
+		if err != nil {
+			return 0, err
+		}
+		f.offset = st.Size + off
+	default:
+		return 0, unixfs.ErrInvalid
+	}
+	return f.offset, nil
+}
+
+// Close closes the file. For a modified shared file this is the moment the
+// whole file travels to its custodian.
+func (f *File) Close(p *sim.Proc) error {
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	if f.vh != nil {
+		return f.vh.Close(p)
+	}
+	return nil
+}
+
+// ReadFile reads an entire file.
+func (fs *FS) ReadFile(p *sim.Proc, path string) ([]byte, error) {
+	f, err := fs.Open(p, path, venus.FlagRead)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close(p)
+	var out []byte
+	buf := make([]byte, 32<<10)
+	off := int64(0)
+	for {
+		n, err := f.ReadAt(buf, off)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return out, nil
+		}
+		out = append(out, buf[:n]...)
+		off += int64(n)
+	}
+}
+
+// WriteFile writes an entire file, creating or truncating it.
+func (fs *FS) WriteFile(p *sim.Proc, path string, data []byte) error {
+	f, err := fs.Open(p, path, venus.FlagWrite|venus.FlagCreate|venus.FlagTrunc)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close(p)
+		return err
+	}
+	return f.Close(p)
+}
+
+// Stat describes path.
+func (fs *FS) Stat(p *sim.Proc, path string) (Stat, error) {
+	tgt, err := fs.resolve(path, true)
+	if err != nil {
+		return Stat{}, err
+	}
+	if tgt.shared {
+		st, err := fs.venus.Stat(p, tgt.path)
+		if err != nil {
+			return Stat{}, err
+		}
+		return Stat{
+			Name:    unixfs.Base(path),
+			Size:    st.Size,
+			IsDir:   st.Type == proto.TypeDir,
+			Mode:    st.Mode,
+			Owner:   st.Owner,
+			Version: st.Version,
+			Shared:  true,
+		}, nil
+	}
+	st, err := fs.local.Stat(tgt.path)
+	if err != nil {
+		return Stat{}, err
+	}
+	return Stat{
+		Name:    unixfs.Base(path),
+		Size:    st.Size,
+		IsDir:   st.Type == unixfs.TypeDir,
+		Mode:    st.Mode,
+		Owner:   st.Owner,
+		Version: st.Version,
+	}, nil
+}
+
+// ReadDir lists a directory in either name space.
+func (fs *FS) ReadDir(p *sim.Proc, path string) ([]DirEntry, error) {
+	tgt, err := fs.resolve(path, true)
+	if err != nil {
+		return nil, err
+	}
+	if tgt.shared {
+		entries, err := fs.venus.ReadDir(p, tgt.path)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]DirEntry, len(entries))
+		for i, e := range entries {
+			out[i] = DirEntry{Name: e.Name, IsDir: e.Type == proto.TypeDir}
+		}
+		return out, nil
+	}
+	entries, err := fs.local.ReadDir(tgt.path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DirEntry, len(entries))
+	for i, e := range entries {
+		out[i] = DirEntry{Name: e.Name, IsDir: e.Type == unixfs.TypeDir}
+	}
+	return out, nil
+}
+
+// Mkdir creates a directory.
+func (fs *FS) Mkdir(p *sim.Proc, path string, mode uint16) error {
+	tgt, err := fs.resolve(path, false)
+	if err != nil {
+		return err
+	}
+	if tgt.shared {
+		return fs.venus.Mkdir(p, tgt.path, mode)
+	}
+	return fs.local.Mkdir(tgt.path, mode, fs.venus.User())
+}
+
+// Remove unlinks a file or symlink.
+func (fs *FS) Remove(p *sim.Proc, path string) error {
+	tgt, err := fs.resolve(path, false)
+	if err != nil {
+		return err
+	}
+	if tgt.shared {
+		return fs.venus.Remove(p, tgt.path)
+	}
+	return fs.local.Remove(tgt.path)
+}
+
+// RemoveDir removes an empty directory.
+func (fs *FS) RemoveDir(p *sim.Proc, path string) error {
+	tgt, err := fs.resolve(path, false)
+	if err != nil {
+		return err
+	}
+	if tgt.shared {
+		return fs.venus.RemoveDir(p, tgt.path)
+	}
+	return fs.local.RemoveDir(tgt.path)
+}
+
+// Rename moves a file or subtree. Both ends must live in the same name
+// space (and, for shared files, the same volume).
+func (fs *FS) Rename(p *sim.Proc, from, to string) error {
+	ft, err := fs.resolve(from, false)
+	if err != nil {
+		return err
+	}
+	tt, err := fs.resolve(to, false)
+	if err != nil {
+		return err
+	}
+	if ft.shared != tt.shared {
+		return fmt.Errorf("%w: rename across local and shared spaces", proto.ErrBadRequest)
+	}
+	if ft.shared {
+		return fs.venus.Rename(p, ft.path, tt.path)
+	}
+	return fs.local.Rename(ft.path, tt.path)
+}
+
+// Symlink creates a symbolic link. Links in the local space may point into
+// the shared space (the Figure 3-2 arrangement); links inside Vice are
+// created there.
+func (fs *FS) Symlink(p *sim.Proc, target, path string) error {
+	tgt, err := fs.resolve(path, false)
+	if err != nil {
+		return err
+	}
+	if tgt.shared {
+		viceTarget := target
+		if vp, ok := fs.underMount(unixfs.Clean(target)); ok {
+			viceTarget = vp
+		}
+		return fs.venus.Symlink(p, viceTarget, tgt.path)
+	}
+	return fs.local.Symlink(target, tgt.path)
+}
+
+// Chmod updates protection bits.
+func (fs *FS) Chmod(p *sim.Proc, path string, mode uint16) error {
+	tgt, err := fs.resolve(path, true)
+	if err != nil {
+		return err
+	}
+	if tgt.shared {
+		return fs.venus.SetMode(p, tgt.path, mode)
+	}
+	return fs.local.Chmod(tgt.path, mode)
+}
+
+// SetupStandardLinks builds the Figure 3-2 layout: local /tmp, and /bin and
+// /lib as symbolic links into the architecture-specific shared binaries.
+func (fs *FS) SetupStandardLinks(arch string) error {
+	if err := fs.local.MkdirAll("/tmp", 0o777, "root"); err != nil {
+		return err
+	}
+	for _, dir := range []string{"bin", "lib"} {
+		link := "/" + dir
+		if fs.local.Exists(link) {
+			continue
+		}
+		if err := fs.local.Symlink(fmt.Sprintf("%s/unix/%s/%s", fs.mount, arch, dir), link); err != nil {
+			return err
+		}
+	}
+	return nil
+}

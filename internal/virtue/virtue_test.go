@@ -1,0 +1,273 @@
+package virtue
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"itcfs/internal/prot"
+	"itcfs/internal/proto"
+	"itcfs/internal/rpc"
+	"itcfs/internal/secure"
+	"itcfs/internal/sim"
+	"itcfs/internal/unixfs"
+	"itcfs/internal/venus"
+	"itcfs/internal/vice"
+	"itcfs/internal/volume"
+)
+
+// rig builds a single-server cell and a workstation FS wired directly to it
+// (no network, like the venus unit tests).
+func rig(t *testing.T, mode vice.Mode) (*FS, *vice.Server) {
+	t.Helper()
+	var clock int64
+	clk := func() int64 { clock++; return clock }
+	db := prot.NewDB()
+	for _, m := range []prot.Mutation{
+		{Kind: prot.MutAddUser, Name: "satya", Key: secure.DeriveKey("satya", "pw")},
+		{Kind: prot.MutAddUser, Name: "operator", Key: secure.DeriveKey("operator", "pw")},
+		{Kind: prot.MutAddGroup, Name: vice.AdminGroup},
+		{Kind: prot.MutAddMember, Name: vice.AdminGroup, Member: "operator"},
+	} {
+		if err := db.Apply(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nextVol := uint32(1)
+	srv := vice.New(vice.Config{
+		Name: "s0", Mode: mode, DB: db, Clock: clk,
+		ProtAuthority: true,
+		AllocVolID:    func() uint32 { nextVol++; return nextVol },
+	})
+	acl := prot.NewACL()
+	acl.Grant(prot.AnyUser, prot.RightLookup|prot.RightRead)
+	acl.Grant("satya", prot.RightsAll)
+	acl.Grant(vice.AdminGroup, prot.RightsAll)
+	root := volume.New(1, "root", acl, 0, "operator", clk)
+	srv.AddVolume(root)
+	srv.Loc().Install([]proto.LocEntry{{Prefix: "/", Volume: 1, Custodian: "s0"}}, nil)
+
+	local := unixfs.New(clk)
+	var v *venus.Venus
+	v = venus.New(venus.Config{
+		Mode: mode, Machine: "ws", Local: local, HomeServer: "s0",
+		Connect: func(_ *sim.Proc, server string) (venus.Conn, error) {
+			return directConn{srv: srv, user: v.User}, nil
+		},
+	})
+	v.Login("satya")
+	return New(local, v), srv
+}
+
+type directConn struct {
+	srv  *vice.Server
+	user func() string
+}
+
+func (c directConn) Call(p *sim.Proc, req rpc.Request) (rpc.Response, error) {
+	return c.srv.Dispatcher().Dispatch(rpc.Ctx{User: c.user(), Proc: p}, req), nil
+}
+
+func TestLocalAndSharedSplit(t *testing.T) {
+	fs, srv := rig(t, vice.Prototype)
+	// A local file generates no Vice traffic.
+	if err := fs.Local().MkdirAll("/tmp", 0o777, "root"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(nil, "/tmp/t", []byte("temp")); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Dispatcher(); got == nil {
+		t.Fatal("nil dispatcher")
+	}
+	f, s, _ := srv.TrafficStats()
+	if f != 0 || s != 0 {
+		t.Fatalf("local write touched Vice: fetch=%d store=%d", f, s)
+	}
+	// A shared file round-trips through Vice.
+	if err := fs.WriteFile(nil, "/vice/doc", []byte("shared")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile(nil, "/vice/doc")
+	if err != nil || string(got) != "shared" {
+		t.Fatalf("shared read: %q %v", got, err)
+	}
+	_, s, _ = srv.TrafficStats()
+	if s == 0 {
+		t.Fatal("shared write did not reach Vice")
+	}
+}
+
+func TestStatDistinguishesSpaces(t *testing.T) {
+	fs, _ := rig(t, vice.Prototype)
+	fs.Local().MkdirAll("/tmp", 0o777, "root")
+	fs.WriteFile(nil, "/tmp/l", []byte("ll"))
+	fs.WriteFile(nil, "/vice/s", []byte("sss"))
+	lst, err := fs.Stat(nil, "/tmp/l")
+	if err != nil || lst.Shared || lst.Size != 2 {
+		t.Fatalf("local stat: %+v %v", lst, err)
+	}
+	sst, err := fs.Stat(nil, "/vice/s")
+	if err != nil || !sst.Shared || sst.Size != 3 {
+		t.Fatalf("shared stat: %+v %v", sst, err)
+	}
+}
+
+func TestSymlinkFromLocalIntoVice(t *testing.T) {
+	for _, mode := range []vice.Mode{vice.Prototype, vice.Revised} {
+		t.Run(mode.String(), func(t *testing.T) {
+			fs, _ := rig(t, mode)
+			if err := fs.Mkdir(nil, "/vice/unix", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.Mkdir(nil, "/vice/unix/sun", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.Mkdir(nil, "/vice/unix/sun/bin", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.WriteFile(nil, "/vice/unix/sun/bin/cc", []byte("compiler")); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.SetupStandardLinks("sun"); err != nil {
+				t.Fatal(err)
+			}
+			got, err := fs.ReadFile(nil, "/bin/cc")
+			if err != nil || string(got) != "compiler" {
+				t.Fatalf("/bin/cc: %q %v", got, err)
+			}
+			// Listing /bin lists the shared directory.
+			entries, err := fs.ReadDir(nil, "/bin")
+			if err != nil || len(entries) != 1 || entries[0].Name != "cc" {
+				t.Fatalf("ReadDir(/bin): %+v %v", entries, err)
+			}
+		})
+	}
+}
+
+func TestSymlinkWithinVice(t *testing.T) {
+	fs, _ := rig(t, vice.Prototype)
+	fs.WriteFile(nil, "/vice/real", []byte("data"))
+	if err := fs.Symlink(nil, "/vice/real", "/vice/alias"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile(nil, "/vice/alias")
+	if err != nil || string(got) != "data" {
+		t.Fatalf("alias: %q %v", got, err)
+	}
+}
+
+func TestRenameWithinSpaces(t *testing.T) {
+	fs, _ := rig(t, vice.Prototype)
+	fs.Local().MkdirAll("/tmp", 0o777, "root")
+	fs.WriteFile(nil, "/tmp/a", []byte("1"))
+	if err := fs.Rename(nil, "/tmp/a", "/tmp/b"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.ReadFile(nil, "/tmp/b"); string(got) != "1" {
+		t.Fatalf("local rename: %q", got)
+	}
+	fs.WriteFile(nil, "/vice/x", []byte("2"))
+	if err := fs.Rename(nil, "/vice/x", "/vice/y"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.ReadFile(nil, "/vice/y"); string(got) != "2" {
+		t.Fatalf("shared rename: %q", got)
+	}
+	// Cross-space rename is refused.
+	if err := fs.Rename(nil, "/tmp/b", "/vice/b"); err == nil {
+		t.Fatal("cross-space rename succeeded")
+	}
+}
+
+func TestMkdirRemoveDirBothSpaces(t *testing.T) {
+	fs, _ := rig(t, vice.Revised)
+	if err := fs.Mkdir(nil, "/localdir", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir(nil, "/vice/shareddir", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	st, err := fs.Stat(nil, "/vice/shareddir")
+	if err != nil || !st.IsDir || !st.Shared {
+		t.Fatalf("shared dir stat: %+v %v", st, err)
+	}
+	if err := fs.RemoveDir(nil, "/vice/shareddir"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.RemoveDir(nil, "/localdir"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissingFileErrors(t *testing.T) {
+	fs, _ := rig(t, vice.Prototype)
+	if _, err := fs.Open(nil, "/vice/ghost", FlagRead); !errors.Is(err, proto.ErrNoEnt) {
+		t.Fatalf("shared: %v", err)
+	}
+	if _, err := fs.Open(nil, "/ghost", FlagRead); !errors.Is(err, unixfs.ErrNotExist) {
+		t.Fatalf("local: %v", err)
+	}
+}
+
+func TestSequentialIOAndSeek(t *testing.T) {
+	fs, _ := rig(t, vice.Prototype)
+	fs.WriteFile(nil, "/vice/f", []byte("abcdefgh"))
+	f, err := fs.Open(nil, "/vice/f", FlagRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close(nil)
+	buf := make([]byte, 3)
+	n, _ := f.Read(buf)
+	if string(buf[:n]) != "abc" {
+		t.Fatalf("read 1: %q", buf[:n])
+	}
+	if _, err := f.Seek(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	n, _ = f.Read(buf)
+	if string(buf[:n]) != "cde" {
+		t.Fatalf("read after seek: %q", buf[:n])
+	}
+}
+
+func TestChmodOnSharedFile(t *testing.T) {
+	fs, _ := rig(t, vice.Revised)
+	fs.WriteFile(nil, "/vice/f", []byte("x"))
+	if err := fs.Chmod(nil, "/vice/f", 0o444); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := fs.Stat(nil, "/vice/f")
+	if st.Mode != 0o444 {
+		t.Fatalf("mode = %04o", st.Mode)
+	}
+	// Per-file bits now forbid overwriting (revised mode).
+	if err := fs.WriteFile(nil, "/vice/f", []byte("y")); !errors.Is(err, proto.ErrAccess) {
+		t.Fatalf("write to 0444 file: %v", err)
+	}
+}
+
+func TestManyFilesRoundTrip(t *testing.T) {
+	fs, _ := rig(t, vice.Revised)
+	if err := fs.Mkdir(nil, "/vice/dir", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		path := fmt.Sprintf("/vice/dir/f%02d", i)
+		if err := fs.WriteFile(nil, path, []byte(fmt.Sprintf("content-%d", i))); err != nil {
+			t.Fatalf("write %s: %v", path, err)
+		}
+	}
+	entries, err := fs.ReadDir(nil, "/vice/dir")
+	if err != nil || len(entries) != 30 {
+		t.Fatalf("dir has %d entries, %v", len(entries), err)
+	}
+	for i := 0; i < 30; i++ {
+		path := fmt.Sprintf("/vice/dir/f%02d", i)
+		got, err := fs.ReadFile(nil, path)
+		if err != nil || string(got) != fmt.Sprintf("content-%d", i) {
+			t.Fatalf("read %s: %q %v", path, got, err)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package wire provides hand-written binary marshalling for the Vice-Virtue
+// protocol. Encoding is explicit and reflection-free: every protocol message
+// implements Encode/Decode against the Encoder and Decoder here, so the byte
+// count of every call is exact — the simulator charges network time from
+// these sizes, and the TCP transport writes the same bytes.
+//
+// All integers are little-endian. Variable-length fields (strings, byte
+// slices) carry a u32 length prefix.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrTruncated is returned when a decoder runs out of bytes.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// ErrTooLong is returned when a length prefix exceeds the decoder's sanity
+// limit. It guards servers against hostile or corrupt frames.
+var ErrTooLong = errors.New("wire: declared length too long")
+
+// MaxField caps any single variable-length field.
+const MaxField = 64 << 20
+
+// Encoder accumulates a binary message. The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// Buf returns the encoded message. The slice aliases the encoder's buffer.
+func (e *Encoder) Buf() []byte { return e.buf }
+
+// Len returns the number of encoded bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset discards the buffer contents, retaining capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// U8 appends a byte.
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// U16 appends a little-endian uint16.
+func (e *Encoder) U16(v uint16) { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+
+// U32 appends a little-endian uint32.
+func (e *Encoder) U32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// U64 appends a little-endian uint64.
+func (e *Encoder) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// I64 appends a little-endian int64.
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// Int appends an int as an int64.
+func (e *Encoder) Int(v int) { e.I64(int64(v)) }
+
+// Bool appends a boolean as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// Bytes appends a u32 length prefix and the raw bytes.
+func (e *Encoder) Bytes(b []byte) {
+	e.U32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// String appends a u32 length prefix and the string bytes.
+func (e *Encoder) String(s string) {
+	e.U32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Raw appends bytes with no length prefix.
+func (e *Encoder) Raw(b []byte) { e.buf = append(e.buf, b...) }
+
+// Decoder consumes a binary message. Errors are sticky: after the first
+// failure every accessor returns a zero value and Err reports the cause.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder over buf. The decoder does not copy buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first decoding error, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unconsumed bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Close verifies the decoder consumed the whole message without error.
+func (d *Decoder) Close() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("wire: %d trailing bytes", len(d.buf)-d.off)
+	}
+	return nil
+}
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) || n < 0 {
+		d.err = ErrTruncated
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 consumes a byte.
+func (d *Decoder) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 consumes a little-endian uint16.
+func (d *Decoder) U16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 consumes a little-endian uint32.
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 consumes a little-endian uint64.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 consumes a little-endian int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// Int consumes an int encoded as int64.
+func (d *Decoder) Int() int { return int(d.I64()) }
+
+// Bool consumes a one-byte boolean.
+func (d *Decoder) Bool() bool { return d.U8() != 0 }
+
+// Bytes consumes a u32 length prefix and that many bytes. The returned slice
+// aliases the decoder's buffer.
+func (d *Decoder) Bytes() []byte {
+	n := d.U32()
+	if d.err != nil {
+		return nil
+	}
+	if n > MaxField {
+		d.err = ErrTooLong
+		return nil
+	}
+	return d.take(int(n))
+}
+
+// String consumes a u32 length prefix and that many bytes as a string.
+func (d *Decoder) String() string { return string(d.Bytes()) }
+
+// Message is anything that can marshal itself onto an Encoder.
+type Message interface {
+	Encode(e *Encoder)
+}
+
+// Marshal encodes m into a fresh byte slice.
+func Marshal(m Message) []byte {
+	var e Encoder
+	m.Encode(&e)
+	out := make([]byte, len(e.buf))
+	copy(out, e.buf)
+	return out
+}
+
+// Frame I/O: a frame is a u32 length followed by that many payload bytes.
+// The TCP transport uses frames; the simulated transport carries the same
+// payloads in netsim messages, so byte counts agree across transports.
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame, enforcing the MaxField limit.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxField {
+		return nil, ErrTooLong
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

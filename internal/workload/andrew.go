@@ -1,0 +1,269 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"itcfs/internal/sim"
+	"itcfs/internal/virtue"
+)
+
+// The five-phase benchmark of §5.2: it "operates on about 70 files
+// corresponding to the source code of an actual Unix application" in five
+// phases — making a target subtree identical in structure to the source,
+// copying the files, examining the status of every file, scanning every
+// byte, and finally compiling and linking. On a Sun with a local disk it
+// took about 1000 seconds; fully remote against an unloaded server it took
+// about 80% longer.
+
+// AndrewConfig shapes the benchmark tree and the workstation cost model.
+type AndrewConfig struct {
+	Seed  int64
+	Files int // source files (the paper's ~70)
+	Dirs  int // subdirectories of the source root
+	// MeanFileBytes controls source sizes; total ≈ Files*MeanFileBytes.
+	MeanFileBytes int
+	// Workstation costs. A mid-1980s workstation compiled C slowly —
+	// CompilePerKB dominates the benchmark, as it did in the paper.
+	CompilePerKB   time.Duration
+	CompilePerFile time.Duration
+	LinkPerKB      time.Duration
+	LocalDiskOp    time.Duration // per local-file operation
+	LocalDiskPerKB time.Duration
+	StatCPU        time.Duration // per status examination
+	ScanPerKB      time.Duration // byte-scan CPU
+}
+
+// DefaultAndrew returns the calibrated configuration: the local run lands
+// near the paper's ≈1000 s.
+func DefaultAndrew() AndrewConfig {
+	return AndrewConfig{
+		Seed:           42,
+		Files:          70,
+		Dirs:           4,
+		MeanFileBytes:  3 * 1024,
+		CompilePerKB:   3200 * time.Millisecond,
+		CompilePerFile: 2 * time.Second,
+		LinkPerKB:      220 * time.Millisecond,
+		LocalDiskOp:    30 * time.Millisecond,
+		LocalDiskPerKB: 1 * time.Millisecond,
+		StatCPU:        25 * time.Millisecond,
+		ScanPerKB:      8 * time.Millisecond,
+	}
+}
+
+// PhaseTimes carries the virtual-time duration of each phase.
+type PhaseTimes struct {
+	MakeDir time.Duration
+	Copy    time.Duration
+	ScanDir time.Duration
+	ReadAll time.Duration
+	Make    time.Duration
+}
+
+// Total sums the phases.
+func (pt PhaseTimes) Total() time.Duration {
+	return pt.MakeDir + pt.Copy + pt.ScanDir + pt.ReadAll + pt.Make
+}
+
+// Phases lists (name, duration) pairs in order, for table printing.
+func (pt PhaseTimes) Phases() []struct {
+	Name string
+	D    time.Duration
+} {
+	return []struct {
+		Name string
+		D    time.Duration
+	}{
+		{"MakeDir", pt.MakeDir},
+		{"Copy", pt.Copy},
+		{"ScanDir", pt.ScanDir},
+		{"ReadAll", pt.ReadAll},
+		{"Make", pt.Make},
+	}
+}
+
+// GenerateTree writes the benchmark source tree under root (which may be in
+// either name space). It returns the file paths created.
+func GenerateTree(p *sim.Proc, fs *virtue.FS, root string, cfg AndrewConfig) ([]string, error) {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	if err := fs.Mkdir(p, root, 0o755); err != nil {
+		return nil, err
+	}
+	dirs := []string{root}
+	for i := 0; i < cfg.Dirs; i++ {
+		d := fmt.Sprintf("%s/sub%d", root, i)
+		if err := fs.Mkdir(p, d, 0o755); err != nil {
+			return nil, err
+		}
+		dirs = append(dirs, d)
+	}
+	var files []string
+	for i := 0; i < cfg.Files; i++ {
+		dir := dirs[i%len(dirs)]
+		name := fmt.Sprintf("%s/src%03d.c", dir, i)
+		size := cfg.MeanFileBytes/2 + r.Intn(cfg.MeanFileBytes)
+		if err := fs.WriteFile(p, name, sourceBytes(r, size)); err != nil {
+			return nil, err
+		}
+		files = append(files, name)
+	}
+	return files, nil
+}
+
+// sourceBytes produces filler that looks vaguely like C source.
+func sourceBytes(r *rand.Rand, n int) []byte {
+	var b strings.Builder
+	for b.Len() < n {
+		fmt.Fprintf(&b, "int fn%d(int x) { return x * %d; }\n", r.Intn(10000), r.Intn(97))
+	}
+	return []byte(b.String()[:n])
+}
+
+// RunAndrew executes the five phases, copying the tree at srcRoot into
+// dstRoot, and returns per-phase virtual durations. Both roots may be local
+// or shared paths, which is how the local-vs-remote comparison is run.
+func RunAndrew(p *sim.Proc, fs *virtue.FS, srcRoot, dstRoot string, cfg AndrewConfig) (PhaseTimes, error) {
+	var pt PhaseTimes
+	phase := func(d *time.Duration, fn func() error) error {
+		start := p.Now()
+		err := fn()
+		*d = p.Now().Sub(start)
+		return err
+	}
+
+	// Discover the source structure once (not charged to a phase).
+	type node struct {
+		path  string
+		isDir bool
+	}
+	var tree []node
+	var walk func(dir string) error
+	walk = func(dir string) error {
+		entries, err := fs.ReadDir(p, dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			child := dir + "/" + e.Name
+			tree = append(tree, node{child, e.IsDir})
+			if e.IsDir {
+				if err := walk(child); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(srcRoot); err != nil {
+		return pt, fmt.Errorf("andrew: scan source: %w", err)
+	}
+	rel := func(path string) string { return dstRoot + path[len(srcRoot):] }
+
+	// Phase 1: MakeDir — replicate the directory skeleton.
+	err := phase(&pt.MakeDir, func() error {
+		if err := fs.Mkdir(p, dstRoot, 0o755); err != nil {
+			return err
+		}
+		p.Sleep(cfg.LocalDiskOp)
+		for _, n := range tree {
+			if n.isDir {
+				if err := fs.Mkdir(p, rel(n.path), 0o755); err != nil {
+					return err
+				}
+				p.Sleep(cfg.LocalDiskOp)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return pt, fmt.Errorf("andrew: makedir: %w", err)
+	}
+
+	// Phase 2: Copy — every file, whole.
+	err = phase(&pt.Copy, func() error {
+		for _, n := range tree {
+			if n.isDir {
+				continue
+			}
+			data, err := fs.ReadFile(p, n.path)
+			if err != nil {
+				return err
+			}
+			if err := fs.WriteFile(p, rel(n.path), data); err != nil {
+				return err
+			}
+			p.Sleep(cfg.LocalDiskOp + time.Duration(len(data)/1024)*cfg.LocalDiskPerKB)
+		}
+		return nil
+	})
+	if err != nil {
+		return pt, fmt.Errorf("andrew: copy: %w", err)
+	}
+
+	// Phase 3: ScanDir — examine the status of every file.
+	err = phase(&pt.ScanDir, func() error {
+		for _, n := range tree {
+			if _, err := fs.Stat(p, rel(n.path)); err != nil {
+				return err
+			}
+			p.Sleep(cfg.StatCPU)
+		}
+		return nil
+	})
+	if err != nil {
+		return pt, fmt.Errorf("andrew: scandir: %w", err)
+	}
+
+	// Phase 4: ReadAll — scan every byte of every file.
+	err = phase(&pt.ReadAll, func() error {
+		for _, n := range tree {
+			if n.isDir {
+				continue
+			}
+			data, err := fs.ReadFile(p, rel(n.path))
+			if err != nil {
+				return err
+			}
+			p.Sleep(time.Duration(len(data)/1024+1) * cfg.ScanPerKB)
+		}
+		return nil
+	})
+	if err != nil {
+		return pt, fmt.Errorf("andrew: readall: %w", err)
+	}
+
+	// Phase 5: Make — compile every source and link the result, all within
+	// the target subtree (as the paper's benchmark did: objects and the
+	// binary are build products of the target, not temporaries).
+	err = phase(&pt.Make, func() error {
+		var objTotal int
+		for _, n := range tree {
+			if n.isDir || !strings.HasSuffix(n.path, ".c") {
+				continue
+			}
+			data, err := fs.ReadFile(p, rel(n.path))
+			if err != nil {
+				return err
+			}
+			// The compiler burns workstation CPU proportional to source size.
+			p.Sleep(cfg.CompilePerFile + time.Duration(len(data)/1024+1)*cfg.CompilePerKB)
+			obj := make([]byte, len(data)*4/5)
+			objPath := strings.TrimSuffix(rel(n.path), ".c") + ".o"
+			if err := fs.WriteFile(p, objPath, obj); err != nil {
+				return err
+			}
+			p.Sleep(cfg.LocalDiskOp + time.Duration(len(obj)/1024)*cfg.LocalDiskPerKB)
+			objTotal += len(obj)
+		}
+		// Link: read every object, write the binary into the target tree.
+		p.Sleep(time.Duration(objTotal/1024+1) * cfg.LinkPerKB)
+		return fs.WriteFile(p, rel(srcRoot+"/a.out"), make([]byte, objTotal/2))
+	})
+	if err != nil {
+		return pt, fmt.Errorf("andrew: make: %w", err)
+	}
+	return pt, nil
+}

@@ -1,0 +1,525 @@
+// Package itcfs is a from-scratch implementation of the ITC Distributed
+// File System ("The ITC Distributed File System: Principles and Design",
+// Satyanarayanan et al., SOSP 1985) — the system that became AFS.
+//
+// The package assembles complete cells: a simulated campus network of
+// clusters bridged to a backbone (netsim), Vice cluster servers holding the
+// shared name space in volumes, and Virtue workstations whose Venus cache
+// managers keep whole-file copies on local disks. Authentication,
+// end-to-end encryption, access lists with negative rights, callbacks,
+// volumes with read-only clones, advisory locks and the replicated location
+// and protection databases are all implemented; both the paper's prototype
+// (check-on-open, pathname servers) and its revised design (callbacks,
+// FIDs, client-side traversal) are selectable per cell.
+//
+// Cells run in deterministic virtual time on a discrete-event kernel, which
+// is what lets the benchmark harness regenerate the paper's evaluation
+// (server utilization, call mix, cache hit ratios, the five-phase
+// benchmark) on a laptop. The same Vice code also serves real TCP clients
+// through cmd/itcfsd.
+//
+// A minimal session:
+//
+//	cell := itcfs.NewCell(itcfs.CellConfig{Clusters: 1, Mode: itcfs.Revised})
+//	cell.AddUser("satya", "password")
+//	ws := cell.AddWorkstation(0, "ws1")
+//	cell.Run(func(p *sim.Proc) {
+//		ws.Login(p, "satya", "password")
+//		ws.FS.WriteFile(p, "/vice/usr/satya/notes", []byte("hello"))
+//	})
+package itcfs
+
+import (
+	"fmt"
+	"time"
+
+	"itcfs/internal/netsim"
+	"itcfs/internal/prot"
+	"itcfs/internal/proto"
+	"itcfs/internal/rpc"
+	"itcfs/internal/secure"
+	"itcfs/internal/sim"
+	"itcfs/internal/unixfs"
+	"itcfs/internal/venus"
+	"itcfs/internal/vice"
+	"itcfs/internal/virtue"
+	"itcfs/internal/volume"
+	"itcfs/internal/wire"
+)
+
+// Mode re-exports the implementation mode.
+type Mode = vice.Mode
+
+// Modes.
+const (
+	Prototype = vice.Prototype
+	Revised   = vice.Revised
+)
+
+// Commonly needed names re-exported for callers of the public API.
+var (
+	ErrAccess   = proto.ErrAccess
+	ErrNoEnt    = proto.ErrNoEnt
+	ErrQuota    = proto.ErrQuota
+	ErrLocked   = proto.ErrLocked
+	ErrReadOnly = proto.ErrReadOnly
+	ErrOffline  = proto.ErrOffline
+)
+
+// Stats re-exports Venus's counters.
+type Stats = venus.Stats
+
+// Open flags, re-exported from Venus.
+const (
+	FlagRead   = venus.FlagRead
+	FlagWrite  = venus.FlagWrite
+	FlagCreate = venus.FlagCreate
+	FlagTrunc  = venus.FlagTrunc
+)
+
+// CellConfig sizes a cell.
+type CellConfig struct {
+	Mode     Mode
+	Clusters int // one cluster server per cluster
+	// Workstations initially added per cluster (more can be added later).
+	WorkstationsPerCluster int
+	Net                    netsim.Config // zero value = ITCDefaults
+	Costs                  *CostConfig   // nil = DefaultCosts
+	// CacheFiles / CacheBytes override Venus cache limits (0 = defaults).
+	CacheFiles int
+	CacheBytes int64
+	// OperatorPassword sets the bootstrap operations account ("operator").
+	OperatorPassword string
+}
+
+// Server is one Vice cluster server with its simulated devices.
+type Server struct {
+	Vice     *vice.Server
+	Endpoint *rpc.Endpoint
+	Node     *netsim.Node
+	Cluster  *netsim.Cluster
+	CPU      *sim.Resource
+	Disk     *sim.Resource
+}
+
+// Workstation is one Virtue workstation.
+type Workstation struct {
+	Name     string
+	Node     *netsim.Node
+	Cluster  *netsim.Cluster
+	Endpoint *rpc.Endpoint
+	Local    *unixfs.FS
+	Venus    *venus.Venus
+	FS       *virtue.FS
+
+	cell *Cell
+	key  secure.Key
+}
+
+// Cell is a complete ITC file system installation.
+type Cell struct {
+	Kernel   *sim.Kernel
+	Net      *netsim.Network
+	Servers  []*Server
+	Clusters []*netsim.Cluster
+	Mode     Mode
+
+	cfg       CellConfig
+	costs     CostConfig
+	nextVol   uint32
+	serverKey secure.Key
+	wsCount   int
+	workst    []*Workstation
+}
+
+// NewCell builds and bootstraps a cell: clusters, servers, replicated
+// databases, the root volume, and inter-server connections. It runs the
+// simulation kernel briefly to complete the bootstrap handshakes; the
+// returned cell's clock sits just past that bootstrap.
+func NewCell(cfg CellConfig) *Cell {
+	if cfg.Clusters <= 0 {
+		cfg.Clusters = 1
+	}
+	if cfg.Net.ClusterBandwidth == 0 {
+		cfg.Net = netsim.ITCDefaults()
+	}
+	if cfg.OperatorPassword == "" {
+		cfg.OperatorPassword = "operator-password"
+	}
+	costs := DefaultCosts()
+	if cfg.Costs != nil {
+		costs = *cfg.Costs
+	}
+	k := sim.NewKernel()
+	c := &Cell{
+		Kernel:  k,
+		Net:     netsim.New(k, cfg.Net),
+		Mode:    cfg.Mode,
+		cfg:     cfg,
+		costs:   costs,
+		nextVol: 1,
+	}
+	serverKey, err := secure.NewSessionKey()
+	if err != nil {
+		panic(err)
+	}
+	c.serverKey = serverKey
+
+	// Bootstrap protection database, replicated to every server.
+	base := prot.NewDB()
+	mustApply(base, prot.Mutation{Kind: prot.MutAddUser, Name: vice.ServerUser, Key: serverKey})
+	mustApply(base, prot.Mutation{Kind: prot.MutAddUser, Name: "operator",
+		Key: secure.DeriveKey("operator", cfg.OperatorPassword)})
+	mustApply(base, prot.Mutation{Kind: prot.MutAddGroup, Name: vice.AdminGroup, Owner: "operator"})
+	mustApply(base, prot.Mutation{Kind: prot.MutAddMember, Name: vice.AdminGroup, Member: "operator"})
+
+	clock := func() int64 { return int64(k.Now()) }
+	for i := 0; i < cfg.Clusters; i++ {
+		cl := c.Net.AddCluster(fmt.Sprintf("cluster%d", i))
+		c.Clusters = append(c.Clusters, cl)
+		node := c.Net.AddNode(fmt.Sprintf("server%d", i), cl)
+		cpu := sim.NewResource(k, fmt.Sprintf("server%d-cpu", i))
+		disk := sim.NewResource(k, fmt.Sprintf("server%d-disk", i))
+		db := prot.NewDB()
+		if err := db.LoadSnapshot(base.Snapshot()); err != nil {
+			panic(err)
+		}
+		vs := vice.New(vice.Config{
+			Name:          fmt.Sprintf("server%d", i),
+			Mode:          cfg.Mode,
+			DB:            db,
+			Loc:           vice.NewLocDB(),
+			Clock:         clock,
+			ProtAuthority: i == 0,
+			AllocVolID:    c.allocVol,
+		})
+		ep := rpc.NewEndpoint(c.Net, node, rpc.EndpointConfig{
+			Keys:     db.LookupKey,
+			Server:   vs.Dispatcher(),
+			Model:    costs.Model(cfg.Mode),
+			Meters:   rpc.Meters{CPU: cpu, Disk: disk},
+			AuthCost: rpc.Cost{CPU: costs.AuthCPU},
+			// Whole-file operations on multi-megabyte files legitimately
+			// take minutes at 1985 speeds (§2.2 bounds the design to files
+			// of a few MB); the timeout must outlast them.
+			CallTimeout: 15 * time.Minute,
+		})
+		c.Servers = append(c.Servers, &Server{
+			Vice: vs, Endpoint: ep, Node: node, Cluster: cl, CPU: cpu, Disk: disk,
+		})
+	}
+
+	// Root volume on server0, location known everywhere.
+	rootACL := prot.NewACL()
+	rootACL.Grant(prot.AnyUser, prot.RightLookup|prot.RightRead)
+	rootACL.Grant(vice.AdminGroup, prot.RightsAll)
+	root := volume.New(1, "root", rootACL, 0, "operator", clock)
+	c.Servers[0].Vice.AddVolume(root)
+	le := proto.LocEntry{Prefix: "/", Volume: 1, Custodian: c.Servers[0].Vice.Name()}
+	for _, s := range c.Servers {
+		s.Vice.Loc().Install([]proto.LocEntry{le}, nil)
+	}
+
+	// Wire servers to each other over the network, authenticated as the
+	// server identity.
+	c.Run(func(p *sim.Proc) {
+		for i, from := range c.Servers {
+			for j, to := range c.Servers {
+				if i == j {
+					continue
+				}
+				conn, err := from.Endpoint.Dial(p, to.Node.ID, vice.ServerUser, serverKey)
+				if err != nil {
+					panic(fmt.Sprintf("itcfs: server peering: %v", err))
+				}
+				from.Vice.AddPeer(to.Vice.Name(), conn)
+			}
+		}
+	})
+
+	for i := 0; i < cfg.Clusters; i++ {
+		for w := 0; w < cfg.WorkstationsPerCluster; w++ {
+			c.AddWorkstation(i, fmt.Sprintf("ws%d-%d", i, w))
+		}
+	}
+	return c
+}
+
+func mustApply(db *prot.DB, m prot.Mutation) {
+	if err := db.Apply(m); err != nil {
+		panic(fmt.Sprintf("itcfs: bootstrap: %v", err))
+	}
+}
+
+func (c *Cell) allocVol() uint32 {
+	c.nextVol++
+	return c.nextVol
+}
+
+// Run spawns fn as a simulated process and drives the kernel until all
+// pending events drain. It is the main entry point for scripted scenarios.
+func (c *Cell) Run(fn func(p *sim.Proc)) {
+	c.Kernel.Spawn("cell-run", fn)
+	c.Kernel.Run()
+}
+
+// RunFor drives the kernel for a span of virtual time.
+func (c *Cell) RunFor(d time.Duration) {
+	c.Kernel.RunUntil(c.Kernel.Now().Add(d))
+}
+
+// Now returns the cell's virtual time.
+func (c *Cell) Now() sim.Time { return c.Kernel.Now() }
+
+// AddUser registers a user (and password) in every server's protection
+// database replica. Bootstrap-time convenience; at runtime use the
+// protection server through Admin connections.
+func (c *Cell) AddUser(name, password string) {
+	m := prot.Mutation{Kind: prot.MutAddUser, Name: name, Key: secure.DeriveKey(name, password)}
+	for _, s := range c.Servers {
+		if err := s.Vice.DB().Apply(m); err != nil {
+			panic(fmt.Sprintf("itcfs: AddUser(%s): %v", name, err))
+		}
+	}
+}
+
+// AddGroup registers a group and its members on every replica.
+func (c *Cell) AddGroup(name string, members ...string) {
+	for _, s := range c.Servers {
+		if err := s.Vice.DB().Apply(prot.Mutation{Kind: prot.MutAddGroup, Name: name}); err != nil {
+			panic(fmt.Sprintf("itcfs: AddGroup(%s): %v", name, err))
+		}
+		for _, mem := range members {
+			if err := s.Vice.DB().Apply(prot.Mutation{Kind: prot.MutAddMember, Name: name, Member: mem}); err != nil {
+				panic(fmt.Sprintf("itcfs: AddGroup(%s)+=%s: %v", name, mem, err))
+			}
+		}
+	}
+}
+
+// Workstations returns every workstation added so far.
+func (c *Cell) Workstations() []*Workstation { return c.workst }
+
+// AddWorkstation attaches a new Virtue workstation to a cluster.
+func (c *Cell) AddWorkstation(cluster int, name string) *Workstation {
+	cl := c.Clusters[cluster]
+	node := c.Net.AddNode(name, cl)
+	local := unixfs.New(func() int64 { return int64(c.Kernel.Now()) })
+
+	ws := &Workstation{Name: name, Node: node, Cluster: cl, Local: local, cell: c}
+
+	// The workstation's callback service.
+	cbServer := rpc.NewServer()
+	ws.Endpoint = rpc.NewEndpoint(c.Net, node, rpc.EndpointConfig{
+		Server:      cbServer,
+		CallTimeout: 15 * time.Minute,
+	})
+
+	home := c.Servers[cluster]
+	var v *venus.Venus
+	v = venus.New(venus.Config{
+		Mode:       c.Mode,
+		Machine:    name,
+		Local:      local,
+		HomeServer: home.Vice.Name(),
+		MaxFiles:   c.cfg.CacheFiles,
+		MaxBytes:   c.cfg.CacheBytes,
+		Connect: func(p *sim.Proc, server string) (venus.Conn, error) {
+			srv := c.serverByName(server)
+			if srv == nil {
+				return nil, fmt.Errorf("itcfs: unknown server %s", server)
+			}
+			return ws.Endpoint.Dial(p, srv.Node.ID, v.User(), ws.key)
+		},
+	})
+	ws.Venus = v
+	cbServer.Handle(rpc.Op(proto.OpCallbackBreak), v.HandleCallbackBreak)
+	ws.FS = virtue.New(local, v)
+	c.workst = append(c.workst, ws)
+	return ws
+}
+
+func (c *Cell) serverByName(name string) *Server {
+	for _, s := range c.Servers {
+		if s.Vice.Name() == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Login authenticates user at this workstation; subsequent file operations
+// run on the user's behalf. The password never leaves the workstation —
+// only the key derived from it is used in the handshake (§3.4).
+func (ws *Workstation) Login(p *sim.Proc, user, password string) error {
+	ws.key = secure.DeriveKey(user, password)
+	ws.Venus.Login(user)
+	// Probe the home server so a bad password fails here, not on first use.
+	_, err := ws.Venus.Stat(p, "/")
+	if err != nil {
+		ws.Venus.Login("")
+		return fmt.Errorf("itcfs: login %s: %w", user, err)
+	}
+	return nil
+}
+
+// Admin is an authenticated administrative connection to a server.
+type Admin struct {
+	cell *Cell
+	conn *rpc.SimConn
+}
+
+// Admin dials server (index) as the operator account.
+func (c *Cell) Admin(p *sim.Proc, server int) (*Admin, error) {
+	// The admin connection originates from the server's own node — the
+	// operations console lives in the machine room.
+	s := c.Servers[server]
+	conn, err := s.Endpoint.Dial(p, s.Node.ID, "operator",
+		secure.DeriveKey("operator", c.cfg.OperatorPassword))
+	if err != nil {
+		return nil, err
+	}
+	return &Admin{cell: c, conn: conn}, nil
+}
+
+func (a *Admin) call(p *sim.Proc, op uint16, body []byte) (rpc.Response, error) {
+	resp, err := a.conn.Call(p, rpc.Request{Op: rpc.Op(op), Body: body})
+	if err != nil {
+		return resp, err
+	}
+	if !resp.OK() {
+		return resp, proto.CodeToErr(resp.Code, string(resp.Body))
+	}
+	return resp, nil
+}
+
+// CreateVolume creates a volume mounted at path, owned by owner. Parent
+// directories must exist; the mount entry lands in the parent's volume.
+func (a *Admin) CreateVolume(p *sim.Proc, name, path, owner string, quota int64) (uint32, error) {
+	resp, err := a.call(p, proto.OpVolCreate,
+		proto.Marshal(proto.VolCreateArgs{Name: name, Path: path, Quota: quota, Owner: owner}))
+	if err != nil {
+		return 0, err
+	}
+	vs, err := proto.Unmarshal(resp.Body, proto.DecodeVolStatusReply)
+	if err != nil {
+		return 0, err
+	}
+	return vs.Volume, nil
+}
+
+// MkdirAll creates path and missing ancestors in the shared space.
+func (a *Admin) MkdirAll(p *sim.Proc, path string) error {
+	parts := vice.PathWithin(proto.LocEntry{Prefix: "/"}, path)
+	cur := ""
+	for _, part := range parts {
+		parent := cur
+		if parent == "" {
+			parent = "/"
+		}
+		cur = cur + "/" + part
+		resp, err := a.conn.Call(p, rpc.Request{
+			Op:   rpc.Op(proto.OpMakeDir),
+			Body: proto.Marshal(proto.NameArgs{Dir: proto.Ref{Path: parent}, Name: part, Mode: 0o755}),
+		})
+		if err != nil {
+			return err
+		}
+		if !resp.OK() && resp.Code != proto.CodeExist {
+			return proto.CodeToErr(resp.Code, string(resp.Body))
+		}
+	}
+	return nil
+}
+
+// CloneVolume freezes a read-only snapshot of vol, mounts it at path (if
+// non-empty) and replicates it to the named servers.
+func (a *Admin) CloneVolume(p *sim.Proc, vol uint32, path string, replicas ...string) (uint32, error) {
+	resp, err := a.call(p, proto.OpVolClone,
+		proto.Marshal(proto.VolCloneArgs{Volume: vol, Path: path, Replicas: replicas}))
+	if err != nil {
+		return 0, err
+	}
+	vs, err := proto.Unmarshal(resp.Body, proto.DecodeVolStatusReply)
+	if err != nil {
+		return 0, err
+	}
+	return vs.Volume, nil
+}
+
+// MoveVolume reassigns vol to the named custodian.
+func (a *Admin) MoveVolume(p *sim.Proc, vol uint32, target string) error {
+	_, err := a.call(p, proto.OpVolMove, proto.Marshal(proto.VolMoveArgs{Volume: vol, Target: target}))
+	return err
+}
+
+// SetQuota changes a volume's byte quota.
+func (a *Admin) SetQuota(p *sim.Proc, vol uint32, quota int64) error {
+	_, err := a.call(p, proto.OpVolSetQuota, proto.Marshal(proto.VolSetQuotaArgs{Volume: vol, Quota: quota}))
+	return err
+}
+
+// VolumeStatus queries one volume.
+func (a *Admin) VolumeStatus(p *sim.Proc, vol uint32) (proto.VolStatusReply, error) {
+	resp, err := a.call(p, proto.OpVolStatus, proto.Marshal(proto.VolStatusArgs{Volume: vol}))
+	if err != nil {
+		return proto.VolStatusReply{}, err
+	}
+	return proto.Unmarshal(resp.Body, proto.DecodeVolStatusReply)
+}
+
+// Salvage runs crash recovery on the connected server's volumes (volume 0
+// = all). It returns the number of repairs made.
+func (a *Admin) Salvage(p *sim.Proc, vol uint32) (repairs int, err error) {
+	resp, err := a.call(p, proto.OpVolSalvage, proto.Marshal(proto.VolStatusArgs{Volume: vol}))
+	if err != nil {
+		return 0, err
+	}
+	d := wire.NewDecoder(resp.Body)
+	repairs = d.Int() + d.Int() + d.Int()
+	if err := d.Close(); err != nil {
+		return 0, err
+	}
+	return repairs, nil
+}
+
+// Protect applies a protection-database mutation through the protection
+// server (which replicates it everywhere). The Admin must be connected to
+// the authority (server 0).
+func (a *Admin) Protect(p *sim.Proc, m prot.Mutation) error {
+	_, err := a.call(p, proto.OpProtMutate, proto.Marshal(m))
+	return err
+}
+
+// NewUser creates a user with a password and a home volume at
+// /usr/<name>, the standard provisioning sequence.
+func (a *Admin) NewUser(p *sim.Proc, name, password string, quota int64) error {
+	_, err := a.NewUserAt(p, name, password, quota, "")
+	return err
+}
+
+// NewUserAt provisions a user and then reassigns the home volume to the
+// named custodian — how files are placed in the cluster of the user's usual
+// workstation "to balance server load and minimize cross-cluster
+// references" (§3.1). An empty server leaves the volume where it was
+// created.
+func (a *Admin) NewUserAt(p *sim.Proc, name, password string, quota int64, server string) (uint32, error) {
+	if err := a.Protect(p, prot.Mutation{
+		Kind: prot.MutAddUser, Name: name, Key: secure.DeriveKey(name, password),
+	}); err != nil {
+		return 0, err
+	}
+	if err := a.MkdirAll(p, "/usr"); err != nil {
+		return 0, err
+	}
+	vid, err := a.CreateVolume(p, "user."+name, "/usr/"+name, name, quota)
+	if err != nil {
+		return 0, err
+	}
+	if server != "" && server != a.cell.Servers[0].Vice.Name() {
+		if err := a.MoveVolume(p, vid, server); err != nil {
+			return 0, err
+		}
+	}
+	return vid, nil
+}

@@ -1,0 +1,393 @@
+package itcfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"itcfs/internal/prot"
+	"itcfs/internal/proto"
+	"itcfs/internal/rpc"
+	"itcfs/internal/sim"
+)
+
+// provision builds a cell with one user volume and a logged-in workstation.
+func provision(t *testing.T, mode Mode, clusters int) (*Cell, *Workstation) {
+	t.Helper()
+	cell := NewCell(CellConfig{Mode: mode, Clusters: clusters})
+	cell.Run(func(p *sim.Proc) {
+		admin, err := cell.Admin(p, 0)
+		if err != nil {
+			t.Errorf("admin: %v", err)
+			return
+		}
+		if err := admin.NewUser(p, "satya", "pw", 0); err != nil {
+			t.Errorf("new user: %v", err)
+		}
+	})
+	ws := cell.AddWorkstation(0, "ws-test")
+	cell.Run(func(p *sim.Proc) {
+		if err := ws.Login(p, "satya", "pw"); err != nil {
+			t.Errorf("login: %v", err)
+		}
+	})
+	return cell, ws
+}
+
+func TestEndToEndWriteRead(t *testing.T) {
+	for _, mode := range []Mode{Prototype, Revised} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cell, ws := provision(t, mode, 1)
+			var got []byte
+			cell.Run(func(p *sim.Proc) {
+				if err := ws.FS.WriteFile(p, "/vice/usr/satya/hello", []byte("end to end")); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				var err error
+				got, err = ws.FS.ReadFile(p, "/vice/usr/satya/hello")
+				if err != nil {
+					t.Errorf("read: %v", err)
+				}
+			})
+			if string(got) != "end to end" {
+				t.Fatalf("got %q", got)
+			}
+		})
+	}
+}
+
+func TestLoginWrongPasswordFails(t *testing.T) {
+	cell, _ := provision(t, Prototype, 1)
+	ws2 := cell.AddWorkstation(0, "ws2")
+	var err error
+	cell.Run(func(p *sim.Proc) {
+		err = ws2.Login(p, "satya", "wrong-password")
+	})
+	if err == nil {
+		t.Fatal("login with wrong password succeeded")
+	}
+}
+
+func TestVirtualTimeAdvancesWithWork(t *testing.T) {
+	cell, ws := provision(t, Prototype, 1)
+	start := cell.Now()
+	cell.Run(func(p *sim.Proc) {
+		big := make([]byte, 1<<20)
+		if err := ws.FS.WriteFile(p, "/vice/usr/satya/big", big); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	})
+	elapsed := time.Duration(cell.Now() - start)
+	// 1MB over a 10 Mbit LAN plus server disk time: comfortably >1s.
+	if elapsed < time.Second {
+		t.Fatalf("virtual time advanced only %v for a 1MB store", elapsed)
+	}
+}
+
+func TestServerResourcesAccumulate(t *testing.T) {
+	cell, ws := provision(t, Prototype, 1)
+	cpuBefore := cell.Servers[0].CPU.BusyTime()
+	cell.Run(func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			path := fmt.Sprintf("/vice/usr/satya/f%d", i)
+			if err := ws.FS.WriteFile(p, path, []byte("data")); err != nil {
+				t.Errorf("write: %v", err)
+			}
+		}
+	})
+	if cell.Servers[0].CPU.BusyTime() <= cpuBefore {
+		t.Fatal("server CPU did not accumulate busy time")
+	}
+	if cell.Servers[0].Disk.BusyTime() == 0 {
+		t.Fatal("server disk never used")
+	}
+}
+
+func TestLocalFilesBypassVice(t *testing.T) {
+	cell, ws := provision(t, Prototype, 1)
+	served := cell.Servers[0].Endpoint.CallsTotal()
+	cell.Run(func(p *sim.Proc) {
+		if err := ws.FS.WriteFile(p, "/tmp/scratch", []byte("local only")); err != nil {
+			// /tmp must exist first on this station.
+			if err2 := ws.FS.Mkdir(p, "/tmp", 0o777); err2 != nil {
+				t.Errorf("mkdir /tmp: %v", err2)
+				return
+			}
+			if err := ws.FS.WriteFile(p, "/tmp/scratch", []byte("local only")); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+		}
+		got, err := ws.FS.ReadFile(p, "/tmp/scratch")
+		if err != nil || string(got) != "local only" {
+			t.Errorf("read: %q %v", got, err)
+		}
+	})
+	if got := cell.Servers[0].Endpoint.CallsTotal(); got != served {
+		t.Fatalf("local file I/O generated %d server calls", got-served)
+	}
+}
+
+func TestSymbolicLinkIntoVice(t *testing.T) {
+	cell, ws := provision(t, Prototype, 1)
+	cell.Run(func(p *sim.Proc) {
+		admin, _ := cell.Admin(p, 0)
+		if err := admin.MkdirAll(p, "/unix/sun/bin"); err != nil {
+			t.Errorf("mkdirall: %v", err)
+			return
+		}
+		// Operator installs a shared binary.
+		opWS := cell.AddWorkstation(0, "op-ws")
+		if err := opWS.Login(p, "operator", "operator-password"); err != nil {
+			t.Errorf("op login: %v", err)
+			return
+		}
+		if err := opWS.FS.WriteFile(p, "/vice/unix/sun/bin/cc", []byte("ELF cc")); err != nil {
+			t.Errorf("install cc: %v", err)
+			return
+		}
+		// The workstation's /bin is a symlink into /vice (Figure 3-2).
+		if err := ws.FS.SetupStandardLinks("sun"); err != nil {
+			t.Errorf("links: %v", err)
+			return
+		}
+		got, err := ws.FS.ReadFile(p, "/bin/cc")
+		if err != nil || string(got) != "ELF cc" {
+			t.Errorf("/bin/cc through symlink: %q %v", got, err)
+		}
+	})
+}
+
+func TestCrossClusterAccessCrossesBackbone(t *testing.T) {
+	cell := NewCell(CellConfig{Mode: Prototype, Clusters: 2})
+	cell.Run(func(p *sim.Proc) {
+		admin, err := cell.Admin(p, 0)
+		if err != nil {
+			t.Errorf("admin: %v", err)
+			return
+		}
+		if err := admin.NewUser(p, "satya", "pw", 0); err != nil {
+			t.Errorf("new user: %v", err)
+		}
+	})
+	// Workstation in cluster 1; satya's volume custodian is server0 in
+	// cluster 0.
+	ws := cell.AddWorkstation(1, "remote-ws")
+	frames := cell.Net.CrossClusterFrames()
+	cell.Run(func(p *sim.Proc) {
+		if err := ws.Login(p, "satya", "pw"); err != nil {
+			t.Errorf("login: %v", err)
+			return
+		}
+		if err := ws.FS.WriteFile(p, "/vice/usr/satya/f", []byte("x")); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	})
+	if cell.Net.CrossClusterFrames() <= frames {
+		t.Fatal("cross-cluster file access produced no backbone traffic")
+	}
+}
+
+func TestUserMobilityScenario(t *testing.T) {
+	// The paper's mobility story: a user works in the office (cluster 0),
+	// then uses a public workstation in a library (cluster 1), with only a
+	// cache warm-up as the observable difference.
+	for _, mode := range []Mode{Prototype, Revised} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cell, office := provision(t, mode, 2)
+			library := cell.AddWorkstation(1, "library-ws")
+			cell.Run(func(p *sim.Proc) {
+				if err := office.FS.WriteFile(p, "/vice/usr/satya/paper.mss", []byte("draft-1")); err != nil {
+					t.Errorf("office write: %v", err)
+					return
+				}
+				if err := library.Login(p, "satya", "pw"); err != nil {
+					t.Errorf("library login: %v", err)
+					return
+				}
+				got, err := library.FS.ReadFile(p, "/vice/usr/satya/paper.mss")
+				if err != nil || string(got) != "draft-1" {
+					t.Errorf("library read: %q %v", got, err)
+					return
+				}
+				if err := library.FS.WriteFile(p, "/vice/usr/satya/paper.mss", []byte("draft-2")); err != nil {
+					t.Errorf("library write: %v", err)
+					return
+				}
+				got, err = office.FS.ReadFile(p, "/vice/usr/satya/paper.mss")
+				if err != nil || string(got) != "draft-2" {
+					t.Errorf("office re-read: %q %v", got, err)
+				}
+			})
+		})
+	}
+}
+
+func TestCacheHitsAvoidDataTraffic(t *testing.T) {
+	cell, ws := provision(t, Revised, 1)
+	cell.Run(func(p *sim.Proc) {
+		if err := ws.FS.WriteFile(p, "/vice/usr/satya/f", bytes.Repeat([]byte("x"), 10000)); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		if _, err := ws.FS.ReadFile(p, "/vice/usr/satya/f"); err != nil {
+			t.Errorf("warm read: %v", err)
+		}
+	})
+	ws.Venus.ResetStats()
+	before := cell.Servers[0].Endpoint.CallsTotal()
+	cell.Run(func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			if _, err := ws.FS.ReadFile(p, "/vice/usr/satya/f"); err != nil {
+				t.Errorf("read %d: %v", i, err)
+			}
+		}
+	})
+	st := ws.Venus.Stats()
+	if st.Hits != 10 || st.Fetches != 0 {
+		t.Fatalf("stats = %+v, want 10 pure hits", st)
+	}
+	if got := cell.Servers[0].Endpoint.CallsTotal(); got != before {
+		t.Fatalf("%d server calls for fully cached reads in revised mode", got-before)
+	}
+}
+
+func TestQuotaSurfacesToApplication(t *testing.T) {
+	cell := NewCell(CellConfig{Mode: Prototype, Clusters: 1})
+	cell.Run(func(p *sim.Proc) {
+		admin, _ := cell.Admin(p, 0)
+		if err := admin.NewUser(p, "satya", "pw", 1000); err != nil {
+			t.Errorf("new user: %v", err)
+		}
+	})
+	ws := cell.AddWorkstation(0, "ws")
+	var err error
+	cell.Run(func(p *sim.Proc) {
+		if lerr := ws.Login(p, "satya", "pw"); lerr != nil {
+			t.Errorf("login: %v", lerr)
+			return
+		}
+		err = ws.FS.WriteFile(p, "/vice/usr/satya/big", make([]byte, 2000))
+	})
+	if !errors.Is(err, ErrQuota) {
+		t.Fatalf("err = %v, want ErrQuota", err)
+	}
+}
+
+func TestReadOnlyReplicaServedFromOwnCluster(t *testing.T) {
+	cell := NewCell(CellConfig{Mode: Revised, Clusters: 2})
+	cell.Run(func(p *sim.Proc) {
+		admin, err := cell.Admin(p, 0)
+		if err != nil {
+			t.Errorf("admin: %v", err)
+			return
+		}
+		if err := admin.MkdirAll(p, "/unix"); err != nil {
+			t.Errorf("mkdir: %v", err)
+			return
+		}
+		vid, err := admin.CreateVolume(p, "sys.bin", "/unix/bin", "operator", 0)
+		if err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		op := cell.AddWorkstation(0, "op-ws")
+		if err := op.Login(p, "operator", "operator-password"); err != nil {
+			t.Errorf("login: %v", err)
+			return
+		}
+		if err := op.FS.WriteFile(p, "/vice/unix/bin/emacs", bytes.Repeat([]byte("e"), 50000)); err != nil {
+			t.Errorf("install: %v", err)
+			return
+		}
+		if _, err := admin.CloneVolume(p, vid, "/unix/bin-ro", "server1"); err != nil {
+			t.Errorf("clone: %v", err)
+			return
+		}
+		if err := admin.NewUser(p, "student", "pw", 0); err != nil {
+			t.Errorf("user: %v", err)
+		}
+	})
+
+	// A student in cluster 1 fetches the binary from the replica on its
+	// own cluster server: no backbone crossing for the data.
+	ws := cell.AddWorkstation(1, "dorm-ws")
+	cell.Run(func(p *sim.Proc) {
+		if err := ws.Login(p, "student", "pw"); err != nil {
+			t.Errorf("login: %v", err)
+		}
+	})
+	frames := cell.Net.CrossClusterFrames()
+	var got []byte
+	cell.Run(func(p *sim.Proc) {
+		var err error
+		got, err = ws.FS.ReadFile(p, "/vice/unix/bin-ro/emacs")
+		if err != nil {
+			t.Errorf("read: %v", err)
+		}
+	})
+	if len(got) != 50000 {
+		t.Fatalf("replica served %d bytes", len(got))
+	}
+	if crossed := cell.Net.CrossClusterFrames() - frames; crossed > 4 {
+		// Location lookup may cross once; the 50 KB of data must not.
+		t.Fatalf("replica read crossed the backbone %d times", crossed)
+	}
+}
+
+func TestNegativeRightsRevokeInstantly(t *testing.T) {
+	cell, ws := provision(t, Prototype, 1)
+	mallory := cell.AddWorkstation(0, "mallory-ws")
+	cell.Run(func(p *sim.Proc) {
+		admin, _ := cell.Admin(p, 0)
+		if err := admin.NewUser(p, "mallory", "pw", 0); err != nil {
+			t.Errorf("user: %v", err)
+			return
+		}
+		if err := mallory.Login(p, "mallory", "pw"); err != nil {
+			t.Errorf("login: %v", err)
+			return
+		}
+		if err := ws.FS.WriteFile(p, "/vice/usr/satya/doc", []byte("shared")); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		// Initially readable (AnyUser lr on home volumes).
+		if _, err := mallory.FS.ReadFile(p, "/vice/usr/satya/doc"); err != nil {
+			t.Errorf("initial read: %v", err)
+			return
+		}
+		// satya adds a negative entry for mallory: instant revocation.
+		acl := prot.NewACL()
+		acl.Grant("satya", prot.RightsAll)
+		acl.Grant(prot.AnyUser, prot.RightLookup|prot.RightRead)
+		acl.Deny("mallory", prot.RightsAll)
+		if err := ws.Venus.SetACL(p, "/usr/satya", proto.ACLEncode(acl)); err != nil {
+			t.Errorf("setacl: %v", err)
+			return
+		}
+		if _, err := mallory.FS.ReadFile(p, "/vice/usr/satya/doc2x"); !errors.Is(err, ErrNoEnt) && !errors.Is(err, ErrAccess) {
+			t.Errorf("probe: %v", err)
+		}
+		if _, err := mallory.FS.Open(p, "/vice/usr/satya/doc", FlagRead); !errors.Is(err, ErrAccess) {
+			t.Errorf("read after deny: %v, want ErrAccess", err)
+		}
+	})
+}
+
+func TestCallMixHistogramAvailable(t *testing.T) {
+	cell, ws := provision(t, Prototype, 1)
+	cell.Run(func(p *sim.Proc) {
+		ws.FS.WriteFile(p, "/vice/usr/satya/a", []byte("1"))
+		ws.FS.ReadFile(p, "/vice/usr/satya/a")
+		ws.FS.ReadFile(p, "/vice/usr/satya/a")
+		ws.FS.Stat(p, "/vice/usr/satya/a")
+	})
+	counts := cell.Servers[0].Endpoint.CallCounts()
+	if counts[rpc.Op(proto.OpTestValid)] == 0 {
+		t.Fatalf("no validations in histogram: %v", counts)
+	}
+}
