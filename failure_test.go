@@ -4,8 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+	"time"
 
+	"itcfs/internal/proto"
 	"itcfs/internal/rpc"
+	"itcfs/internal/secure"
 	"itcfs/internal/sim"
 )
 
@@ -267,5 +270,238 @@ func TestQuotaLifecycle(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Degraded operation: a workstation cut off from a custodian keeps serving
+// files it holds valid cached copies of — read-only, "the user ... can
+// continue to use the files currently in its cache" — and the first read
+// after the partition heals revalidates, picking up anything written on the
+// other side. Exercised in both implementation modes.
+func TestPartitionedClientServesCachedCopy(t *testing.T) {
+	for _, mode := range []Mode{Prototype, Revised} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cell := NewCell(CellConfig{
+				Mode:     mode,
+				Clusters: 2,
+				// Short timeout so unreachability is detected quickly;
+				// a one-minute TTL so the revised client must revalidate
+				// after the heal instead of trusting its dead promise.
+				CallTimeout: 10 * time.Second,
+				CallbackTTL: time.Minute,
+			})
+			var err error
+			cell.Run(func(p *sim.Proc) {
+				admin, aerr := cell.Admin(p, 0)
+				if aerr != nil {
+					err = aerr
+					return
+				}
+				// The volume stays on server0 (cluster 0); the reader
+				// lives in cluster 1 so partitioning cluster 1 cuts it
+				// off from the custodian.
+				err = admin.NewUser(p, "satya", "pw", 0)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			reader := cell.AddWorkstation(1, "reader-ws")
+			writer := cell.AddWorkstation(0, "writer-ws")
+			const path = "/vice/usr/satya/doc"
+			v1, v2 := []byte("version 1"), []byte("version 2, written across the partition")
+			cell.Run(func(p *sim.Proc) {
+				if err = reader.Login(p, "satya", "pw"); err != nil {
+					return
+				}
+				if err = writer.Login(p, "satya", "pw"); err != nil {
+					return
+				}
+				if err = writer.FS.WriteFile(p, path, v1); err != nil {
+					return
+				}
+				_, err = reader.FS.ReadFile(p, path) // cache a valid copy
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			cell.Net.Partition(cell.Clusters[1])
+			cell.RunFor(2 * time.Minute) // outlive the revised client's callback TTL
+			var got []byte
+			var werr error
+			cell.Run(func(p *sim.Proc) {
+				// Reads are served from the cache despite the dead network.
+				got, err = reader.FS.ReadFile(p, path)
+				// Writes are not: degraded service is read-only.
+				werr = reader.FS.WriteFile(p, path, []byte("doomed"))
+			})
+			if err != nil {
+				t.Fatalf("partitioned read with valid cache: %v", err)
+			}
+			if string(got) != string(v1) {
+				t.Fatalf("partitioned read = %q, want cached %q", got, v1)
+			}
+			if !errors.Is(werr, rpc.ErrUnreachable) {
+				t.Fatalf("partitioned write: %v, want ErrUnreachable", werr)
+			}
+			if n := reader.Venus.Stats().DegradedReads; n == 0 {
+				t.Fatal("read during partition not counted as degraded")
+			}
+
+			// The other side of the partition moves on.
+			cell.Run(func(p *sim.Proc) {
+				err = writer.FS.WriteFile(p, path, v2)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// First read after the heal revalidates and sees the update.
+			cell.Net.Heal(cell.Clusters[1])
+			before := reader.Venus.Stats()
+			cell.Run(func(p *sim.Proc) {
+				got, err = reader.FS.ReadFile(p, path)
+			})
+			if err != nil {
+				t.Fatalf("first read after heal: %v", err)
+			}
+			if string(got) != string(v2) {
+				t.Fatalf("read after heal = %q, want %q (stale cache served)", got, v2)
+			}
+			after := reader.Venus.Stats()
+			if after.Validations == before.Validations && after.Fetches == before.Fetches {
+				t.Fatal("read after heal touched no server: cache trusted without revalidation")
+			}
+		})
+	}
+}
+
+// A write that fails at close (write-on-close could not reach the
+// custodian) must not resurrect: the failed bytes may not be served by
+// later reads nor silently stored by a later close. The dangerous window
+// is a crash inside the callback TTL — the open hits the fresh cache
+// without touching the server, so only the store fails.
+func TestFailedWriteDoesNotResurrect(t *testing.T) {
+	cell := NewCell(CellConfig{
+		Mode:             Revised,
+		CallTimeout:      10 * time.Second,
+		CallbackTTL:      10 * time.Minute,
+		ReconnectRetries: 3, // redial the custodian after its restart
+	})
+	var err error
+	cell.Run(func(p *sim.Proc) {
+		admin, aerr := cell.Admin(p, 0)
+		if aerr != nil {
+			err = aerr
+			return
+		}
+		err = admin.NewUser(p, "satya", "pw", 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := cell.AddWorkstation(0, "ws")
+	const path = "/vice/usr/satya/doc"
+	cell.Run(func(p *sim.Proc) {
+		if err = ws.Login(p, "satya", "pw"); err != nil {
+			return
+		}
+		err = ws.FS.WriteFile(p, path, []byte("good"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cell.CrashServer(0)
+	var werr error
+	cell.Run(func(p *sim.Proc) {
+		// Open succeeds against the TTL-fresh cache; the store at close
+		// is what fails.
+		werr = ws.FS.WriteFile(p, path, []byte("doomed"))
+	})
+	if !errors.Is(werr, rpc.ErrUnreachable) {
+		t.Fatalf("write to crashed custodian: %v, want ErrUnreachable", werr)
+	}
+
+	cell.RestartServer(0)
+	cell.RunFor(10 * time.Second)
+	var got []byte
+	cell.Run(func(p *sim.Proc) { got, err = ws.FS.ReadFile(p, path) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "good" {
+		t.Fatalf("read after restart = %q, want %q (failed write resurrected)", got, "good")
+	}
+	// And the custodian never received the doomed bytes.
+	ws2 := cell.AddWorkstation(0, "ws-fresh")
+	cell.Run(func(p *sim.Proc) {
+		if err = ws2.Login(p, "satya", "pw"); err != nil {
+			return
+		}
+		got, err = ws2.FS.ReadFile(p, path)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "good" {
+		t.Fatalf("cold read after restart = %q, want %q", got, "good")
+	}
+}
+
+// The transport distinguishes two kinds of unavailability: a call that
+// times out on an established connection (ErrTimeout, which also matches
+// ErrUnreachable so existing callers keep working) and a peer that cannot
+// even be dialed (ErrUnreachable only).
+func TestTimeoutVsUnreachable(t *testing.T) {
+	cell := NewCell(CellConfig{CallTimeout: 5 * time.Second})
+	cell.AddUser("satya", "pw")
+	ws := cell.AddWorkstation(0, "ws")
+	key := secure.DeriveKey("satya", "pw")
+
+	var conn *rpc.SimConn
+	var err error
+	cell.Run(func(p *sim.Proc) {
+		conn, err = ws.Endpoint.Dial(p, cell.Servers[0].Node.ID, "satya", key)
+	})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+
+	// The server dies with the connection established: the call times out.
+	cell.CrashServer(0)
+	var callErr error
+	cell.Run(func(p *sim.Proc) {
+		_, callErr = conn.Call(p, rpc.Request{
+			Op:   rpc.Op(proto.OpGetCustodian),
+			Body: proto.Marshal(proto.CustodianArgs{Path: "/"}),
+		})
+	})
+	if !errors.Is(callErr, rpc.ErrTimeout) {
+		t.Fatalf("call to crashed server: %v, want ErrTimeout", callErr)
+	}
+	if !errors.Is(callErr, rpc.ErrUnreachable) {
+		t.Fatal("ErrTimeout must also match ErrUnreachable for existing callers")
+	}
+
+	// Dialing the dead server never establishes a connection at all.
+	var dialErr error
+	cell.Run(func(p *sim.Proc) {
+		_, dialErr = ws.Endpoint.Dial(p, cell.Servers[0].Node.ID, "satya", key)
+	})
+	if !errors.Is(dialErr, rpc.ErrUnreachable) {
+		t.Fatalf("dial to crashed server: %v, want ErrUnreachable", dialErr)
+	}
+	if errors.Is(dialErr, rpc.ErrTimeout) {
+		t.Fatal("dial failure is not a call timeout: must not match ErrTimeout")
+	}
+
+	// After a restart the same endpoint can be dialed again.
+	cell.RestartServer(0)
+	cell.Run(func(p *sim.Proc) {
+		_, err = ws.Endpoint.Dial(p, cell.Servers[0].Node.ID, "satya", key)
+	})
+	if err != nil {
+		t.Fatalf("dial after restart: %v", err)
 	}
 }

@@ -156,6 +156,30 @@ type Node struct {
 	Inbox   *sim.Mailbox[Message]
 }
 
+// FaultAction tells the network what to do with one frame. The zero value
+// delivers the frame normally.
+type FaultAction struct {
+	Drop      bool          // lose the frame silently
+	Duplicate bool          // deliver the frame twice
+	Corrupt   bool          // flip bits in the wire payload before delivery
+	Delay     time.Duration // hold the frame this long before routing it
+}
+
+// FaultInjector decides, per frame, whether the network misbehaves. Decide
+// is consulted once for every frame offered to Send; Corrupt mutates wire
+// bytes in place when Decide asked for corruption. Implementations must be
+// deterministic for the simulation to stay replayable.
+type FaultInjector interface {
+	Decide(now sim.Time, src, dst NodeID, size int) FaultAction
+	Corrupt(wire []byte)
+}
+
+// Corruptible payloads expose their mutable wire bytes so the corruption
+// fault can damage them in flight. Payloads without wire bytes are immune.
+type Corruptible interface {
+	WirePayload() []byte
+}
+
 // Network is the campus internetwork: a backbone plus bridged clusters.
 type Network struct {
 	k        *sim.Kernel
@@ -167,6 +191,17 @@ type Network struct {
 	crossClusterFrames int64
 	drops              int64
 	partitioned        map[int]bool // clusters cut off from the backbone
+
+	fault    FaultInjector
+	nodeDown map[NodeID]bool
+
+	offered       int64
+	delivered     int64
+	faultDrops    int64
+	faultDups     int64
+	faultCorrupts int64
+	faultDelays   int64
+	downDrops     int64
 }
 
 // New creates an empty network with the given physical parameters.
@@ -176,6 +211,7 @@ func New(k *sim.Kernel, cfg Config) *Network {
 		cfg:         cfg,
 		Backbone:    newLink(k, "backbone", cfg.BackboneBandwidth),
 		partitioned: make(map[int]bool),
+		nodeDown:    make(map[NodeID]bool),
 	}
 }
 
@@ -228,13 +264,98 @@ func (n *Network) Heal(c *Cluster) { delete(n.partitioned, c.ID) }
 // Partitioned reports whether the cluster's bridge is detached.
 func (n *Network) Partitioned(c *Cluster) bool { return n.partitioned[c.ID] }
 
+// SetFaultInjector installs (or, with nil, removes) the fault plane. Every
+// subsequent frame is offered to the injector before routing.
+func (n *Network) SetFaultInjector(fi FaultInjector) { n.fault = fi }
+
+// SetNodeDown powers a node on or off. Frames from or to a down node are
+// dropped: at send time, and again at delivery time for frames already in
+// flight when the node went down.
+func (n *Network) SetNodeDown(id NodeID, down bool) {
+	if down {
+		n.nodeDown[id] = true
+	} else {
+		delete(n.nodeDown, id)
+	}
+}
+
+// NodeDown reports whether the node is powered off.
+func (n *Network) NodeDown(id NodeID) bool { return n.nodeDown[id] }
+
+// Offered returns the number of frames presented to Send (fault duplicates
+// count as extra offered frames, so conservation holds: Offered ==
+// Delivered + Drops + FaultDrops + DownDrops once the network drains).
+func (n *Network) Offered() int64 { return n.offered }
+
+// Delivered returns the number of frames placed in a destination inbox.
+func (n *Network) Delivered() int64 { return n.delivered }
+
+// FaultDrops returns frames lost to the fault injector.
+func (n *Network) FaultDrops() int64 { return n.faultDrops }
+
+// FaultDups returns frames duplicated by the fault injector.
+func (n *Network) FaultDups() int64 { return n.faultDups }
+
+// FaultCorrupts returns frames whose wire bytes were damaged in flight.
+func (n *Network) FaultCorrupts() int64 { return n.faultCorrupts }
+
+// FaultDelays returns frames held back by the fault injector.
+func (n *Network) FaultDelays() int64 { return n.faultDelays }
+
+// DownDrops returns frames lost because an endpoint node was powered off.
+func (n *Network) DownDrops() int64 { return n.downDrops }
+
 // Send routes a frame from src to dst. Delivery is asynchronous: the payload
 // appears in the destination node's Inbox after the frame traverses every
-// segment on the path. Send never blocks the caller.
+// segment on the path. Send never blocks the caller. An installed fault
+// injector may drop, duplicate, delay or corrupt the frame first, and frames
+// touching a powered-off node are lost.
 func (n *Network) Send(src, dst NodeID, size int, payload interface{}) {
+	n.offered++
+	if n.nodeDown[src] || n.nodeDown[dst] {
+		n.downDrops++
+		return
+	}
+	var act FaultAction
+	if n.fault != nil {
+		act = n.fault.Decide(n.k.Now(), src, dst, size)
+	}
+	if act.Drop {
+		n.faultDrops++
+		return
+	}
+	if act.Corrupt {
+		if c, ok := payload.(Corruptible); ok {
+			n.fault.Corrupt(c.WirePayload())
+			n.faultCorrupts++
+		}
+	}
+	route := func() { n.route(src, dst, size, payload) }
+	if act.Delay > 0 {
+		n.faultDelays++
+		n.k.After(act.Delay, route)
+	} else {
+		route()
+	}
+	if act.Duplicate {
+		n.offered++
+		n.faultDups++
+		n.route(src, dst, size, payload)
+	}
+}
+
+// route carries one frame across the topology and delivers it.
+func (n *Network) route(src, dst NodeID, size int, payload interface{}) {
 	s, d := n.nodes[src], n.nodes[dst]
 	msg := Message{From: src, To: dst, Size: size, Payload: payload}
-	deliver := func() { d.Inbox.Put(msg) }
+	deliver := func() {
+		if n.nodeDown[dst] {
+			n.downDrops++
+			return
+		}
+		n.delivered++
+		d.Inbox.Put(msg)
+	}
 	wire := size + n.cfg.FrameOverhead
 
 	switch {

@@ -1,0 +1,87 @@
+package rpc
+
+import (
+	"bytes"
+	"testing"
+
+	"itcfs/internal/fault"
+	"itcfs/internal/proto"
+)
+
+// The call/reply codec sits directly behind the session box: whatever the
+// box emits — including frames the fault injector flipped bits in before
+// the MAC caught them in transit, and hostile plaintexts under a stolen key
+// — must decode to an error or a message, never a panic, and successful
+// decodes must be canonical (re-encoding reproduces the input bytes, which
+// is what makes the at-most-once reply cache safe to replay).
+
+// chaosCallFrames returns call plaintexts for the operations the chaos
+// harness drives, plus fault-injector-corrupted copies of each, seeding the
+// corpus with the frames this codec actually meets under fault injection.
+func chaosCallFrames() [][]byte {
+	ref := proto.Ref{Path: "/vice/usr/satya/andrew/src000.c"}
+	fidRef := proto.Ref{FID: proto.FID{Volume: 2, Vnode: 7, Uniq: 3}}
+	frames := [][]byte{
+		encodeCall(1, Request{Op: Op(proto.OpFetch), Body: proto.Marshal(proto.FetchArgs{Ref: ref})}),
+		encodeCall(2, Request{Op: Op(proto.OpStore),
+			Body: proto.Marshal(proto.StoreArgs{Ref: fidRef, Mode: 0o644}),
+			Bulk: []byte("int fn1(int x) { return x * 7; }\n")}),
+		encodeCall(3, Request{Op: Op(proto.OpTestValid),
+			Body: proto.Marshal(proto.TestValidArgs{Ref: fidRef, Version: 4})}),
+		encodeCall(4, Request{Op: Op(proto.OpMakeDir),
+			Body: proto.Marshal(proto.NameArgs{Dir: ref, Name: "sub0", Mode: 0o755})}),
+		encodeCall(5, Request{Op: Op(proto.OpGetCustodian),
+			Body: proto.Marshal(proto.CustodianArgs{Path: "/usr/satya"})}),
+	}
+	inj := fault.New(fault.Config{Seed: 1985})
+	for _, f := range frames[:len(frames):len(frames)] {
+		damaged := append([]byte(nil), f...)
+		inj.Corrupt(damaged)
+		frames = append(frames, damaged)
+	}
+	return frames
+}
+
+func FuzzDecodeCall(f *testing.F) {
+	for _, frame := range chaosCallFrames() {
+		f.Add(frame)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, plain []byte) {
+		seq, req, err := decodeCall(plain)
+		if err != nil {
+			return
+		}
+		if re := encodeCall(seq, req); !bytes.Equal(re, plain) {
+			t.Fatalf("decode accepted non-canonical call frame:\n in %x\nout %x", plain, re)
+		}
+	})
+}
+
+func FuzzDecodeReply(f *testing.F) {
+	st := proto.Status{FID: proto.FID{Volume: 2, Vnode: 7, Uniq: 3}, Size: 33, Version: 5}
+	frames := [][]byte{
+		encodeReply(1, Response{Body: proto.Marshal(st), Bulk: []byte("file body bytes")}),
+		encodeReply(2, Response{Code: proto.CodeNoEnt, Body: []byte("vice: no such file")}),
+		encodeReply(3, Response{Code: CodeUnknownOp, Body: []byte("unknown op 9999")}),
+	}
+	inj := fault.New(fault.Config{Seed: 823})
+	for _, frame := range frames[:len(frames):len(frames)] {
+		damaged := append([]byte(nil), frame...)
+		inj.Corrupt(damaged)
+		frames = append(frames, damaged)
+	}
+	for _, frame := range frames {
+		f.Add(frame)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, plain []byte) {
+		seq, resp, err := decodeReply(plain)
+		if err != nil {
+			return
+		}
+		if re := encodeReply(seq, resp); !bytes.Equal(re, plain) {
+			t.Fatalf("decode accepted non-canonical reply frame:\n in %x\nout %x", plain, re)
+		}
+	})
+}

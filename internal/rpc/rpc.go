@@ -67,6 +67,13 @@ var (
 	ErrClosed      = errors.New("rpc: connection closed")
 	ErrUnreachable = errors.New("rpc: peer unreachable")
 	ErrBadPacket   = errors.New("rpc: malformed packet")
+
+	// ErrTimeout reports a call that got no reply in time on an established
+	// connection: the request may or may not have executed. It wraps
+	// ErrUnreachable, so callers treating timeouts as unreachability keep
+	// working, while tests can tell "no reply in time" (matches both) from
+	// "could not even connect" (matches only ErrUnreachable).
+	ErrTimeout = fmt.Errorf("rpc: call timed out: %w", ErrUnreachable)
 )
 
 // Ctx describes the authenticated origin of an incoming call.

@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"itcfs/internal/netsim"
@@ -20,6 +21,51 @@ type pkt struct {
 }
 
 func (p *pkt) size() int { return packetOverhead + len(p.Data) }
+
+// WirePayload exposes the packet's bytes to the netsim corruption fault.
+// Damaged packets fail the seal's MAC (or handshake verification) at the
+// receiver and are discarded, exactly like a frame with a bad checksum.
+func (p *pkt) WirePayload() []byte { return p.Data }
+
+// RetryPolicy bounds retransmission of calls (and handshake steps) over the
+// simulated transport. The zero value means a single attempt per call. Each
+// retry reuses the call's sequence number, so the receiver's at-most-once
+// reply cache recognizes retransmissions and never executes a call twice.
+type RetryPolicy struct {
+	Attempts   int           // total attempts per call; <= 1 disables retries
+	Backoff    time.Duration // delay before the 2nd attempt; doubles per retry
+	MaxBackoff time.Duration // cap on the backoff (0 = uncapped)
+	Jitter     float64       // +/- fraction of random spread per backoff
+	Seed       int64         // seeds the deterministic jitter source
+}
+
+// replyCache gives a connection at-most-once call semantics: the fault plane
+// can duplicate frames and clients retransmit on timeout, so the receiver
+// must recognize a sequence number it has already executed and resend the
+// saved reply instead of running the operation again.
+type replyCache struct {
+	inflight map[uint32]bool
+	done     map[uint32][]byte // seq -> sealed reply packet
+	order    []uint32
+}
+
+const replyCacheSize = 512
+
+func newReplyCache() *replyCache {
+	return &replyCache{inflight: make(map[uint32]bool), done: make(map[uint32][]byte)}
+}
+
+func (rc *replyCache) finish(seq uint32, sealed []byte) {
+	delete(rc.inflight, seq)
+	if _, ok := rc.done[seq]; !ok {
+		rc.order = append(rc.order, seq)
+	}
+	rc.done[seq] = sealed
+	for len(rc.order) > replyCacheSize {
+		delete(rc.done, rc.order[0])
+		rc.order = rc.order[1:]
+	}
+}
 
 // Backchannel lets a server place calls back to a connected client (the
 // callback path of the revised design). The proc argument is the calling
@@ -43,6 +89,13 @@ type EndpointConfig struct {
 	AuthCost Cost
 	// CallTimeout bounds Dial and Call waits; 0 means 60 simulated seconds.
 	CallTimeout time.Duration
+	// Retry enables bounded retransmission with exponential backoff and
+	// jitter; the zero value keeps the original single-attempt behavior.
+	Retry RetryPolicy
+	// CallbackTimeout bounds a server-to-client callback break. 0 means a
+	// quarter of CallTimeout: a dead cache holder must not stall a
+	// mutation for the caller's full call deadline.
+	CallbackTimeout time.Duration
 }
 
 // Endpoint binds RPC to one node of the simulated network. It serves
@@ -59,8 +112,13 @@ type Endpoint struct {
 	outbound map[uint64]*SimConn
 	inbound  map[inKey]*inConn
 
-	callCounts map[Op]int64
-	callsTotal int64
+	down bool
+	rng  *rand.Rand // deterministic jitter source for retry backoff
+
+	callCounts    map[Op]int64
+	callsTotal    int64
+	retries       int64
+	dupSuppressed int64
 }
 
 type inKey struct {
@@ -88,6 +146,7 @@ type SimConn struct {
 	nextSeq uint32
 	pending map[uint32]*sim.Future[outcome]
 	hsReply *sim.Future[[]byte] // in-flight handshake step
+	serve   *replyCache         // dedupes inbound callback calls
 	closed  bool
 }
 
@@ -96,16 +155,21 @@ type inConn struct {
 	ep      *Endpoint
 	key     inKey
 	hs      *secure.ServerHandshake
+	hsFinal []byte // saved final handshake message, resent on duplicate proofs
 	box     *secure.Box
 	user    string
 	nextSeq uint32
 	pending map[uint32]*sim.Future[outcome]
+	serve   *replyCache // dedupes inbound calls
 }
 
 // NewEndpoint attaches an endpoint to node and starts its dispatcher.
 func NewEndpoint(net *netsim.Network, node *netsim.Node, cfg EndpointConfig) *Endpoint {
 	if cfg.CallTimeout == 0 {
 		cfg.CallTimeout = 60 * time.Second
+	}
+	if cfg.CallbackTimeout == 0 {
+		cfg.CallbackTimeout = cfg.CallTimeout / 4
 	}
 	ep := &Endpoint{
 		k:          net.Kernel(),
@@ -115,9 +179,57 @@ func NewEndpoint(net *netsim.Network, node *netsim.Node, cfg EndpointConfig) *En
 		outbound:   make(map[uint64]*SimConn),
 		inbound:    make(map[inKey]*inConn),
 		callCounts: make(map[Op]int64),
+		rng:        rand.New(rand.NewSource(cfg.Retry.Seed ^ int64(node.ID)*0x5851f42d4c957f2d)),
 	}
 	ep.k.Spawn("rpc-dispatch:"+node.Name, ep.dispatch)
 	return ep
+}
+
+// Crash power-fails the endpoint: every connection (inbound and outbound)
+// and all at-most-once reply state is lost, and until Restart the endpoint
+// neither sends nor receives. In-flight callers see their calls time out.
+func (ep *Endpoint) Crash() {
+	ep.down = true
+	ep.outbound = make(map[uint64]*SimConn)
+	ep.inbound = make(map[inKey]*inConn)
+}
+
+// Restart brings a crashed endpoint back up with empty connection state.
+// Peers must redial: their old connections are gone on this side and their
+// calls on them will time out.
+func (ep *Endpoint) Restart() { ep.down = false }
+
+// Retries returns the number of call/handshake retransmissions sent.
+func (ep *Endpoint) Retries() int64 { return ep.retries }
+
+// DupSuppressed returns inbound calls recognized as duplicates by the
+// at-most-once reply cache (answered from the cache or ignored while the
+// original is still executing).
+func (ep *Endpoint) DupSuppressed() int64 { return ep.dupSuppressed }
+
+// backoff returns the delay before retry attempt a (a >= 1): exponential in
+// the attempt number with deterministic jitter.
+func (ep *Endpoint) backoff(a int) time.Duration {
+	d := ep.cfg.Retry.Backoff
+	if d <= 0 {
+		d = time.Second
+	}
+	for i := 1; i < a; i++ {
+		d *= 2
+		if cap := ep.cfg.Retry.MaxBackoff; cap > 0 && d >= cap {
+			break
+		}
+	}
+	if cap := ep.cfg.Retry.MaxBackoff; cap > 0 && d > cap {
+		d = cap
+	}
+	if j := ep.cfg.Retry.Jitter; j > 0 {
+		d = time.Duration(float64(d) * (1 + j*(2*ep.rng.Float64()-1)))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
 }
 
 // Node returns the network node the endpoint is bound to.
@@ -137,6 +249,9 @@ func (ep *Endpoint) CallCounts() map[Op]int64 {
 func (ep *Endpoint) CallsTotal() int64 { return ep.callsTotal }
 
 func (ep *Endpoint) send(to netsim.NodeID, p *pkt) {
+	if ep.down {
+		return // a crashed host transmits nothing
+	}
 	p.From = ep.node.ID
 	ep.net.Send(ep.node.ID, to, p.size(), p)
 }
@@ -151,6 +266,9 @@ func (ep *Endpoint) dispatch(p *sim.Proc) {
 		pk, ok := msg.Payload.(*pkt)
 		if !ok {
 			continue
+		}
+		if ep.down {
+			continue // a crashed host hears nothing
 		}
 		switch pk.Kind {
 		case kindHello, kindProof:
@@ -182,6 +300,9 @@ func (ep *Endpoint) handleHandshake(pk *pkt) {
 		ep.cfg.Meters.charge(p, ep.cfg.AuthCost)
 		switch pk.Kind {
 		case kindHello:
+			if ic := ep.inbound[key]; ic != nil && ic.box != nil {
+				return // duplicate hello on an established connection
+			}
 			hs := secure.NewServerHandshake(ep.cfg.Keys)
 			challenge, err := hs.Challenge(pk.Data)
 			if err != nil {
@@ -192,11 +313,21 @@ func (ep *Endpoint) handleHandshake(pk *pkt) {
 				key:     key,
 				hs:      hs,
 				pending: make(map[uint32]*sim.Future[outcome]),
+				serve:   newReplyCache(),
 			}
 			ep.send(pk.From, &pkt{Conn: pk.Conn, Kind: kindChallenge, Data: challenge})
 		case kindProof:
 			ic := ep.inbound[key]
-			if ic == nil || ic.hs == nil {
+			if ic == nil {
+				return
+			}
+			if ic.hs == nil {
+				// Retransmitted proof for a handshake that already finished
+				// (our final message was lost or duplicated in flight):
+				// resend it so the client can complete.
+				if ic.box != nil && ic.hsFinal != nil {
+					ep.send(pk.From, &pkt{Conn: pk.Conn, Kind: kindSession, Data: append([]byte(nil), ic.hsFinal...)})
+				}
 				return
 			}
 			final, session, err := ic.hs.Complete(pk.Data)
@@ -207,6 +338,7 @@ func (ep *Endpoint) handleHandshake(pk *pkt) {
 			ic.user = ic.hs.User()
 			ic.box = secure.NewBox(session)
 			ic.hs = nil
+			ic.hsFinal = append([]byte(nil), final...)
 			ep.send(pk.From, &pkt{Conn: pk.Conn, Kind: kindSession, Data: final})
 		}
 	})
@@ -219,10 +351,11 @@ func (ep *Endpoint) handleCall(pk *pkt) {
 	var box *secure.Box
 	var user string
 	var back Backchannel
+	var serve *replyCache
 	if ic := ep.inbound[inKey{pk.From, pk.Conn}]; ic != nil && ic.box != nil {
-		box, user, back = ic.box, ic.user, ic
+		box, user, back, serve = ic.box, ic.user, ic, ic.serve
 	} else if c := ep.outbound[pk.Conn]; c != nil && c.remote == pk.From && c.box != nil {
-		box, user, back = c.box, "", c
+		box, user, back, serve = c.box, "", c, c.serve
 	} else {
 		return // unknown or unauthenticated connection
 	}
@@ -237,6 +370,19 @@ func (ep *Endpoint) handleCall(pk *pkt) {
 	if ep.cfg.Server == nil {
 		return
 	}
+	// At-most-once: a retransmitted or duplicated call must not execute
+	// again. Answer finished calls from the reply cache; stay silent while
+	// the original is still executing (its reply will cover both frames).
+	if sealed, ok := serve.done[seq]; ok {
+		ep.dupSuppressed++
+		ep.send(pk.From, &pkt{Conn: pk.Conn, Kind: kindReply, Data: sealed})
+		return
+	}
+	if serve.inflight[seq] {
+		ep.dupSuppressed++
+		return
+	}
+	serve.inflight[seq] = true
 	ep.callCounts[req.Op]++
 	ep.callsTotal++
 	ep.k.Spawn(fmt.Sprintf("rpc-worker-op%d", req.Op), func(p *sim.Proc) {
@@ -245,7 +391,9 @@ func (ep *Endpoint) handleCall(pk *pkt) {
 		if ep.cfg.Model != nil {
 			ep.cfg.Meters.charge(p, ep.cfg.Model(ctx, req, resp))
 		}
-		ep.send(pk.From, &pkt{Conn: pk.Conn, Kind: kindReply, Data: box.Seal(encodeReply(seq, resp))})
+		sealed := box.Seal(encodeReply(seq, resp))
+		serve.finish(seq, sealed)
+		ep.send(pk.From, &pkt{Conn: pk.Conn, Kind: kindReply, Data: sealed})
 	})
 }
 
@@ -303,6 +451,7 @@ func (ep *Endpoint) Dial(p *sim.Proc, remote netsim.NodeID, user string, key sec
 		id:      ep.nextConn,
 		user:    user,
 		pending: make(map[uint32]*sim.Future[outcome]),
+		serve:   newReplyCache(),
 	}
 	ep.outbound[c.id] = c
 	hs := secure.NewClientHandshake(user, key)
@@ -331,22 +480,33 @@ func (ep *Endpoint) Dial(p *sim.Proc, remote netsim.NodeID, user string, key sec
 	return c, nil
 }
 
-// handshakeStep sends one handshake message and waits for its reply or a
-// timeout.
+// handshakeStep sends one handshake message and waits for its reply,
+// retransmitting with backoff under the endpoint's retry policy. Each
+// attempt sends a fresh copy of the message so an in-flight corruption
+// fault cannot poison later retransmissions.
 func (c *SimConn) handshakeStep(p *sim.Proc, kind uint8, data []byte) ([]byte, error) {
-	f := sim.NewFuture[[]byte](c.ep.k)
-	c.hsReply = f
-	c.ep.send(c.remote, &pkt{Conn: c.id, Kind: kind, Data: data})
-	c.ep.k.After(c.ep.cfg.CallTimeout, func() {
-		if f.TrySet(nil) {
-			c.hsReply = nil
-		}
-	})
-	reply := f.Wait(p)
-	if reply == nil {
-		return nil, fmt.Errorf("%w: handshake timeout to node %d", ErrUnreachable, c.remote)
+	attempts := c.ep.cfg.Retry.Attempts
+	if attempts < 1 {
+		attempts = 1
 	}
-	return reply, nil
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			c.ep.retries++
+			p.Sleep(c.ep.backoff(a))
+		}
+		f := sim.NewFuture[[]byte](c.ep.k)
+		c.hsReply = f
+		c.ep.send(c.remote, &pkt{Conn: c.id, Kind: kind, Data: append([]byte(nil), data...)})
+		c.ep.k.After(c.ep.cfg.CallTimeout, func() {
+			if f.TrySet(nil) && c.hsReply == f {
+				c.hsReply = nil
+			}
+		})
+		if reply := f.Wait(p); reply != nil {
+			return reply, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: handshake timeout to node %d", ErrUnreachable, c.remote)
 }
 
 // User returns the identity the connection authenticated as.
@@ -355,23 +515,48 @@ func (c *SimConn) User() string { return c.user }
 // Remote returns the node at the far end.
 func (c *SimConn) Remote() netsim.NodeID { return c.remote }
 
-// Call performs one RPC and waits (in virtual time) for the reply.
+// Call performs one RPC and waits (in virtual time) for the reply. Under a
+// retry policy, unanswered attempts are retransmitted with exponential
+// backoff and jitter; every attempt reuses the same sequence number, so the
+// server's at-most-once cache executes the operation exactly once no matter
+// how often frames are lost or duplicated in flight.
 func (c *SimConn) Call(p *sim.Proc, req Request) (Response, error) {
 	if c.closed {
 		return Response{}, ErrClosed
 	}
 	c.nextSeq++
 	seq := c.nextSeq
-	f := sim.NewFuture[outcome](c.ep.k)
-	c.pending[seq] = f
-	c.ep.send(c.remote, &pkt{Conn: c.id, Kind: kindCall, Data: c.box.Seal(encodeCall(seq, req))})
-	c.ep.k.After(c.ep.cfg.CallTimeout, func() {
-		if f.TrySet(outcome{err: fmt.Errorf("%w: call op %d timed out", ErrUnreachable, req.Op)}) {
-			delete(c.pending, seq)
+	plain := encodeCall(seq, req)
+	attempts := c.ep.cfg.Retry.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			c.ep.retries++
+			p.Sleep(c.ep.backoff(a))
+			if c.closed {
+				return Response{}, lastErr
+			}
 		}
-	})
-	out := f.Wait(p)
-	return out.resp, out.err
+		f := sim.NewFuture[outcome](c.ep.k)
+		c.pending[seq] = f
+		c.ep.send(c.remote, &pkt{Conn: c.id, Kind: kindCall, Data: c.box.Seal(plain)})
+		c.ep.k.After(c.ep.cfg.CallTimeout, func() {
+			if f.TrySet(outcome{err: fmt.Errorf("%w: op %d to node %d", ErrTimeout, req.Op, c.remote)}) {
+				if c.pending[seq] == f {
+					delete(c.pending, seq)
+				}
+			}
+		})
+		out := f.Wait(p)
+		if out.err == nil {
+			return out.resp, nil
+		}
+		lastErr = out.err
+	}
+	return Response{}, lastErr
 }
 
 // Close tears down the connection; the server forgets its state.
@@ -395,8 +580,8 @@ func (ic *inConn) CallBack(p *sim.Proc, req Request) (Response, error) {
 	f := sim.NewFuture[outcome](ic.ep.k)
 	ic.pending[seq] = f
 	ic.ep.send(ic.key.from, &pkt{Conn: ic.key.conn, Kind: kindCall, Data: ic.box.Seal(encodeCall(seq, req))})
-	ic.ep.k.After(ic.ep.cfg.CallTimeout, func() {
-		if f.TrySet(outcome{err: fmt.Errorf("%w: callback op %d timed out", ErrUnreachable, req.Op)}) {
+	ic.ep.k.After(ic.ep.cfg.CallbackTimeout, func() {
+		if f.TrySet(outcome{err: fmt.Errorf("%w: callback op %d", ErrTimeout, req.Op)}) {
 			delete(ic.pending, seq)
 		}
 	})

@@ -177,15 +177,31 @@ func (v *Venus) callRef(p *sim.Proc, ref proto.Ref, pathHint string, req rpc.Req
 }
 
 // callAt performs the call, retrying at the hinted custodian on
-// CodeWrongServer (stale hints are corrected, not fatal).
+// CodeWrongServer (stale hints are corrected, not fatal). Under
+// ReconnectRetries, a transport failure drops the dead connection, redials
+// and re-issues the call — this is how Venus survives a server that crashed
+// and restarted, losing every connection it had accepted.
 func (v *Venus) callAt(p *sim.Proc, server, path string, cr proto.CustodianReply, req rpc.Request) (rpc.Response, error) {
-	for i := 0; i < maxRedirects; i++ {
+	redials, redirects := 0, 0
+	for {
 		c, err := v.conn(p, server)
 		if err != nil {
+			if isTransportErr(err) && redials < v.cfg.ReconnectRetries {
+				redials++
+				continue
+			}
 			return rpc.Response{}, err
 		}
 		resp, err := c.Call(p, req)
 		if err != nil {
+			if isTransportErr(err) && redials < v.cfg.ReconnectRetries {
+				// The connection is dead; a fresh one is outside the
+				// transport's at-most-once window, so the re-issued request
+				// may execute twice — mutating callers tolerate that.
+				v.dropConn(server, c)
+				redials++
+				continue
+			}
 			return rpc.Response{}, err
 		}
 		if resp.Code != proto.CodeWrongServer {
@@ -200,9 +216,25 @@ func (v *Venus) callAt(p *sim.Proc, server, path string, cr proto.CustodianReply
 		if hinted == "" || hinted == server {
 			return resp, nil
 		}
+		if redirects++; redirects >= maxRedirects {
+			return rpc.Response{}, fmt.Errorf("%w: too many custodian redirects for %s", proto.ErrInternal, path)
+		}
 		server = hinted
 	}
-	return rpc.Response{}, fmt.Errorf("%w: too many custodian redirects for %s", proto.ErrInternal, path)
+}
+
+// dropConn discards a dead connection so the next call redials. The value
+// is compared first: a concurrent caller may already have replaced it.
+func (v *Venus) dropConn(server string, c Conn) {
+	v.mu.Lock()
+	if v.conns[server] == c {
+		delete(v.conns, server)
+	}
+	v.stats.Reconnects++
+	v.mu.Unlock()
+	if cl, ok := c.(interface{ Close() }); ok {
+		cl.Close()
+	}
 }
 
 // Resolve translates a Vice pathname to a FID by traversing cached
@@ -291,8 +323,9 @@ func joinComponents(parts []string) string {
 func (v *Venus) dirEntries(p *sim.Proc, dir proto.FID, path string) ([]proto.DirEntry, error) {
 	v.mu.Lock()
 	e := v.byFID[dir]
+	fresh := e != nil && v.freshLocked(e, v.now(p))
 	v.mu.Unlock()
-	if e != nil && e.cacheFile != "" && e.valid {
+	if e != nil && e.cacheFile != "" && fresh {
 		data, err := v.cfg.Local.ReadFile(e.cacheFile)
 		if err == nil {
 			v.mu.Lock()
@@ -315,7 +348,7 @@ func (v *Venus) dirEntries(p *sim.Proc, dir proto.FID, path string) ([]proto.Dir
 // statFID fetches status by FID (symlink targets during resolution).
 func (v *Venus) statFID(p *sim.Proc, fid proto.FID, pathHint string) (proto.Status, error) {
 	v.mu.Lock()
-	if e := v.byFID[fid]; e != nil && e.valid {
+	if e := v.byFID[fid]; e != nil && v.freshLocked(e, v.now(p)) {
 		st := e.status
 		v.mu.Unlock()
 		return st, nil
@@ -428,7 +461,19 @@ func (v *Venus) dirCall(p *sim.Proc, dir string, op uint16, body []byte, patch d
 		return resp, err
 	}
 	if !resp.OK() {
-		return resp, proto.CodeToErr(resp.Code, string(resp.Body))
+		// With ReconnectRetries enabled a call may be re-issued on a fresh
+		// connection, outside the transport's at-most-once window, after an
+		// earlier attempt already executed (its reply died with the server).
+		// A mutation that reports "already done" — Exist on an add, NoEnt on
+		// a delete — is then indistinguishable from that re-execution, so
+		// treat it as success with at-least-once semantics. The cached
+		// listing cannot be patched (the reply carries no status), so fall
+		// through to the drop-and-refetch path below.
+		if v.cfg.ReconnectRetries > 0 && mutationAlreadyDone(op, resp.Code) {
+			patch = nil
+		} else {
+			return resp, proto.CodeToErr(resp.Code, string(resp.Body))
+		}
 	}
 	if v.cfg.Mode == vice.Revised && patch != nil && v.patchDir(ref.FID, patch, resp) {
 		return resp, nil
@@ -442,6 +487,19 @@ func (v *Venus) dirCall(p *sim.Proc, dir string, op uint16, body []byte, patch d
 		v.mu.Unlock()
 	}
 	return resp, nil
+}
+
+// mutationAlreadyDone reports whether a failed directory mutation left the
+// name space in exactly the state the caller asked for — the signature of a
+// reconnect re-executing a call whose first attempt succeeded.
+func mutationAlreadyDone(op uint16, code uint16) bool {
+	switch op {
+	case proto.OpMakeDir, proto.OpSymlink, proto.OpLink:
+		return code == proto.CodeExist
+	case proto.OpRemove, proto.OpRemoveDir:
+		return code == proto.CodeNoEnt
+	}
+	return false
 }
 
 // patchDir applies a patch to the cached listing of dir, reporting whether

@@ -18,8 +18,10 @@ package venus
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"itcfs/internal/proto"
 	"itcfs/internal/rpc"
@@ -51,6 +53,8 @@ type Stats struct {
 	Evictions      int64
 	BytesFetched   int64
 	BytesStored    int64
+	DegradedReads  int64 // reads served from cache while the server was unreachable
+	Reconnects     int64 // dead connections dropped for redial after transport failure
 }
 
 // HitRatio returns hits over opens (0 when no opens).
@@ -71,6 +75,19 @@ type Config struct {
 	MaxBytes   int64  // revised cache limit (bytes)
 	HomeServer string // this cluster's server, asked first for locations
 	Connect    Connector
+	// CallbackTTL bounds how long a revised-mode client trusts a callback
+	// promise without revalidating (0 = forever, the paper's design). A
+	// finite TTL bounds staleness when a server crash wipes its callback
+	// table or a partition swallows break messages: once the TTL expires,
+	// the next open revalidates with TestValid, which also hands the server
+	// a fresh promise — rebuilding its callback table after a restart.
+	CallbackTTL time.Duration
+	// ReconnectRetries lets Venus redial a server and re-issue a call after
+	// a transport failure (server crash or long outage); 0 fails fast. A
+	// re-issued call is a new connection, outside the transport's
+	// at-most-once window, so mutating callers tolerate re-execution (see
+	// createFile's handling of ErrExist).
+	ReconnectRetries int
 }
 
 // entry is one cached whole file (or directory listing, or status-only
@@ -83,6 +100,7 @@ type entry struct {
 	valid     bool   // revised: callback promise still held
 	dirty     bool   // modified locally, not yet stored
 	open      int    // open handle count (pinned)
+	fetchedAt sim.Time // when the copy (and its promise) was last confirmed
 	lruEl     *list.Element
 }
 
@@ -259,6 +277,11 @@ func (v *Venus) lookupPrototype(p *sim.Proc, path string, flags OpenFlag) (*entr
 		}
 		ok, version, err := v.testValid(p, proto.Ref{Path: path}, e.status.Version)
 		if err != nil {
+			if isTransportErr(err) {
+				if de, served := v.degraded(e, flags); served {
+					return de, nil
+				}
+			}
 			return nil, err
 		}
 		if ok {
@@ -273,6 +296,52 @@ func (v *Venus) lookupPrototype(p *sim.Proc, path string, flags OpenFlag) (*entr
 	return v.fetchEntry(p, proto.Ref{Path: path}, path, flags)
 }
 
+// isTransportErr reports a transport-level failure — no response at all —
+// as opposed to the server rejecting the request.
+func isTransportErr(err error) bool {
+	return errors.Is(err, rpc.ErrUnreachable) || errors.Is(err, rpc.ErrClosed)
+}
+
+// degraded serves a cached copy read-only while its custodian is
+// unreachable (§2.2: network or server failures cause at worst a temporary,
+// partial loss of service — not an error on data we already hold). Only
+// copies not known stale qualify, and write-intent opens still fail: the
+// write-on-close store would be lost.
+func (v *Venus) degraded(e *entry, flags OpenFlag) (*entry, bool) {
+	if e == nil || e.cacheFile == "" || !e.valid {
+		return nil, false
+	}
+	if flags&(FlagWrite|FlagTrunc|FlagCreate) != 0 {
+		return nil, false
+	}
+	v.mu.Lock()
+	v.stats.DegradedReads++
+	v.mu.Unlock()
+	return e, true
+}
+
+// now returns the virtual time, or zero when Venus runs outside the
+// simulator (real transports pass a nil proc).
+func (v *Venus) now(p *sim.Proc) sim.Time {
+	if p == nil {
+		return 0
+	}
+	return p.Now()
+}
+
+// freshLocked reports whether a revised-mode entry may be served with no
+// server traffic: its promise must be intact and, under a CallbackTTL,
+// recent enough. Caller holds v.mu.
+func (v *Venus) freshLocked(e *entry, now sim.Time) bool {
+	if !e.valid {
+		return false
+	}
+	if v.cfg.CallbackTTL <= 0 {
+		return true
+	}
+	return now.Sub(e.fetchedAt) <= v.cfg.CallbackTTL
+}
+
 // lookupRevised trusts callbacks: a valid cached copy needs no server
 // traffic at all.
 func (v *Venus) lookupRevised(p *sim.Proc, path string, flags OpenFlag) (*entry, error) {
@@ -284,18 +353,67 @@ func (v *Venus) lookupRevised(p *sim.Proc, path string, flags OpenFlag) (*entry,
 		if proto.ErrToCode(err) == proto.CodeNoEnt && flags&FlagCreate != 0 {
 			return v.createFile(p, path)
 		}
+		if isTransportErr(err) {
+			// Resolution needed the server (cached directories expired or
+			// missing) and the server is gone; fall back to the last cached
+			// copy of the file itself, if we hold one.
+			v.mu.Lock()
+			e := v.byPath[path]
+			v.mu.Unlock()
+			if de, served := v.degraded(e, flags); served {
+				return de, nil
+			}
+		}
 		return nil, err
 	}
 	v.mu.Lock()
 	e := v.byFID[fid]
-	v.mu.Unlock()
-	if e != nil && e.cacheFile != "" && (e.valid || e.dirty) {
-		v.mu.Lock()
+	now := v.now(p)
+	hit := false
+	var expired *entry
+	if e != nil && e.cacheFile != "" {
+		if e.dirty || v.freshLocked(e, now) {
+			hit = true
+		} else if e.valid {
+			expired = e // promise outlived its TTL: revalidate, don't refetch
+		}
+	}
+	if hit {
 		v.stats.Hits++
-		v.mu.Unlock()
+	}
+	v.mu.Unlock()
+	if hit {
 		return e, nil
 	}
-	return v.fetchEntry(p, proto.Ref{FID: fid}, path, flags)
+	if expired != nil {
+		ok, _, verr := v.testValid(p, proto.Ref{FID: fid}, expired.status.Version)
+		switch {
+		case verr != nil:
+			if isTransportErr(verr) {
+				if de, served := v.degraded(expired, flags); served {
+					return de, nil
+				}
+			}
+			return nil, verr
+		case ok:
+			// Still current; the server re-promised in the same call (its
+			// callback table is rebuilt even if it restarted meanwhile).
+			v.mu.Lock()
+			expired.fetchedAt = now
+			v.stats.Hits++
+			v.mu.Unlock()
+			return expired, nil
+		default:
+			v.invalidate(expired)
+		}
+	}
+	fe, ferr := v.fetchEntry(p, proto.Ref{FID: fid}, path, flags)
+	if ferr != nil && isTransportErr(ferr) {
+		if de, served := v.degraded(e, flags); served {
+			return de, nil
+		}
+	}
+	return fe, ferr
 }
 
 // testValid asks the custodian whether a cached version is current.
@@ -347,7 +465,7 @@ func (v *Venus) fetchEntry(p *sim.Proc, ref proto.Ref, path string, flags OpenFl
 	v.stats.Misses++
 	v.stats.BytesFetched += int64(len(resp.Bulk))
 	v.mu.Unlock()
-	e, err := v.installEntry(path, st, resp.Bulk)
+	e, err := v.installEntry(path, st, resp.Bulk, v.now(p))
 	if err != nil {
 		return nil, err
 	}
@@ -376,6 +494,14 @@ func (v *Venus) createFile(p *sim.Proc, path string) (*entry, error) {
 	if err != nil {
 		return nil, err
 	}
+	if resp.Code == proto.CodeExist {
+		// The file appeared between our lookup and the create — either a
+		// concurrent creator won, or our own earlier attempt executed but
+		// its reply was lost and a reconnect re-issued it. FlagCreate has
+		// no exclusive semantics, so open the existing file.
+		v.dropDir(dir)
+		return v.fetchEntry(p, proto.Ref{Path: path}, path, 0)
+	}
 	if !resp.OK() {
 		return nil, proto.CodeToErr(resp.Code, string(resp.Body))
 	}
@@ -388,11 +514,11 @@ func (v *Venus) createFile(p *sim.Proc, path string) (*entry, error) {
 	if v.cfg.Mode != vice.Revised || !v.patchDir(dirRef.FID, patchAdd(name, proto.TypeFile), resp) {
 		v.dropDir(dir)
 	}
-	return v.installEntry(path, st, nil)
+	return v.installEntry(path, st, nil, v.now(p))
 }
 
 // installEntry writes fetched data into the local cache and indexes it.
-func (v *Venus) installEntry(path string, st proto.Status, data []byte) (*entry, error) {
+func (v *Venus) installEntry(path string, st proto.Status, data []byte, now sim.Time) (*entry, error) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	e := v.byFID[st.FID]
@@ -416,6 +542,7 @@ func (v *Venus) installEntry(path string, st proto.Status, data []byte) (*entry,
 	e.status = st
 	e.valid = true
 	e.dirty = false
+	e.fetchedAt = now
 	v.bytes += st.Size
 	v.index(e)
 	v.touch(e)
@@ -603,7 +730,18 @@ func (h *Handle) Close(p *sim.Proc) error {
 	if !dirty {
 		return nil
 	}
-	return v.storeEntry(p, h.e)
+	if err := v.storeEntry(p, h.e); err != nil {
+		// The store failed and the caller is told so. Drop the modified
+		// copy: left dirty it would be served by every later open and
+		// silently stored by a later close — a write the application saw
+		// fail must never resurrect.
+		v.mu.Lock()
+		h.e.dirty = false
+		h.e.valid = false
+		v.mu.Unlock()
+		return err
+	}
+	return nil
 }
 
 // storeEntry transmits the cached copy back to the custodian.
@@ -644,6 +782,7 @@ func (v *Venus) storeEntry(p *sim.Proc, e *entry) error {
 	// Valid only if no break raced the store: a concurrent writer may have
 	// superseded our version while the reply was in flight.
 	e.valid = v.breakGen == gen
+	e.fetchedAt = v.now(p)
 	v.index(e)
 	v.evictLocked() // the stored file may have grown past the cache limit
 	v.mu.Unlock()

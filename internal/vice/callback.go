@@ -1,6 +1,7 @@
 package vice
 
 import (
+	"sort"
 	"sync"
 
 	"itcfs/internal/proto"
@@ -15,17 +16,20 @@ import (
 // cost of server state and an invalidation message on each update (§3.2).
 type CallbackTable struct {
 	mu       sync.Mutex
-	promises map[proto.FID]map[rpc.Backchannel]bool
+	promises map[proto.FID]map[rpc.Backchannel]int64 // -> registration order
+	regSeq   int64
 	breaks   int64
 	promised int64
 }
 
 // NewCallbackTable returns an empty table.
 func NewCallbackTable() *CallbackTable {
-	return &CallbackTable{promises: make(map[proto.FID]map[rpc.Backchannel]bool)}
+	return &CallbackTable{promises: make(map[proto.FID]map[rpc.Backchannel]int64)}
 }
 
-// Promise records that the connection holds a valid copy of fid.
+// Promise records that the connection holds a valid copy of fid. Promises
+// remember their registration order so breaks fire deterministically (map
+// iteration order must never leak into the event schedule).
 func (t *CallbackTable) Promise(fid proto.FID, back rpc.Backchannel) {
 	if back == nil {
 		return
@@ -34,13 +38,23 @@ func (t *CallbackTable) Promise(fid proto.FID, back rpc.Backchannel) {
 	defer t.mu.Unlock()
 	set := t.promises[fid]
 	if set == nil {
-		set = make(map[rpc.Backchannel]bool)
+		set = make(map[rpc.Backchannel]int64)
 		t.promises[fid] = set
 	}
-	if !set[back] {
-		set[back] = true
+	if _, ok := set[back]; !ok {
+		t.regSeq++
+		set[back] = t.regSeq
 		t.promised++
 	}
+}
+
+// Reset wipes every promise without notification: the server crashed and
+// its volatile callback state is gone. Clients discover this through TTL
+// revalidation or reconnection; cumulative counters survive the restart.
+func (t *CallbackTable) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.promises = make(map[proto.FID]map[rpc.Backchannel]int64)
 }
 
 // Drop forgets all promises for one connection (teardown) without breaking.
@@ -65,17 +79,28 @@ func (t *CallbackTable) take(fid proto.FID, skip rpc.Backchannel) []rpc.Backchan
 	if len(set) == 0 {
 		return nil
 	}
-	var out []rpc.Backchannel
-	for back := range set {
+	type reg struct {
+		back rpc.Backchannel
+		seq  int64
+	}
+	var regs []reg
+	for back, seq := range set {
 		if back == skip {
 			continue
 		}
-		out = append(out, back)
+		regs = append(regs, reg{back, seq})
 		delete(set, back)
 	}
-	if skip != nil && set[skip] {
-		// The updater keeps its promise: its cache copy is the new version.
-		return out
+	sort.Slice(regs, func(i, j int) bool { return regs[i].seq < regs[j].seq })
+	out := make([]rpc.Backchannel, 0, len(regs))
+	for _, r := range regs {
+		out = append(out, r.back)
+	}
+	if skip != nil {
+		if _, ok := set[skip]; ok {
+			// The updater keeps its promise: its cache copy is the new version.
+			return out
+		}
 	}
 	if len(set) == 0 {
 		delete(t.promises, fid)

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"itcfs/internal/fault"
 	"itcfs/internal/proto"
 	"itcfs/internal/rpc"
 )
@@ -76,6 +77,84 @@ func TestHandlersRejectNonsenseRefs(t *testing.T) {
 			t.Errorf("fetch of %v fell through dispatch", ref)
 		}
 	}
+}
+
+// chaosBodies returns request bodies for the operations the chaos harness
+// issues, plus fault-injector-corrupted copies — the corpus starts from the
+// frames that actually cross the wire under fault injection rather than
+// from empty bytes.
+func chaosBodies() [][]byte {
+	ref := proto.Ref{Path: "/u/f"}
+	fidRef := proto.Ref{FID: proto.FID{Volume: 2, Vnode: 2, Uniq: 2}}
+	bodies := [][]byte{
+		proto.Marshal(proto.FetchArgs{Ref: ref}),
+		proto.Marshal(proto.StoreArgs{Ref: fidRef, Mode: 0o644}),
+		proto.Marshal(proto.TestValidArgs{Ref: fidRef, Version: 1}),
+		proto.Marshal(proto.NameArgs{Dir: proto.Ref{Path: "/u"}, Name: "sub0", Mode: 0o755}),
+		proto.Marshal(proto.RenameArgs{FromDir: ref, FromName: "a", ToDir: ref, ToName: "b"}),
+		proto.Marshal(proto.CustodianArgs{Path: "/u"}),
+	}
+	inj := fault.New(fault.Config{Seed: 1985})
+	for _, b := range bodies[:len(bodies):len(bodies)] {
+		damaged := append([]byte(nil), b...)
+		inj.Corrupt(damaged)
+		bodies = append(bodies, damaged)
+	}
+	return bodies
+}
+
+// FuzzResolvePath hammers the server-side pathname walk (the prototype's
+// hot path) with arbitrary paths: any outcome is fine except a panic.
+func FuzzResolvePath(f *testing.F) {
+	c := newCell(f, Prototype, 1)
+	c.mkVolume(f, "u", "/u", "satya", 0)
+	c.mkdirAll(f, "/u/d1/d2")
+	c.store(f, "satya", "/u/d1/link-target", []byte("x"))
+	mustOK(f, c.call("satya", 0, proto.OpSymlink,
+		proto.Marshal(proto.SymlinkArgs{Dir: proto.Ref{Path: "/u/d1"}, Name: "l", Target: "/u/d1/link-target"}), nil))
+	for _, seed := range []string{
+		"", "/", "/u", "/u/d1/d2", "/u/d1/l", "/u/./d1/../d1/l", "not-absolute",
+		"/u//d1", "/u/d1/d2/missing", "/u/\x00/f", "/u/d1/l/through-symlink",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, path string) {
+		for _, follow := range []bool{true, false} {
+			if _, _, err := c.servers[0].resolvePath(path, follow); err != nil {
+				continue // rejection is the common, correct outcome
+			}
+		}
+	})
+}
+
+// FuzzDispatch feeds arbitrary (op, body, bulk) triples straight into the
+// dispatcher as several identities. The server must answer every one —
+// error codes are fine, panics and hangs are not — and stay undamaged.
+func FuzzDispatch(f *testing.F) {
+	c := newCell(f, Revised, 1)
+	c.mkVolume(f, "u", "/u", "satya", 0)
+	c.store(f, "satya", "/u/f", []byte("seed data"))
+	for i, body := range chaosBodies() {
+		f.Add(allOps[i%len(allOps)], body, []byte(nil))
+	}
+	f.Add(uint16(9999), []byte(nil), []byte("bulk with no body"))
+	f.Fuzz(func(t *testing.T, op uint16, body, bulk []byte) {
+		for _, user := range []string{"mallory", "satya", "operator", ServerUser} {
+			c.servers[0].Dispatcher().Dispatch(
+				rpc.Ctx{User: user},
+				rpc.Request{Op: rpc.Op(op), Body: body, Bulk: bulk},
+			)
+		}
+		// The server must still answer well-formed requests afterwards.
+		// (A fuzzed input may itself be a legal mutation — even a Remove
+		// of the probe file — so only the response's coherence is checked,
+		// not the file's survival.)
+		resp := c.call("satya", 0, proto.OpFetch,
+			proto.Marshal(proto.FetchArgs{Ref: proto.Ref{Path: "/u/f"}}), nil)
+		if resp.OK() && resp.Body == nil {
+			t.Fatalf("fetch OK but carried no status: %+v", resp)
+		}
+	})
 }
 
 func TestAtomicReRelease(t *testing.T) {

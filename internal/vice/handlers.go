@@ -239,6 +239,12 @@ func (s *Server) handleTestValid(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 		Valid:   vn.Status.Version == args.Version,
 		Version: vn.Status.Version,
 	}
+	if reply.Valid && s.cfg.Mode == Revised && !v.ReadOnly() {
+		// A revised-mode client revalidating an expired promise gets a new
+		// one: this is how the callback table is rebuilt after a server
+		// restart wipes it (§3.3 recovery).
+		s.callbacks.Promise(fid, ctx.Back)
+	}
 	return rpc.Response{Body: proto.Marshal(reply)}
 }
 

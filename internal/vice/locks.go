@@ -82,6 +82,15 @@ func (t *LockTable) Unlock(fid proto.FID, user string) error {
 	return nil
 }
 
+// Reset drops every lock: the server process died and its in-memory lock
+// table died with it (the prototype kept locks in the lock server's virtual
+// memory — a crash loses them all).
+func (t *LockTable) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.locks = make(map[proto.FID]*lockState)
+}
+
 // ReleaseAllFor drops every lock held by user (connection teardown).
 func (t *LockTable) ReleaseAllFor(user string) {
 	t.mu.Lock()

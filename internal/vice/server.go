@@ -76,6 +76,7 @@ type Server struct {
 	locks     *LockTable
 	callbacks *CallbackTable
 	disp      *rpc.Server
+	restarts  int64
 
 	// Traffic counters for the evaluation harness.
 	fetchBytes     int64
@@ -211,6 +212,26 @@ func (s *Server) ResetAccessStats() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.volAccess = make(map[uint32]map[string]int64)
+}
+
+// Crash models a server process dying: all volatile state — callback
+// promises and the advisory lock table — is lost, while volumes (on "disk")
+// survive. Clients holding callback promises are now at risk of staleness;
+// they recover by revalidating on reconnect or when their promise TTL
+// expires, and the server re-promises on the next fetch (§3.3 recovery).
+func (s *Server) Crash() {
+	s.callbacks.Reset()
+	s.locks.Reset()
+	s.mu.Lock()
+	s.restarts++
+	s.mu.Unlock()
+}
+
+// Restarts returns how many times the server has crashed and restarted.
+func (s *Server) Restarts() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.restarts
 }
 
 // SalvageAll runs crash recovery on every local volume.

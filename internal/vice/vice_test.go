@@ -28,7 +28,7 @@ type cell struct {
 	nextVol uint32
 }
 
-func newCell(t *testing.T, mode Mode, n int) *cell {
+func newCell(t testing.TB, mode Mode, n int) *cell {
 	t.Helper()
 	c := &cell{nextVol: 1}
 	alloc := func() uint32 { c.nextVol++; return c.nextVol }
@@ -95,7 +95,7 @@ func (c *cell) call(user string, srv int, op uint16, body, bulk []byte) rpc.Resp
 }
 
 // mustOK fails the test unless the response succeeded.
-func mustOK(t *testing.T, resp rpc.Response) rpc.Response {
+func mustOK(t testing.TB, resp rpc.Response) rpc.Response {
 	t.Helper()
 	if !resp.OK() {
 		t.Fatalf("call failed: code %d: %s", resp.Code, resp.Body)
@@ -111,7 +111,7 @@ func wantCode(t *testing.T, resp rpc.Response, code uint16) {
 }
 
 // mkdirAll creates every ancestor of path in the shared space as operator.
-func (c *cell) mkdirAll(t *testing.T, path string) {
+func (c *cell) mkdirAll(t testing.TB, path string) {
 	t.Helper()
 	parts := []string{}
 	for _, p := range splitPath(path) {
@@ -154,7 +154,7 @@ func joinPath(parts []string) string {
 
 // mkVolume creates a user volume mounted at path via the admin op,
 // creating missing ancestor directories first.
-func (c *cell) mkVolume(t *testing.T, name, path, owner string, quota int64) uint32 {
+func (c *cell) mkVolume(t testing.TB, name, path, owner string, quota int64) uint32 {
 	t.Helper()
 	c.mkdirAll(t, dirOf(path))
 	resp := c.call("operator", 0, proto.OpVolCreate,
@@ -171,7 +171,7 @@ func (c *cell) mkVolume(t *testing.T, name, path, owner string, quota int64) uin
 
 func pathRef(p string) proto.Ref { return proto.Ref{Path: p} }
 
-func (c *cell) store(t *testing.T, user, path string, data []byte) proto.Status {
+func (c *cell) store(t testing.TB, user, path string, data []byte) proto.Status {
 	t.Helper()
 	// Create if missing, then store.
 	resp := c.call(user, 0, proto.OpCreate,

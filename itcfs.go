@@ -90,6 +90,21 @@ type CellConfig struct {
 	CacheBytes int64
 	// OperatorPassword sets the bootstrap operations account ("operator").
 	OperatorPassword string
+
+	// Fault-tolerance knobs. Zero values preserve the default behaviour
+	// (long timeouts, no retries, callbacks trusted forever).
+	//
+	// CallTimeout overrides the per-call RPC timeout on every endpoint.
+	CallTimeout time.Duration
+	// Retry configures RPC retransmission with exponential backoff on
+	// every endpoint (servers and workstations alike).
+	Retry rpc.RetryPolicy
+	// CallbackTTL bounds how long Venus trusts a callback promise without
+	// revalidating (revised mode; see venus.Config.CallbackTTL).
+	CallbackTTL time.Duration
+	// ReconnectRetries lets Venus redial a server and re-issue a call
+	// after a transport failure (see venus.Config.ReconnectRetries).
+	ReconnectRetries int
 }
 
 // Server is one Vice cluster server with its simulated devices.
@@ -173,6 +188,14 @@ func NewCell(cfg CellConfig) *Cell {
 	mustApply(base, prot.Mutation{Kind: prot.MutAddGroup, Name: vice.AdminGroup, Owner: "operator"})
 	mustApply(base, prot.Mutation{Kind: prot.MutAddMember, Name: vice.AdminGroup, Member: "operator"})
 
+	// Whole-file operations on multi-megabyte files legitimately take
+	// minutes at 1985 speeds (§2.2 bounds the design to files of a few
+	// MB); the default timeout must outlast them.
+	callTimeout := 15 * time.Minute
+	if cfg.CallTimeout != 0 {
+		callTimeout = cfg.CallTimeout
+	}
+
 	clock := func() int64 { return int64(k.Now()) }
 	for i := 0; i < cfg.Clusters; i++ {
 		cl := c.Net.AddCluster(fmt.Sprintf("cluster%d", i))
@@ -194,15 +217,13 @@ func NewCell(cfg CellConfig) *Cell {
 			AllocVolID:    c.allocVol,
 		})
 		ep := rpc.NewEndpoint(c.Net, node, rpc.EndpointConfig{
-			Keys:     db.LookupKey,
-			Server:   vs.Dispatcher(),
-			Model:    costs.Model(cfg.Mode),
-			Meters:   rpc.Meters{CPU: cpu, Disk: disk},
-			AuthCost: rpc.Cost{CPU: costs.AuthCPU},
-			// Whole-file operations on multi-megabyte files legitimately
-			// take minutes at 1985 speeds (§2.2 bounds the design to files
-			// of a few MB); the timeout must outlast them.
-			CallTimeout: 15 * time.Minute,
+			Keys:        db.LookupKey,
+			Server:      vs.Dispatcher(),
+			Model:       costs.Model(cfg.Mode),
+			Meters:      rpc.Meters{CPU: cpu, Disk: disk},
+			AuthCost:    rpc.Cost{CPU: costs.AuthCPU},
+			CallTimeout: callTimeout,
+			Retry:       cfg.Retry,
 		})
 		c.Servers = append(c.Servers, &Server{
 			Vice: vs, Endpoint: ep, Node: node, Cluster: cl, CPU: cpu, Disk: disk,
@@ -309,21 +330,28 @@ func (c *Cell) AddWorkstation(cluster int, name string) *Workstation {
 	ws := &Workstation{Name: name, Node: node, Cluster: cl, Local: local, cell: c}
 
 	// The workstation's callback service.
+	callTimeout := 15 * time.Minute
+	if c.cfg.CallTimeout != 0 {
+		callTimeout = c.cfg.CallTimeout
+	}
 	cbServer := rpc.NewServer()
 	ws.Endpoint = rpc.NewEndpoint(c.Net, node, rpc.EndpointConfig{
 		Server:      cbServer,
-		CallTimeout: 15 * time.Minute,
+		CallTimeout: callTimeout,
+		Retry:       c.cfg.Retry,
 	})
 
 	home := c.Servers[cluster]
 	var v *venus.Venus
 	v = venus.New(venus.Config{
-		Mode:       c.Mode,
-		Machine:    name,
-		Local:      local,
-		HomeServer: home.Vice.Name(),
-		MaxFiles:   c.cfg.CacheFiles,
-		MaxBytes:   c.cfg.CacheBytes,
+		Mode:             c.Mode,
+		Machine:          name,
+		Local:            local,
+		HomeServer:       home.Vice.Name(),
+		MaxFiles:         c.cfg.CacheFiles,
+		MaxBytes:         c.cfg.CacheBytes,
+		CallbackTTL:      c.cfg.CallbackTTL,
+		ReconnectRetries: c.cfg.ReconnectRetries,
 		Connect: func(p *sim.Proc, server string) (venus.Conn, error) {
 			srv := c.serverByName(server)
 			if srv == nil {
@@ -337,6 +365,41 @@ func (c *Cell) AddWorkstation(cluster int, name string) *Workstation {
 	ws.FS = virtue.New(local, v)
 	c.workst = append(c.workst, ws)
 	return ws
+}
+
+// CrashServer fails server i: its node stops transmitting and receiving,
+// every open connection into and out of it is lost, and the in-memory
+// volatile state — callback promises and the lock table — dies with the
+// process. Volumes survive on disk (§3.3: "the callback mechanism ... is
+// reinitialized when a server is restarted").
+func (c *Cell) CrashServer(i int) {
+	s := c.Servers[i]
+	c.Net.SetNodeDown(s.Node.ID, true)
+	s.Endpoint.Crash()
+	s.Vice.Crash()
+}
+
+// RestartServer brings a crashed server back: its node rejoins the network
+// with empty callback and lock tables, and a background process re-peers it
+// with every other server (both directions, since the peers' connections
+// into it died too). Clients rediscover it through Venus's reconnect path.
+func (c *Cell) RestartServer(i int) {
+	s := c.Servers[i]
+	c.Net.SetNodeDown(s.Node.ID, false)
+	s.Endpoint.Restart()
+	c.Kernel.Spawn(fmt.Sprintf("repeer-%s", s.Vice.Name()), func(p *sim.Proc) {
+		for j, other := range c.Servers {
+			if j == i {
+				continue
+			}
+			if conn, err := s.Endpoint.Dial(p, other.Node.ID, vice.ServerUser, c.serverKey); err == nil {
+				s.Vice.AddPeer(other.Vice.Name(), conn)
+			}
+			if conn, err := other.Endpoint.Dial(p, s.Node.ID, vice.ServerUser, c.serverKey); err == nil {
+				other.Vice.AddPeer(s.Vice.Name(), conn)
+			}
+		}
+	})
 }
 
 func (c *Cell) serverByName(name string) *Server {
