@@ -9,3 +9,9 @@ go vet ./...
 go build ./...
 go test -race ./...
 go test ./...
+
+# Short fuzz passes over the attacker-facing decoders and the path walker.
+go test -run=NONE -fuzz='^FuzzDecodeCall$' -fuzztime=10s ./internal/rpc
+go test -run=NONE -fuzz='^FuzzDecodeReply$' -fuzztime=10s ./internal/rpc
+go test -run=NONE -fuzz='^FuzzResolvePath$' -fuzztime=10s ./internal/vice
+go test -run=NONE -fuzz='^FuzzDispatch$' -fuzztime=10s ./internal/vice

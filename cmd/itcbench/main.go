@@ -1,5 +1,5 @@
 // Command itcbench regenerates the paper's evaluation (§5.2): every
-// quantitative claim has an experiment (E1–E10) that runs the corresponding
+// quantitative claim has an experiment (E1–E13) that runs the corresponding
 // workload on the simulated cell and prints a paper-vs-measured table.
 //
 // Usage:
@@ -8,6 +8,9 @@
 //	itcbench -quick     # scaled-down versions of everything
 //	itcbench -full      # the paper-sized deployment (120 WS, 8-hour day)
 //	itcbench -run E4    # one experiment (comma-separated list accepted)
+//	itcbench -run E13 -trace -trace-out trace.json
+//	                    # also dump the traced benchmark as Chrome
+//	                    # trace-event JSON (load in Perfetto)
 package main
 
 import (
@@ -25,6 +28,8 @@ func main() {
 	quick := flag.Bool("quick", false, "scaled-down experiments (fast)")
 	full := flag.Bool("full", false, "paper-sized deployment (slow)")
 	run := flag.String("run", "", "comma-separated experiment IDs (default all)")
+	traceFlag := flag.Bool("trace", false, "export a Chrome trace of the instrumented benchmark")
+	traceOut := flag.String("trace-out", "trace.json", "trace output path (with -trace)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -128,6 +133,9 @@ func main() {
 		{"E11", func() (*harness.Report, error) {
 			return harness.E11Rebalance(harness.DefaultE11())
 		}},
+		{"E13", func() (*harness.Report, error) {
+			return harness.E13LatencyBreakdown(harness.DefaultE13())
+		}},
 	}
 
 	fmt.Println("itcbench — reproduction of 'The ITC Distributed File System' (SOSP 1985), §5.2")
@@ -145,6 +153,22 @@ func main() {
 		}
 		r.Print(os.Stdout)
 		fmt.Printf("  (%.1fs wall clock)\n", time.Since(start).Seconds())
+	}
+	if *traceFlag {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		err = harness.ExportTracedAndrew(itcfs.Revised, harness.DefaultE13(), f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Chrome trace of the revised-mode Andrew run to %s\n", *traceOut)
 	}
 	if failed > 0 {
 		os.Exit(1)

@@ -16,12 +16,15 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"time"
 
 	"itcfs/internal/prot"
 	"itcfs/internal/proto"
 	"itcfs/internal/rpc"
 	"itcfs/internal/secure"
+	"itcfs/internal/sim"
+	"itcfs/internal/trace"
 	"itcfs/internal/vice"
 	"itcfs/internal/volume"
 )
@@ -31,6 +34,8 @@ func main() {
 	name := flag.String("name", "server0", "server name (custodian identity)")
 	modeFlag := flag.String("mode", "revised", "implementation mode: prototype or revised")
 	opPassword := flag.String("operator-password", "", "password for the bootstrap operator account (required)")
+	traceFlag := flag.Bool("trace", false, "record a span per served call (wall-clock timestamps)")
+	traceOut := flag.String("trace-out", "itcfsd-trace.json", "Chrome trace written on SIGINT (with -trace)")
 	flag.Parse()
 	if *opPassword == "" {
 		fmt.Fprintln(os.Stderr, "itcfsd: -operator-password is required")
@@ -56,6 +61,7 @@ func main() {
 
 	nextVol := uint32(1)
 	clock := func() int64 { return time.Now().UnixNano() }
+	metrics := trace.NewRegistry()
 	srv := vice.New(vice.Config{
 		Name:          *name,
 		Mode:          mode,
@@ -64,12 +70,41 @@ func main() {
 		Clock:         clock,
 		ProtAuthority: true,
 		AllocVolID:    func() uint32 { nextVol++; return nextVol },
+		Metrics:       metrics,
 	})
 	rootACL := prot.NewACL()
 	rootACL.Grant(prot.AnyUser, prot.RightLookup|prot.RightRead)
 	rootACL.Grant(vice.AdminGroup, prot.RightsAll)
 	srv.AddVolume(volume.New(1, "root", rootACL, 0, "operator", clock))
 	srv.Loc().Install([]proto.LocEntry{{Prefix: "/", Volume: 1, Custodian: *name}}, nil)
+
+	// A wall-clock tracer: real transports have no virtual time, so spans
+	// carry a monotonic offset from process start. On SIGINT the accumulated
+	// trace is written out and the process exits.
+	var tracer *trace.Tracer
+	if *traceFlag {
+		start := time.Now()
+		tracer = trace.New(func() sim.Time { return sim.Time(time.Since(start)) })
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, os.Interrupt)
+		go func() {
+			<-sigs
+			f, err := os.Create(*traceOut)
+			if err == nil {
+				err = tracer.ExportChrome(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				log.Printf("itcfsd: trace export: %v", err)
+				os.Exit(1)
+			}
+			log.Printf("itcfsd: wrote %d spans to %s", len(tracer.Spans()), *traceOut)
+			metrics.WriteText(os.Stderr)
+			os.Exit(0)
+		}()
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -88,6 +123,7 @@ func main() {
 				c.Close()
 				return
 			}
+			peer.SetTracer(tracer)
 			log.Printf("itcfsd: %s authenticated as %q", c.RemoteAddr(), peer.User())
 			<-peer.Done()
 			srv.Locks().ReleaseAllFor(peer.User())

@@ -15,8 +15,10 @@ package monitor
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"itcfs"
+	"itcfs/internal/vice"
 )
 
 // Recommendation proposes moving one volume to a new custodian.
@@ -26,7 +28,10 @@ type Recommendation struct {
 	To          string // recommended custodian
 	TotalOps    int64
 	RemoteShare float64 // fraction of ops from the winning remote cluster
-	Reason      string
+	// P90 is the observed 90th-percentile service time for the volume,
+	// zero when the cell runs without a metrics registry.
+	P90    time.Duration
+	Reason string
 }
 
 // Config tunes the advisor.
@@ -134,14 +139,23 @@ func (a *Advisor) Recommend() []Recommendation {
 		if to == "" || to == vt.Custodian {
 			continue
 		}
+		reason := fmt.Sprintf("%.0f%% of %d ops come from cluster %d",
+			100*share, vt.Total, bestCluster)
+		p90 := a.volumeP90(vt.Volume)
+		if p90 > 0 {
+			// With a metrics registry attached, the recommendation cites the
+			// latency users of this volume actually observe — evidence the
+			// cross-cluster hops are costing something.
+			reason += fmt.Sprintf("; observed p90 service time %v", p90)
+		}
 		recs = append(recs, Recommendation{
 			Volume:      vt.Volume,
 			From:        vt.Custodian,
 			To:          to,
 			TotalOps:    vt.Total,
 			RemoteShare: share,
-			Reason: fmt.Sprintf("%.0f%% of %d ops come from cluster %d",
-				100*share, vt.Total, bestCluster),
+			P90:         p90,
+			Reason:      reason,
 		})
 	}
 	sort.Slice(recs, func(i, j int) bool {
@@ -149,6 +163,16 @@ func (a *Advisor) Recommend() []Recommendation {
 			float64(recs[j].TotalOps)*recs[j].RemoteShare
 	})
 	return recs
+}
+
+// volumeP90 looks up the volume's observed service-time histogram in the
+// cell's metrics registry (zero without one, or before any observation).
+func (a *Advisor) volumeP90(vol uint32) time.Duration {
+	h := a.cell.Metrics.FindHistogram(vice.VolLatencyMetric(vol))
+	if h == nil || h.Count() == 0 {
+		return 0
+	}
+	return h.Quantile(0.90)
 }
 
 func (a *Advisor) clusterOfServer(name string) int {

@@ -2,18 +2,20 @@ package monitor
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"itcfs"
 	"itcfs/internal/sim"
+	"itcfs/internal/trace"
 )
 
 // buildMisplaced provisions a cell where a user's volume lives on cluster
 // 0's server but the user works in cluster 1 — the situation the paper's
 // monitoring tools exist to detect (§3.6).
-func buildMisplaced(t *testing.T) (*itcfs.Cell, *itcfs.Workstation, uint32) {
+func buildMisplaced(t *testing.T, metrics *trace.Registry) (*itcfs.Cell, *itcfs.Workstation, uint32) {
 	t.Helper()
-	cell := itcfs.NewCell(itcfs.CellConfig{Mode: itcfs.Prototype, Clusters: 2})
+	cell := itcfs.NewCell(itcfs.CellConfig{Mode: itcfs.Prototype, Clusters: 2, Metrics: metrics})
 	var vid uint32
 	var err error
 	cell.Run(func(p *sim.Proc) {
@@ -62,7 +64,7 @@ func drive(t *testing.T, cell *itcfs.Cell, ws *itcfs.Workstation, ops int) {
 }
 
 func TestAdvisorDetectsMisplacedVolume(t *testing.T) {
-	cell, ws, vid := buildMisplaced(t)
+	cell, ws, vid := buildMisplaced(t, nil)
 	adv := New(cell, DefaultConfig())
 	adv.Reset()
 	drive(t, cell, ws, 80)
@@ -86,7 +88,7 @@ func TestAdvisorDetectsMisplacedVolume(t *testing.T) {
 }
 
 func TestAppliedRecommendationLocalizesTraffic(t *testing.T) {
-	cell, ws, vid := buildMisplaced(t)
+	cell, ws, vid := buildMisplaced(t, nil)
 	adv := New(cell, DefaultConfig())
 	adv.Reset()
 	drive(t, cell, ws, 80)
@@ -134,7 +136,7 @@ func TestAppliedRecommendationLocalizesTraffic(t *testing.T) {
 }
 
 func TestAdvisorIgnoresQuietAndLocalVolumes(t *testing.T) {
-	cell, ws, _ := buildMisplaced(t)
+	cell, ws, _ := buildMisplaced(t, nil)
 	adv := New(cell, DefaultConfig())
 	adv.Reset()
 	// Too few operations to justify a move.
@@ -196,5 +198,29 @@ func TestAdvisorIgnoresQuietAndLocalVolumes(t *testing.T) {
 		if r.Reason == "" {
 			t.Fatalf("recommendation without reason: %+v", r)
 		}
+	}
+}
+
+func TestAdvisorCitesObservedLatency(t *testing.T) {
+	cell, ws, vid := buildMisplaced(t, trace.NewRegistry())
+	adv := New(cell, DefaultConfig())
+	adv.Reset()
+	drive(t, cell, ws, 80)
+
+	var found *Recommendation
+	recs := adv.Recommend()
+	for i := range recs {
+		if recs[i].Volume == vid {
+			found = &recs[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("no recommendation for volume %d: %+v", vid, recs)
+	}
+	if found.P90 <= 0 {
+		t.Fatalf("P90 = %v, want observed latency from the metrics registry", found.P90)
+	}
+	if !strings.Contains(found.Reason, "p90") {
+		t.Fatalf("reason %q does not cite the observed p90", found.Reason)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"itcfs/internal/sim"
+	"itcfs/internal/trace"
 )
 
 // NodeID identifies a network node. IDs are dense, assigned in AddNode order.
@@ -67,10 +68,18 @@ type Link struct {
 
 	frames int64
 	bytes  int64
+
+	// Optional per-link instruments, installed by Network.SetMetrics.
+	mFrames *trace.Counter
+	mBytes  *trace.Counter
+	mQueue  *trace.Histogram
+	mBusyNs *trace.Gauge
 }
 
 type pending struct {
 	size int
+	enq  sim.Time // when the frame joined the queue, for queueing delay
+	sink DelaySink
 	then func()
 }
 
@@ -115,27 +124,37 @@ func (l *Link) serialization(size int) time.Duration {
 }
 
 // transmit queues a frame of size bytes; then runs (in kernel context) when
-// the frame has fully left the segment.
-func (l *Link) transmit(size int, then func()) {
+// the frame has fully left the segment. If the payload accounts its own
+// delays (DelaySink), the time spent waiting for the medium and the time
+// clocking onto it are credited to it as queueing and serialization.
+func (l *Link) transmit(size int, sink DelaySink, then func()) {
 	if l.busy {
-		l.queue = append(l.queue, pending{size, then})
+		l.queue = append(l.queue, pending{size: size, enq: l.k.Now(), sink: sink, then: then})
 		return
 	}
-	l.begin(size, then)
+	l.begin(size, 0, sink, then)
 }
 
-func (l *Link) begin(size int, then func()) {
+func (l *Link) begin(size int, queued time.Duration, sink DelaySink, then func()) {
 	l.busy = true
 	l.busySince = l.k.Now()
 	l.frames++
 	l.bytes += int64(size)
-	l.k.After(l.serialization(size), func() {
+	l.mFrames.Inc()
+	l.mBytes.Add(int64(size))
+	l.mQueue.Observe(queued)
+	serial := l.serialization(size)
+	if sink != nil {
+		sink.AddNetDelay(queued, serial, 0)
+	}
+	l.k.After(serial, func() {
 		l.busyTime += l.k.Now().Sub(l.busySince)
 		l.busy = false
+		l.mBusyNs.Set(int64(l.busyTime))
 		if len(l.queue) > 0 {
 			next := l.queue[0]
 			l.queue = l.queue[1:]
-			l.begin(next.size, next.then)
+			l.begin(next.size, l.k.Now().Sub(next.enq), next.sink, next.then)
 		}
 		then()
 	})
@@ -178,6 +197,16 @@ type FaultInjector interface {
 // fault can damage them in flight. Payloads without wire bytes are immune.
 type Corruptible interface {
 	WirePayload() []byte
+}
+
+// DelaySink payloads account the network delays they experience in flight,
+// split into queueing (waiting for a busy medium), serialization (clocking
+// onto it) and propagation (signal travel plus bridge store-and-forward).
+// The RPC layer's packets implement it, which is how the critical-path
+// analyzer attributes call latency to the network. Payloads that don't care
+// are simply not consulted.
+type DelaySink interface {
+	AddNetDelay(queue, serial, prop time.Duration)
 }
 
 // Network is the campus internetwork: a backbone plus bridged clusters.
@@ -268,6 +297,27 @@ func (n *Network) Partitioned(c *Cluster) bool { return n.partitioned[c.ID] }
 // subsequent frame is offered to the injector before routing.
 func (n *Network) SetFaultInjector(fi FaultInjector) { n.fault = fi }
 
+// SetMetrics instruments every link that exists at the call — the backbone
+// and each cluster LAN — with per-link frame and byte counters, a queueing
+// histogram, and a cumulative busy-time gauge in the registry. Call after
+// the topology is built; a nil registry uninstruments.
+func (n *Network) SetMetrics(r *trace.Registry) {
+	links := []*Link{n.Backbone}
+	for _, c := range n.clusters {
+		links = append(links, c.LAN)
+	}
+	for _, l := range links {
+		if r == nil {
+			l.mFrames, l.mBytes, l.mQueue, l.mBusyNs = nil, nil, nil, nil
+			continue
+		}
+		l.mFrames = r.Counter("net." + l.name + ".frames")
+		l.mBytes = r.Counter("net." + l.name + ".bytes")
+		l.mQueue = r.Histogram("net." + l.name + ".queue")
+		l.mBusyNs = r.Gauge("net." + l.name + ".busy_ns")
+	}
+}
+
 // SetNodeDown powers a node on or off. Frames from or to a down node are
 // dropped: at send time, and again at delivery time for frames already in
 // flight when the node went down.
@@ -344,7 +394,11 @@ func (n *Network) Send(src, dst NodeID, size int, payload interface{}) {
 	}
 }
 
-// route carries one frame across the topology and delivers it.
+// route carries one frame across the topology and delivers it. A DelaySink
+// payload is credited the path's fixed propagation budget up front (it is
+// known from the topology) and its queueing and serialization delays by each
+// link as they happen. A frame dropped en route keeps its credited delays;
+// only delivered frames are ever read back, so that is harmless.
 func (n *Network) route(src, dst NodeID, size int, payload interface{}) {
 	s, d := n.nodes[src], n.nodes[dst]
 	msg := Message{From: src, To: dst, Size: size, Payload: payload}
@@ -357,14 +411,21 @@ func (n *Network) route(src, dst NodeID, size int, payload interface{}) {
 		d.Inbox.Put(msg)
 	}
 	wire := size + n.cfg.FrameOverhead
+	sink, _ := payload.(DelaySink)
 
 	switch {
 	case s == d:
+		if sink != nil {
+			sink.AddNetDelay(0, 0, n.cfg.LocalDelay)
+		}
 		n.k.After(n.cfg.LocalDelay, deliver)
 	case s.Cluster == d.Cluster:
 		// One hop on the shared cluster LAN.
+		if sink != nil {
+			sink.AddNetDelay(0, 0, n.cfg.Propagation)
+		}
 		n.k.After(0, func() {
-			s.Cluster.LAN.transmit(wire, func() {
+			s.Cluster.LAN.transmit(wire, sink, func() {
 				n.k.After(n.cfg.Propagation, deliver)
 			})
 		})
@@ -374,17 +435,22 @@ func (n *Network) route(src, dst NodeID, size int, payload interface{}) {
 			return
 		}
 		// Cluster LAN -> bridge -> backbone -> bridge -> cluster LAN.
+		// Bridge store-and-forward time counts as propagation: it is a
+		// fixed per-path cost, not contention.
+		if sink != nil {
+			sink.AddNetDelay(0, 0, 3*n.cfg.Propagation+2*n.cfg.BridgeDelay)
+		}
 		n.crossClusterFrames++
 		n.k.After(0, func() {
-			s.Cluster.LAN.transmit(wire, func() {
+			s.Cluster.LAN.transmit(wire, sink, func() {
 				n.k.After(n.cfg.Propagation+n.cfg.BridgeDelay, func() {
 					if n.partitioned[s.Cluster.ID] || n.partitioned[d.Cluster.ID] {
 						n.drops++
 						return
 					}
-					n.Backbone.transmit(wire, func() {
+					n.Backbone.transmit(wire, sink, func() {
 						n.k.After(n.cfg.Propagation+n.cfg.BridgeDelay, func() {
-							d.Cluster.LAN.transmit(wire, func() {
+							d.Cluster.LAN.transmit(wire, sink, func() {
 								n.k.After(n.cfg.Propagation, deliver)
 							})
 						})

@@ -4,13 +4,17 @@ import (
 	"bytes"
 	"testing"
 	"testing/quick"
+	"time"
+
+	"itcfs/internal/wire"
 )
 
 func TestCallCodecRoundTrip(t *testing.T) {
-	f := func(seq uint32, op uint16, body, bulk []byte) bool {
-		plain := encodeCall(seq, Request{Op: Op(op), Body: body, Bulk: bulk})
-		gotSeq, req, err := decodeCall(plain)
-		if err != nil || gotSeq != seq || req.Op != Op(op) {
+	f := func(seq uint32, traceID, spanID uint64, op uint16, body, bulk []byte) bool {
+		tc := wire.TraceHeader{Trace: traceID, Span: spanID}
+		plain := encodeCall(seq, tc, Request{Op: Op(op), Body: body, Bulk: bulk})
+		gotSeq, gotTC, req, err := decodeCall(plain)
+		if err != nil || gotSeq != seq || gotTC != tc || req.Op != Op(op) {
 			return false
 		}
 		return bytes.Equal(req.Body, body) && bytes.Equal(req.Bulk, bulk)
@@ -21,10 +25,11 @@ func TestCallCodecRoundTrip(t *testing.T) {
 }
 
 func TestReplyCodecRoundTrip(t *testing.T) {
-	f := func(seq uint32, code uint16, body, bulk []byte) bool {
-		plain := encodeReply(seq, Response{Code: code, Body: body, Bulk: bulk})
-		gotSeq, resp, err := decodeReply(plain)
-		if err != nil || gotSeq != seq || resp.Code != code {
+	f := func(seq uint32, svcNs int64, code uint16, body, bulk []byte) bool {
+		svc := time.Duration(svcNs)
+		plain := encodeReply(seq, svc, Response{Code: code, Body: body, Bulk: bulk})
+		gotSeq, gotSvc, resp, err := decodeReply(plain)
+		if err != nil || gotSeq != seq || gotSvc != svc || resp.Code != code {
 			return false
 		}
 		return bytes.Equal(resp.Body, body) && bytes.Equal(resp.Bulk, bulk)
@@ -38,16 +43,16 @@ func TestReplyCodecRoundTrip(t *testing.T) {
 // fabricate an oversized allocation.
 func TestCodecGarbageSafe(t *testing.T) {
 	f := func(garbage []byte) bool {
-		if _, _, err := decodeCall(garbage); err == nil {
+		if _, _, _, err := decodeCall(garbage); err == nil {
 			// A successful decode must re-encode to an equivalent packet.
-			seq, req, _ := decodeCall(garbage)
-			back := encodeCall(seq, req)
-			_, req2, err2 := decodeCall(back)
+			seq, tc, req, _ := decodeCall(garbage)
+			back := encodeCall(seq, tc, req)
+			_, _, req2, err2 := decodeCall(back)
 			if err2 != nil || !bytes.Equal(req.Body, req2.Body) {
 				return false
 			}
 		}
-		_, _, _ = decodeReply(garbage)
+		_, _, _, _ = decodeReply(garbage)
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
@@ -58,8 +63,8 @@ func TestCodecGarbageSafe(t *testing.T) {
 func TestDecodeCallCopiesBuffers(t *testing.T) {
 	// Decoded payloads must not alias the wire buffer: transports reuse
 	// and overwrite buffers after decryption.
-	plain := encodeCall(1, Request{Op: 5, Body: []byte("body"), Bulk: []byte("bulk")})
-	_, req, err := decodeCall(plain)
+	plain := encodeCall(1, wire.TraceHeader{Trace: 9, Span: 4}, Request{Op: 5, Body: []byte("body"), Bulk: []byte("bulk")})
+	_, _, req, err := decodeCall(plain)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,6 +73,18 @@ func TestDecodeCallCopiesBuffers(t *testing.T) {
 	}
 	if string(req.Body) != "body" || string(req.Bulk) != "bulk" {
 		t.Fatalf("decoded payload aliased the wire buffer: %q %q", req.Body, req.Bulk)
+	}
+}
+
+func TestTraceHeaderAlwaysOnWire(t *testing.T) {
+	// The trace header occupies the same 16 bytes whether or not the call is
+	// traced, so enabling tracing cannot change packet sizes — and with them
+	// the virtual-time behavior of the simulation.
+	req := Request{Op: 5, Body: []byte("body")}
+	untraced := encodeCall(1, wire.TraceHeader{}, req)
+	traced := encodeCall(1, wire.TraceHeader{Trace: 123456, Span: 789}, req)
+	if len(untraced) != len(traced) {
+		t.Fatalf("traced call is %d bytes, untraced %d", len(traced), len(untraced))
 	}
 }
 

@@ -3,10 +3,21 @@ package rpc
 import (
 	"bytes"
 	"testing"
+	"time"
 
 	"itcfs/internal/fault"
 	"itcfs/internal/proto"
+	"itcfs/internal/wire"
 )
+
+// th builds a distinct trace header per seed frame so the corpus exercises
+// both zero and non-zero context bytes.
+func th(n uint64) wire.TraceHeader {
+	if n%2 == 0 {
+		return wire.TraceHeader{}
+	}
+	return wire.TraceHeader{Trace: n, Span: n * 31}
+}
 
 // The call/reply codec sits directly behind the session box: whatever the
 // box emits — including frames the fault injector flipped bits in before
@@ -22,15 +33,15 @@ func chaosCallFrames() [][]byte {
 	ref := proto.Ref{Path: "/vice/usr/satya/andrew/src000.c"}
 	fidRef := proto.Ref{FID: proto.FID{Volume: 2, Vnode: 7, Uniq: 3}}
 	frames := [][]byte{
-		encodeCall(1, Request{Op: Op(proto.OpFetch), Body: proto.Marshal(proto.FetchArgs{Ref: ref})}),
-		encodeCall(2, Request{Op: Op(proto.OpStore),
+		encodeCall(1, th(1), Request{Op: Op(proto.OpFetch), Body: proto.Marshal(proto.FetchArgs{Ref: ref})}),
+		encodeCall(2, th(2), Request{Op: Op(proto.OpStore),
 			Body: proto.Marshal(proto.StoreArgs{Ref: fidRef, Mode: 0o644}),
 			Bulk: []byte("int fn1(int x) { return x * 7; }\n")}),
-		encodeCall(3, Request{Op: Op(proto.OpTestValid),
+		encodeCall(3, th(3), Request{Op: Op(proto.OpTestValid),
 			Body: proto.Marshal(proto.TestValidArgs{Ref: fidRef, Version: 4})}),
-		encodeCall(4, Request{Op: Op(proto.OpMakeDir),
+		encodeCall(4, th(4), Request{Op: Op(proto.OpMakeDir),
 			Body: proto.Marshal(proto.NameArgs{Dir: ref, Name: "sub0", Mode: 0o755})}),
-		encodeCall(5, Request{Op: Op(proto.OpGetCustodian),
+		encodeCall(5, th(5), Request{Op: Op(proto.OpGetCustodian),
 			Body: proto.Marshal(proto.CustodianArgs{Path: "/usr/satya"})}),
 	}
 	inj := fault.New(fault.Config{Seed: 1985})
@@ -48,11 +59,11 @@ func FuzzDecodeCall(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, plain []byte) {
-		seq, req, err := decodeCall(plain)
+		seq, tc, req, err := decodeCall(plain)
 		if err != nil {
 			return
 		}
-		if re := encodeCall(seq, req); !bytes.Equal(re, plain) {
+		if re := encodeCall(seq, tc, req); !bytes.Equal(re, plain) {
 			t.Fatalf("decode accepted non-canonical call frame:\n in %x\nout %x", plain, re)
 		}
 	})
@@ -61,9 +72,9 @@ func FuzzDecodeCall(f *testing.F) {
 func FuzzDecodeReply(f *testing.F) {
 	st := proto.Status{FID: proto.FID{Volume: 2, Vnode: 7, Uniq: 3}, Size: 33, Version: 5}
 	frames := [][]byte{
-		encodeReply(1, Response{Body: proto.Marshal(st), Bulk: []byte("file body bytes")}),
-		encodeReply(2, Response{Code: proto.CodeNoEnt, Body: []byte("vice: no such file")}),
-		encodeReply(3, Response{Code: CodeUnknownOp, Body: []byte("unknown op 9999")}),
+		encodeReply(1, time.Millisecond, Response{Body: proto.Marshal(st), Bulk: []byte("file body bytes")}),
+		encodeReply(2, 0, Response{Code: proto.CodeNoEnt, Body: []byte("vice: no such file")}),
+		encodeReply(3, 42*time.Microsecond, Response{Code: CodeUnknownOp, Body: []byte("unknown op 9999")}),
 	}
 	inj := fault.New(fault.Config{Seed: 823})
 	for _, frame := range frames[:len(frames):len(frames)] {
@@ -76,11 +87,11 @@ func FuzzDecodeReply(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, plain []byte) {
-		seq, resp, err := decodeReply(plain)
+		seq, svc, resp, err := decodeReply(plain)
 		if err != nil {
 			return
 		}
-		if re := encodeReply(seq, resp); !bytes.Equal(re, plain) {
+		if re := encodeReply(seq, svc, resp); !bytes.Equal(re, plain) {
 			t.Fatalf("decode accepted non-canonical reply frame:\n in %x\nout %x", plain, re)
 		}
 	})

@@ -21,8 +21,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"itcfs/internal/sim"
+	"itcfs/internal/trace"
 	"itcfs/internal/wire"
 )
 
@@ -88,6 +90,9 @@ type Ctx struct {
 	// that must block (callbacks, forwarded calls). Nil on real transports,
 	// whose handlers run on ordinary goroutines and may just block.
 	Proc *sim.Proc
+	// Span is the server-side trace span of this call, nil or suppressed
+	// when the call is untraced. Handlers may annotate it.
+	Span *trace.Span
 }
 
 // HandlerFunc serves one call.
@@ -150,46 +155,56 @@ const (
 	kindClose     = 7
 )
 
-// encodeCall produces the plaintext of a call packet (seq, op, body, bulk).
-func encodeCall(seq uint32, req Request) []byte {
+// encodeCall produces the plaintext of a call packet (seq, trace context,
+// op, body, bulk). The trace header is always present — zero when untraced —
+// so packet sizes, and with them simulated time, never depend on whether
+// tracing is enabled.
+func encodeCall(seq uint32, tc wire.TraceHeader, req Request) []byte {
 	var e wire.Encoder
 	e.U32(seq)
+	tc.Encode(&e)
 	e.U16(uint16(req.Op))
 	e.Bytes(req.Body)
 	e.Bytes(req.Bulk)
 	return append([]byte(nil), e.Buf()...)
 }
 
-func decodeCall(plain []byte) (seq uint32, req Request, err error) {
+func decodeCall(plain []byte) (seq uint32, tc wire.TraceHeader, req Request, err error) {
 	d := wire.NewDecoder(plain)
 	seq = d.U32()
+	tc = wire.DecodeTraceHeader(d)
 	req.Op = Op(d.U16())
 	req.Body = append([]byte(nil), d.Bytes()...)
 	req.Bulk = append([]byte(nil), d.Bytes()...)
 	if err := d.Close(); err != nil {
-		return 0, Request{}, fmt.Errorf("%w: %v", ErrBadPacket, err)
+		return 0, wire.TraceHeader{}, Request{}, fmt.Errorf("%w: %v", ErrBadPacket, err)
 	}
-	return seq, req, nil
+	return seq, tc, req, nil
 }
 
-// encodeReply produces the plaintext of a reply packet.
-func encodeReply(seq uint32, resp Response) []byte {
+// encodeReply produces the plaintext of a reply packet (seq, service time,
+// code, body, bulk). The server echoes its measured service time so the
+// client can attribute call latency between network and server; like the
+// trace header it is always present, zero on transports that don't measure.
+func encodeReply(seq uint32, svc time.Duration, resp Response) []byte {
 	var e wire.Encoder
 	e.U32(seq)
+	e.U64(uint64(svc))
 	e.U16(resp.Code)
 	e.Bytes(resp.Body)
 	e.Bytes(resp.Bulk)
 	return append([]byte(nil), e.Buf()...)
 }
 
-func decodeReply(plain []byte) (seq uint32, resp Response, err error) {
+func decodeReply(plain []byte) (seq uint32, svc time.Duration, resp Response, err error) {
 	d := wire.NewDecoder(plain)
 	seq = d.U32()
+	svc = time.Duration(d.U64())
 	resp.Code = d.U16()
 	resp.Body = append([]byte(nil), d.Bytes()...)
 	resp.Bulk = append([]byte(nil), d.Bytes()...)
 	if err := d.Close(); err != nil {
-		return 0, Response{}, fmt.Errorf("%w: %v", ErrBadPacket, err)
+		return 0, 0, Response{}, fmt.Errorf("%w: %v", ErrBadPacket, err)
 	}
-	return seq, resp, nil
+	return seq, svc, resp, nil
 }

@@ -8,6 +8,7 @@ import (
 	"itcfs/internal/netsim"
 	"itcfs/internal/secure"
 	"itcfs/internal/sim"
+	"itcfs/internal/trace"
 )
 
 // pkt is the unit carried through the simulated network. Data is real
@@ -18,9 +19,26 @@ type pkt struct {
 	Kind uint8
 	Data []byte
 	From netsim.NodeID
+
+	// Network-delay accounting, stamped by netsim (the DelaySink interface)
+	// as the frame traverses links. The RPC client reads the request and
+	// reply packets' delays to attribute call latency between queueing,
+	// serialization and propagation. A frame duplicated by the fault plane
+	// shares the pkt and accumulates twice; the fault-free runs the
+	// critical-path analyzer measures are unaffected.
+	queueDelay  time.Duration
+	serialDelay time.Duration
+	propDelay   time.Duration
 }
 
 func (p *pkt) size() int { return packetOverhead + len(p.Data) }
+
+// AddNetDelay implements netsim.DelaySink.
+func (p *pkt) AddNetDelay(queue, serial, prop time.Duration) {
+	p.queueDelay += queue
+	p.serialDelay += serial
+	p.propDelay += prop
+}
 
 // WirePayload exposes the packet's bytes to the netsim corruption fault.
 // Damaged packets fail the seal's MAC (or handshake verification) at the
@@ -96,6 +114,15 @@ type EndpointConfig struct {
 	// quarter of CallTimeout: a dead cache holder must not stall a
 	// mutation for the caller's full call deadline.
 	CallbackTimeout time.Duration
+	// Tracer records distributed spans for calls through this endpoint.
+	// Nil disables tracing at near-zero cost (one nil check per call).
+	Tracer *trace.Tracer
+	// Metrics receives RPC counters and latency histograms. Nil disables.
+	Metrics *trace.Registry
+	// Observe, when set, is invoked after every served call with the
+	// measured virtual service time (dispatch plus cost-model charges).
+	// The Vice server uses it to feed per-volume latency histograms.
+	Observe func(ctx Ctx, req Request, resp Response, svc time.Duration)
 }
 
 // Endpoint binds RPC to one node of the simulated network. It serves
@@ -134,6 +161,8 @@ type callKey struct {
 type outcome struct {
 	resp Response
 	err  error
+	svc  time.Duration // server-reported service time, echoed in the reply
+	pkt  *pkt          // the reply packet, carrying its network delays
 }
 
 // SimConn is an authenticated outbound connection.
@@ -363,7 +392,7 @@ func (ep *Endpoint) handleCall(pk *pkt) {
 	if err != nil {
 		return // tampered or replayed under the wrong key
 	}
-	seq, req, err := decodeCall(plain)
+	seq, tc, req, err := decodeCall(plain)
 	if err != nil {
 		return
 	}
@@ -373,25 +402,40 @@ func (ep *Endpoint) handleCall(pk *pkt) {
 	// At-most-once: a retransmitted or duplicated call must not execute
 	// again. Answer finished calls from the reply cache; stay silent while
 	// the original is still executing (its reply will cover both frames).
+	// The cached sealed reply carries the original execution's service
+	// time, so replays attribute latency truthfully.
 	if sealed, ok := serve.done[seq]; ok {
 		ep.dupSuppressed++
+		ep.cfg.Metrics.Counter("rpc.reply_cache.replays").Inc()
 		ep.send(pk.From, &pkt{Conn: pk.Conn, Kind: kindReply, Data: sealed})
 		return
 	}
 	if serve.inflight[seq] {
 		ep.dupSuppressed++
+		ep.cfg.Metrics.Counter("rpc.dup_suppressed").Inc()
 		return
 	}
 	serve.inflight[seq] = true
 	ep.callCounts[req.Op]++
 	ep.callsTotal++
 	ep.k.Spawn(fmt.Sprintf("rpc-worker-op%d", req.Op), func(p *sim.Proc) {
-		ctx := Ctx{User: user, Peer: ep.net.Node(pk.From).Name, Back: back, Proc: p}
+		started := p.Now()
+		sp := ep.cfg.Tracer.BeginRemote(p, tc, trace.SpanRPCServe, ep.node.Name)
+		sp.SetInt(trace.AttrOp, int64(req.Op))
+		ctx := Ctx{User: user, Peer: ep.net.Node(pk.From).Name, Back: back, Proc: p, Span: sp}
 		resp := ep.cfg.Server.Dispatch(ctx, req)
 		if ep.cfg.Model != nil {
 			ep.cfg.Meters.charge(p, ep.cfg.Model(ctx, req, resp))
 		}
-		sealed := box.Seal(encodeReply(seq, resp))
+		// Service time spans dispatch plus cost charges: the whole interval
+		// this server held the call, which the reply echoes to the client.
+		svc := p.Now().Sub(started)
+		if ep.cfg.Observe != nil {
+			ep.cfg.Observe(ctx, req, resp, svc)
+		}
+		ep.cfg.Metrics.Histogram("rpc.serve.latency").Observe(svc)
+		sp.End()
+		sealed := box.Seal(encodeReply(seq, svc, resp))
 		serve.finish(seq, sealed)
 		ep.send(pk.From, &pkt{Conn: pk.Conn, Kind: kindReply, Data: sealed})
 	})
@@ -415,13 +459,13 @@ func (c *SimConn) resolve(pk *pkt) {
 	if err != nil {
 		return
 	}
-	seq, resp, err := decodeReply(plain)
+	seq, svc, resp, err := decodeReply(plain)
 	if err != nil {
 		return
 	}
 	if f := c.pending[seq]; f != nil {
 		delete(c.pending, seq)
-		f.TrySet(outcome{resp: resp})
+		f.TrySet(outcome{resp: resp, svc: svc, pkt: pk})
 	}
 }
 
@@ -430,13 +474,13 @@ func (ic *inConn) resolve(pk *pkt) {
 	if err != nil {
 		return
 	}
-	seq, resp, err := decodeReply(plain)
+	seq, svc, resp, err := decodeReply(plain)
 	if err != nil {
 		return
 	}
 	if f := ic.pending[seq]; f != nil {
 		delete(ic.pending, seq)
-		f.TrySet(outcome{resp: resp})
+		f.TrySet(outcome{resp: resp, svc: svc, pkt: pk})
 	}
 }
 
@@ -492,6 +536,7 @@ func (c *SimConn) handshakeStep(p *sim.Proc, kind uint8, data []byte) ([]byte, e
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
 			c.ep.retries++
+			c.ep.cfg.Metrics.Counter("rpc.retries").Inc()
 			p.Sleep(c.ep.backoff(a))
 		}
 		f := sim.NewFuture[[]byte](c.ep.k)
@@ -524,9 +569,12 @@ func (c *SimConn) Call(p *sim.Proc, req Request) (Response, error) {
 	if c.closed {
 		return Response{}, ErrClosed
 	}
+	sp := c.ep.cfg.Tracer.Begin(p, trace.SpanRPCCall, c.ep.node.Name)
+	sp.SetInt(trace.AttrOp, int64(req.Op))
+	started := p.Now()
 	c.nextSeq++
 	seq := c.nextSeq
-	plain := encodeCall(seq, req)
+	plain := encodeCall(seq, sp.Context(), req)
 	attempts := c.ep.cfg.Retry.Attempts
 	if attempts < 1 {
 		attempts = 1
@@ -535,14 +583,17 @@ func (c *SimConn) Call(p *sim.Proc, req Request) (Response, error) {
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
 			c.ep.retries++
+			c.ep.cfg.Metrics.Counter("rpc.retries").Inc()
 			p.Sleep(c.ep.backoff(a))
 			if c.closed {
+				sp.End()
 				return Response{}, lastErr
 			}
 		}
 		f := sim.NewFuture[outcome](c.ep.k)
 		c.pending[seq] = f
-		c.ep.send(c.remote, &pkt{Conn: c.id, Kind: kindCall, Data: c.box.Seal(plain)})
+		reqPkt := &pkt{Conn: c.id, Kind: kindCall, Data: c.box.Seal(plain)}
+		c.ep.send(c.remote, reqPkt)
 		c.ep.k.After(c.ep.cfg.CallTimeout, func() {
 			if f.TrySet(outcome{err: fmt.Errorf("%w: op %d to node %d", ErrTimeout, req.Op, c.remote)}) {
 				if c.pending[seq] == f {
@@ -552,11 +603,36 @@ func (c *SimConn) Call(p *sim.Proc, req Request) (Response, error) {
 		})
 		out := f.Wait(p)
 		if out.err == nil {
+			c.ep.finishCall(sp, p, started, reqPkt, out)
 			return out.resp, nil
 		}
+		c.ep.cfg.Metrics.Counter("rpc.call.timeouts").Inc()
 		lastErr = out.err
 	}
+	sp.End()
 	return Response{}, lastErr
+}
+
+// finishCall stamps network and server accounting on a completed call span
+// and records client-observed latency. Attribution reads the delays netsim
+// accumulated on the request packet of the answered attempt and on the reply
+// packet, plus the service time the server echoed in the reply. On a
+// fault-free network every call is one attempt and the components sum
+// exactly to the span's duration; under retries the reply may answer an
+// earlier attempt, so attribution is approximate.
+func (ep *Endpoint) finishCall(sp *trace.Span, p *sim.Proc, started sim.Time, reqPkt *pkt, out outcome) {
+	q, s, pr := reqPkt.queueDelay, reqPkt.serialDelay, reqPkt.propDelay
+	if rp := out.pkt; rp != nil {
+		q += rp.queueDelay
+		s += rp.serialDelay
+		pr += rp.propDelay
+	}
+	sp.SetInt(trace.AttrNetQueueNs, int64(q))
+	sp.SetInt(trace.AttrNetSerialNs, int64(s))
+	sp.SetInt(trace.AttrNetPropNs, int64(pr))
+	sp.SetInt(trace.AttrServerNs, int64(out.svc))
+	sp.End()
+	ep.cfg.Metrics.Histogram("rpc.call.latency").Observe(p.Now().Sub(started))
 }
 
 // Close tears down the connection; the server forgets its state.
@@ -575,17 +651,29 @@ func (ic *inConn) CallBack(p *sim.Proc, req Request) (Response, error) {
 	if ic.box == nil {
 		return Response{}, ErrClosed
 	}
+	// The callback rides the worker's ambient serve span, so the break
+	// appears in the same distributed trace as the mutation that caused it.
+	sp := ic.ep.cfg.Tracer.Begin(p, trace.SpanRPCCall, ic.ep.node.Name)
+	sp.SetInt(trace.AttrOp, int64(req.Op))
+	started := p.Now()
 	ic.nextSeq++
 	seq := ic.nextSeq
 	f := sim.NewFuture[outcome](ic.ep.k)
 	ic.pending[seq] = f
-	ic.ep.send(ic.key.from, &pkt{Conn: ic.key.conn, Kind: kindCall, Data: ic.box.Seal(encodeCall(seq, req))})
+	reqPkt := &pkt{Conn: ic.key.conn, Kind: kindCall, Data: ic.box.Seal(encodeCall(seq, sp.Context(), req))}
+	ic.ep.send(ic.key.from, reqPkt)
 	ic.ep.k.After(ic.ep.cfg.CallbackTimeout, func() {
 		if f.TrySet(outcome{err: fmt.Errorf("%w: callback op %d", ErrTimeout, req.Op)}) {
 			delete(ic.pending, seq)
 		}
 	})
 	out := f.Wait(p)
+	if out.err != nil {
+		ic.ep.cfg.Metrics.Counter("rpc.call.timeouts").Inc()
+		sp.End()
+		return out.resp, out.err
+	}
+	ic.ep.finishCall(sp, p, started, reqPkt, out)
 	return out.resp, out.err
 }
 

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"itcfs/internal/secure"
 	"itcfs/internal/sim"
+	"itcfs/internal/trace"
 	"itcfs/internal/wire"
 )
 
@@ -28,7 +30,14 @@ type Peer struct {
 	pending map[uint32]chan outcome
 	closed  bool
 	done    chan struct{}
+
+	tracer *trace.Tracer // optional wall-clock tracer for served calls
 }
+
+// SetTracer installs a tracer recording a span per call this peer serves.
+// Real clients do not propagate trace context, so each served call begins a
+// new root (see Tracer.StartRemote). Call before traffic flows.
+func (p *Peer) SetTracer(t *trace.Tracer) { p.tracer = t }
 
 // DialPeer authenticates as user over conn (handshake messages 1-4) and
 // returns a connected peer. server, which may be nil, handles calls the far
@@ -125,7 +134,8 @@ func (p *Peer) Call(_ *sim.Proc, req Request) (Response, error) {
 	p.pending[seq] = ch
 	p.mu.Unlock()
 
-	plain := append([]byte{kindCall}, encodeCall(seq, req)...)
+	// Real clients do not trace; the header rides zeroed.
+	plain := append([]byte{kindCall}, encodeCall(seq, wire.TraceHeader{}, req)...)
 	if err := p.writeSealed(plain); err != nil {
 		p.mu.Lock()
 		delete(p.pending, seq)
@@ -187,13 +197,13 @@ func (p *Peer) readLoop() {
 		kind, rest := plain[0], plain[1:]
 		switch kind {
 		case kindCall:
-			seq, req, err := decodeCall(rest)
+			seq, tc, req, err := decodeCall(rest)
 			if err != nil {
 				return
 			}
-			go p.serve(seq, req)
+			go p.serve(seq, tc, req)
 		case kindReply:
-			seq, resp, err := decodeReply(rest)
+			seq, svc, resp, err := decodeReply(rest)
 			if err != nil {
 				return
 			}
@@ -202,7 +212,7 @@ func (p *Peer) readLoop() {
 			delete(p.pending, seq)
 			p.mu.Unlock()
 			if ch != nil {
-				ch <- outcome{resp: resp}
+				ch <- outcome{resp: resp, svc: svc}
 			}
 		default:
 			return
@@ -210,13 +220,18 @@ func (p *Peer) readLoop() {
 	}
 }
 
-func (p *Peer) serve(seq uint32, req Request) {
+func (p *Peer) serve(seq uint32, tc wire.TraceHeader, req Request) {
+	started := time.Now()
+	sp := p.tracer.StartRemote(tc, trace.SpanRPCServe, p.name)
+	sp.SetInt(trace.AttrOp, int64(req.Op))
 	var resp Response
 	if p.server == nil {
 		resp = Response{Code: CodeUnknownOp, Body: []byte("no server on this peer")}
 	} else {
-		resp = p.server.Dispatch(Ctx{User: p.user, Peer: p.name, Back: p}, req)
+		resp = p.server.Dispatch(Ctx{User: p.user, Peer: p.name, Back: p, Span: sp}, req)
 	}
-	plain := append([]byte{kindReply}, encodeReply(seq, resp)...)
+	sp.End()
+	// Wall-clock service time stands in for the simulator's virtual measure.
+	plain := append([]byte{kindReply}, encodeReply(seq, time.Since(started), resp)...)
 	_ = p.writeSealed(plain) // a write failure kills the readLoop shortly
 }

@@ -145,6 +145,13 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	exited bool
+
+	// Trace is proc-local storage for the ambient trace span of whatever
+	// operation the process is currently executing (see internal/trace).
+	// The kernel itself never reads or writes it. It is safe without
+	// locking because only the owning process touches it, and processes
+	// run one at a time.
+	Trace any
 }
 
 // Name returns the name given at Spawn.

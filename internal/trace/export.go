@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"itcfs/internal/sim"
+)
+
+// jsonStr renders s as a JSON string literal.
+func jsonStr(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+// usec renders a virtual time offset or duration in microseconds with fixed
+// three-decimal precision, the unit Chrome trace events use. Fixed formatting
+// keeps exports byte-identical across runs.
+func usec(ns int64) string { return fmt.Sprintf("%d.%03d", ns/1000, ns%1000) }
+
+// ExportChrome writes the tracer's finished spans as Chrome trace-event JSON
+// ("traceEvents" array of complete "X" events), loadable in Perfetto or
+// chrome://tracing. Machines become processes (pid, named via process_name
+// metadata), traces become threads (tid), and attributes become args. The
+// output is deterministic: spans are emitted in (start, span ID) order, pids
+// in first-appearance order, and attributes in the order they were set.
+func (t *Tracer) ExportChrome(w io.Writer) error {
+	spans := t.Spans()
+	pids := make(map[string]int)
+	var order []string
+	for _, s := range spans {
+		if _, ok := pids[s.node]; !ok {
+			pids[s.node] = len(pids)
+			order = append(order, s.node)
+		}
+	}
+	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(line string) error {
+		if !first {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := io.WriteString(w, line)
+		return err
+	}
+	for _, node := range order {
+		line := fmt.Sprintf(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":%s}}`,
+			pids[node], jsonStr(node))
+		if err := emit(line); err != nil {
+			return err
+		}
+	}
+	for _, s := range spans {
+		cat := s.name
+		for i := 0; i < len(cat); i++ {
+			if cat[i] == '.' {
+				cat = cat[:i]
+				break
+			}
+		}
+		line := fmt.Sprintf(`{"ph":"X","name":%s,"cat":%s,"pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":{"span":%d,"parent":%d`,
+			jsonStr(s.name), jsonStr(cat), pids[s.node], s.ctx.Trace,
+			usec(int64(sim.Duration(s.start))), usec(int64(s.Duration())),
+			s.ctx.Span, s.parent)
+		for _, a := range s.attrs {
+			if a.IsStr {
+				line += fmt.Sprintf(",%s:%s", jsonStr(a.Key), jsonStr(a.Str))
+			} else {
+				line += fmt.Sprintf(",%s:%d", jsonStr(a.Key), a.Int)
+			}
+		}
+		line += "}}"
+		if err := emit(line); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}
+
+// WriteReport writes a human-readable tree of the tracer's finished spans,
+// one trace at a time, children indented under parents in start order.
+func (t *Tracer) WriteReport(w io.Writer) {
+	spans := t.Spans()
+	children := make(map[uint64][]*Span) // parent span ID -> children (span IDs are globally unique)
+	byID := make(map[uint64]*Span)
+	for _, s := range spans {
+		byID[s.ctx.Span] = s
+	}
+	var roots []*Span
+	for _, s := range spans {
+		if s.parent != 0 && byID[s.parent] != nil {
+			children[s.parent] = append(children[s.parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	var dump func(s *Span, depth int)
+	dump = func(s *Span, depth int) {
+		fmt.Fprintf(w, "%*s%-20s %-12s at=%-12v dur=%v", depth*2, "", s.name, s.node,
+			time.Duration(s.start), s.Duration())
+		for _, a := range s.attrs {
+			if a.IsStr {
+				fmt.Fprintf(w, " %s=%s", a.Key, a.Str)
+			} else {
+				fmt.Fprintf(w, " %s=%d", a.Key, a.Int)
+			}
+		}
+		fmt.Fprintln(w)
+		for _, c := range children[s.ctx.Span] {
+			dump(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		fmt.Fprintf(w, "trace %d:\n", r.ctx.Trace)
+		dump(r, 1)
+	}
+}

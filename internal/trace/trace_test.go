@@ -1,0 +1,251 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"itcfs/internal/sim"
+)
+
+// fakeClock drives a tracer without a kernel.
+type fakeClock struct{ t sim.Time }
+
+func (c *fakeClock) now() sim.Time          { return c.t }
+func (c *fakeClock) advance(d sim.Duration) { c.t = c.t.Add(d) }
+
+func TestNilTracerAndSpanAreNoOps(t *testing.T) {
+	var tr *Tracer
+	s := tr.Begin(nil, "op", "node")
+	if s != nil {
+		t.Fatalf("nil tracer produced a span")
+	}
+	// Every method must be callable on the nil span.
+	s.SetInt("k", 1)
+	s.SetStr("k", "v")
+	s.End()
+	if got := s.Context(); got != (SpanContext{}) {
+		t.Fatalf("nil span context = %+v", got)
+	}
+	tr.SetSample(10)
+	if tr.Spans() != nil {
+		t.Fatalf("nil tracer has spans")
+	}
+}
+
+func TestSpanNestingAndAmbientStack(t *testing.T) {
+	clk := &fakeClock{}
+	tr := New(clk.now)
+	k := sim.NewKernel()
+	k.Spawn("p", func(p *sim.Proc) {
+		root := tr.Begin(p, "venus.open", "ws0")
+		clk.advance(time.Millisecond)
+		child := tr.Begin(p, "rpc.call", "ws0")
+		if Current(p) != child {
+			t.Errorf("ambient span is not the child")
+		}
+		if child.Context().Trace != root.Context().Trace {
+			t.Errorf("child joined a different trace")
+		}
+		if child.Parent() != root.Context().Span {
+			t.Errorf("child parent = %d, want %d", child.Parent(), root.Context().Span)
+		}
+		clk.advance(2 * time.Millisecond)
+		child.End()
+		if Current(p) != root {
+			t.Errorf("End did not restore the parent as ambient")
+		}
+		root.End()
+		if Current(p) != nil {
+			t.Errorf("End did not clear the ambient span")
+		}
+	})
+	k.Run()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name() != "venus.open" || spans[1].Name() != "rpc.call" {
+		t.Fatalf("span order: %s, %s", spans[0].Name(), spans[1].Name())
+	}
+	if d := spans[1].Duration(); d != 2*time.Millisecond {
+		t.Fatalf("child duration = %v", d)
+	}
+}
+
+func TestSamplingSuppressesWholeOperation(t *testing.T) {
+	clk := &fakeClock{}
+	tr := New(clk.now)
+	tr.SetSample(2) // every other root
+	k := sim.NewKernel()
+	k.Spawn("p", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			root := tr.Begin(p, "op", "ws0")
+			child := tr.Begin(p, "rpc.call", "ws0")
+			sampled := i%2 == 0
+			if got := child.Context() != (SpanContext{}); got != sampled {
+				t.Errorf("root %d: child traced=%v, want %v", i, got, sampled)
+			}
+			child.End()
+			if Current(p) != root {
+				t.Errorf("root %d: suppressed child broke the ambient stack", i)
+			}
+			root.End()
+		}
+	})
+	k.Run()
+	if n := len(tr.Spans()); n != 4 {
+		t.Fatalf("recorded %d spans, want 4 (2 sampled roots x 2)", n)
+	}
+}
+
+func TestRemotePropagation(t *testing.T) {
+	clk := &fakeClock{}
+	tr := New(clk.now)
+	k := sim.NewKernel()
+	k.Spawn("p", func(p *sim.Proc) {
+		call := tr.Begin(p, "rpc.call", "ws0")
+		serve := tr.BeginRemote(nil, call.Context(), "rpc.serve", "srv")
+		if serve.Context().Trace != call.Context().Trace {
+			t.Errorf("server span left the trace")
+		}
+		if serve.Parent() != call.Context().Span {
+			t.Errorf("server span parent = %d", serve.Parent())
+		}
+		serve.End()
+		call.End()
+
+		// Zero context means untraced caller: suppressed on the sim side...
+		sup := tr.BeginRemote(nil, SpanContext{}, "rpc.serve", "srv")
+		if sup == nil || sup.Context() != (SpanContext{}) {
+			t.Errorf("zero-context BeginRemote should be suppressed, got %+v", sup.Context())
+		}
+		sup.End()
+		// ...but a fresh root on a real transport.
+		rem := tr.StartRemote(SpanContext{}, "rpc.serve", "srv")
+		if rem.Context() == (SpanContext{}) {
+			t.Errorf("StartRemote with zero context should start a root")
+		}
+		rem.End()
+	})
+	k.Run()
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != time.Microsecond || h.Max() != time.Millisecond {
+		t.Fatalf("min=%v max=%v", h.Min(), h.Max())
+	}
+	// Log buckets: quantiles are within a factor of two of the true value.
+	for _, c := range []struct {
+		q    float64
+		want time.Duration
+	}{{0.50, 500 * time.Microsecond}, {0.90, 900 * time.Microsecond}, {0.99, 990 * time.Microsecond}} {
+		got := h.Quantile(c.q)
+		if got < c.want/2 || got > c.want*2 {
+			t.Errorf("p%v = %v, want within 2x of %v", c.q*100, got, c.want)
+		}
+	}
+	if r.FindHistogram("absent") != nil {
+		t.Fatalf("FindHistogram created a histogram")
+	}
+	// Nil registry and instruments are inert.
+	var nr *Registry
+	nr.Counter("c").Inc()
+	nr.Gauge("g").Set(1)
+	nr.Histogram("h").Observe(time.Second)
+	if nr.FindHistogram("h") != nil {
+		t.Fatalf("nil registry returned a histogram")
+	}
+}
+
+func TestExportChromeIsValidJSONAndDeterministic(t *testing.T) {
+	run := func() []byte {
+		clk := &fakeClock{}
+		tr := New(clk.now)
+		k := sim.NewKernel()
+		k.Spawn("p", func(p *sim.Proc) {
+			root := tr.Begin(p, "venus.open", "ws0")
+			root.SetStr("path", "/vice/usr/f")
+			clk.advance(time.Millisecond)
+			call := tr.Begin(p, "rpc.call", "ws0")
+			call.SetInt(AttrServerNs, 5)
+			serve := tr.BeginRemote(nil, call.Context(), "rpc.serve", "srv")
+			clk.advance(time.Millisecond)
+			serve.End()
+			call.End()
+			root.End()
+		})
+		k.Run()
+		var buf bytes.Buffer
+		if err := tr.ExportChrome(&buf); err != nil {
+			t.Fatalf("export: %v", err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identical runs exported different traces:\n%s\n---\n%s", a, b)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, a)
+	}
+	// 2 process_name metadata events + 3 spans.
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("got %d events, want 5:\n%s", len(doc.TraceEvents), a)
+	}
+}
+
+func TestAnalyzeComponentsSumToTotal(t *testing.T) {
+	clk := &fakeClock{}
+	tr := New(clk.now)
+	k := sim.NewKernel()
+	k.Spawn("p", func(p *sim.Proc) {
+		root := tr.Begin(p, "venus.open", "ws0")
+		clk.advance(time.Millisecond) // 1ms client work before the call
+		call := tr.Begin(p, "rpc.call", "ws0")
+		clk.advance(7 * time.Millisecond)
+		call.SetInt(AttrNetQueueNs, int64(time.Millisecond))
+		call.SetInt(AttrNetSerialNs, int64(2*time.Millisecond))
+		call.SetInt(AttrNetPropNs, int64(time.Millisecond))
+		call.SetInt(AttrServerNs, int64(3*time.Millisecond))
+		call.End()
+		clk.advance(time.Millisecond) // 1ms client work after
+		root.End()
+	})
+	k.Run()
+	rows := Analyze(tr.Spans())
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1: %+v", len(rows), rows)
+	}
+	b := rows[0]
+	if b.Name != "venus.open" || b.Count != 1 {
+		t.Fatalf("row = %+v", b)
+	}
+	if b.Total != 9*time.Millisecond {
+		t.Fatalf("total = %v", b.Total)
+	}
+	if b.Client != 2*time.Millisecond || b.Server != 3*time.Millisecond ||
+		b.NetQueue != time.Millisecond || b.NetSerial != 2*time.Millisecond || b.NetProp != time.Millisecond {
+		t.Fatalf("breakdown = %+v", b)
+	}
+	if sum := b.Client + b.Server + b.Net(); sum != b.Total {
+		t.Fatalf("components sum to %v, total %v", sum, b.Total)
+	}
+	var buf bytes.Buffer
+	WriteBreakdown(&buf, rows)
+	if buf.Len() == 0 {
+		t.Fatalf("empty breakdown table")
+	}
+}

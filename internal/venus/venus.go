@@ -26,6 +26,7 @@ import (
 	"itcfs/internal/proto"
 	"itcfs/internal/rpc"
 	"itcfs/internal/sim"
+	"itcfs/internal/trace"
 	"itcfs/internal/unixfs"
 	"itcfs/internal/vice"
 )
@@ -88,6 +89,12 @@ type Config struct {
 	// at-most-once window, so mutating callers tolerate re-execution (see
 	// createFile's handling of ErrExist).
 	ReconnectRetries int
+	// Tracer records spans for opens, closes, validations, fetches and
+	// stores; nil disables tracing at near-zero cost.
+	Tracer *trace.Tracer
+	// Metrics receives cache hit/miss counters and per-operation latency
+	// histograms; nil disables.
+	Metrics *trace.Registry
 }
 
 // entry is one cached whole file (or directory listing, or status-only
@@ -96,10 +103,10 @@ type entry struct {
 	path      string // canonical Vice path (prototype key; hint in revised)
 	fid       proto.FID
 	status    proto.Status
-	cacheFile string // local file holding the data ("" = status-only)
-	valid     bool   // revised: callback promise still held
-	dirty     bool   // modified locally, not yet stored
-	open      int    // open handle count (pinned)
+	cacheFile string   // local file holding the data ("" = status-only)
+	valid     bool     // revised: callback promise still held
+	dirty     bool     // modified locally, not yet stored
+	open      int      // open handle count (pinned)
 	fetchedAt sim.Time // when the copy (and its promise) was last confirmed
 	lruEl     *list.Element
 }
@@ -228,6 +235,23 @@ type Handle struct {
 // "/usr/satya/paper.mss").
 func (v *Venus) Open(p *sim.Proc, path string, flags OpenFlag) (*Handle, error) {
 	path = unixfs.Clean(path)
+	// Opens are the hot path: when observability is off entirely, skip even
+	// the stats snapshots the hit/miss accounting needs.
+	if v.cfg.Tracer != nil || v.cfg.Metrics != nil {
+		sp := v.cfg.Tracer.Begin(p, "venus.open", v.cfg.Machine)
+		sp.SetStr("path", path)
+		started := v.now(p)
+		before := v.Stats()
+		defer func() {
+			after := v.Stats()
+			hits, misses := after.Hits-before.Hits, after.Misses-before.Misses
+			sp.SetInt("hit", hits)
+			v.cfg.Metrics.Counter("venus.cache.hits").Add(hits)
+			v.cfg.Metrics.Counter("venus.cache.misses").Add(misses)
+			sp.End()
+			v.cfg.Metrics.Histogram("venus.open.latency").Observe(v.now(p).Sub(started))
+		}()
+	}
 	e, err := v.lookupEntry(p, path, flags)
 	if err != nil {
 		return nil, err
@@ -418,6 +442,8 @@ func (v *Venus) lookupRevised(p *sim.Proc, path string, flags OpenFlag) (*entry,
 
 // testValid asks the custodian whether a cached version is current.
 func (v *Venus) testValid(p *sim.Proc, ref proto.Ref, version uint64) (bool, uint64, error) {
+	sp := v.cfg.Tracer.Begin(p, "venus.validate", v.cfg.Machine)
+	defer sp.End()
 	v.mu.Lock()
 	v.stats.Validations++
 	v.mu.Unlock()
@@ -440,6 +466,9 @@ func (v *Venus) testValid(p *sim.Proc, ref proto.Ref, version uint64) (bool, uin
 
 // fetchEntry fetches the whole file from its custodian into the cache.
 func (v *Venus) fetchEntry(p *sim.Proc, ref proto.Ref, path string, flags OpenFlag) (*entry, error) {
+	sp := v.cfg.Tracer.Begin(p, "venus.fetch", v.cfg.Machine)
+	sp.SetStr("path", path)
+	defer sp.End()
 	v.mu.Lock()
 	v.stats.Fetches++
 	gen := v.breakGen
@@ -633,6 +662,7 @@ func (v *Venus) HandleCallbackBreak(_ rpc.Ctx, req rpc.Request) rpc.Response {
 	if err != nil {
 		return rpc.Response{Code: proto.CodeBadRequest}
 	}
+	v.cfg.Metrics.Counter("venus.callback_breaks").Inc()
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	v.stats.CallbackBreaks++
@@ -746,6 +776,13 @@ func (h *Handle) Close(p *sim.Proc) error {
 
 // storeEntry transmits the cached copy back to the custodian.
 func (v *Venus) storeEntry(p *sim.Proc, e *entry) error {
+	sp := v.cfg.Tracer.Begin(p, "venus.store", v.cfg.Machine)
+	sp.SetStr("path", e.path)
+	started := v.now(p)
+	defer func() {
+		sp.End()
+		v.cfg.Metrics.Histogram("venus.store.latency").Observe(v.now(p).Sub(started))
+	}()
 	data, err := v.cfg.Local.ReadFile(e.cacheFile)
 	if err != nil {
 		return err

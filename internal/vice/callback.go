@@ -7,6 +7,7 @@ import (
 	"itcfs/internal/proto"
 	"itcfs/internal/rpc"
 	"itcfs/internal/sim"
+	"itcfs/internal/trace"
 )
 
 // CallbackTable records callback promises: when a workstation fetches a
@@ -20,6 +21,7 @@ type CallbackTable struct {
 	regSeq   int64
 	breaks   int64
 	promised int64
+	metrics  *trace.Registry
 }
 
 // NewCallbackTable returns an empty table.
@@ -108,13 +110,30 @@ func (t *CallbackTable) take(fid proto.FID, skip rpc.Backchannel) []rpc.Backchan
 	return out
 }
 
+// SetMetrics attaches a metrics registry recording break counts and the
+// fan-out distribution of each break. Nil detaches.
+func (t *CallbackTable) SetMetrics(r *trace.Registry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.metrics = r
+}
+
 // Break notifies every workstation holding a promise on fid, except the
 // updater's own connection, that its copy is invalid. It must be called
 // without server locks held: callback calls park the worker process.
 func (t *CallbackTable) Break(p *sim.Proc, fid proto.FID, path string, skip rpc.Backchannel) {
 	targets := t.take(fid, skip)
+	t.mu.Lock()
+	t.breaks += int64(len(targets))
+	m := t.metrics
+	t.mu.Unlock()
+	if m != nil {
+		// Fan-out: how many workstations one update invalidates — the
+		// server-load term callbacks add per mutation (§3.2).
+		m.Counter("vice.callback.breaks").Add(int64(len(targets)))
+		m.Histogram("vice.callback.fanout").ObserveN(int64(len(targets)))
+	}
 	for _, back := range targets {
-		t.breaks++
 		args := proto.CallbackBreakArgs{FID: fid, Path: path}
 		// A dead workstation just times out; the promise is already gone.
 		_, _ = back.CallBack(p, rpc.Request{Op: rpc.Op(proto.OpCallbackBreak), Body: proto.Marshal(args)})

@@ -59,7 +59,7 @@ func (s *Server) handleFetch(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 	if err != nil {
 		return respErr(err)
 	}
-	s.noteAccess(ctx.Peer, v.ID())
+	s.noteAccess(ctx, v.ID())
 	acl, err := v.GoverningACL(fid)
 	if err != nil {
 		return respErr(err)
@@ -98,7 +98,7 @@ func (s *Server) handleStore(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 	if err != nil {
 		return respErr(err)
 	}
-	s.noteAccess(ctx.Peer, v.ID())
+	s.noteAccess(ctx, v.ID())
 	acl, err := v.GoverningACL(fid)
 	if err != nil {
 		return respErr(err)
@@ -151,7 +151,7 @@ func (s *Server) handleFetchStatus(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 	if err != nil {
 		return respErr(err)
 	}
-	s.noteAccess(ctx.Peer, v.ID())
+	s.noteAccess(ctx, v.ID())
 	acl, err := v.GoverningACL(fid)
 	if err != nil {
 		return respErr(err)
@@ -216,7 +216,7 @@ func (s *Server) handleTestValid(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 	if err != nil {
 		return respErr(err)
 	}
-	s.noteAccess(ctx.Peer, v.ID())
+	s.noteAccess(ctx, v.ID())
 	vn, err := v.Get(fid)
 	if err != nil {
 		return respErr(err)
@@ -508,6 +508,9 @@ func (s *Server) handleSetLock(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 		return respErr(err)
 	}
 	if err := s.locks.Lock(fid, ctx.User, args.Exclusive); err != nil {
+		// Advisory locks never block (§3.4): a busy lock is refused, so the
+		// observable contention signal is the conflict count, not a wait time.
+		s.cfg.Metrics.Counter("vice.lock_conflicts").Inc()
 		return respErr(err)
 	}
 	return rpc.Response{}

@@ -48,15 +48,22 @@ func (l *LocDB) Install(entries []proto.LocEntry, remove []string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for _, p := range remove {
-		if old, ok := l.entries[unixfs.Clean(p)]; ok {
-			delete(l.byVol, old.Volume)
-		}
 		delete(l.entries, unixfs.Clean(p))
 	}
 	for _, le := range entries {
 		le.Prefix = unixfs.Clean(le.Prefix)
 		l.entries[le.Prefix] = le
-		l.byVol[le.Volume] = le
+	}
+	// Rebuild the volume index from scratch. Removing a prefix must not
+	// orphan a volume still mounted at another prefix, and upserting a
+	// prefix under a new volume must not leave the old volume pointing at
+	// it. When one volume is mounted at several prefixes, the
+	// lexicographically smallest prefix wins, deterministically.
+	l.byVol = make(map[uint32]proto.LocEntry, len(l.entries))
+	for prefix, le := range l.entries {
+		if cur, ok := l.byVol[le.Volume]; !ok || prefix < cur.Prefix {
+			l.byVol[le.Volume] = le
+		}
 	}
 	l.version++
 }

@@ -1,0 +1,120 @@
+package vice
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"itcfs/internal/proto"
+)
+
+func le(prefix string, vol uint32, custodian string) proto.LocEntry {
+	return proto.LocEntry{Prefix: prefix, Volume: vol, Custodian: custodian}
+}
+
+func TestLocDBOverlappingPrefixes(t *testing.T) {
+	l := NewLocDB()
+	l.Install([]proto.LocEntry{
+		le("/", 1, "s1"),
+		le("/usr", 2, "s1"),
+		le("/usr/alice", 3, "s2"),
+	}, nil)
+
+	cases := []struct {
+		path string
+		vol  uint32
+	}{
+		{"/", 1},
+		{"/etc/passwd", 1},
+		{"/usr", 2},
+		{"/usr/bin/cc", 2},
+		{"/usr/alice", 3},
+		{"/usr/alice/notes.txt", 3},
+		{"/usr/alicelike/file", 1}, // "alicelike" is not under "/usr/alice"... but IS under "/usr"
+	}
+	for _, c := range cases {
+		got, ok := l.Resolve(c.path)
+		if !ok {
+			t.Fatalf("Resolve(%q): no entry", c.path)
+		}
+		want := c.vol
+		if c.path == "/usr/alicelike/file" {
+			want = 2 // longest covering prefix is /usr
+		}
+		if got.Volume != want {
+			t.Errorf("Resolve(%q) = vol %d, want %d", c.path, got.Volume, want)
+		}
+	}
+}
+
+func TestLocDBRemoveRemapsByVol(t *testing.T) {
+	// One volume mounted at two prefixes: removing one mount point must not
+	// orphan the volume in the byVol index.
+	l := NewLocDB()
+	l.Install([]proto.LocEntry{
+		le("/a", 7, "s1"),
+		le("/b", 7, "s1"),
+	}, nil)
+
+	l.Install(nil, []string{"/a"})
+	got, ok := l.ResolveVolume(7)
+	if !ok {
+		t.Fatal("ResolveVolume(7) lost the volume though /b still maps it")
+	}
+	if got.Prefix != "/b" {
+		t.Fatalf("ResolveVolume(7).Prefix = %q, want /b", got.Prefix)
+	}
+
+	// Deterministic choice: with several surviving prefixes the smallest wins.
+	l.Install([]proto.LocEntry{le("/a", 7, "s1"), le("/c", 7, "s1")}, nil)
+	got, _ = l.ResolveVolume(7)
+	if got.Prefix != "/a" {
+		t.Fatalf("ResolveVolume(7).Prefix = %q, want lexicographically smallest /a", got.Prefix)
+	}
+
+	// Re-pointing a prefix at a new volume must clear the old volume's index
+	// entry when that prefix was its only mount.
+	l2 := NewLocDB()
+	l2.Install([]proto.LocEntry{le("/x", 1, "s1")}, nil)
+	l2.Install([]proto.LocEntry{le("/x", 2, "s1")}, nil)
+	if _, ok := l2.ResolveVolume(1); ok {
+		t.Fatal("ResolveVolume(1) still resolves after /x moved to volume 2")
+	}
+	if got, _ := l2.ResolveVolume(2); got.Prefix != "/x" {
+		t.Fatalf("ResolveVolume(2).Prefix = %q, want /x", got.Prefix)
+	}
+}
+
+func TestLocDBVersionMonotonicUnderConcurrentInstalls(t *testing.T) {
+	l := NewLocDB()
+	const workers = 8
+	const installs = 50
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			prev := uint64(0)
+			for i := 0; i < installs; i++ {
+				l.Install([]proto.LocEntry{
+					le(fmt.Sprintf("/w%d/i%d", w, i), uint32(w*1000+i), "s1"),
+				}, nil)
+				v := l.Version()
+				if v <= prev {
+					t.Errorf("version went from %d to %d (not strictly increasing after own install)", prev, v)
+					return
+				}
+				prev = v
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := l.Version(); got != workers*installs {
+		t.Fatalf("final version = %d, want %d", got, workers*installs)
+	}
+	if got := len(l.Entries()); got != workers*installs {
+		t.Fatalf("entries = %d, want %d", got, workers*installs)
+	}
+}

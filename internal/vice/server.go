@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"itcfs/internal/prot"
 	"itcfs/internal/proto"
 	"itcfs/internal/rpc"
 	"itcfs/internal/sim"
+	"itcfs/internal/trace"
 	"itcfs/internal/unixfs"
 	"itcfs/internal/volume"
 )
@@ -63,6 +65,10 @@ type Config struct {
 	AllocVolID func() uint32
 	// MaxWalkDepth bounds symlink-following during server-side walks.
 	MaxWalkDepth int
+	// Metrics, when set, receives server-side counters and per-volume
+	// service-time histograms (lock conflicts, callback fan-out,
+	// vice.vol.<id>.latency). Nil disables all of it.
+	Metrics *trace.Registry
 }
 
 // Server is one Vice cluster server.
@@ -86,6 +92,10 @@ type Server struct {
 	// the raw data for the monitoring tools of §3.6 (recognizing long-term
 	// access patterns and recommending custodian reassignment).
 	volAccess map[uint32]map[string]int64
+	// pendingVol remembers, per serving worker process, which volume the
+	// in-flight call touched, so ObserveCall can attribute the call's
+	// service time to that volume's latency histogram.
+	pendingVol map[*sim.Proc]uint32
 }
 
 // New creates a server. Register its Dispatcher with an rpc transport to
@@ -104,14 +114,16 @@ func New(cfg Config) *Server {
 		cfg.DB = prot.NewDB()
 	}
 	s := &Server{
-		cfg:       cfg,
-		vols:      make(map[uint32]*volume.Volume),
-		peers:     make(map[string]Caller),
-		locks:     NewLockTable(),
-		callbacks: NewCallbackTable(),
-		disp:      rpc.NewServer(),
-		volAccess: make(map[uint32]map[string]int64),
+		cfg:        cfg,
+		vols:       make(map[uint32]*volume.Volume),
+		peers:      make(map[string]Caller),
+		locks:      NewLockTable(),
+		callbacks:  NewCallbackTable(),
+		disp:       rpc.NewServer(),
+		volAccess:  make(map[uint32]map[string]int64),
+		pendingVol: make(map[*sim.Proc]uint32),
 	}
+	s.callbacks.SetMetrics(cfg.Metrics)
 	s.registerHandlers()
 	return s
 }
@@ -179,8 +191,10 @@ func (s *Server) TrafficStats() (fetchBytes, storeBytes, walked int64) {
 	return s.fetchBytes, s.storeBytes, s.walkComponents
 }
 
-// noteAccess records one hot-path operation on vol by the named peer node.
-func (s *Server) noteAccess(peer string, vol uint32) {
+// noteAccess records one hot-path operation on vol by the calling peer node,
+// and marks the serving process so ObserveCall can attribute the call's
+// service time to the volume.
+func (s *Server) noteAccess(ctx rpc.Ctx, vol uint32) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m := s.volAccess[vol]
@@ -188,7 +202,34 @@ func (s *Server) noteAccess(peer string, vol uint32) {
 		m = make(map[string]int64)
 		s.volAccess[vol] = m
 	}
-	m[peer]++
+	m[ctx.Peer]++
+	if s.cfg.Metrics != nil && ctx.Proc != nil {
+		s.pendingVol[ctx.Proc] = vol
+	}
+}
+
+// VolLatencyMetric names the per-volume service-time histogram; monitoring
+// tools look latencies up under the same name.
+func VolLatencyMetric(vol uint32) string {
+	return fmt.Sprintf("vice.vol.%d.latency", vol)
+}
+
+// ObserveCall is the rpc Observe hook: after each served call it records the
+// measured service time against the volume the call touched (if any). svc is
+// virtual time, so the resulting histograms are seed-deterministic.
+func (s *Server) ObserveCall(ctx rpc.Ctx, req rpc.Request, resp rpc.Response, svc time.Duration) {
+	if s.cfg.Metrics == nil || ctx.Proc == nil {
+		return
+	}
+	s.mu.Lock()
+	vol, ok := s.pendingVol[ctx.Proc]
+	if ok {
+		delete(s.pendingVol, ctx.Proc)
+	}
+	s.mu.Unlock()
+	if ok {
+		s.cfg.Metrics.Histogram(VolLatencyMetric(vol)).Observe(svc)
+	}
 }
 
 // AccessStats returns a copy of the per-volume, per-node operation counts.

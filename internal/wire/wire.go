@@ -184,6 +184,27 @@ func (d *Decoder) Bytes() []byte {
 // String consumes a u32 length prefix and that many bytes as a string.
 func (d *Decoder) String() string { return string(d.Bytes()) }
 
+// TraceHeader carries distributed-tracing context across an RPC boundary:
+// the trace the call belongs to and the span that originated it. The zero
+// value means "untraced" and is what untraced or sampled-out callers send.
+// The header is a fixed 16 bytes and is always present in call packets, so
+// enabling tracing never changes packet sizes or, with it, simulated time.
+type TraceHeader struct {
+	Trace uint64
+	Span  uint64
+}
+
+// Encode appends the header's fixed 16-byte form.
+func (h TraceHeader) Encode(e *Encoder) {
+	e.U64(h.Trace)
+	e.U64(h.Span)
+}
+
+// DecodeTraceHeader consumes a TraceHeader.
+func DecodeTraceHeader(d *Decoder) TraceHeader {
+	return TraceHeader{Trace: d.U64(), Span: d.U64()}
+}
+
 // Message is anything that can marshal itself onto an Encoder.
 type Message interface {
 	Encode(e *Encoder)

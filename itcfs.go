@@ -39,6 +39,7 @@ import (
 	"itcfs/internal/rpc"
 	"itcfs/internal/secure"
 	"itcfs/internal/sim"
+	"itcfs/internal/trace"
 	"itcfs/internal/unixfs"
 	"itcfs/internal/venus"
 	"itcfs/internal/vice"
@@ -105,6 +106,20 @@ type CellConfig struct {
 	// ReconnectRetries lets Venus redial a server and re-issue a call
 	// after a transport failure (see venus.Config.ReconnectRetries).
 	ReconnectRetries int
+
+	// Observability. Both default off, costing nothing on the hot paths.
+	//
+	// Trace records causally linked spans across Venus, the RPC transport,
+	// the network and Vice, in virtual time: identical seeds yield
+	// byte-identical exported traces. Read them from Cell.Tracer.
+	Trace bool
+	// TraceSample keeps every nth root operation when tracing (0 or 1 =
+	// keep all). Sampling decides per operation, so a kept operation is
+	// always complete.
+	TraceSample int
+	// Metrics, when set, receives counters and histograms from every layer
+	// (cache hits, RPC latency, link utilization, per-volume service time).
+	Metrics *trace.Registry
 }
 
 // Server is one Vice cluster server with its simulated devices.
@@ -138,6 +153,11 @@ type Cell struct {
 	Servers  []*Server
 	Clusters []*netsim.Cluster
 	Mode     Mode
+	// Tracer is non-nil when CellConfig.Trace was set; Tracer.Spans() holds
+	// every finished span after a run.
+	Tracer *trace.Tracer
+	// Metrics echoes CellConfig.Metrics.
+	Metrics *trace.Registry
 
 	cfg       CellConfig
 	costs     CostConfig
@@ -173,6 +193,14 @@ func NewCell(cfg CellConfig) *Cell {
 		cfg:     cfg,
 		costs:   costs,
 		nextVol: 1,
+	}
+	if cfg.Trace {
+		c.Tracer = trace.New(func() sim.Time { return k.Now() })
+		c.Tracer.SetSample(cfg.TraceSample)
+	}
+	c.Metrics = cfg.Metrics
+	if c.Metrics != nil {
+		c.Net.SetMetrics(c.Metrics)
 	}
 	serverKey, err := secure.NewSessionKey()
 	if err != nil {
@@ -215,6 +243,7 @@ func NewCell(cfg CellConfig) *Cell {
 			Clock:         clock,
 			ProtAuthority: i == 0,
 			AllocVolID:    c.allocVol,
+			Metrics:       cfg.Metrics,
 		})
 		ep := rpc.NewEndpoint(c.Net, node, rpc.EndpointConfig{
 			Keys:        db.LookupKey,
@@ -224,6 +253,9 @@ func NewCell(cfg CellConfig) *Cell {
 			AuthCost:    rpc.Cost{CPU: costs.AuthCPU},
 			CallTimeout: callTimeout,
 			Retry:       cfg.Retry,
+			Tracer:      c.Tracer,
+			Metrics:     cfg.Metrics,
+			Observe:     vs.ObserveCall,
 		})
 		c.Servers = append(c.Servers, &Server{
 			Vice: vs, Endpoint: ep, Node: node, Cluster: cl, CPU: cpu, Disk: disk,
@@ -339,6 +371,8 @@ func (c *Cell) AddWorkstation(cluster int, name string) *Workstation {
 		Server:      cbServer,
 		CallTimeout: callTimeout,
 		Retry:       c.cfg.Retry,
+		Tracer:      c.Tracer,
+		Metrics:     c.cfg.Metrics,
 	})
 
 	home := c.Servers[cluster]
@@ -352,6 +386,8 @@ func (c *Cell) AddWorkstation(cluster int, name string) *Workstation {
 		MaxBytes:         c.cfg.CacheBytes,
 		CallbackTTL:      c.cfg.CallbackTTL,
 		ReconnectRetries: c.cfg.ReconnectRetries,
+		Tracer:           c.Tracer,
+		Metrics:          c.cfg.Metrics,
 		Connect: func(p *sim.Proc, server string) (venus.Conn, error) {
 			srv := c.serverByName(server)
 			if srv == nil {
