@@ -7,6 +7,22 @@ cd "$(dirname "$0")"
 
 go vet ./...
 go build ./...
+
+# Project-specific static analysis (tools/itcvet): wall-clock bans in
+# deterministic code, unseeded global rand, guarded-field lock discipline,
+# and map-iteration order leaking into ordered outputs. A finding fails CI.
+go build -o itcvet ./tools/itcvet
+go vet -vettool="$(pwd)/itcvet" ./...
+rm -f itcvet
+
+# Known-vulnerability scan: advisory only (the tool and its vuln DB need
+# network access, which CI containers may not have).
+if command -v govulncheck >/dev/null 2>&1; then
+	govulncheck ./... || echo "govulncheck: advisories above (non-fatal)"
+else
+	echo "govulncheck not installed; skipping vulnerability scan"
+fi
+
 go test -race ./...
 go test ./...
 

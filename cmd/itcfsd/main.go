@@ -60,7 +60,8 @@ func main() {
 	must(db.Apply(prot.Mutation{Kind: prot.MutAddMember, Name: vice.AdminGroup, Member: "operator"}))
 
 	nextVol := uint32(1)
-	clock := func() int64 { return time.Now().UnixNano() }
+	// The real daemon serves real clients: file timestamps are wall time.
+	clock := func() int64 { return time.Now().UnixNano() } //itcvet:allow wallclock -- real deployment clock, outside the simulator
 	metrics := trace.NewRegistry()
 	srv := vice.New(vice.Config{
 		Name:          *name,
@@ -83,8 +84,8 @@ func main() {
 	// trace is written out and the process exits.
 	var tracer *trace.Tracer
 	if *traceFlag {
-		start := time.Now()
-		tracer = trace.New(func() sim.Time { return sim.Time(time.Since(start)) })
+		start := time.Now()                                                        //itcvet:allow wallclock -- real-transport tracer epoch
+		tracer = trace.New(func() sim.Time { return sim.Time(time.Since(start)) }) //itcvet:allow wallclock -- spans measure real service time
 		sigs := make(chan os.Signal, 1)
 		signal.Notify(sigs, os.Interrupt)
 		go func() {

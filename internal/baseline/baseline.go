@@ -41,10 +41,11 @@ type Server struct {
 	mu     sync.Mutex
 	fs     *unixfs.FS
 	disp   *rpc.Server
-	nextFD uint64
-	open   map[uint64]string // fd -> path
+	nextFD uint64 // guarded by mu
+	// guarded by mu
+	open map[uint64]string // fd -> path
 
-	reads, writes, opens int64
+	reads, writes, opens int64 // guarded by mu
 }
 
 // NewServer builds a page server around fs.

@@ -378,12 +378,19 @@ func opName(op rpc.Op) string {
 	}
 }
 
-// sortedKeys returns map keys ordered by descending value.
+// sortedKeys returns map keys ordered by descending value, ties broken by
+// name: without the tie-break, equal-valued rows would keep the order the
+// keys came out of the map in, and the table would shuffle run to run.
 func sortedKeys(m map[string]float64) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return m[keys[i]] > m[keys[j]] })
+	sort.Slice(keys, func(i, j int) bool {
+		if m[keys[i]] != m[keys[j]] {
+			return m[keys[i]] > m[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
 	return keys
 }

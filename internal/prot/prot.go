@@ -220,9 +220,9 @@ type Group struct {
 // mutations shipped from the protection server.
 type DB struct {
 	mu      sync.RWMutex
-	users   map[string]*User
-	groups  map[string]*Group
-	version uint64
+	users   map[string]*User  // guarded by mu
+	groups  map[string]*Group // guarded by mu
+	version uint64            // guarded by mu
 }
 
 // NewDB returns an empty database.
@@ -389,6 +389,10 @@ func validName(n string) bool {
 	return n != "" && !strings.ContainsAny(n, " /\x00") && n != AnyUser
 }
 
+// apply performs one mutation against the in-memory state. Every caller
+// (Mutate, Replay) takes the write lock first.
+//
+//itcvet:holds mu
 func (db *DB) apply(m Mutation) error {
 	switch m.Kind {
 	case MutAddUser:
@@ -470,7 +474,9 @@ func (db *DB) apply(m Mutation) error {
 
 // wouldCycle reports whether group contains candidate transitively already
 // in the reverse direction: adding candidate to group creates a cycle iff
-// group is reachable from candidate.
+// group is reachable from candidate. Called from apply, under the lock.
+//
+//itcvet:holds mu
 func (db *DB) wouldCycle(group, candidate string) bool {
 	if group == candidate {
 		return true

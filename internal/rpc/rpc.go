@@ -102,8 +102,8 @@ type HandlerFunc func(ctx Ctx, req Request) Response
 // and may be shared across transports and connections.
 type Server struct {
 	mu       sync.RWMutex
-	handlers map[Op]HandlerFunc
-	fallback HandlerFunc
+	handlers map[Op]HandlerFunc // guarded by mu
+	fallback HandlerFunc        // guarded by mu
 }
 
 // NewServer returns a server with no handlers.

@@ -3,6 +3,7 @@ package rpc
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
@@ -26,10 +27,10 @@ type Peer struct {
 	wmu sync.Mutex // serializes frame writes
 
 	mu      sync.Mutex
-	nextSeq uint32
-	pending map[uint32]chan outcome
-	closed  bool
-	done    chan struct{}
+	nextSeq uint32                  // guarded by mu
+	pending map[uint32]chan outcome // guarded by mu
+	closed  bool                    // guarded by mu
+	done    chan struct{}           // created at construction; closed (once) under mu, readable always
 
 	tracer *trace.Tracer // optional wall-clock tracer for served calls
 }
@@ -165,8 +166,13 @@ func (p *Peer) Close() error {
 	}
 	p.closed = true
 	close(p.done)
-	for seq, ch := range p.pending {
-		ch <- outcome{err: ErrClosed}
+	seqs := make([]uint32, 0, len(p.pending))
+	for seq := range p.pending {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		p.pending[seq] <- outcome{err: ErrClosed}
 		delete(p.pending, seq)
 	}
 	p.mu.Unlock()
@@ -221,7 +227,7 @@ func (p *Peer) readLoop() {
 }
 
 func (p *Peer) serve(seq uint32, tc wire.TraceHeader, req Request) {
-	started := time.Now()
+	started := time.Now() //itcvet:allow wallclock -- real transport: service time here IS wall time
 	sp := p.tracer.StartRemote(tc, trace.SpanRPCServe, p.name)
 	sp.SetInt(trace.AttrOp, int64(req.Op))
 	var resp Response
@@ -232,6 +238,6 @@ func (p *Peer) serve(seq uint32, tc wire.TraceHeader, req Request) {
 	}
 	sp.End()
 	// Wall-clock service time stands in for the simulator's virtual measure.
-	plain := append([]byte{kindReply}, encodeReply(seq, time.Since(started), resp)...)
-	_ = p.writeSealed(plain) // a write failure kills the readLoop shortly
+	plain := append([]byte{kindReply}, encodeReply(seq, time.Since(started), resp)...) //itcvet:allow wallclock -- real transport: service time here IS wall time
+	_ = p.writeSealed(plain)                                                           // a write failure kills the readLoop shortly
 }

@@ -16,9 +16,9 @@ import (
 // on configuration.
 type Registry struct {
 	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	counters map[string]*Counter   // guarded by mu
+	gauges   map[string]*Gauge     // guarded by mu
+	hists    map[string]*Histogram // guarded by mu
 }
 
 // NewRegistry returns an empty registry.
@@ -146,11 +146,11 @@ const histBuckets = 65
 // they are approximate within one power of two but fully deterministic.
 type Histogram struct {
 	mu      sync.Mutex
-	buckets [histBuckets]int64
-	count   int64
-	sum     time.Duration
-	min     time.Duration
-	max     time.Duration
+	buckets [histBuckets]int64 // guarded by mu
+	count   int64              // guarded by mu
+	sum     time.Duration      // guarded by mu
+	min     time.Duration      // guarded by mu
+	max     time.Duration      // guarded by mu
 }
 
 // ObserveN records a dimensionless value (a count, e.g. callback fan-out)

@@ -79,12 +79,12 @@ type Span struct {
 // is valid and disables tracing entirely.
 type Tracer struct {
 	mu        sync.Mutex
-	now       func() sim.Time
-	sample    int
-	nextTrace uint64
-	nextSpan  uint64
-	roots     uint64
-	spans     []*Span
+	now       func() sim.Time // set at construction, immutable afterwards
+	sample    int             // guarded by mu
+	nextTrace uint64          // guarded by mu
+	nextSpan  uint64          // guarded by mu
+	roots     uint64          // guarded by mu
+	spans     []*Span         // guarded by mu
 }
 
 // New returns a tracer reading timestamps from now — typically the simulation
@@ -203,6 +203,8 @@ func (t *Tracer) StartRemote(ctx SpanContext, name, node string) *Span {
 }
 
 // startLocked allocates and registers a recording span. Caller holds t.mu.
+//
+//itcvet:holds mu
 func (t *Tracer) startLocked(name, node string, traceID, parent uint64) *Span {
 	t.nextSpan++
 	s := &Span{

@@ -103,11 +103,13 @@ type Clock func() int64
 // FS is one in-memory file system.
 type FS struct {
 	mu     sync.RWMutex
-	inodes map[Ino]*inode
-	next   Ino
-	root   Ino
-	clock  Clock
-	used   int64 // total regular-file bytes, for disk accounting
+	inodes map[Ino]*inode // guarded by mu
+	next   Ino            // guarded by mu
+	root   Ino            // set at construction, immutable afterwards
+	clock  Clock          // set at construction, immutable afterwards
+	// total regular-file bytes, for disk accounting
+	// guarded by mu
+	used int64
 }
 
 // New returns an empty file system containing only a root directory. A nil
@@ -190,6 +192,8 @@ func Dir(path string) string {
 // always, and in the final component when followLast is true. Returns the
 // resolved inode and, for the benefit of mutators, the parent directory and
 // leaf name (post symlink resolution of the parent chain).
+//
+//itcvet:holds mu(read)
 func (fs *FS) walk(path string, followLast bool, depth int) (parent *inode, name string, node *inode, err error) {
 	if depth > maxSymlinks {
 		return nil, "", nil, fmt.Errorf("%w: %s", ErrLoop, path)
@@ -300,6 +304,8 @@ func (fs *FS) Exists(path string) bool {
 }
 
 // create inserts a new inode under parent. Caller holds the write lock.
+//
+//itcvet:holds mu
 func (fs *FS) create(parent *inode, name string, typ FileType, mode uint16, owner string) *inode {
 	n := &inode{ino: fs.next, typ: typ, mode: mode, nlink: 1, mtime: fs.clock(), owner: owner}
 	fs.next++
@@ -546,6 +552,10 @@ func (fs *FS) Remove(path string) error {
 	return nil
 }
 
+// unlink detaches node from parent, freeing it at zero links. Caller holds
+// the write lock.
+//
+//itcvet:holds mu
 func (fs *FS) unlink(parent *inode, name string, node *inode) {
 	delete(parent.entries, name)
 	parent.version++
@@ -611,6 +621,10 @@ func (fs *FS) RemoveAll(path string) error {
 	return nil
 }
 
+// removeTree frees node and, for directories, everything beneath it.
+// Caller holds the write lock.
+//
+//itcvet:holds mu
 func (fs *FS) removeTree(node *inode) {
 	if node.typ == TypeDir {
 		for _, childIno := range node.entries {
@@ -687,6 +701,10 @@ func (fs *FS) Rename(oldpath, newpath string) error {
 
 // isAncestor reports whether dir appears on the path from root to node
 // (inclusive). Caller holds the lock.
+// isAncestor reports whether node lies in the subtree rooted at dir.
+// Caller holds the lock (read suffices).
+//
+//itcvet:holds mu(read)
 func (fs *FS) isAncestor(dir, node *inode) bool {
 	if dir == node {
 		return true

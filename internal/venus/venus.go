@@ -115,21 +115,28 @@ type entry struct {
 type Venus struct {
 	cfg Config
 
-	mu      sync.Mutex
-	user    string
-	conns   map[string]Conn
-	byPath  map[string]*entry
-	byFID   map[proto.FID]*entry
-	lru     *list.List // front = most recently used
-	bytes   int64
-	nextID  int64
-	volLoc  map[uint32]proto.CustodianReply // volume -> location
-	pathLoc map[string]proto.CustodianReply // prefix -> location
-	stats   Stats
+	mu     sync.Mutex
+	user   string               // guarded by mu
+	conns  map[string]Conn      // guarded by mu
+	byPath map[string]*entry    // guarded by mu
+	byFID  map[proto.FID]*entry // guarded by mu
+	// front = most recently used
+	// guarded by mu
+	lru    *list.List
+	bytes  int64 // guarded by mu
+	nextID int64 // guarded by mu
+	// volume -> location
+	// guarded by mu
+	volLoc map[uint32]proto.CustodianReply
+	// prefix -> location
+	// guarded by mu
+	pathLoc map[string]proto.CustodianReply
+	stats   Stats // guarded by mu
 	// breakGen counts callback breaks received. Fetch and store snapshot
 	// it around their RPCs: a break that lands mid-flight must win over the
 	// reply's "valid" — otherwise a racing writer's invalidation would be
 	// silently clobbered and this workstation would stay stale forever.
+	// guarded by mu
 	breakGen int64
 }
 
@@ -580,6 +587,8 @@ func (v *Venus) installEntry(path string, st proto.Status, data []byte, now sim.
 }
 
 // index registers the entry under both keys. Caller holds v.mu.
+//
+//itcvet:holds mu
 func (v *Venus) index(e *entry) {
 	if e.path != "" {
 		v.byPath[e.path] = e
@@ -593,6 +602,8 @@ func (v *Venus) index(e *entry) {
 }
 
 // touch moves the entry to the LRU front. Caller holds v.mu.
+//
+//itcvet:holds mu
 func (v *Venus) touch(e *entry) {
 	if e.lruEl != nil {
 		v.lru.MoveToFront(e.lruEl)
@@ -601,6 +612,8 @@ func (v *Venus) touch(e *entry) {
 
 // evictLocked enforces the cache limit: entry count in prototype mode,
 // bytes in revised mode (§5.3). Dirty or open entries are never evicted.
+//
+//itcvet:holds mu
 func (v *Venus) evictLocked() {
 	over := func() bool {
 		if v.cfg.Mode == vice.Prototype {
@@ -621,6 +634,8 @@ func (v *Venus) evictLocked() {
 }
 
 // removeLocked drops an entry entirely. Caller holds v.mu.
+//
+//itcvet:holds mu
 func (v *Venus) removeLocked(e *entry) {
 	if e.lruEl != nil {
 		v.lru.Remove(e.lruEl)

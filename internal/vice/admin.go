@@ -2,6 +2,7 @@ package vice
 
 import (
 	"fmt"
+	"sort"
 
 	"itcfs/internal/prot"
 	"itcfs/internal/proto"
@@ -22,11 +23,14 @@ import (
 // error. The caller must not hold s.mu (peer calls park).
 func (s *Server) broadcast(p *sim.Proc, req rpc.Request) error {
 	s.mu.Lock()
-	peers := make([]Caller, 0, len(s.peers))
 	names := make([]string, 0, len(s.peers))
-	for name, c := range s.peers {
-		peers = append(peers, c)
+	for name := range s.peers {
 		names = append(names, name)
+	}
+	sort.Strings(names)
+	peers := make([]Caller, len(names))
+	for i, name := range names {
+		peers[i] = s.peers[name]
 	}
 	s.mu.Unlock()
 	for i, c := range peers {
@@ -303,8 +307,14 @@ func (s *Server) handleVolSalvage(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 	}
 	var reports []volume.SalvageReport
 	if args.Volume == 0 {
-		for _, rep := range s.SalvageAll() {
-			reports = append(reports, rep)
+		all := s.SalvageAll()
+		ids := make([]uint32, 0, len(all))
+		for id := range all {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			reports = append(reports, all[id])
 		}
 	} else {
 		s.mu.Lock()

@@ -16,12 +16,14 @@ import (
 // of server calls that were cache-validity checks (§5.2) disappear, at the
 // cost of server state and an invalidation message on each update (§3.2).
 type CallbackTable struct {
-	mu       sync.Mutex
-	promises map[proto.FID]map[rpc.Backchannel]int64 // -> registration order
-	regSeq   int64
-	breaks   int64
-	promised int64
-	metrics  *trace.Registry
+	mu sync.Mutex
+	// -> registration order
+	// guarded by mu
+	promises map[proto.FID]map[rpc.Backchannel]int64
+	regSeq   int64           // guarded by mu
+	breaks   int64           // guarded by mu
+	promised int64           // guarded by mu
+	metrics  *trace.Registry // guarded by mu
 }
 
 // NewCallbackTable returns an empty table.

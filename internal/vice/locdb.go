@@ -21,10 +21,12 @@ import (
 // copy; changing it is expensive because it means updating every server,
 // which is why the design keeps such changes rare.
 type LocDB struct {
-	mu      sync.RWMutex
-	entries map[string]proto.LocEntry // keyed by prefix
-	byVol   map[uint32]proto.LocEntry
-	version uint64
+	mu sync.RWMutex
+	// keyed by prefix
+	// guarded by mu
+	entries map[string]proto.LocEntry
+	byVol   map[uint32]proto.LocEntry // guarded by mu
+	version uint64                    // guarded by mu
 }
 
 // NewLocDB returns an empty location database.

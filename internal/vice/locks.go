@@ -15,7 +15,7 @@ import (
 // keeps the table as shared global data, which is what this is.
 type LockTable struct {
 	mu    sync.Mutex
-	locks map[proto.FID]*lockState
+	locks map[proto.FID]*lockState // guarded by mu
 }
 
 type lockState struct {

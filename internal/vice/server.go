@@ -3,6 +3,7 @@ package vice
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -76,25 +77,29 @@ type Server struct {
 	cfg Config
 
 	mu    sync.Mutex
-	vols  map[uint32]*volume.Volume
-	peers map[string]Caller
+	vols  map[uint32]*volume.Volume // guarded by mu
+	peers map[string]Caller         // guarded by mu
 
 	locks     *LockTable
 	callbacks *CallbackTable
 	disp      *rpc.Server
-	restarts  int64
+	restarts  int64 // guarded by mu
 
 	// Traffic counters for the evaluation harness.
-	fetchBytes     int64
-	storeBytes     int64
-	walkComponents int64 // pathname components walked server-side (prototype cost)
+	fetchBytes int64 // guarded by mu
+	storeBytes int64 // guarded by mu
+	// pathname components walked server-side (prototype cost)
+	// guarded by mu
+	walkComponents int64
 	// volAccess counts hot-path operations per volume per requesting node,
 	// the raw data for the monitoring tools of §3.6 (recognizing long-term
 	// access patterns and recommending custodian reassignment).
+	// guarded by mu
 	volAccess map[uint32]map[string]int64
 	// pendingVol remembers, per serving worker process, which volume the
 	// in-flight call touched, so ObserveCall can attribute the call's
 	// service time to that volume's latency histogram.
+	// guarded by mu
 	pendingVol map[*sim.Proc]uint32
 }
 
@@ -180,6 +185,7 @@ func (s *Server) VolumeIDs() []uint32 {
 	for id := range s.vols {
 		out = append(out, id)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

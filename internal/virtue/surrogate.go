@@ -27,10 +27,11 @@ type Surrogate struct {
 	disp *rpc.Server
 
 	mu     sync.Mutex
-	nextFD uint64
-	open   map[uint64]*File
+	nextFD uint64 // guarded by mu
+	// guarded by mu
+	open map[uint64]*File // fd -> open workstation file
 
-	opens, reads, writes int64
+	opens, reads, writes int64 // guarded by mu
 }
 
 // NewSurrogate builds a surrogate server over the workstation view fs.

@@ -1,0 +1,192 @@
+// Package check is the minimal analysis framework under itcvet's four
+// analyzers. It plays the role golang.org/x/tools/go/analysis plays for
+// ordinary vet tools — Analyzer, Pass, diagnostics — reimplemented on the
+// standard library alone so the tree builds hermetically, with no module
+// downloads. Facts and cross-package analysis are deliberately out of
+// scope: every itcvet analyzer is a single-package pass.
+//
+// Suppression: a diagnostic is dropped when the flagged line, or the line
+// directly above it, carries a comment of the form
+//
+//	//itcvet:allow <category> -- <justification>
+//
+// where <category> names the analyzer's diagnostic class (wallclock,
+// globalrand, unguarded, maporder). The justification is free text for the
+// reader; only the category is machine-checked. Unused allow annotations
+// are themselves diagnosed, so stale escapes cannot accumulate.
+package check
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer is one named check over a single type-checked package.
+type Analyzer struct {
+	Name string // short lower-case name, shown in diagnostics
+	Doc  string // one-paragraph description
+
+	// Category is the //itcvet:allow class that suppresses this
+	// analyzer's diagnostics.
+	Category string
+
+	// SkipTestFiles excludes *_test.go files from the pass.
+	SkipTestFiles bool
+
+	Run func(*Pass)
+}
+
+// A Pass carries one package through one analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	analyzer *Analyzer
+	sink     *[]Diagnostic
+}
+
+// A Diagnostic is one finding, positioned and attributed.
+type Diagnostic struct {
+	Analyzer string
+	Category string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.sink = append(*p.sink, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		Category: p.analyzer.Category,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether the file containing pos is a *_test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// PkgNameOf resolves ident to the imported package it names, or nil.
+// Resolution goes through the type checker, so shadowed identifiers
+// (a local variable named "time") never match.
+func (p *Pass) PkgNameOf(ident *ast.Ident) *types.PkgName {
+	if obj, ok := p.Info.Uses[ident].(*types.PkgName); ok {
+		return obj
+	}
+	return nil
+}
+
+// allowSite is one //itcvet:allow comment: its position, category, and
+// whether any diagnostic consumed it.
+type allowSite struct {
+	file     string
+	line     int
+	category string
+	pos      token.Position
+	used     bool
+}
+
+// collectAllows scans file comments for //itcvet:allow annotations.
+func collectAllows(fset *token.FileSet, files []*ast.File) []*allowSite {
+	var sites []*allowSite
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "itcvet:allow")
+				if !ok {
+					continue
+				}
+				if i := strings.Index(rest, "--"); i >= 0 {
+					rest = rest[:i]
+				}
+				cat := ""
+				if fields := strings.Fields(rest); len(fields) > 0 {
+					cat = fields[0]
+				}
+				posn := fset.Position(c.Pos())
+				sites = append(sites, &allowSite{
+					file: posn.Filename, line: posn.Line, category: cat, pos: posn,
+				})
+			}
+		}
+	}
+	return sites
+}
+
+// Run applies every analyzer to the package and returns surviving
+// diagnostics: findings not covered by an allow annotation, plus one
+// diagnostic per malformed or unused annotation.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		passFiles := files
+		if a.SkipTestFiles {
+			passFiles = nil
+			for _, f := range files {
+				if !strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+					passFiles = append(passFiles, f)
+				}
+			}
+		}
+		pass := &Pass{Fset: fset, Files: passFiles, Pkg: pkg, Info: info, analyzer: a, sink: &raw}
+		a.Run(pass)
+	}
+
+	allows := collectAllows(fset, files)
+	allowed := func(d Diagnostic) bool {
+		ok := false
+		for _, s := range allows {
+			if s.file == d.Pos.Filename && s.category == d.Category &&
+				(s.line == d.Pos.Line || s.line == d.Pos.Line-1) {
+				s.used = true
+				ok = true
+			}
+		}
+		return ok
+	}
+
+	var out []Diagnostic
+	for _, d := range raw {
+		if !allowed(d) {
+			out = append(out, d)
+		}
+	}
+	validCats := map[string]bool{}
+	for _, a := range analyzers {
+		validCats[a.Category] = true
+	}
+	for _, s := range allows {
+		switch {
+		case s.category == "" || !validCats[s.category]:
+			out = append(out, Diagnostic{
+				Analyzer: "itcvet", Category: "annotation", Pos: s.pos,
+				Message: fmt.Sprintf("malformed itcvet:allow annotation: want //itcvet:allow <category> -- <why>, with category one of %s", catList(analyzers)),
+			})
+		case !s.used:
+			out = append(out, Diagnostic{
+				Analyzer: "itcvet", Category: "annotation", Pos: s.pos,
+				Message: fmt.Sprintf("unused itcvet:allow %s annotation: nothing on this or the next line trips it", s.category),
+			})
+		}
+	}
+	return out
+}
+
+func catList(analyzers []*Analyzer) string {
+	var cats []string
+	for _, a := range analyzers {
+		cats = append(cats, a.Category)
+	}
+	return strings.Join(cats, ", ")
+}

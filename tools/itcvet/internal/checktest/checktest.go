@@ -1,0 +1,159 @@
+// Package checktest runs an analyzer over fixture packages, in the style
+// of golang.org/x/tools/go/analysis/analysistest (which cannot be used
+// here: the tree must build with no module downloads). Fixtures live under
+// testdata/src/<pkg>/, import only other fixture packages — including
+// hand-written stubs of the standard-library packages the analyzers care
+// about (time, math/rand, sync, sort, fmt) — and declare expected findings
+// with trailing comments:
+//
+//	_ = time.Now() // want `time\.Now reads the wall clock`
+//
+// Each backquoted or double-quoted string is a regexp that must match a
+// diagnostic reported on that line; every diagnostic must be claimed by
+// some expectation. //itcvet:allow annotations are honored exactly as in
+// production, so fixtures exercise the escape hatch too.
+package checktest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"itcfs/tools/itcvet/internal/check"
+)
+
+// wantRE captures each quoted expectation after a "want" marker.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// Run analyzes fixture package pkg under testdata and compares diagnostics
+// against // want expectations.
+func Run(t *testing.T, a *check.Analyzer, testdata, pkg string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &loader{fset: fset, testdata: testdata, pkgs: map[string]*types.Package{}}
+	files, pkgType, info, err := ld.load(pkg)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkg, err)
+	}
+
+	diags := check.Run(fset, files, pkgType, info, []*check.Analyzer{a})
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				_, rest, found := strings.Cut(c.Text, "want ")
+				if !found {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(rest, -1) {
+					expr := m[1]
+					if expr == "" {
+						expr = m[2]
+					}
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", posn, expr, err)
+					}
+					k := key{posn.Filename, posn.Line}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic at %s: %s", d.Pos, d.Message)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+		}
+	}
+}
+
+// loader type-checks fixture packages, resolving imports to sibling
+// fixture directories.
+type loader struct {
+	fset     *token.FileSet
+	testdata string
+	pkgs     map[string]*types.Package
+}
+
+func (l *loader) load(path string) ([]*ast.File, *types.Package, *types.Info, error) {
+	dir := filepath.Join(l.testdata, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil, nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tc := &types.Config{Importer: l}
+	pkg, err := tc.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return files, pkg, info, nil
+}
+
+// Import resolves an import inside a fixture to another fixture package.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	_, pkg, _, err := l.load(path)
+	if err != nil {
+		return nil, fmt.Errorf("fixture import %q (add a stub under testdata/src/%s): %w", path, path, err)
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"itcfs/tools/itcvet/internal/checktest"
+	"itcfs/tools/itcvet/internal/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	checktest.Run(t, lockcheck.Analyzer, "testdata", "c")
+}

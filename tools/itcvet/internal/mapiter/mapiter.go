@@ -1,0 +1,225 @@
+// Package mapiter flags map iteration whose order can escape.
+//
+// Go randomizes map iteration order on purpose; any byte that depends on it
+// — wire encoding, trace or metrics export, aggregated error text — differs
+// between two runs with identical seeds, which is exactly the property the
+// whole evaluation forbids. The safe idiom, used throughout this tree, is
+// collect-then-sort: range over the map only to gather keys or values into
+// a slice, sort the slice, then emit from the slice.
+//
+// Within each range-over-map body the analyzer reports:
+//
+//   - calls to ordering-sensitive sinks: io-writer-shaped methods (Write,
+//     WriteString, WriteByte, WriteRune, WriteTo, Flush), encoders (names
+//     beginning Encode or Marshal, or Append in the append-to-buffer
+//     encoder idiom), and the fmt Print/Fprint family;
+//   - sends on channels, which publish elements in iteration order.
+//
+// It also tracks the collect half of collect-then-sort: a slice appended to
+// inside the loop must be sorted somewhere in the same function (any
+// sort.* or slices.* call mentioning it), otherwise the append is flagged —
+// an unsorted collection is iteration order laundered through a slice.
+// Aggregation into maps, numeric accumulation, counting, and existence
+// checks are all order-insensitive and pass silently.
+//
+// The analysis is a per-function heuristic: a sink hidden behind a helper
+// call is not seen, and a slice sorted by the caller instead of the
+// collecting function needs an //itcvet:allow maporder annotation saying
+// so. Test files are exempt.
+package mapiter
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"itcfs/tools/itcvet/internal/check"
+)
+
+// Analyzer is the mapiter pass.
+var Analyzer = &check.Analyzer{
+	Name:          "mapiter",
+	Doc:           "flag map iteration feeding ordering-sensitive sinks without an intervening sort",
+	Category:      "maporder",
+	SkipTestFiles: true,
+	Run:           run,
+}
+
+// sinkMethods are method names that emit bytes or events in call order.
+var sinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteTo": true, "Flush": true, "Fprint": true, "Fprintf": true,
+	"Fprintln": true, "Print": true, "Printf": true, "Println": true,
+}
+
+func run(pass *check.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+}
+
+// checkFunc scans one function body: every range-over-map inside it is
+// audited, and collected slices are cleared by sort calls anywhere in the
+// same body.
+func checkFunc(pass *check.Pass, body *ast.BlockStmt) {
+	type collected struct {
+		rng  *ast.RangeStmt
+		name *ast.Ident // slice appended to inside the loop
+	}
+	var appends []collected
+	sorted := map[types.Object]bool{}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if obj := sortCallTarget(pass, call); obj != nil {
+				sorted[obj] = true
+			}
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.Info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.SendStmt:
+				pass.Reportf(m.Pos(),
+					"channel send inside iteration over a map publishes elements in nondeterministic order; collect into a slice and sort first")
+			case *ast.CallExpr:
+				if name, kind := sinkCall(pass, m); name != "" {
+					pass.Reportf(m.Pos(),
+						"%s %s called while iterating over a map: output order follows map iteration order; collect into a slice, sort, then emit (//itcvet:allow maporder -- why, if order provably cannot escape)",
+						kind, name)
+				}
+				if id := appendTarget(m); id != nil {
+					appends = append(appends, collected{rng, id})
+				}
+			}
+			return true
+		})
+		return true
+	})
+
+	for _, c := range appends {
+		obj := pass.Info.Uses[c.name]
+		if obj == nil {
+			obj = pass.Info.Defs[c.name]
+		}
+		if obj == nil || sorted[obj] {
+			continue
+		}
+		pass.Reportf(c.name.Pos(),
+			"%s collects values from a map iteration but is never sorted in this function; its element order is the map's iteration order (sort it, or //itcvet:allow maporder -- why order cannot escape)",
+			c.name.Name)
+	}
+}
+
+// sinkCall classifies call as an ordering-sensitive sink, returning a
+// display name and kind, or "".
+func sinkCall(pass *check.Pass, call *ast.CallExpr) (name, kind string) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		n := fun.Sel.Name
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pkg := pass.PkgNameOf(id); pkg != nil {
+				// Qualified call: fmt.Fprintf and friends, pkg-level encoders.
+				if pkg.Imported().Path() == "fmt" && sinkMethods[n] {
+					return "fmt." + n, "print function"
+				}
+				if isEncoderName(n) {
+					return pkg.Name() + "." + n, "encoder"
+				}
+				return "", ""
+			}
+		}
+		if sinkMethods[n] {
+			return n, "writer method"
+		}
+		if isEncoderName(n) {
+			return n, "encoder method"
+		}
+	case *ast.Ident:
+		// Unqualified package-level encoder helper — but never the
+		// builtin append, which is the approved collect idiom.
+		if _, isFunc := pass.Info.Uses[fun].(*types.Func); isFunc && isEncoderName(fun.Name) {
+			return fun.Name, "encoder"
+		}
+	}
+	return "", ""
+}
+
+// isEncoderName matches the tree's wire-encoding helper idiom.
+func isEncoderName(n string) bool {
+	return strings.HasPrefix(n, "Encode") || strings.HasPrefix(n, "Marshal") ||
+		strings.HasPrefix(n, "Append") || strings.HasPrefix(n, "encode") ||
+		strings.HasPrefix(n, "marshal") || strings.HasPrefix(n, "append")
+}
+
+// appendTarget recognizes append(x, ...) and returns the root identifier of
+// x, the slice being grown.
+func appendTarget(call *ast.CallExpr) *ast.Ident {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return nil
+	}
+	e := call.Args[0]
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			return x.Sel // field-held slice: track by field object
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortCallTarget reports the object sorted by call, if call is any sort.*
+// or slices.* invocation mentioning a tracked identifier.
+func sortCallTarget(pass *check.Pass, call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pkg := pass.PkgNameOf(id)
+	if pkg == nil {
+		return nil
+	}
+	if p := pkg.Imported().Path(); p != "sort" && p != "slices" {
+		return nil
+	}
+	for _, a := range call.Args {
+		switch a := a.(type) {
+		case *ast.Ident:
+			if obj := pass.Info.Uses[a]; obj != nil {
+				return obj
+			}
+		case *ast.SelectorExpr:
+			if obj := pass.Info.Uses[a.Sel]; obj != nil {
+				return obj
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"itcfs/tools/itcvet/internal/checktest"
+	"itcfs/tools/itcvet/internal/mapiter"
+)
+
+func TestMapiter(t *testing.T) {
+	checktest.Run(t, mapiter.Analyzer, "testdata", "d")
+}

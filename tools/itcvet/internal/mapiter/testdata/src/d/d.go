@@ -1,0 +1,103 @@
+// Fixture for mapiter: map iteration feeding writers, encoders, channels,
+// and unsorted collections is flagged; collect-then-sort, aggregation and
+// set-building are not.
+package d
+
+import (
+	"fmt"
+	"sort"
+)
+
+type buffer struct{ b []byte }
+
+func (b *buffer) WriteString(s string) (int, error)
+func (b *buffer) String() string
+
+func badWriter(m map[string]int, buf *buffer) {
+	for k := range m {
+		buf.WriteString(k) // want `writer method WriteString called while iterating over a map`
+	}
+}
+
+func badFprintf(m map[string]int, w any) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `print function fmt\.Fprintf called while iterating over a map`
+	}
+}
+
+func badChannel(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside iteration over a map`
+	}
+}
+
+func encodeU32(buf []byte, v uint32) []byte
+
+func badEncode(m map[uint32]uint32, out []byte) []byte {
+	for k := range m {
+		out = encodeU32(out, k) // want `encoder encodeU32 called while iterating over a map`
+	}
+	return out
+}
+
+func badCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `keys collects values from a map iteration but is never sorted`
+	}
+	return keys
+}
+
+// The approved idiom: collect, sort, then emit from the slice.
+func goodCollect(m map[string]int, buf *buffer) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		buf.WriteString(k)
+	}
+}
+
+// sort.Slice counts too.
+func goodCollectSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// Commutative aggregation is order-insensitive.
+func goodAggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Building another map is order-insensitive.
+func goodInvert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Ranging over a slice is never the analyzer's business.
+func goodSliceRange(names []string, buf *buffer) {
+	for _, n := range names {
+		buf.WriteString(n)
+	}
+}
+
+func allowed(m map[string]int, buf *buffer) {
+	for k := range m {
+		//itcvet:allow maporder -- fixture: order provably cannot escape
+		buf.WriteString(k)
+	}
+}

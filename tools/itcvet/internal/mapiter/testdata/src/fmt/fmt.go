@@ -1,0 +1,7 @@
+// Package fmt is a fixture stub: the print family mapiter treats as an
+// ordering-sensitive sink.
+package fmt
+
+func Fprintf(w any, format string, a ...any) (int, error)
+func Fprintln(w any, a ...any) (int, error)
+func Sprintf(format string, a ...any) string

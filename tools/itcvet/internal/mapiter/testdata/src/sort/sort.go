@@ -1,0 +1,7 @@
+// Package sort is a fixture stub: the calls mapiter accepts as making a
+// collected slice deterministic.
+package sort
+
+func Strings(x []string)
+func Ints(x []int)
+func Slice(x any, less func(i, j int) bool)

@@ -1,0 +1,70 @@
+// Package seedrand forbids the global math/rand generator in non-test code.
+//
+// The global functions of math/rand (and math/rand/v2) draw from shared,
+// implicitly seeded state: two call sites interleave differently depending
+// on goroutine scheduling, and nothing ties the stream to the run's seed.
+// Reproducible experiments need every random decision to come from a
+// *rand.Rand constructed from the configured seed and threaded explicitly
+// to its consumer — which is how the whole tree already works. This
+// analyzer keeps it that way. Constructors (New, NewSource, NewZipf, NewPCG,
+// NewChaCha8) and types are fine; the package-level draws are not.
+//
+// Test files are exempt: tests construct their own seeded generators, and
+// the few that would not cannot perturb virtual time from outside a run.
+package seedrand
+
+import (
+	"go/ast"
+
+	"itcfs/tools/itcvet/internal/check"
+)
+
+// banned lists package-level math/rand and math/rand/v2 functions backed by
+// the shared global generator.
+var banned = map[string]bool{
+	// math/rand
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+	// math/rand/v2 additions
+	"N": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "Uint": true, "UintN": true,
+	"Uint32N": true, "Uint64N": true,
+}
+
+// Analyzer is the seedrand pass.
+var Analyzer = &check.Analyzer{
+	Name:          "seedrand",
+	Doc:           "forbid the global math/rand generator; thread a *rand.Rand from the run seed",
+	Category:      "globalrand",
+	SkipTestFiles: true,
+	Run:           run,
+}
+
+func run(pass *check.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !banned[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkg := pass.PkgNameOf(id)
+			if pkg == nil {
+				return true
+			}
+			path := pkg.Imported().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"%s.%s draws from the global generator; use a *rand.Rand seeded from the run configuration (//itcvet:allow globalrand -- why, if unavoidable)",
+				id.Name, sel.Sel.Name)
+			return true
+		})
+	}
+}

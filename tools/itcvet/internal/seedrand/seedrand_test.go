@@ -1,0 +1,12 @@
+package seedrand_test
+
+import (
+	"testing"
+
+	"itcfs/tools/itcvet/internal/checktest"
+	"itcfs/tools/itcvet/internal/seedrand"
+)
+
+func TestSeedrand(t *testing.T) {
+	checktest.Run(t, seedrand.Analyzer, "testdata", "b")
+}

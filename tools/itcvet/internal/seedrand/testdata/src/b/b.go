@@ -1,0 +1,26 @@
+// Fixture for seedrand: global math/rand draws are flagged in non-test
+// code; seeded *rand.Rand use and the constructors are not.
+package b
+
+import "math/rand"
+
+func bad() {
+	_ = rand.Intn(10)                  // want `rand\.Intn draws from the global generator`
+	_ = rand.Int63()                   // want `rand\.Int63 draws from the global generator`
+	_ = rand.Float64()                 // want `rand\.Float64 draws from the global generator`
+	rand.Seed(1)                       // want `rand\.Seed draws from the global generator`
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle draws from the global generator`
+	var p []byte
+	_, _ = rand.Read(p) // want `rand\.Read draws from the global generator`
+}
+
+// The approved idiom: a generator built from the run seed, threaded to its
+// consumer. Constructors are not global draws.
+func good(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	_ = rand.NewZipf(r, 1.1, 1, 100)
+	r.Shuffle(3, func(i, j int) {})
+	return r.Intn(10)
+}
+
+var bootstrapID = rand.Int63() //itcvet:allow globalrand -- fixture: pre-run identifier

@@ -1,0 +1,8 @@
+package b
+
+import alias "math/rand"
+
+// An aliased import is still resolved to math/rand.
+func aliased() int {
+	return alias.Intn(4) // want `alias\.Intn draws from the global generator`
+}

@@ -1,0 +1,8 @@
+// Test files are exempt from seedrand: no want expectations here.
+package b
+
+import "math/rand"
+
+func helperForTests() int {
+	return rand.Intn(10)
+}

@@ -1,0 +1,37 @@
+// Package rand is a fixture stub of math/rand: the global draws the
+// analyzer bans plus the seeded-constructor surface it must leave alone.
+package rand
+
+type Source interface{ Int63() int64 }
+
+func NewSource(seed int64) Source
+
+type Rand struct{ src Source }
+
+func New(src Source) *Rand
+
+func (r *Rand) Int() int
+func (r *Rand) Intn(n int) int
+func (r *Rand) Int63() int64
+func (r *Rand) Float64() float64
+func (r *Rand) Perm(n int) []int
+func (r *Rand) Shuffle(n int, swap func(i, j int))
+
+type Zipf struct{}
+
+func NewZipf(r *Rand, s, v float64, imax uint64) *Zipf
+
+func Int() int
+func Intn(n int) int
+func Int31() int32
+func Int63() int64
+func Uint32() uint32
+func Uint64() uint64
+func Float32() float32
+func Float64() float64
+func ExpFloat64() float64
+func NormFloat64() float64
+func Perm(n int) []int
+func Shuffle(n int, swap func(i, j int))
+func Seed(seed int64)
+func Read(p []byte) (n int, err error)

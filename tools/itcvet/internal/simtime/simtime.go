@@ -1,0 +1,68 @@
+// Package simtime forbids reading the wall clock in deterministic code.
+//
+// Every experiment in this tree runs on virtual time: the simulation kernel
+// is the only clock, so identical seeds replay identical schedules. One
+// stray time.Now or time.Sleep couples the run to the host scheduler and
+// silently breaks that property — and nothing at build or test time would
+// notice. This analyzer turns the convention into a machine-checked rule:
+// wall-clock functions of package time are banned everywhere, and the few
+// genuinely wall-clock sites (the TCP transport, the command-line daemons)
+// carry an explicit //itcvet:allow wallclock annotation that names them as
+// deliberate.
+//
+// Referencing one of the banned functions is flagged even when it is not
+// called (assigning time.Now to a clock variable smuggles the wall clock
+// just as effectively as calling it).
+package simtime
+
+import (
+	"go/ast"
+
+	"itcfs/tools/itcvet/internal/check"
+)
+
+// banned lists the package time functions that read or wait on the wall
+// clock. Types, constants and pure arithmetic (Duration, Unix, Date
+// construction) stay usable.
+var banned = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// Analyzer is the simtime pass.
+var Analyzer = &check.Analyzer{
+	Name:     "simtime",
+	Doc:      "forbid wall-clock time functions outside annotated wall-clock sites",
+	Category: "wallclock",
+	Run:      run,
+}
+
+func run(pass *check.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !banned[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkg := pass.PkgNameOf(id)
+			if pkg == nil || pkg.Imported().Path() != "time" {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the wall clock; deterministic code must take its clock from the simulation kernel (annotate genuine wall-clock sites with //itcvet:allow wallclock -- why)",
+				sel.Sel.Name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,12 @@
+package simtime_test
+
+import (
+	"testing"
+
+	"itcfs/tools/itcvet/internal/checktest"
+	"itcfs/tools/itcvet/internal/simtime"
+)
+
+func TestSimtime(t *testing.T) {
+	checktest.Run(t, simtime.Analyzer, "testdata", "a")
+}

@@ -1,0 +1,54 @@
+// Fixture for simtime: wall-clock reads are flagged, virtual-time-safe
+// uses of package time are not, and the annotation escape hatch works.
+package a
+
+import "time"
+
+var clockFn = time.Now // want `time\.Now reads the wall clock`
+
+func bad() int64 {
+	t := time.Now()         // want `time\.Now reads the wall clock`
+	time.Sleep(time.Second) // want `time\.Sleep reads the wall clock`
+	select {
+	case <-time.After(time.Second): // want `time\.After reads the wall clock`
+	}
+	_ = time.NewTimer(time.Second)             // want `time\.NewTimer reads the wall clock`
+	_ = time.NewTicker(time.Second)            // want `time\.NewTicker reads the wall clock`
+	_ = time.Tick(time.Second)                 // want `time\.Tick reads the wall clock`
+	_ = time.AfterFunc(time.Second, func() {}) // want `time\.AfterFunc reads the wall clock`
+	_ = time.Since(t)                          // want `time\.Since reads the wall clock`
+	_ = time.Until(t)                          // want `time\.Until reads the wall clock`
+	return t.UnixNano()
+}
+
+// Duration arithmetic and formatting stay legal: only clock reads couple a
+// run to the host.
+func fine(d time.Duration) time.Duration {
+	return d + time.Second + 3*time.Millisecond
+}
+
+type fakeClock struct{}
+
+func (fakeClock) Now() int { return 0 }
+
+// A local identifier shadowing the package does not confuse resolution.
+func shadowed() int {
+	time := fakeClock{}
+	return time.Now()
+}
+
+func allowedAbove() time.Time {
+	//itcvet:allow wallclock -- fixture: a deliberate wall-clock site
+	return time.Now()
+}
+
+func allowedInline() time.Time {
+	return time.Now() //itcvet:allow wallclock -- fixture: same-line escape
+}
+
+func staleAllow() {
+	//itcvet:allow wallclock -- stale // want `unused itcvet:allow wallclock`
+}
+
+//itcvet:allow nosuchcategory // want `malformed itcvet:allow`
+func typoAllow() {}

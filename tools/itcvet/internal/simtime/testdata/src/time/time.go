@@ -1,0 +1,33 @@
+// Package time is a fixture stub: just enough of the real package's
+// surface for the simtime tests to type-check against.
+package time
+
+type Time struct{ sec int64 }
+
+type Duration int64
+
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+func (t Time) UnixNano() int64     { return t.sec }
+func (t Time) Add(d Duration) Time { return t }
+
+func Now() Time
+func Sleep(d Duration)
+func After(d Duration) <-chan Time
+func AfterFunc(d Duration, f func()) *Timer
+func Tick(d Duration) <-chan Time
+func Since(t Time) Duration
+func Until(t Time) Duration
+
+type Timer struct{ C <-chan Time }
+
+func NewTimer(d Duration) *Timer
+
+type Ticker struct{ C <-chan Time }
+
+func NewTicker(d Duration) *Ticker

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestVettoolEndToEnd is the acceptance test for the CI gate: it builds the
+// real itcvet binary, then drives the real `go vet -vettool=` machinery over
+// throwaway modules. A module seeded with one violation of each class must
+// fail the vet run with the right diagnostic; a module using the sanctioned
+// idioms (annotated wall-clock, seeded rand, locked access, sorted
+// iteration) must pass clean.
+func TestVettoolEndToEnd(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("exercises the unix vet pipeline")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+
+	bin := filepath.Join(t.TempDir(), "itcvet")
+	build := exec.Command(goTool, "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building itcvet: %v\n%s", err, out)
+	}
+
+	vet := func(t *testing.T, files map[string]string) (string, error) {
+		t.Helper()
+		dir := t.TempDir()
+		files["go.mod"] = "module fixture\n\ngo 1.22\n"
+		for name, src := range files {
+			path := filepath.Join(dir, name)
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cmd := exec.Command(goTool, "vet", "-vettool="+bin, "./...")
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+
+	// Each seeded violation must fail CI with its analyzer's diagnostic.
+	violations := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "simtime",
+			src: `package p
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+			want: "[simtime]",
+		},
+		{
+			name: "seedrand",
+			src: `package p
+
+import "math/rand"
+
+func Jitter() int { return rand.Intn(100) }
+`,
+			want: "[seedrand]",
+		},
+		{
+			name: "lockcheck",
+			src: `package p
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *Counter) Bump() { c.n++ }
+`,
+			want: "[lockcheck]",
+		},
+		{
+			name: "mapiter",
+			src: `package p
+
+import "strings"
+
+func Dump(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k)
+	}
+	return b.String()
+}
+`,
+			want: "[mapiter]",
+		},
+	}
+	for _, v := range violations {
+		t.Run("flags_"+v.name, func(t *testing.T) {
+			out, err := vet(t, map[string]string{"p.go": v.src})
+			if err == nil {
+				t.Fatalf("go vet passed on a %s violation; output:\n%s", v.name, out)
+			}
+			if !strings.Contains(out, v.want) {
+				t.Fatalf("diagnostic missing %q:\n%s", v.want, out)
+			}
+		})
+	}
+
+	t.Run("clean_module_passes", func(t *testing.T) {
+		out, err := vet(t, map[string]string{"p.go": `package p
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Startup records when the process began; the daemon boundary is genuinely
+// wall-clock and says so.
+var Startup = time.Now() //itcvet:allow wallclock -- process start is wall time by definition
+
+// Pick draws from an explicitly seeded stream.
+func Pick(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *Counter) Bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Dump emits keys in sorted order, so map iteration never reaches the sink.
+func Dump(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+	}
+	return b.String()
+}
+`})
+		if err != nil {
+			t.Fatalf("go vet failed on a clean module: %v\n%s", err, out)
+		}
+	})
+}

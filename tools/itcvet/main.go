@@ -1,0 +1,278 @@
+// Command itcvet is this tree's custom static-analysis gate, run as
+//
+//	go build -o itcvet ./tools/itcvet
+//	go vet -vettool=$(pwd)/itcvet ./...
+//
+// It bundles four project-specific analyzers — simtime, seedrand,
+// lockcheck, mapiter (see their package docs) — that machine-check the two
+// invariants every experiment rests on: virtual-time runs are bit-for-bit
+// deterministic, and annotated shared state is touched only under its lock.
+//
+// The program speaks the protocol the go command expects of a -vettool
+// directly, with no dependency outside the standard library (the usual
+// golang.org/x/tools unitchecker cannot be vendored here; builds must work
+// with an empty module cache and no network):
+//
+//   - "-V=full" prints a version line ending in buildID=<hash of the
+//     executable>, which the go command folds into its action cache key;
+//   - "-flags" prints a JSON description of the analyzer flags, which the
+//     go command uses to validate pass-through arguments;
+//   - otherwise the single argument is a vet.cfg file describing one
+//     package: its Go files, import map, and export-data files for every
+//     dependency. The package is type-checked against that export data,
+//     the analyzers run, findings print to stderr as file:line:col
+//     messages, and the exit status is 2 when there are findings.
+//
+// itcvet defines no cross-package facts, so dependency passes (VetxOnly)
+// only write the empty facts file the protocol requires and exit.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"itcfs/tools/itcvet/internal/check"
+	"itcfs/tools/itcvet/internal/lockcheck"
+	"itcfs/tools/itcvet/internal/mapiter"
+	"itcfs/tools/itcvet/internal/seedrand"
+	"itcfs/tools/itcvet/internal/simtime"
+)
+
+var analyzers = []*check.Analyzer{
+	simtime.Analyzer,
+	seedrand.Analyzer,
+	lockcheck.Analyzer,
+	mapiter.Analyzer,
+}
+
+// vetConfig mirrors the JSON the go command writes to vet.cfg (see
+// cmd/go/internal/work's vetConfig); fields itcvet does not consume are
+// listed for documentation and ignored.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	Standard     map[string]bool
+	PackageVetx  map[string]string
+	VetxOnly     bool
+	VetxOutput   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("itcvet: ")
+
+	vFlag := flag.String("V", "", "print version and exit (the go command passes -V=full)")
+	flagsFlag := flag.Bool("flags", false, "print a JSON description of the analyzer flags and exit")
+	enabled := map[string]*bool{}
+	for _, a := range analyzers {
+		enabled[a.Name] = flag.Bool(a.Name, true, a.Doc)
+	}
+	flag.Parse()
+
+	switch {
+	case *vFlag != "":
+		printVersion()
+	case *flagsFlag:
+		printFlags()
+	default:
+		args := flag.Args()
+		if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+			log.Fatalf(`invoke via the go command: go vet -vettool=/path/to/itcvet ./...`)
+		}
+		var active []*check.Analyzer
+		for _, a := range analyzers {
+			if *enabled[a.Name] {
+				active = append(active, a)
+			}
+		}
+		os.Exit(unit(args[0], active))
+	}
+}
+
+// printVersion implements the -V=full handshake: the executable's content
+// hash stands in for a version so the go command re-vets when the tool
+// changes.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, string(h.Sum(nil)))
+}
+
+// printFlags implements the -flags probe.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	for _, a := range analyzers {
+		out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// unit analyzes the single package described by cfgFile and returns the
+// process exit status.
+func unit(cfgFile string, active []*check.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("parsing %s: %v", cfgFile, err)
+	}
+
+	// Facts are the only reason the go command runs a vet tool over
+	// dependencies; itcvet has none, so dependency passes are a no-op
+	// beyond the facts file the protocol requires.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return 0
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typeCheck(fset, files, cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		log.Fatalf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+
+	diags := check.Run(fset, files, pkg, info, active)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Offset != b.Pos.Offset {
+			return a.Pos.Offset < b.Pos.Offset
+		}
+		return a.Message < b.Message
+	})
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	writeVetx()
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// typeCheck checks the package against the export data the go command
+// listed in the config.
+func typeCheck(fset *token.FileSet, files []*ast.File, cfg *vetConfig) (*types.Package, *types.Info, error) {
+	if cfg.Compiler != "gc" && cfg.Compiler != "" {
+		return nil, nil, fmt.Errorf("unsupported compiler %q: itcvet reads gc export data only", cfg.Compiler)
+	}
+	gc, ok := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data recorded for %q", path)
+		}
+		return os.Open(file)
+	}).(types.ImporterFrom)
+	if !ok {
+		return nil, nil, fmt.Errorf("gc importer does not support ImportFrom")
+	}
+
+	var firstErr error
+	tc := &types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if path == "unsafe" {
+				return types.Unsafe, nil
+			}
+			if mapped, ok := cfg.ImportMap[path]; ok {
+				path = mapped
+			}
+			return gc.ImportFrom(path, cfg.Dir, 0)
+		}),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err == nil {
+		err = firstErr
+	}
+	return pkg, info, err
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
