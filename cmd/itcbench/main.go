@@ -136,6 +136,13 @@ func main() {
 		{"E13", func() (*harness.Report, error) {
 			return harness.E13LatencyBreakdown(harness.DefaultE13())
 		}},
+		{"E14", func() (*harness.Report, error) {
+			cfg := harness.DefaultE14()
+			if *quick {
+				cfg.Clients = []int{25, 50}
+			}
+			return harness.E14Scalability(cfg)
+		}},
 	}
 
 	fmt.Println("itcbench — reproduction of 'The ITC Distributed File System' (SOSP 1985), §5.2")

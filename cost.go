@@ -88,6 +88,13 @@ func (c CostConfig) Model(mode vice.Mode) rpc.CostModel {
 		case proto.OpTestValid:
 			cost.CPU += c.ValidCPU
 			cost.Disk += c.LightDisk
+		case proto.OpBulkTestValid:
+			// Each item still pays the validation work, but the batch shares
+			// one request's parsing/dispatch and one pass over the status
+			// area — that amortization is the revised design's win.
+			k := time.Duration(bulkItems(req))
+			cost.CPU += k * c.ValidCPU
+			cost.Disk += c.LightDisk
 		case proto.OpFetchStatus, proto.OpSetStatus:
 			cost.CPU += c.StatCPU
 			cost.Disk += c.LightDisk
@@ -106,6 +113,23 @@ func (c CostConfig) Model(mode vice.Mode) rpc.CostModel {
 		}
 		return cost
 	}
+}
+
+// bulkItems reads the leading item count of a bulk request body (all bulk
+// messages start with a u32 list length), clamped to the protocol cap so a
+// malformed count cannot inflate the charge.
+func bulkItems(req rpc.Request) int {
+	if len(req.Body) < 4 {
+		return 0
+	}
+	n := int(uint32(req.Body[0]) | uint32(req.Body[1])<<8 | uint32(req.Body[2])<<16 | uint32(req.Body[3])<<24)
+	if n < 0 {
+		return 0
+	}
+	if n > proto.MaxBulkItems {
+		n = proto.MaxBulkItems
+	}
+	return n
 }
 
 // pathComponents counts the pathname components a prototype server walks

@@ -52,6 +52,43 @@ func textRun(t *testing.T, seed int64) (report, metrics []byte) {
 	return rep.Bytes(), met.Bytes()
 }
 
+// e14Text runs a small E14 sweep and returns the printed report table — the
+// surface EXPERIMENTS.md quotes — plus the metrics map rendered through it.
+func e14Text(t *testing.T, seed int64) []byte {
+	t.Helper()
+	cfg := DefaultE14()
+	cfg.Seed = seed
+	cfg.Scale.Seed = seed
+	cfg.Clients = []int{10} // tiny population: determinism, not scaling, is under test
+	rep, err := E14Scalability(cfg)
+	if err != nil {
+		t.Fatalf("E14 (seed %d): %v", seed, err)
+	}
+	var buf bytes.Buffer
+	rep.Print(&buf)
+	return buf.Bytes()
+}
+
+// TestE14Determinism re-runs the scalability experiment with one seed and
+// demands byte-identical report tables: the coalescing flusher processes,
+// the concurrent install bursts, and the per-client rand streams must all
+// replay exactly. A different seed must move the table, or the check is
+// vacuous.
+func TestE14Determinism(t *testing.T) {
+	a := e14Text(t, 14)
+	b := e14Text(t, 14)
+	if !bytes.Equal(a, b) {
+		t.Errorf("same seed produced different E14 reports:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+	if len(a) < 200 {
+		t.Errorf("E14 report suspiciously small (%d bytes)", len(a))
+	}
+	c := e14Text(t, 15)
+	if bytes.Equal(a, c) {
+		t.Error("different seeds produced byte-identical E14 reports; seed is not flowing")
+	}
+}
+
 // TestTextExportDeterminism is the regression test the itcvet analyzers
 // exist to defend: two in-process runs with the same seed must produce
 // byte-identical text trace reports and metrics snapshots. Any wall-clock

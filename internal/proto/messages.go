@@ -124,6 +124,59 @@ func DecodeTestValidReply(d *wire.Decoder) TestValidReply {
 	return TestValidReply{Valid: d.Bool(), Version: d.U64()}
 }
 
+// MaxBulkItems caps the batch size of BulkTestValid and BulkBreak. Senders
+// chunk above it; the server rejects oversized decoded batches with
+// CodeBadRequest. Decoders stay safe regardless: wire.Decoder.ListLen bounds
+// the count by the bytes actually present.
+const MaxBulkItems = 1024
+
+// BulkTestValidArgs validates many cached (Ref, version) pairs against one
+// custodian in a single round trip.
+type BulkTestValidArgs struct {
+	Items []TestValidArgs
+}
+
+func (a BulkTestValidArgs) Encode(e *wire.Encoder) {
+	e.ListLen(len(a.Items))
+	for _, it := range a.Items {
+		it.Encode(e)
+	}
+}
+
+// DecodeBulkTestValidArgs unmarshals BulkTestValidArgs.
+func DecodeBulkTestValidArgs(d *wire.Decoder) BulkTestValidArgs {
+	// Each item is at least a Ref (u32 path length + FID) plus a version.
+	n := d.ListLen(4 + 12 + 8)
+	var a BulkTestValidArgs
+	for i := 0; i < n && d.Err() == nil; i++ {
+		a.Items = append(a.Items, DecodeTestValidArgs(d))
+	}
+	return a
+}
+
+// BulkTestValidReply answers a batched validity check. Items correspond
+// one-to-one, in order, with the request's items.
+type BulkTestValidReply struct {
+	Items []TestValidReply
+}
+
+func (r BulkTestValidReply) Encode(e *wire.Encoder) {
+	e.ListLen(len(r.Items))
+	for _, it := range r.Items {
+		it.Encode(e)
+	}
+}
+
+// DecodeBulkTestValidReply unmarshals BulkTestValidReply.
+func DecodeBulkTestValidReply(d *wire.Decoder) BulkTestValidReply {
+	n := d.ListLen(1 + 8) // bool + version
+	var r BulkTestValidReply
+	for i := 0; i < n && d.Err() == nil; i++ {
+		r.Items = append(r.Items, DecodeTestValidReply(d))
+	}
+	return r
+}
+
 // NameArgs addresses an entry Name within directory Dir: Create, MakeDir,
 // Remove, RemoveDir.
 type NameArgs struct {
@@ -292,6 +345,31 @@ func (a CallbackBreakArgs) Encode(e *wire.Encoder) {
 // DecodeCallbackBreakArgs unmarshals CallbackBreakArgs.
 func DecodeCallbackBreakArgs(d *wire.Decoder) CallbackBreakArgs {
 	return CallbackBreakArgs{FID: DecodeFID(d), Path: d.String()}
+}
+
+// BulkBreakArgs invalidates many promises held by one workstation in a
+// single callback RPC. Items arrive in the server's deterministic break
+// order (promise registration order within each update, updates in the
+// order the server coalesced them).
+type BulkBreakArgs struct {
+	Items []CallbackBreakArgs
+}
+
+func (a BulkBreakArgs) Encode(e *wire.Encoder) {
+	e.ListLen(len(a.Items))
+	for _, it := range a.Items {
+		it.Encode(e)
+	}
+}
+
+// DecodeBulkBreakArgs unmarshals BulkBreakArgs.
+func DecodeBulkBreakArgs(d *wire.Decoder) BulkBreakArgs {
+	n := d.ListLen(12 + 4) // FID + u32 path length
+	var a BulkBreakArgs
+	for i := 0; i < n && d.Err() == nil; i++ {
+		a.Items = append(a.Items, DecodeCallbackBreakArgs(d))
+	}
+	return a
 }
 
 // VolCreateArgs creates a volume and mounts it at Path in the shared name

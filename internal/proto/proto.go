@@ -37,6 +37,11 @@ const (
 	OpSetACL      rpcOp = 22
 	OpGetACL      rpcOp = 23
 
+	// OpBulkTestValid validates a batch of cached (Ref, version) pairs in
+	// one round trip: the revalidation storm after reconnection or a TTL
+	// sweep collapses from one call per entry to one call per custodian.
+	OpBulkTestValid rpcOp = 24
+
 	// Locking (§3.6).
 	OpSetLock     rpcOp = 30
 	OpReleaseLock rpcOp = 31
@@ -46,6 +51,9 @@ const (
 
 	// Callbacks, server -> workstation (§3.2 revised validation).
 	OpCallbackBreak rpcOp = 50
+	// OpBulkBreak invalidates a batch of promises held by one workstation in
+	// a single callback RPC, coalescing the per-promise break storm.
+	OpBulkBreak rpcOp = 51
 
 	// Volume administration (§5.3).
 	OpVolCreate   rpcOp = 60

@@ -1,0 +1,189 @@
+package venus
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"itcfs/internal/vice"
+)
+
+// Property-based coverage for the cache manager: a seeded random mix of
+// opens, reads, writes, and long-held handles, with the cache invariants
+// re-checked after every operation. The invariants, from §5.3's revised
+// space-limited cache:
+//
+//  1. accounting — v.bytes equals the sum of status sizes over data-bearing
+//     entries, and every indexed entry is on the LRU list;
+//  2. bounded — the byte limit is only ever exceeded when every data-bearing
+//     entry is pinned (open or dirty), i.e. when eviction has nothing it is
+//     allowed to evict;
+//  3. pinned — an entry with an open handle is never evicted;
+//  4. ordered — pool files appear on the LRU list in most-recently-opened
+//     order (opens touch; closes and background stores do not reorder).
+
+const propMaxBytes = 6000
+
+// propShadow tracks, test-side, when each pool path was last opened.
+type propShadow struct {
+	seq    int64
+	opened map[string]int64
+}
+
+func (s *propShadow) touch(path string) {
+	s.seq++
+	s.opened[path] = s.seq
+}
+
+func TestCacheInvariantsUnderRandomOps(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			c := newTestCell(t, vice.Revised, "s0")
+			c.mkVolume("u", "/u", "satya", 0)
+			v := c.newVenus("s0", "satya", func(cfg *Config) { cfg.MaxBytes = propMaxBytes })
+
+			const poolSize = 16
+			pool := make([]string, poolSize)
+			inPool := make(map[string]bool, poolSize)
+			for i := range pool {
+				pool[i] = fmt.Sprintf("/u/p%02d", i)
+				inPool[pool[i]] = true
+			}
+
+			r := rand.New(rand.NewSource(seed))
+			shadow := &propShadow{opened: make(map[string]int64)}
+			for _, path := range pool {
+				writeFile(t, v, path, "seed")
+				shadow.touch(path)
+			}
+			var held []*Handle
+			heldPath := make(map[*Handle]string)
+
+			for op := 0; op < 300; op++ {
+				path := pool[r.Intn(poolSize)]
+				switch k := r.Intn(10); {
+				case k < 4: // rewrite a pool file
+					h, err := v.Open(nil, path, FlagWrite|FlagCreate|FlagTrunc)
+					if err != nil {
+						t.Fatalf("op %d: open %s for write: %v", op, path, err)
+					}
+					shadow.touch(path)
+					if _, err := h.Write(make([]byte, 200+r.Intn(1200))); err != nil {
+						t.Fatalf("op %d: write %s: %v", op, path, err)
+					}
+					if err := h.Close(nil); err != nil {
+						t.Fatalf("op %d: close %s: %v", op, path, err)
+					}
+				case k < 8: // read a pool file (a miss must refetch cleanly)
+					h, err := v.Open(nil, path, FlagRead)
+					if err != nil {
+						t.Fatalf("op %d: open %s for read: %v", op, path, err)
+					}
+					shadow.touch(path)
+					_ = h.Close(nil)
+				case k < 9: // open a handle and hold it across later ops
+					if len(held) < 4 {
+						h, err := v.Open(nil, path, FlagRead)
+						if err == nil {
+							shadow.touch(path)
+							held = append(held, h)
+							heldPath[h] = path
+						}
+					}
+				default: // release one held handle
+					if len(held) > 0 {
+						i := r.Intn(len(held))
+						h := held[i]
+						held = append(held[:i], held[i+1:]...)
+						delete(heldPath, h)
+						if err := h.Close(nil); err != nil {
+							t.Fatalf("op %d: close held handle: %v", op, err)
+						}
+					}
+				}
+				checkCacheInvariants(t, v, op, held, heldPath, inPool, shadow)
+			}
+			for _, h := range held {
+				_ = h.Close(nil)
+			}
+			if v.Stats().Evictions == 0 {
+				t.Fatal("workload never triggered eviction; invariants 2-3 untested")
+			}
+		})
+	}
+}
+
+// checkCacheInvariants asserts the four cache invariants listed atop this
+// file. It takes v.mu itself, like any other external reader of the cache.
+func checkCacheInvariants(t *testing.T, v *Venus, op int, held []*Handle,
+	heldPath map[*Handle]string, inPool map[string]bool, shadow *propShadow) {
+	t.Helper()
+	v.mu.Lock()
+	defer v.mu.Unlock()
+
+	// (1) accounting: bytes is exactly the sum over data-bearing entries,
+	// and both indexes only hold entries that are on the LRU list.
+	var sum int64
+	allPinned := true
+	for el := v.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		if e.cacheFile == "" {
+			continue
+		}
+		sum += e.status.Size
+		if e.open == 0 && !e.dirty {
+			allPinned = false
+		}
+	}
+	if sum != v.bytes {
+		t.Fatalf("op %d: accounting drift: lru sums to %d bytes, counter says %d", op, sum, v.bytes)
+	}
+	for path, e := range v.byPath {
+		if e.lruEl == nil {
+			t.Fatalf("op %d: byPath[%s] entry is off the LRU list", op, path)
+		}
+	}
+	for fid, e := range v.byFID {
+		if e.lruEl == nil {
+			t.Fatalf("op %d: byFID[%v] entry is off the LRU list", op, fid)
+		}
+	}
+
+	// (2) bounded: over the limit only when eviction had no legal victim.
+	if v.bytes > propMaxBytes && !allPinned {
+		t.Fatalf("op %d: cache holds %d bytes (limit %d) with evictable entries remaining",
+			op, v.bytes, propMaxBytes)
+	}
+
+	// (3) pinned: held handles' entries are alive, data-bearing, and counted.
+	for _, h := range held {
+		if h.e.lruEl == nil {
+			t.Fatalf("op %d: entry for held handle %s was evicted", op, heldPath[h])
+		}
+		if h.e.cacheFile == "" {
+			t.Fatalf("op %d: held handle %s lost its data file", op, heldPath[h])
+		}
+		if h.e.open <= 0 {
+			t.Fatalf("op %d: held handle %s has open count %d", op, heldPath[h], h.e.open)
+		}
+	}
+
+	// (4) ordered: pool files sit on the LRU list in most-recently-opened
+	// order. Directory listings interleave, so compare pool files only.
+	last := int64(-1) // sentinel: front of list, nothing seen yet
+	for el := v.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		if !inPool[e.path] {
+			continue
+		}
+		seq, ok := shadow.opened[e.path]
+		if !ok {
+			t.Fatalf("op %d: cached pool file %s was never opened by the test", op, e.path)
+		}
+		if last >= 0 && seq > last {
+			t.Fatalf("op %d: LRU order violated: %s (opened at %d) sits behind an entry opened at %d",
+				op, e.path, seq, last)
+		}
+		last = seq
+	}
+}

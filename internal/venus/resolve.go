@@ -101,7 +101,8 @@ func (v *Venus) serverFor(cr proto.CustodianReply, readOnlyOK bool) string {
 
 func readOp(op rpc.Op) bool {
 	switch uint16(op) {
-	case proto.OpFetch, proto.OpFetchStatus, proto.OpTestValid, proto.OpGetACL:
+	case proto.OpFetch, proto.OpFetchStatus, proto.OpTestValid,
+		proto.OpBulkTestValid, proto.OpGetACL:
 		return true
 	}
 	return false
@@ -186,7 +187,7 @@ func (v *Venus) callAt(p *sim.Proc, server, path string, cr proto.CustodianReply
 	for {
 		c, err := v.conn(p, server)
 		if err != nil {
-			if isTransportErr(err) && redials < v.cfg.ReconnectRetries {
+			if isRedialable(err) && redials < v.cfg.ReconnectRetries {
 				redials++
 				continue
 			}
@@ -231,6 +232,10 @@ func (v *Venus) dropConn(server string, c Conn) {
 		delete(v.conns, server)
 	}
 	v.stats.Reconnects++
+	// The other end may be a restarted server with an empty callback table:
+	// schedule a bulk revalidation sweep before the next open trusts a
+	// promise (§3.3 recovery, batched).
+	v.sweepPending = true
 	v.mu.Unlock()
 	if cl, ok := c.(interface{ Close() }); ok {
 		cl.Close()

@@ -25,6 +25,7 @@ import (
 
 	"itcfs/internal/proto"
 	"itcfs/internal/rpc"
+	"itcfs/internal/secure"
 	"itcfs/internal/sim"
 	"itcfs/internal/trace"
 	"itcfs/internal/unixfs"
@@ -42,20 +43,22 @@ type Connector func(p *sim.Proc, server string) (Conn, error)
 // Stats counts Venus activity; the evaluation harness reads these for the
 // cache-hit-ratio and call-mix experiments.
 type Stats struct {
-	Opens          int64
-	Hits           int64 // opens served without fetching data
-	Misses         int64 // opens that fetched the file
-	Validations    int64 // TestValid RPCs (check-on-open)
-	Fetches        int64 // Fetch RPCs (data)
-	Stores         int64 // Store RPCs
-	StatRPCs       int64 // FetchStatus RPCs
-	OtherRPCs      int64 // directory ops, locks, custodian queries
-	CallbackBreaks int64 // invalidations received
-	Evictions      int64
-	BytesFetched   int64
-	BytesStored    int64
-	DegradedReads  int64 // reads served from cache while the server was unreachable
-	Reconnects     int64 // dead connections dropped for redial after transport failure
+	Opens           int64
+	Hits            int64 // opens served without fetching data
+	Misses          int64 // opens that fetched the file
+	Validations     int64 // TestValid RPCs (check-on-open)
+	BulkValidations int64 // BulkTestValid RPCs (batched revalidation sweeps)
+	Revalidated     int64 // cached entries checked by revalidation sweeps
+	Fetches         int64 // Fetch RPCs (data)
+	Stores          int64 // Store RPCs
+	StatRPCs        int64 // FetchStatus RPCs
+	OtherRPCs       int64 // directory ops, locks, custodian queries
+	CallbackBreaks  int64 // invalidations received
+	Evictions       int64
+	BytesFetched    int64
+	BytesStored     int64
+	DegradedReads   int64 // reads served from cache while the server was unreachable
+	Reconnects      int64 // dead connections dropped for redial after transport failure
 }
 
 // HitRatio returns hits over opens (0 when no opens).
@@ -89,6 +92,11 @@ type Config struct {
 	// at-most-once window, so mutating callers tolerate re-execution (see
 	// createFile's handling of ErrExist).
 	ReconnectRetries int
+	// RevalidateBatch caps how many cached entries one BulkTestValid RPC
+	// revalidates during a sweep (reconnection or TTL). 0 uses
+	// DefaultRevalidateBatch; 1 degenerates to one legacy TestValid RPC per
+	// entry — the unbatched protocol, kept for ablation experiments.
+	RevalidateBatch int
 	// Tracer records spans for opens, closes, validations, fetches and
 	// stores; nil disables tracing at near-zero cost.
 	Tracer *trace.Tracer
@@ -138,6 +146,11 @@ type Venus struct {
 	// silently clobbered and this workstation would stay stale forever.
 	// guarded by mu
 	breakGen int64
+	// sweepPending is set when a dead connection is dropped: the server may
+	// have restarted and lost its callback table, so before the next open
+	// trusts any promise, the whole cache is revalidated in bulk.
+	// guarded by mu
+	sweepPending bool
 }
 
 // New creates a Venus. Call Login before any file operation.
@@ -333,6 +346,15 @@ func isTransportErr(err error) bool {
 	return errors.Is(err, rpc.ErrUnreachable) || errors.Is(err, rpc.ErrClosed)
 }
 
+// isRedialable reports whether a fresh dial may fix the failure: transport
+// errors, or a reconnect handshake that failed verification — on a lossy
+// network a corrupted hello is indistinguishable from an attack by design,
+// so the bounded redial budget, not the first mangled frame, decides when
+// to give up.
+func isRedialable(err error) bool {
+	return isTransportErr(err) || errors.Is(err, secure.ErrAuthFailed)
+}
+
 // degraded serves a cached copy read-only while its custodian is
 // unreachable (§2.2: network or server failures cause at worst a temporary,
 // partial loss of service — not an error on data we already hold). Only
@@ -378,7 +400,16 @@ func (v *Venus) freshLocked(e *entry, now sim.Time) bool {
 func (v *Venus) lookupRevised(p *sim.Proc, path string, flags OpenFlag) (*entry, error) {
 	v.mu.Lock()
 	v.stats.Opens++
+	sweep := v.sweepPending
+	v.sweepPending = false
 	v.mu.Unlock()
+	if sweep {
+		// A connection died since the last open: the server may have
+		// restarted and wiped its callback table, so no promise can be
+		// trusted. Revalidate the whole cache in bulk before serving; a
+		// failed sweep just leaves entries to the per-open paths below.
+		_, _, _ = v.Revalidate(p, true)
+	}
 	fid, err := v.Resolve(p, path)
 	if err != nil {
 		if proto.ErrToCode(err) == proto.CodeNoEnt && flags&FlagCreate != 0 {
@@ -688,6 +719,32 @@ func (v *Venus) HandleCallbackBreak(_ rpc.Ctx, req rpc.Request) rpc.Response {
 	if args.Path != "" {
 		if e := v.byPath[unixfs.Clean(args.Path)]; e != nil {
 			e.valid = false
+		}
+	}
+	return rpc.Response{}
+}
+
+// HandleBulkBreak is wired to OpBulkBreak on the workstation's endpoint:
+// one callback RPC invalidating many cached copies at once, the coalesced
+// form of OpCallbackBreak.
+func (v *Venus) HandleBulkBreak(_ rpc.Ctx, req rpc.Request) rpc.Response {
+	args, err := proto.Unmarshal(req.Body, proto.DecodeBulkBreakArgs)
+	if err != nil {
+		return rpc.Response{Code: proto.CodeBadRequest}
+	}
+	v.cfg.Metrics.Counter("venus.callback_breaks").Add(int64(len(args.Items)))
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.stats.CallbackBreaks += int64(len(args.Items))
+	v.breakGen++
+	for _, it := range args.Items {
+		if e := v.byFID[it.FID]; e != nil {
+			e.valid = false
+		}
+		if it.Path != "" {
+			if e := v.byPath[unixfs.Clean(it.Path)]; e != nil {
+				e.valid = false
+			}
 		}
 	}
 	return rpc.Response{}

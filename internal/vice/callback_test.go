@@ -1,0 +1,233 @@
+package vice
+
+import (
+	"sync"
+	"testing"
+
+	"itcfs/internal/proto"
+	"itcfs/internal/rpc"
+	"itcfs/internal/sim"
+)
+
+// Unit coverage for the sharded, coalescing CallbackTable: registration
+// order, the updater's kept promise, per-volume sharding, coalesced and
+// chunked delivery, the unbatched ablation path, and counter carry across
+// Reset.
+
+// cbRecBack is a Backchannel that logs every callback RPC it receives.
+type cbRecBack struct {
+	name string
+	mu   sync.Mutex
+	reqs []rpc.Request // guarded by mu
+}
+
+func (b *cbRecBack) CallBack(_ *sim.Proc, req rpc.Request) (rpc.Response, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.reqs = append(b.reqs, req)
+	return rpc.Response{}, nil
+}
+
+func (b *cbRecBack) BackUser() string { return b.name }
+
+func (b *cbRecBack) requests() []rpc.Request {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]rpc.Request(nil), b.reqs...)
+}
+
+func cbFID(vol, vn uint32) proto.FID { return proto.FID{Volume: vol, Vnode: vn, Uniq: 1} }
+
+func TestCallbackTakeOrderAndSkipKeepsPromise(t *testing.T) {
+	tb := NewCallbackTable()
+	a := &cbRecBack{name: "a"}
+	b := &cbRecBack{name: "b"}
+	c := &cbRecBack{name: "c"}
+	fid := cbFID(2, 1)
+	tb.Promise(fid, a)
+	tb.Promise(fid, b)
+	tb.Promise(fid, c)
+
+	got := tb.take(fid, b)
+	if len(got) != 2 || got[0] != rpc.Backchannel(a) || got[1] != rpc.Backchannel(c) {
+		t.Fatalf("take returned %d backchannels, want [a c] in registration order", len(got))
+	}
+	// The updater's own promise survives: its cache holds the new version.
+	if n := tb.Outstanding(); n != 1 {
+		t.Fatalf("after skip-take, %d promises outstanding, want 1 (the updater's)", n)
+	}
+	got = tb.take(fid, nil)
+	if len(got) != 1 || got[0] != rpc.Backchannel(b) {
+		t.Fatalf("second take should return just b, got %d entries", len(got))
+	}
+	if n := tb.Outstanding(); n != 0 {
+		t.Fatalf("%d promises outstanding after both takes, want 0", n)
+	}
+}
+
+func TestCallbackShardingAndDrop(t *testing.T) {
+	tb := NewCallbackTable()
+	w := &cbRecBack{name: "w"}
+	tb.Promise(cbFID(1, 1), w)
+	tb.Promise(cbFID(2, 1), w)
+	tb.mu.Lock()
+	shards := len(tb.shards)
+	tb.mu.Unlock()
+	if shards != 2 {
+		t.Fatalf("promises in 2 volumes built %d shards, want 2", shards)
+	}
+	if n := tb.Outstanding(); n != 2 {
+		t.Fatalf("Outstanding = %d, want 2", n)
+	}
+	tb.Drop(w)
+	if n := tb.Outstanding(); n != 0 {
+		t.Fatalf("Outstanding after Drop = %d, want 0", n)
+	}
+}
+
+func TestCallbackCoalescesConcurrentBreaks(t *testing.T) {
+	tb := NewCallbackTable()
+	w := &cbRecBack{name: "w"}
+	fid1, fid2 := cbFID(2, 1), cbFID(3, 7)
+	tb.Promise(fid1, w)
+	tb.Promise(fid2, w)
+
+	k := sim.NewKernel()
+	k.Spawn("upd1", func(p *sim.Proc) { tb.Break(p, fid1, "/f1", nil) })
+	k.Spawn("upd2", func(p *sim.Proc) { tb.Break(p, fid2, "/f2", nil) })
+	k.Run()
+
+	reqs := w.requests()
+	if len(reqs) != 1 {
+		t.Fatalf("workstation received %d callback RPCs, want 1 coalesced", len(reqs))
+	}
+	if reqs[0].Op != rpc.Op(proto.OpBulkBreak) {
+		t.Fatalf("coalesced delivery used op %d, want OpBulkBreak", reqs[0].Op)
+	}
+	args, err := proto.Unmarshal(reqs[0].Body, proto.DecodeBulkBreakArgs)
+	if err != nil {
+		t.Fatalf("decode BulkBreak body: %v", err)
+	}
+	if len(args.Items) != 2 || args.Items[0].FID != fid1 || args.Items[1].FID != fid2 {
+		t.Fatalf("bulk break carried %+v, want fid1 then fid2 in arrival order", args.Items)
+	}
+	if n := tb.BreakRPCs(); n != 1 {
+		t.Fatalf("BreakRPCs = %d, want 1", n)
+	}
+	if _, breaks := tb.Stats(); breaks != 2 {
+		t.Fatalf("Stats breaks = %d, want 2", breaks)
+	}
+}
+
+func TestCallbackSingleBreakUsesLegacyMessage(t *testing.T) {
+	tb := NewCallbackTable()
+	w := &cbRecBack{name: "w"}
+	fid := cbFID(2, 1)
+	tb.Promise(fid, w)
+
+	k := sim.NewKernel()
+	k.Spawn("upd", func(p *sim.Proc) { tb.Break(p, fid, "/f", nil) })
+	k.Run()
+
+	reqs := w.requests()
+	if len(reqs) != 1 {
+		t.Fatalf("got %d RPCs, want 1", len(reqs))
+	}
+	// A lone break stays byte-compatible with the unbatched protocol.
+	if reqs[0].Op != rpc.Op(proto.OpCallbackBreak) {
+		t.Fatalf("single break used op %d, want OpCallbackBreak", reqs[0].Op)
+	}
+	args, err := proto.Unmarshal(reqs[0].Body, proto.DecodeCallbackBreakArgs)
+	if err != nil || args.FID != fid || args.Path != "/f" {
+		t.Fatalf("decoded %+v (err %v), want the broken fid and path", args, err)
+	}
+}
+
+func TestCallbackUnbatchedPathSendsOneRPCPerPromise(t *testing.T) {
+	tb := NewCallbackTable()
+	tb.SetUnbatched(true)
+	w := &cbRecBack{name: "w"}
+	fid1, fid2 := cbFID(2, 1), cbFID(2, 2)
+	tb.Promise(fid1, w)
+	tb.Promise(fid2, w)
+
+	k := sim.NewKernel()
+	k.Spawn("upd", func(p *sim.Proc) {
+		tb.BreakBatch(p, []BreakTarget{{FID: fid1, Path: "/f1"}, {FID: fid2, Path: "/f2"}}, nil)
+	})
+	k.Run()
+
+	reqs := w.requests()
+	if len(reqs) != 2 {
+		t.Fatalf("unbatched path sent %d RPCs, want 2", len(reqs))
+	}
+	for i, r := range reqs {
+		if r.Op != rpc.Op(proto.OpCallbackBreak) {
+			t.Fatalf("rpc %d used op %d, want OpCallbackBreak", i, r.Op)
+		}
+	}
+	if n := tb.BreakRPCs(); n != 2 {
+		t.Fatalf("BreakRPCs = %d, want 2", n)
+	}
+}
+
+func TestCallbackBulkDeliveryChunksAtMaxItems(t *testing.T) {
+	tb := NewCallbackTable()
+	w := &cbRecBack{name: "w"}
+	n := proto.MaxBulkItems + 5
+	targets := make([]BreakTarget, n)
+	for i := 0; i < n; i++ {
+		fid := cbFID(2, uint32(i+1))
+		tb.Promise(fid, w)
+		targets[i] = BreakTarget{FID: fid}
+	}
+
+	k := sim.NewKernel()
+	k.Spawn("upd", func(p *sim.Proc) { tb.BreakBatch(p, targets, nil) })
+	k.Run()
+
+	reqs := w.requests()
+	if len(reqs) != 2 {
+		t.Fatalf("%d invalidations arrived in %d RPCs, want 2 chunks", n, len(reqs))
+	}
+	total := 0
+	for i, r := range reqs {
+		if r.Op != rpc.Op(proto.OpBulkBreak) {
+			t.Fatalf("rpc %d used op %d, want OpBulkBreak", i, r.Op)
+		}
+		args, err := proto.Unmarshal(r.Body, proto.DecodeBulkBreakArgs)
+		if err != nil {
+			t.Fatalf("decode chunk %d: %v", i, err)
+		}
+		if len(args.Items) > proto.MaxBulkItems {
+			t.Fatalf("chunk %d carries %d items, limit %d", i, len(args.Items), proto.MaxBulkItems)
+		}
+		total += len(args.Items)
+	}
+	if total != n {
+		t.Fatalf("chunks delivered %d invalidations, want %d", total, n)
+	}
+}
+
+func TestCallbackResetCarriesCumulativeCounters(t *testing.T) {
+	tb := NewCallbackTable()
+	w := &cbRecBack{name: "w"}
+	for i := 0; i < 3; i++ {
+		tb.Promise(cbFID(2, uint32(i+1)), w)
+	}
+	if promised, _ := tb.Stats(); promised != 3 {
+		t.Fatalf("promised = %d, want 3", promised)
+	}
+	tb.Reset()
+	if n := tb.Outstanding(); n != 0 {
+		t.Fatalf("Outstanding after Reset = %d, want 0", n)
+	}
+	tb.Promise(cbFID(4, 9), w)
+	tb.Promise(cbFID(4, 10), w)
+	if promised, _ := tb.Stats(); promised != 5 {
+		t.Fatalf("cumulative promised after Reset = %d, want 5", promised)
+	}
+	if n := tb.Outstanding(); n != 2 {
+		t.Fatalf("Outstanding = %d, want 2", n)
+	}
+}

@@ -16,7 +16,7 @@ import (
 
 var allOps = []uint16{
 	proto.OpFetch, proto.OpStore, proto.OpFetchStatus, proto.OpSetStatus,
-	proto.OpTestValid, proto.OpCreate, proto.OpMakeDir, proto.OpRemove,
+	proto.OpTestValid, proto.OpBulkTestValid, proto.OpCreate, proto.OpMakeDir, proto.OpRemove,
 	proto.OpRemoveDir, proto.OpRename, proto.OpSymlink, proto.OpLink,
 	proto.OpSetACL, proto.OpGetACL, proto.OpSetLock, proto.OpReleaseLock,
 	proto.OpGetCustodian, proto.OpVolCreate, proto.OpVolClone,

@@ -21,6 +21,7 @@ func (s *Server) registerHandlers() {
 	h(rpc.Op(proto.OpFetchStatus), s.handleFetchStatus)
 	h(rpc.Op(proto.OpSetStatus), s.handleSetStatus)
 	h(rpc.Op(proto.OpTestValid), s.handleTestValid)
+	h(rpc.Op(proto.OpBulkTestValid), s.handleBulkTestValid)
 	h(rpc.Op(proto.OpCreate), s.handleCreate)
 	h(rpc.Op(proto.OpMakeDir), s.handleMakeDir)
 	h(rpc.Op(proto.OpRemove), s.handleRemove)
@@ -248,6 +249,61 @@ func (s *Server) handleTestValid(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 	return rpc.Response{Body: proto.Marshal(reply)}
 }
 
+// handleBulkTestValid validates a batch of cached copies in one round trip:
+// the reconnection and TTL-sweep revalidation storms collapse from one call
+// per cached entry to one call per custodian. The reply's items correspond
+// one-to-one with the request's; any per-item failure (stale, moved,
+// missing, access revoked) reads as Valid=false, sending the client back
+// through the normal fetch path, which knows how to chase redirects.
+func (s *Server) handleBulkTestValid(ctx rpc.Ctx, req rpc.Request) rpc.Response {
+	args, err := proto.Unmarshal(req.Body, proto.DecodeBulkTestValidArgs)
+	if err != nil {
+		return respErr(err)
+	}
+	if len(args.Items) > proto.MaxBulkItems {
+		return respErr(fmt.Errorf("%w: bulk batch of %d exceeds %d",
+			proto.ErrBadRequest, len(args.Items), proto.MaxBulkItems))
+	}
+	reply := proto.BulkTestValidReply{Items: make([]proto.TestValidReply, 0, len(args.Items))}
+	for _, it := range args.Items {
+		reply.Items = append(reply.Items, s.testValidOne(ctx, it))
+	}
+	return rpc.Response{Body: proto.Marshal(reply)}
+}
+
+// testValidOne validates a single cached copy for the bulk path, reducing
+// every failure to Valid=false.
+func (s *Server) testValidOne(ctx rpc.Ctx, args proto.TestValidArgs) proto.TestValidReply {
+	v, fid, err := s.resolveRef(args.Ref, true)
+	if err != nil {
+		return proto.TestValidReply{}
+	}
+	s.noteAccess(ctx, v.ID())
+	vn, err := v.Get(fid)
+	if err != nil {
+		return proto.TestValidReply{}
+	}
+	acl, err := v.GoverningACL(fid)
+	if err != nil {
+		return proto.TestValidReply{}
+	}
+	need := prot.RightRead
+	if vn.Status.Type == proto.TypeDir {
+		need = prot.RightLookup
+	}
+	if err := s.checkRights(ctx.User, acl, need); err != nil {
+		return proto.TestValidReply{}
+	}
+	reply := proto.TestValidReply{
+		Valid:   vn.Status.Version == args.Version,
+		Version: vn.Status.Version,
+	}
+	if reply.Valid && s.cfg.Mode == Revised && !v.ReadOnly() {
+		s.callbacks.Promise(fid, ctx.Back)
+	}
+	return reply
+}
+
 func (s *Server) handleCreate(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 	args, err := proto.Unmarshal(req.Body, proto.DecodeNameArgs)
 	if err != nil {
@@ -335,10 +391,11 @@ func (s *Server) removeCommon(ctx rpc.Ctx, req rpc.Request, isDir bool) rpc.Resp
 		return respErr(err)
 	}
 	if s.cfg.Mode == Revised {
-		s.callbacks.Break(ctx.Proc, dir, args.Dir.Path, ctx.Back)
+		targets := []BreakTarget{{FID: dir, Path: args.Dir.Path}}
 		if lookupErr == nil {
-			s.callbacks.Break(ctx.Proc, victim.FID, "", ctx.Back)
+			targets = append(targets, BreakTarget{FID: victim.FID})
 		}
+		s.callbacks.BreakBatch(ctx.Proc, targets, ctx.Back)
 	}
 	return rpc.Response{}
 }
@@ -377,10 +434,11 @@ func (s *Server) handleRename(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 		return respErr(err)
 	}
 	if s.cfg.Mode == Revised {
-		s.callbacks.Break(ctx.Proc, from, args.FromDir.Path, ctx.Back)
+		targets := []BreakTarget{{FID: from, Path: args.FromDir.Path}}
 		if from != to {
-			s.callbacks.Break(ctx.Proc, to, args.ToDir.Path, ctx.Back)
+			targets = append(targets, BreakTarget{FID: to, Path: args.ToDir.Path})
 		}
+		s.callbacks.BreakBatch(ctx.Proc, targets, ctx.Back)
 	}
 	return rpc.Response{}
 }

@@ -70,6 +70,14 @@ type Config struct {
 	// service-time histograms (lock conflicts, callback fan-out,
 	// vice.vol.<id>.latency). Nil disables all of it.
 	Metrics *trace.Registry
+	// UnbatchedBreaks forces one callback RPC per broken promise (the
+	// pre-batching break path) for ablation experiments such as E14.
+	UnbatchedBreaks bool
+	// BreakWindow widens the callback coalescing window beyond
+	// DefaultBreakWindow: each update's reply waits up to this long extra so
+	// concurrent updates' breaks for the same workstation share one RPC.
+	// Zero keeps the default.
+	BreakWindow time.Duration
 }
 
 // Server is one Vice cluster server.
@@ -129,6 +137,8 @@ func New(cfg Config) *Server {
 		pendingVol: make(map[*sim.Proc]uint32),
 	}
 	s.callbacks.SetMetrics(cfg.Metrics)
+	s.callbacks.SetUnbatched(cfg.UnbatchedBreaks)
+	s.callbacks.SetWindow(cfg.BreakWindow)
 	s.registerHandlers()
 	return s
 }

@@ -1,0 +1,192 @@
+package wire_test
+
+// Round-trip and fuzz coverage for the bulk (list-carrying) protocol
+// messages. These live in an external test package so they can exercise the
+// real proto encoders on top of the wire layer without an import cycle.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"itcfs/internal/proto"
+	"itcfs/internal/wire"
+)
+
+func bulkFID(i uint32) proto.FID {
+	return proto.FID{Volume: 7 + i, Vnode: 100 + i, Uniq: 3 * i}
+}
+
+func TestBulkTestValidArgsRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		args proto.BulkTestValidArgs
+	}{
+		{"empty", proto.BulkTestValidArgs{}},
+		{"one", proto.BulkTestValidArgs{Items: []proto.TestValidArgs{
+			{Ref: proto.Ref{FID: bulkFID(1)}, Version: 9},
+		}}},
+		{"mixed refs", proto.BulkTestValidArgs{Items: []proto.TestValidArgs{
+			{Ref: proto.Ref{Path: "/vice/usr/satya/paper.mss"}, Version: 1},
+			{Ref: proto.Ref{FID: bulkFID(2), Path: "/hint"}, Version: 1 << 40},
+			{Ref: proto.Ref{FID: bulkFID(3)}, Version: 0},
+		}}},
+		{"max batch", proto.BulkTestValidArgs{Items: func() []proto.TestValidArgs {
+			items := make([]proto.TestValidArgs, proto.MaxBulkItems)
+			for i := range items {
+				items[i] = proto.TestValidArgs{Ref: proto.Ref{FID: bulkFID(uint32(i))}, Version: uint64(i)}
+			}
+			return items
+		}()}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			body := proto.Marshal(tc.args)
+			got, err := proto.Unmarshal(body, proto.DecodeBulkTestValidArgs)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if len(got.Items) != len(tc.args.Items) {
+				t.Fatalf("decoded %d items, want %d", len(got.Items), len(tc.args.Items))
+			}
+			if !reflect.DeepEqual(normTestValid(got.Items), normTestValid(tc.args.Items)) {
+				t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got.Items, tc.args.Items)
+			}
+			if !bytes.Equal(proto.Marshal(got), body) {
+				t.Fatal("re-encoding decoded args is not byte-identical")
+			}
+		})
+	}
+}
+
+// normTestValid maps a nil slice to an empty one so DeepEqual compares
+// contents, not allocation history.
+func normTestValid(items []proto.TestValidArgs) []proto.TestValidArgs {
+	if items == nil {
+		return []proto.TestValidArgs{}
+	}
+	return items
+}
+
+func TestBulkTestValidReplyRoundTrip(t *testing.T) {
+	reply := proto.BulkTestValidReply{Items: []proto.TestValidReply{
+		{Valid: true, Version: 4},
+		{Valid: false, Version: 0},
+		{Valid: true, Version: 1 << 50},
+	}}
+	body := proto.Marshal(reply)
+	got, err := proto.Unmarshal(body, proto.DecodeBulkTestValidReply)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, reply) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, reply)
+	}
+	if !bytes.Equal(proto.Marshal(got), body) {
+		t.Fatal("re-encoding decoded reply is not byte-identical")
+	}
+}
+
+func TestBulkBreakArgsRoundTrip(t *testing.T) {
+	args := proto.BulkBreakArgs{Items: []proto.CallbackBreakArgs{
+		{FID: bulkFID(1), Path: "/vice/usr/load/shared/s001"},
+		{FID: bulkFID(2), Path: ""},
+		{FID: proto.FID{}, Path: "/just/a/path"},
+	}}
+	body := proto.Marshal(args)
+	got, err := proto.Unmarshal(body, proto.DecodeBulkBreakArgs)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, args) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, args)
+	}
+	if !bytes.Equal(proto.Marshal(got), body) {
+		t.Fatal("re-encoding decoded args is not byte-identical")
+	}
+}
+
+// TestBulkDecodeRejectsLyingCounts feeds bodies whose leading list length
+// promises more items than the bytes can hold: the decoder must error, not
+// allocate or loop.
+func TestBulkDecodeRejectsLyingCounts(t *testing.T) {
+	var e wire.Encoder
+	e.U32(1 << 30) // count far beyond the remaining bytes
+	e.U32(0)
+	body := e.Buf()
+	if _, err := proto.Unmarshal(body, proto.DecodeBulkTestValidArgs); err == nil {
+		t.Error("BulkTestValidArgs accepted a lying count")
+	}
+	if _, err := proto.Unmarshal(body, proto.DecodeBulkTestValidReply); err == nil {
+		t.Error("BulkTestValidReply accepted a lying count")
+	}
+	if _, err := proto.Unmarshal(body, proto.DecodeBulkBreakArgs); err == nil {
+		t.Error("BulkBreakArgs accepted a lying count")
+	}
+}
+
+// TestBulkDecodeTruncations decodes every prefix of a valid body: none may
+// panic, and only the full body may succeed.
+func TestBulkDecodeTruncations(t *testing.T) {
+	args := proto.BulkTestValidArgs{Items: []proto.TestValidArgs{
+		{Ref: proto.Ref{FID: bulkFID(1), Path: "/a"}, Version: 1},
+		{Ref: proto.Ref{FID: bulkFID(2)}, Version: 2},
+	}}
+	body := proto.Marshal(args)
+	for n := 0; n < len(body); n++ {
+		if _, err := proto.Unmarshal(body[:n], proto.DecodeBulkTestValidArgs); err == nil {
+			t.Fatalf("truncation to %d/%d bytes decoded without error", n, len(body))
+		}
+	}
+	if _, err := proto.Unmarshal(body, proto.DecodeBulkTestValidArgs); err != nil {
+		t.Fatalf("full body failed: %v", err)
+	}
+}
+
+// FuzzDecodeBulkTestValid hammers the batched-validation decoders with
+// arbitrary bodies. Any input may be rejected, but a decode that succeeds
+// must re-encode byte-identically (the canonical-encoding property every
+// deterministic export relies on).
+func FuzzDecodeBulkTestValid(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(proto.Marshal(proto.BulkTestValidArgs{Items: []proto.TestValidArgs{
+		{Ref: proto.Ref{FID: bulkFID(1), Path: "/x"}, Version: 5},
+	}}))
+	f.Add(proto.Marshal(proto.BulkTestValidReply{Items: []proto.TestValidReply{
+		{Valid: true, Version: 5},
+	}}))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if args, err := proto.Unmarshal(body, proto.DecodeBulkTestValidArgs); err == nil {
+			if !bytes.Equal(proto.Marshal(args), body) {
+				t.Fatal("BulkTestValidArgs decode/encode not canonical")
+			}
+		}
+		if reply, err := proto.Unmarshal(body, proto.DecodeBulkTestValidReply); err == nil {
+			// Bool fields accept any nonzero byte, so the first decode may
+			// normalize; after one re-encode the form must be stable.
+			norm := proto.Marshal(reply)
+			again, err := proto.Unmarshal(norm, proto.DecodeBulkTestValidReply)
+			if err != nil {
+				t.Fatalf("re-decoding a re-encoded reply failed: %v", err)
+			}
+			if !bytes.Equal(proto.Marshal(again), norm) {
+				t.Fatal("BulkTestValidReply encode/decode does not stabilize")
+			}
+		}
+	})
+}
+
+// FuzzDecodeBulkBreak does the same for the batched invalidation message.
+func FuzzDecodeBulkBreak(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(proto.Marshal(proto.BulkBreakArgs{Items: []proto.CallbackBreakArgs{
+		{FID: bulkFID(1), Path: "/x"},
+	}}))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if args, err := proto.Unmarshal(body, proto.DecodeBulkBreakArgs); err == nil {
+			if !bytes.Equal(proto.Marshal(args), body) {
+				t.Fatal("BulkBreakArgs decode/encode not canonical")
+			}
+		}
+	})
+}

@@ -81,6 +81,11 @@ func (e *Encoder) String(s string) {
 // Raw appends bytes with no length prefix.
 func (e *Encoder) Raw(b []byte) { e.buf = append(e.buf, b...) }
 
+// ListLen appends a u32 element count for a variable-length list. The
+// matching Decoder.ListLen validates the count against the bytes actually
+// present, so list encodings should always pair these two.
+func (e *Encoder) ListLen(n int) { e.U32(uint32(n)) }
+
 // Decoder consumes a binary message. Errors are sticky: after the first
 // failure every accessor returns a zero value and Err reports the cause.
 type Decoder struct {
@@ -183,6 +188,25 @@ func (d *Decoder) Bytes() []byte {
 
 // String consumes a u32 length prefix and that many bytes as a string.
 func (d *Decoder) String() string { return string(d.Bytes()) }
+
+// ListLen consumes a u32 element count and validates it against the bytes
+// remaining: each element occupies at least minElemSize bytes, so a hostile
+// count that could not possibly be satisfied fails immediately instead of
+// driving a huge preallocation in the caller. minElemSize must be ≥ 1.
+func (d *Decoder) ListLen(minElemSize int) int {
+	n := d.U32()
+	if d.err != nil {
+		return 0
+	}
+	if minElemSize < 1 {
+		minElemSize = 1
+	}
+	if int64(n)*int64(minElemSize) > int64(d.Remaining()) {
+		d.err = ErrTruncated
+		return 0
+	}
+	return int(n)
+}
 
 // TraceHeader carries distributed-tracing context across an RPC boundary:
 // the trace the call belongs to and the span that originated it. The zero

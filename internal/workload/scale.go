@@ -1,0 +1,202 @@
+package workload
+
+// Scalability workload (E14): many workstations hammering one shared pool
+// of hot files. Reads follow a Zipf popularity curve, a small fraction of
+// operations rewrite the file they picked — which makes the server break
+// callbacks to every interested client — and each client periodically runs
+// a TTL revalidation sweep. This is the mix where callback fan-out and
+// revalidation round trips dominate server load, i.e. exactly what the
+// batched BulkBreak/BulkTestValid plane is supposed to collapse.
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"itcfs/internal/sim"
+	"itcfs/internal/venus"
+	"itcfs/internal/virtue"
+)
+
+// ScaleConfig shapes one client of the scalability mix.
+type ScaleConfig struct {
+	Seed        int64
+	Root        string        // Vice directory holding the shared pool
+	SharedFiles int           // files in the pool
+	Zipf        float64       // popularity skew (s > 1)
+	Writers     int           // the first k clients are publishers (0 = none)
+	BurstEvery  int           // a publisher installs a burst every k main ops
+	BurstFiles  int           // files rewritten per install burst
+	MeanKB      int           // mean rewrite size (exponential)
+	Stagger     time.Duration // clients start uniformly inside this ramp
+	Browse      int           // pool files each client reads once at start
+	BrowseThink time.Duration // mean pause between browse reads
+	Think       time.Duration // mean pause between main ops (exponential)
+	Ops         int           // main operations per client
+	SweepEvery  int           // ops between TTL revalidation sweeps (0 = never)
+}
+
+// DefaultScale returns the standard E14 client configuration: a large
+// read-mostly population against a shared pool. Each client browses the
+// head of the tree once — building a wide cache footprint whose callback
+// promises the periodic sweeps keep alive cheaply — then settles into
+// re-reading a few hot files. A fixed pair of publishers periodically
+// installs a batch of updated files (the "new system release" event), which
+// breaks every cached copy at once: the publisher count deliberately does
+// not scale with the population, so break fan-out grows linearly with
+// clients while the update rate stays constant — the regime the paper
+// worries about.
+func DefaultScale(seed int64) ScaleConfig {
+	return ScaleConfig{
+		Seed:        seed,
+		Root:        "/vice/usr/load/shared",
+		SharedFiles: 120,
+		Zipf:        1.5,
+		Writers:     1,
+		BurstEvery:  10,
+		BurstFiles:  30,
+		MeanKB:      4,
+		Stagger:     10 * time.Hour,
+		Browse:      12,
+		BrowseThink: 2 * time.Minute,
+		Think:       20 * time.Minute,
+		Ops:         30,
+		SweepEvery:  10,
+	}
+}
+
+// SharedFile names pool file i under root.
+func SharedFile(root string, i int) string { return fmt.Sprintf("%s/s%03d", root, i) }
+
+// PopulateShared creates the pool. Call it from a single workstation before
+// starting the clients.
+func PopulateShared(p *sim.Proc, fs *virtue.FS, cfg ScaleConfig, r *rand.Rand) error {
+	if err := fs.Mkdir(p, cfg.Root, 0o755); err != nil {
+		return fmt.Errorf("populate %s: %w", cfg.Root, err)
+	}
+	for i := 0; i < cfg.SharedFiles; i++ {
+		n := 1 + int(r.ExpFloat64()*float64(cfg.MeanKB)*1024)
+		if err := fs.WriteFile(p, SharedFile(cfg.Root, i), randBytes(r, n)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScaleUser is one client of the scalability mix. Each client owns a rand
+// stream derived from (Seed, index), so a run's schedule depends only on
+// the configuration.
+type ScaleUser struct {
+	cfg    ScaleConfig
+	r      *rand.Rand
+	zipf   *rand.Zipf
+	writer bool
+	ops    int64
+}
+
+// NewScaleUser creates client number index.
+func NewScaleUser(index int, cfg ScaleConfig) *ScaleUser {
+	r := rand.New(rand.NewSource(cfg.Seed + 7919*int64(index+1)))
+	return &ScaleUser{
+		cfg:    cfg,
+		r:      r,
+		zipf:   rand.NewZipf(r, cfg.Zipf, 1, uint64(cfg.SharedFiles-1)),
+		writer: index < cfg.Writers,
+	}
+}
+
+// Ops reports operations performed so far (browse reads included).
+func (u *ScaleUser) Ops() int64 { return u.ops }
+
+// Run performs the client's full schedule: a staggered start, one browse
+// pass over the head of the pool, then cfg.Ops popularity-driven ops.
+func (u *ScaleUser) Run(p *sim.Proc, fs *virtue.FS, v *venus.Venus) error {
+	if u.cfg.Stagger > 0 {
+		p.Sleep(time.Duration(u.r.Int63n(int64(u.cfg.Stagger))))
+	}
+	for i := 0; i < u.cfg.Browse && i < u.cfg.SharedFiles; i++ {
+		if u.cfg.BrowseThink > 0 {
+			p.Sleep(time.Duration(u.r.ExpFloat64() * float64(u.cfg.BrowseThink)))
+		}
+		if _, err := fs.ReadFile(p, SharedFile(u.cfg.Root, i)); err != nil {
+			return fmt.Errorf("scale browse %d: %w", i, err)
+		}
+		u.maybeSweep(p, v)
+	}
+	for i := 1; i <= u.cfg.Ops; i++ {
+		if err := u.Step(p, fs, v, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step performs main operation number i (1-based): think, then read a pool
+// file picked by popularity — or, for a publisher on its burst schedule,
+// install a burst of updated files (each store breaks callbacks to every
+// client caching that file, so a burst is a callback storm).
+func (u *ScaleUser) Step(p *sim.Proc, fs *virtue.FS, v *venus.Venus, i int) error {
+	if u.cfg.Think > 0 {
+		p.Sleep(time.Duration(u.r.ExpFloat64() * float64(u.cfg.Think)))
+	}
+	var err error
+	if u.writer && u.cfg.BurstEvery > 0 && i%u.cfg.BurstEvery == 0 {
+		// A release lands at the head of the pool — the same region every
+		// client browsed and the popularity curve concentrates on, so the
+		// storm hits nearly every cache.
+		err = u.installBurst(p, fs, 0)
+	} else {
+		_, err = fs.ReadFile(p, SharedFile(u.cfg.Root, int(u.zipf.Uint64())))
+	}
+	if err != nil {
+		return fmt.Errorf("scale op %d: %w", i, err)
+	}
+	u.maybeSweep(p, v)
+	return nil
+}
+
+// maybeSweep counts the operation and runs a TTL revalidation sweep every
+// SweepEvery ops — the batched replacement for the per-open check-on-open
+// traffic the prototype suffered, and what keeps a long-idle cache's
+// promises alive.
+func (u *ScaleUser) maybeSweep(p *sim.Proc, v *venus.Venus) {
+	u.ops++
+	if u.cfg.SweepEvery > 0 && u.ops%int64(u.cfg.SweepEvery) == 0 {
+		// Force: refresh every promise before its TTL lapses, so opens never
+		// stall on a one-off validation. Best effort: a sweep that races a
+		// crash just leaves entries to the per-open validation paths.
+		_, _, _ = v.Revalidate(p, true)
+	}
+}
+
+// installBurst rewrites BurstFiles consecutive pool files concurrently, the
+// way Venus flushes a batch of closed files when a publisher installs a new
+// release. The stores overlap at the server, so the callback storms they
+// trigger overlap too — the case the coalescing break path exists for.
+func (u *ScaleUser) installBurst(p *sim.Proc, fs *virtue.FS, first int) error {
+	burst := u.cfg.BurstFiles
+	if burst < 1 {
+		burst = 1
+	}
+	k := p.Kernel()
+	done := make([]*sim.Future[error], burst)
+	for j := 0; j < burst; j++ {
+		// Draw sizes and payloads on the client proc so the rand stream is
+		// consumed in a fixed order regardless of store completion order.
+		n := 1 + int(u.r.ExpFloat64()*float64(u.cfg.MeanKB)*1024)
+		data := randBytes(u.r, n)
+		path := SharedFile(u.cfg.Root, (first+j)%u.cfg.SharedFiles)
+		f := sim.NewFuture[error](k)
+		done[j] = f
+		k.Spawn(fmt.Sprintf("install-%d-%d", u.ops, j), func(wp *sim.Proc) {
+			f.Set(fs.WriteFile(wp, path, data))
+		})
+	}
+	var err error
+	for _, f := range done {
+		if werr := f.Wait(p); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return err
+}

@@ -107,6 +107,19 @@ type CellConfig struct {
 	// after a transport failure (see venus.Config.ReconnectRetries).
 	ReconnectRetries int
 
+	// Batching ablation knobs (E14). Zero values keep batching on.
+	//
+	// UnbatchedBreaks forces servers to send one callback RPC per broken
+	// promise instead of coalescing per-client BulkBreak batches.
+	UnbatchedBreaks bool
+	// RevalidateBatch caps entries per BulkTestValid sweep RPC (0 = the
+	// Venus default; 1 = one legacy TestValid per entry, unbatched).
+	RevalidateBatch int
+	// BreakWindow widens the servers' callback coalescing window (0 = the
+	// vice default): updates wait up to this long extra before replying so
+	// concurrent updates' breaks to one workstation share an RPC.
+	BreakWindow time.Duration
+
 	// Observability. Both default off, costing nothing on the hot paths.
 	//
 	// Trace records causally linked spans across Venus, the RPC transport,
@@ -236,14 +249,16 @@ func NewCell(cfg CellConfig) *Cell {
 			panic(err)
 		}
 		vs := vice.New(vice.Config{
-			Name:          fmt.Sprintf("server%d", i),
-			Mode:          cfg.Mode,
-			DB:            db,
-			Loc:           vice.NewLocDB(),
-			Clock:         clock,
-			ProtAuthority: i == 0,
-			AllocVolID:    c.allocVol,
-			Metrics:       cfg.Metrics,
+			Name:            fmt.Sprintf("server%d", i),
+			Mode:            cfg.Mode,
+			DB:              db,
+			Loc:             vice.NewLocDB(),
+			Clock:           clock,
+			ProtAuthority:   i == 0,
+			AllocVolID:      c.allocVol,
+			Metrics:         cfg.Metrics,
+			UnbatchedBreaks: cfg.UnbatchedBreaks,
+			BreakWindow:     cfg.BreakWindow,
 		})
 		ep := rpc.NewEndpoint(c.Net, node, rpc.EndpointConfig{
 			Keys:        db.LookupKey,
@@ -386,6 +401,7 @@ func (c *Cell) AddWorkstation(cluster int, name string) *Workstation {
 		MaxBytes:         c.cfg.CacheBytes,
 		CallbackTTL:      c.cfg.CallbackTTL,
 		ReconnectRetries: c.cfg.ReconnectRetries,
+		RevalidateBatch:  c.cfg.RevalidateBatch,
 		Tracer:           c.Tracer,
 		Metrics:          c.cfg.Metrics,
 		Connect: func(p *sim.Proc, server string) (venus.Conn, error) {
@@ -398,6 +414,7 @@ func (c *Cell) AddWorkstation(cluster int, name string) *Workstation {
 	})
 	ws.Venus = v
 	cbServer.Handle(rpc.Op(proto.OpCallbackBreak), v.HandleCallbackBreak)
+	cbServer.Handle(rpc.Op(proto.OpBulkBreak), v.HandleBulkBreak)
 	ws.FS = virtue.New(local, v)
 	c.workst = append(c.workst, ws)
 	return ws
