@@ -30,6 +30,16 @@ go test ./...
 # left behind by an earlier test in file order.
 go test -shuffle=on ./...
 
+# Telemetry determinism smoke: two same-seed E15 runs must export
+# byte-identical timeline dashboards, flight recordings and series CSVs
+# through the real itcbench surfaces, not just the in-process test.
+tmpdir="$(mktemp -d)"
+go run ./cmd/itcbench -quick -run E15 -timeline-out "$tmpdir/t1.txt" -series-out "$tmpdir/s1.csv" >/dev/null
+go run ./cmd/itcbench -quick -run E15 -timeline-out "$tmpdir/t2.txt" -series-out "$tmpdir/s2.csv" >/dev/null
+cmp "$tmpdir/t1.txt" "$tmpdir/t2.txt"
+cmp "$tmpdir/s1.csv" "$tmpdir/s2.csv"
+rm -rf "$tmpdir"
+
 # Short fuzz passes over the attacker-facing decoders and the path walker.
 go test -run=NONE -fuzz='^FuzzDecodeCall$' -fuzztime=10s ./internal/rpc
 go test -run=NONE -fuzz='^FuzzDecodeReply$' -fuzztime=10s ./internal/rpc

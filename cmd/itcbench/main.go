@@ -30,6 +30,9 @@ func main() {
 	run := flag.String("run", "", "comma-separated experiment IDs (default all)")
 	traceFlag := flag.Bool("trace", false, "export a Chrome trace of the instrumented benchmark")
 	traceOut := flag.String("trace-out", "trace.json", "trace output path (with -trace)")
+	timeline := flag.Bool("timeline", false, "print the E15 telemetry dashboard and flight recorder")
+	timelineOut := flag.String("timeline-out", "", "write the E15 dashboard and flight recorder to this file")
+	seriesOut := flag.String("series-out", "", "export the E15 time series (.json = JSON, otherwise CSV)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -44,6 +47,7 @@ func main() {
 		id string
 		fn func() (*harness.Report, error)
 	}
+	var e15 *harness.E15Result
 	scale := 1.0
 	if *quick {
 		scale = 0.25
@@ -143,6 +147,20 @@ func main() {
 			}
 			return harness.E14Scalability(cfg)
 		}},
+		{"E15", func() (*harness.Report, error) {
+			cfg := harness.DefaultE15()
+			if *quick {
+				cfg.Cadence = 15 * time.Second
+				cfg.Phase = dur(10 * time.Minute)
+				cfg.MoveGrace = 30 * time.Second
+			}
+			res, err := harness.E15HotVolume(cfg)
+			if err != nil {
+				return nil, err
+			}
+			e15 = res
+			return res.Report, nil
+		}},
 	}
 
 	fmt.Println("itcbench — reproduction of 'The ITC Distributed File System' (SOSP 1985), §5.2")
@@ -176,6 +194,38 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote Chrome trace of the revised-mode Andrew run to %s\n", *traceOut)
+	}
+	if *timeline || *timelineOut != "" || *seriesOut != "" {
+		if e15 == nil {
+			fmt.Fprintln(os.Stderr, "timeline: no E15 result (run with -run E15, and check it succeeded)")
+			os.Exit(1)
+		}
+		if *timeline {
+			fmt.Print("\n" + e15.Timeline + "\n" + e15.Flight)
+		}
+		if *timelineOut != "" {
+			if err := os.WriteFile(*timelineOut, []byte(e15.Timeline+"\n"+e15.Flight), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "timeline: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *seriesOut != "" {
+			f, err := os.Create(*seriesOut)
+			if err == nil {
+				if strings.HasSuffix(*seriesOut, ".json") {
+					err = e15.Cell.Sampler.WriteJSON(f)
+				} else {
+					err = e15.Cell.Sampler.WriteCSV(f)
+				}
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "series: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 	if failed > 0 {
 		os.Exit(1)

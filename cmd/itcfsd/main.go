@@ -8,15 +8,23 @@
 // Clients connect with cmd/itcfs. The first user is "operator" (a member of
 // System:Administrators), who can create users and volumes from the client
 // shell.
+//
+// With -debug-addr the daemon also serves a read-only observability
+// endpoint: /metrics (the registry as deterministic JSON), /metrics.txt
+// (the text report), /events (the flight-recorder ring) and /snapshot (the
+// combined dump also written to stderr on shutdown).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"itcfs/internal/prot"
@@ -35,7 +43,9 @@ func main() {
 	modeFlag := flag.String("mode", "revised", "implementation mode: prototype or revised")
 	opPassword := flag.String("operator-password", "", "password for the bootstrap operator account (required)")
 	traceFlag := flag.Bool("trace", false, "record a span per served call (wall-clock timestamps)")
-	traceOut := flag.String("trace-out", "itcfsd-trace.json", "Chrome trace written on SIGINT (with -trace)")
+	traceOut := flag.String("trace-out", "itcfsd-trace.json", "Chrome trace written on shutdown (with -trace)")
+	debugAddr := flag.String("debug-addr", "", "serve the read-only debug endpoint on this address (empty = off)")
+	flightEvents := flag.Int("flight-events", 1024, "operational events retained in the flight recorder")
 	flag.Parse()
 	if *opPassword == "" {
 		fmt.Fprintln(os.Stderr, "itcfsd: -operator-password is required")
@@ -60,9 +70,14 @@ func main() {
 	must(db.Apply(prot.Mutation{Kind: prot.MutAddMember, Name: vice.AdminGroup, Member: "operator"}))
 
 	nextVol := uint32(1)
-	// The real daemon serves real clients: file timestamps are wall time.
-	clock := func() int64 { return time.Now().UnixNano() } //itcvet:allow wallclock -- real deployment clock, outside the simulator
+	// The real daemon serves real clients: file timestamps are wall time,
+	// and the flight recorder stamps events with a monotonic offset from
+	// process start.
+	start := time.Now()                                              //itcvet:allow wallclock -- real deployment epoch, outside the simulator
+	clock := func() int64 { return time.Now().UnixNano() }           //itcvet:allow wallclock -- real deployment clock, outside the simulator
+	uptime := func() sim.Time { return sim.Time(time.Since(start)) } //itcvet:allow wallclock -- flight/trace timestamps measure real elapsed time
 	metrics := trace.NewRegistry()
+	flight := trace.NewRecorder(*flightEvents, uptime)
 	srv := vice.New(vice.Config{
 		Name:          *name,
 		Mode:          mode,
@@ -72,6 +87,7 @@ func main() {
 		ProtAuthority: true,
 		AllocVolID:    func() uint32 { nextVol++; return nextVol },
 		Metrics:       metrics,
+		Flight:        flight,
 	})
 	rootACL := prot.NewACL()
 	rootACL.Grant(prot.AnyUser, prot.RightLookup|prot.RightRead)
@@ -80,16 +96,23 @@ func main() {
 	srv.Loc().Install([]proto.LocEntry{{Prefix: "/", Volume: 1, Custodian: *name}}, nil)
 
 	// A wall-clock tracer: real transports have no virtual time, so spans
-	// carry a monotonic offset from process start. On SIGINT the accumulated
-	// trace is written out and the process exits.
+	// carry the same monotonic offset the flight recorder uses.
 	var tracer *trace.Tracer
 	if *traceFlag {
-		start := time.Now()                                                        //itcvet:allow wallclock -- real-transport tracer epoch
-		tracer = trace.New(func() sim.Time { return sim.Time(time.Since(start)) }) //itcvet:allow wallclock -- spans measure real service time
-		sigs := make(chan os.Signal, 1)
-		signal.Notify(sigs, os.Interrupt)
-		go func() {
-			<-sigs
+		tracer = trace.New(uptime)
+	}
+
+	// snapshot is the one dump path every exit and the debug endpoint share:
+	// the metrics report and the flight-recorder ring.
+	snapshot := func(w io.Writer) {
+		metrics.WriteText(w)
+		flight.WriteText(w)
+	}
+	// shutdown flushes observability state and exits: the Chrome trace (when
+	// tracing), then the snapshot to stderr. Runs on clean signals and on
+	// fatal serve errors alike, so operational evidence survives both.
+	shutdown := func(code int) {
+		if tracer != nil {
 			f, err := os.Create(*traceOut)
 			if err == nil {
 				err = tracer.ExportChrome(f)
@@ -99,11 +122,53 @@ func main() {
 			}
 			if err != nil {
 				log.Printf("itcfsd: trace export: %v", err)
-				os.Exit(1)
+				if code == 0 {
+					code = 1
+				}
+			} else {
+				log.Printf("itcfsd: wrote %d spans to %s", len(tracer.Spans()), *traceOut)
 			}
-			log.Printf("itcfsd: wrote %d spans to %s", len(tracer.Spans()), *traceOut)
-			metrics.WriteText(os.Stderr)
-			os.Exit(0)
+		}
+		snapshot(os.Stderr)
+		os.Exit(code)
+	}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigs
+		log.Printf("itcfsd: %v: shutting down", s)
+		shutdown(0)
+	}()
+
+	if *debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := metrics.WriteJSON(w); err != nil {
+				log.Printf("itcfsd: debug /metrics: %v", err)
+			}
+		})
+		mux.HandleFunc("/metrics.txt", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			metrics.WriteText(w)
+		})
+		mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			flight.WriteText(w)
+		})
+		mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			snapshot(w)
+		})
+		dl, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("itcfsd: debug listen: %v", err)
+		}
+		log.Printf("itcfsd: debug endpoint on http://%s (/metrics /metrics.txt /events /snapshot)", dl.Addr())
+		go func() {
+			if err := http.Serve(dl, mux); err != nil {
+				log.Printf("itcfsd: debug serve: %v", err)
+			}
 		}()
 	}
 
@@ -115,7 +180,8 @@ func main() {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
-			log.Fatalf("itcfsd: accept: %v", err)
+			log.Printf("itcfsd: accept: %v", err)
+			shutdown(1)
 		}
 		go func(c net.Conn) {
 			peer, err := rpc.AcceptPeer(c, db.LookupKey, srv.Dispatcher())

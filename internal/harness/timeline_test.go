@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// e15Quick shrinks E15 for tests: 15-second windows, 2.5-minute phases.
+func e15Quick(seed int64) E15Config {
+	cfg := DefaultE15()
+	cfg.Seed = seed
+	cfg.Cadence = 15 * time.Second
+	cfg.Phase = 150 * time.Second
+	cfg.MoveGrace = 30 * time.Second
+	return cfg
+}
+
+// e15Text renders every deterministic surface of one E15 run: the report
+// table, the dashboard, the flight recorder, and the CSV series export.
+func e15Text(t *testing.T, res *E15Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	res.Report.Print(&buf)
+	buf.WriteString(res.Timeline)
+	buf.WriteString(res.Flight)
+	if err := res.Cell.Sampler.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestE15Detection asserts the experiment's story holds at test scale: the
+// detector fires during phase B on the right server and volume, and the
+// applied move brings both servers under the threshold in phase C.
+func TestE15Detection(t *testing.T) {
+	res, err := E15HotVolume(e15Quick(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Report.Metrics
+	if m["detector_fired"] != 1 {
+		t.Fatal("detector did not fire")
+	}
+	if m["hot_volume"] != m["expected_hot_volume"] {
+		t.Errorf("detector blamed volume %.0f, the hot volume is %.0f", m["hot_volume"], m["expected_hot_volume"])
+	}
+	if res.Finding.Server != "server0" || res.Finding.To != "server1" {
+		t.Errorf("finding = %s → %s, want server0 → server1", res.Finding.Server, res.Finding.To)
+	}
+	if on := m["onset_s"]; on <= m["b_start_s"] || on > m["b_end_s"] {
+		t.Errorf("onset %.1fs outside phase B (%.1fs, %.1fs]", on, m["b_start_s"], m["b_end_s"])
+	}
+	thr := res.Finding.PeakUtil // sanity on the numbers the table prints
+	if thr < 0.80 {
+		t.Errorf("peak utilization during overload = %.2f, want >= threshold", thr)
+	}
+	if m["peak_b_s0"] < 0.80 {
+		t.Errorf("phase B peak on server0 = %.2f, want saturation", m["peak_b_s0"])
+	}
+	if m["mean_b_s1"] > 0.50 {
+		t.Errorf("phase B mean on server1 = %.2f, want an idle peer", m["mean_b_s1"])
+	}
+	if m["mean_c_s0"] >= 0.80 || m["mean_c_s1"] >= 0.80 {
+		t.Errorf("phase C means = %.2f / %.2f, move did not restore balance", m["mean_c_s0"], m["mean_c_s1"])
+	}
+	if gap, before := m["imbalance_c"], m["imbalance_b"]; gap < 0 {
+		if -gap > before {
+			t.Errorf("imbalance grew: before %.2f, after %.2f", before, gap)
+		}
+	} else if gap >= before {
+		t.Errorf("imbalance not reduced: before %.2f, after %.2f", before, gap)
+	}
+	if m["flight_events"] < 2 {
+		t.Errorf("flight recorder has %.0f events, want the move and the salvage at least", m["flight_events"])
+	}
+	if !strings.Contains(res.Flight, "vice.volume.move") || !strings.Contains(res.Flight, "vice.salvage") {
+		t.Errorf("flight dump missing operator events:\n%s", res.Flight)
+	}
+}
+
+// TestE15Determinism: two same-seed runs must render byte-identical tables,
+// dashboards, flight dumps and series exports; a different seed must move
+// them.
+func TestE15Determinism(t *testing.T) {
+	run := func(seed int64) []byte {
+		res, err := E15HotVolume(e15Quick(seed))
+		if err != nil {
+			t.Fatalf("E15 (seed %d): %v", seed, err)
+		}
+		return e15Text(t, res)
+	}
+	a, b := run(3), run(3)
+	if !bytes.Equal(a, b) {
+		t.Errorf("same seed produced different E15 telemetry (%d vs %d bytes)", len(a), len(b))
+	}
+	if len(a) < 1000 {
+		t.Errorf("E15 telemetry suspiciously small (%d bytes)", len(a))
+	}
+	c := run(4)
+	if bytes.Equal(a, c) {
+		t.Error("different seeds produced byte-identical E15 telemetry; seed is not flowing")
+	}
+}
+
+// e15WorkloadFingerprint reduces a run to its workload-visible outcomes:
+// final virtual time, per-server device busy time, every workstation's Venus
+// counters, and the flight recorder (whose events carry virtual timestamps).
+// None of these may depend on how often the sampler looked.
+func e15WorkloadFingerprint(res *E15Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "now=%v\n", res.Cell.Now())
+	for _, s := range res.Cell.Servers {
+		fmt.Fprintf(&b, "%s cpu=%d disk=%d\n", s.Vice.Name(), int64(s.CPU.BusyTime()), int64(s.Disk.BusyTime()))
+	}
+	for _, ws := range res.Cell.Workstations() {
+		fmt.Fprintf(&b, "%s %+v\n", ws.Name, ws.Venus.Stats())
+	}
+	res.Cell.Flight.WriteText(&b)
+	return b.String()
+}
+
+// TestSamplingInert is the read-only contract of the telemetry plane: runs
+// that differ only in sampling cadence — more tick events interleaved into
+// the schedule — must agree on every workload-visible outcome, down to the
+// virtual timestamps in the flight recorder.
+func TestSamplingInert(t *testing.T) {
+	base := e15Quick(1)
+	fast := e15Quick(1)
+	fast.Cadence = 10 * time.Second
+
+	resA, err := E15HotVolume(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := E15HotVolume(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := e15WorkloadFingerprint(resA), e15WorkloadFingerprint(resB)
+	if fa != fb {
+		t.Errorf("sampling cadence perturbed the workload:\n--- 15s cadence\n%s\n--- 10s cadence\n%s", fa, fb)
+	}
+	if resA.Cell.Sampler.Samples() == resB.Cell.Sampler.Samples() {
+		t.Error("cadence change did not change sample count; the comparison is vacuous")
+	}
+}

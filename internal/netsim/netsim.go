@@ -318,6 +318,17 @@ func (n *Network) SetMetrics(r *trace.Registry) {
 	}
 }
 
+// Links returns every link in deterministic order — the backbone first,
+// then each cluster LAN in creation order. Telemetry samplers walk it to
+// probe per-link utilization.
+func (n *Network) Links() []*Link {
+	links := []*Link{n.Backbone}
+	for _, c := range n.clusters {
+		links = append(links, c.LAN)
+	}
+	return links
+}
+
 // SetNodeDown powers a node on or off. Frames from or to a down node are
 // dropped: at send time, and again at delivery time for frames already in
 // flight when the node went down.

@@ -119,6 +119,9 @@ type EndpointConfig struct {
 	Tracer *trace.Tracer
 	// Metrics receives RPC counters and latency histograms. Nil disables.
 	Metrics *trace.Registry
+	// Flight, when set, receives operational events (call and handshake
+	// retransmissions) for the flight recorder. Nil disables.
+	Flight *trace.Recorder
 	// Observe, when set, is invoked after every served call with the
 	// measured virtual service time (dispatch plus cost-model charges).
 	// The Vice server uses it to feed per-volume latency histograms.
@@ -146,6 +149,10 @@ type Endpoint struct {
 	callsTotal    int64
 	retries       int64
 	dupSuppressed int64
+
+	// mInflight gauges the calls currently executing in worker processes on
+	// this endpoint (server endpoints only). Nil without a registry.
+	mInflight *trace.Gauge
 }
 
 type inKey struct {
@@ -209,6 +216,12 @@ func NewEndpoint(net *netsim.Network, node *netsim.Node, cfg EndpointConfig) *En
 		inbound:    make(map[inKey]*inConn),
 		callCounts: make(map[Op]int64),
 		rng:        rand.New(rand.NewSource(cfg.Retry.Seed ^ int64(node.ID)*0x5851f42d4c957f2d)),
+	}
+	if cfg.Metrics != nil && cfg.Keys != nil {
+		// Only authenticating (server) endpoints gauge their worker queue:
+		// a thousand workstations' callback endpoints would pollute the
+		// registry with idle series.
+		ep.mInflight = cfg.Metrics.Gauge("rpc." + node.Name + ".inflight")
 	}
 	ep.k.Spawn("rpc-dispatch:"+node.Name, ep.dispatch)
 	return ep
@@ -418,7 +431,9 @@ func (ep *Endpoint) handleCall(pk *pkt) {
 	serve.inflight[seq] = true
 	ep.callCounts[req.Op]++
 	ep.callsTotal++
+	ep.mInflight.Add(1)
 	ep.k.Spawn(fmt.Sprintf("rpc-worker-op%d", req.Op), func(p *sim.Proc) {
+		defer ep.mInflight.Add(-1)
 		started := p.Now()
 		sp := ep.cfg.Tracer.BeginRemote(p, tc, trace.SpanRPCServe, ep.node.Name)
 		sp.SetInt(trace.AttrOp, int64(req.Op))
@@ -537,6 +552,10 @@ func (c *SimConn) handshakeStep(p *sim.Proc, kind uint8, data []byte) ([]byte, e
 		if a > 0 {
 			c.ep.retries++
 			c.ep.cfg.Metrics.Counter("rpc.retries").Inc()
+			if fl := c.ep.cfg.Flight; fl != nil {
+				fl.Log("rpc.retry", c.ep.node.Name,
+					fmt.Sprintf("handshake kind %d attempt %d to node %d", kind, a+1, c.remote))
+			}
 			p.Sleep(c.ep.backoff(a))
 		}
 		f := sim.NewFuture[[]byte](c.ep.k)
@@ -584,6 +603,10 @@ func (c *SimConn) Call(p *sim.Proc, req Request) (Response, error) {
 		if a > 0 {
 			c.ep.retries++
 			c.ep.cfg.Metrics.Counter("rpc.retries").Inc()
+			if fl := c.ep.cfg.Flight; fl != nil {
+				fl.Log("rpc.retry", c.ep.node.Name,
+					fmt.Sprintf("op %d attempt %d to node %d", req.Op, a+1, c.remote))
+			}
 			p.Sleep(c.ep.backoff(a))
 			if c.closed {
 				sp.End()

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"itcfs/internal/sim"
+)
+
+// TestRecorderRing: the ring keeps the newest events in arrival order,
+// sequence numbers never reset, and Total counts evictions.
+func TestRecorderRing(t *testing.T) {
+	var now sim.Time
+	r := NewRecorder(3, func() sim.Time { return now })
+	kinds := []string{"a", "b", "c", "d", "e"}
+	for i, k := range kinds {
+		now = sim.Time(i) * sim.Time(time.Second)
+		r.Log(k, "node", "detail")
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events, want 3", len(evs))
+	}
+	for i, e := range evs {
+		wantSeq := uint64(3 + i)
+		wantKind := kinds[2+i]
+		if e.Seq != wantSeq || e.Kind != wantKind {
+			t.Errorf("evs[%d] = seq %d kind %q, want seq %d kind %q", i, e.Seq, e.Kind, wantSeq, wantKind)
+		}
+		if e.At != sim.Time(2+i)*sim.Time(time.Second) {
+			t.Errorf("evs[%d].At = %v", i, e.At)
+		}
+	}
+	if r.Total() != 5 {
+		t.Errorf("Total() = %d, want 5", r.Total())
+	}
+}
+
+// TestRecorderWriteText pins the dump format and its determinism.
+func TestRecorderWriteText(t *testing.T) {
+	build := func() *Recorder {
+		var now sim.Time
+		r := NewRecorder(2, func() sim.Time { return now })
+		now = sim.Time(time.Second)
+		r.Log("rpc.retry", "ws1", "op 3 attempt 1")
+		now = sim.Time(2 * time.Second)
+		r.Log("vice.salvage", "server0", "volume 2: clean")
+		now = sim.Time(3 * time.Second)
+		r.Log("venus.degraded.enter", "ws2", "custodian unreachable")
+		return r
+	}
+	var a, b bytes.Buffer
+	build().WriteText(&a)
+	build().WriteText(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("identical recorders dumped different bytes")
+	}
+	out := a.String()
+	if !strings.Contains(out, "2 events retained, 1 evicted") {
+		t.Errorf("header missing eviction count:\n%s", out)
+	}
+	if strings.Contains(out, "rpc.retry") {
+		t.Errorf("evicted event still present:\n%s", out)
+	}
+	if !strings.Contains(out, "vice.salvage") || !strings.Contains(out, "venus.degraded.enter") {
+		t.Errorf("retained events missing:\n%s", out)
+	}
+}
+
+// TestRecorderNil: every method is a no-op on a nil recorder.
+func TestRecorderNil(t *testing.T) {
+	var r *Recorder
+	r.Log("k", "n", "d")
+	if r.Events() != nil || r.Total() != 0 {
+		t.Error("nil recorder leaked state")
+	}
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	if buf.Len() != 0 {
+		t.Errorf("nil recorder wrote %q", buf.String())
+	}
+}

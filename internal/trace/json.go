@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Machine-readable registry export. WriteJSON is the JSON twin of WriteText:
+// every instrument in sorted name order, every field in a fixed order, and
+// histogram buckets encoded as ascending [index, count] pairs — so two runs
+// that observed the same values produce byte-identical documents. The
+// itcbench series export and the itcfsd debug endpoint both serve it.
+
+// NamedValue is one counter or gauge reading in a Snapshot.
+type NamedValue struct {
+	Name  string
+	Value int64
+}
+
+// HistSnapshot is a point-in-time copy of one histogram's state. Bucket i
+// holds observations whose microsecond count has bit length i (see
+// Histogram); diffing two snapshots of the same histogram yields the
+// per-window distribution the Sampler computes quantiles from.
+type HistSnapshot struct {
+	Name    string
+	Buckets [histBuckets]int64
+	Count   int64
+	Sum     time.Duration
+	Min     time.Duration
+	Max     time.Duration
+}
+
+// quantile returns the q-quantile of the snapshot as the midpoint of the
+// bucket containing that rank, clamped to the recorded min and max — the
+// same convention as Histogram.Quantile.
+func (h *HistSnapshot) quantile(q float64) time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	v := bucketQuantile(&h.Buckets, h.Count, q)
+	if v < h.Min {
+		v = h.Min
+	}
+	if v > h.Max {
+		v = h.Max
+	}
+	return v
+}
+
+// bucketQuantile returns the q-quantile (0 < q <= 1) of count observations
+// spread over the logarithmic buckets, as the midpoint of the bucket holding
+// that rank. It is the shared core of Histogram.Quantile and the Sampler's
+// per-window quantiles (which diff two snapshots and so have no min/max to
+// clamp against).
+func bucketQuantile(buckets *[histBuckets]int64, count int64, q float64) time.Duration {
+	if count <= 0 {
+		return 0
+	}
+	rank := int64(q * float64(count))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > count {
+		rank = count
+	}
+	var cum int64
+	for i, n := range buckets {
+		cum += n
+		if cum >= rank {
+			return bucketMid(i)
+		}
+	}
+	return bucketMid(histBuckets - 1)
+}
+
+// Snapshot returns a point-in-time copy of every instrument, each section
+// sorted by name. A nil registry yields an empty snapshot.
+type Snapshot struct {
+	Counters []NamedValue
+	Gauges   []NamedValue
+	Hists    []HistSnapshot
+}
+
+// Snapshot copies the registry's current state. It is safe to call
+// concurrently with observations.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	type namedHist struct {
+		name string
+		h    *Histogram
+	}
+	r.mu.Lock()
+	counters := make([]NamedValue, 0, len(r.counters))
+	for n, c := range r.counters {
+		counters = append(counters, NamedValue{Name: n, Value: c.Value()})
+	}
+	gauges := make([]NamedValue, 0, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges = append(gauges, NamedValue{Name: n, Value: g.Value()})
+	}
+	hists := make([]namedHist, 0, len(r.hists))
+	for n, h := range r.hists {
+		hists = append(hists, namedHist{name: n, h: h})
+	}
+	r.mu.Unlock()
+	sort.Slice(counters, func(i, j int) bool { return counters[i].Name < counters[j].Name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].Name < gauges[j].Name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+	s.Counters, s.Gauges = counters, gauges
+	s.Hists = make([]HistSnapshot, 0, len(hists))
+	for _, nh := range hists {
+		s.Hists = append(s.Hists, nh.h.snapshot(nh.name))
+	}
+	return s
+}
+
+// snapshot copies the histogram's state under its lock.
+func (h *Histogram) snapshot(name string) HistSnapshot {
+	if h == nil {
+		return HistSnapshot{Name: name}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistSnapshot{
+		Name:    name,
+		Buckets: h.buckets,
+		Count:   h.count,
+		Sum:     h.sum,
+		Min:     h.min,
+		Max:     h.max,
+	}
+}
+
+// WriteJSON writes the registry as a deterministic JSON document: sections
+// in fixed order, names sorted, histogram buckets as ascending
+// [index, count] pairs with zero buckets omitted. A nil registry writes an
+// empty document.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	s := r.Snapshot()
+	if _, err := io.WriteString(w, "{\n \"counters\": {"); err != nil {
+		return err
+	}
+	for i, c := range s.Counters {
+		comma := ","
+		if i == 0 {
+			comma = ""
+		}
+		if _, err := fmt.Fprintf(w, "%s\n  %s: %d", comma, jsonStr(c.Name), c.Value); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n },\n \"gauges\": {"); err != nil {
+		return err
+	}
+	for i, g := range s.Gauges {
+		comma := ","
+		if i == 0 {
+			comma = ""
+		}
+		if _, err := fmt.Fprintf(w, "%s\n  %s: %d", comma, jsonStr(g.Name), g.Value); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n },\n \"histograms\": {"); err != nil {
+		return err
+	}
+	for i := range s.Hists {
+		h := &s.Hists[i]
+		comma := ","
+		if i == 0 {
+			comma = ""
+		}
+		if _, err := fmt.Fprintf(w,
+			"%s\n  %s: {\"count\": %d, \"sum_ns\": %d, \"min_ns\": %d, \"max_ns\": %d, "+
+				"\"p50_ns\": %d, \"p90_ns\": %d, \"p99_ns\": %d, \"buckets\": [",
+			comma, jsonStr(h.Name), h.Count, int64(h.Sum), int64(h.Min), int64(h.Max),
+			int64(h.quantile(0.50)), int64(h.quantile(0.90)), int64(h.quantile(0.99))); err != nil {
+			return err
+		}
+		first := true
+		for b, n := range h.Buckets {
+			if n == 0 {
+				continue
+			}
+			sep := ", "
+			if first {
+				sep = ""
+				first = false
+			}
+			if _, err := fmt.Fprintf(w, "%s[%d, %d]", sep, b, n); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "]}"); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n }\n}\n")
+	return err
+}

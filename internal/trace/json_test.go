@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with a fixed set of observations. forward
+// controls instrument creation order, which must not affect the export.
+func goldenRegistry(forward bool) *Registry {
+	reg := NewRegistry()
+	fill := func() {
+		reg.Counter("venus.cache.hits").Add(42)
+		reg.Counter("venus.cache.misses").Add(7)
+		reg.Counter("rpc.retries").Inc()
+		reg.Gauge("rpc.server0.inflight").Set(3)
+		reg.Gauge("server0.cpu.queue").Set(11)
+		h := reg.Histogram("rpc.serve.latency")
+		for _, d := range []time.Duration{
+			90 * time.Microsecond,
+			150 * time.Microsecond,
+			time.Millisecond,
+			3 * time.Millisecond,
+			3500 * time.Microsecond,
+			40 * time.Millisecond,
+			1200 * time.Millisecond,
+		} {
+			h.Observe(d)
+		}
+		reg.Histogram("venus.open.latency").Observe(250 * time.Microsecond)
+		reg.Histogram("vice.vol.2.latency") // registered, never observed
+	}
+	if forward {
+		fill()
+		return reg
+	}
+	// Reverse creation order: touch the instruments backwards first so the
+	// registry maps are built in a different order, then apply the same
+	// observations.
+	reg.Histogram("vice.vol.2.latency")
+	reg.Histogram("venus.open.latency")
+	reg.Histogram("rpc.serve.latency")
+	reg.Gauge("server0.cpu.queue")
+	reg.Gauge("rpc.server0.inflight")
+	reg.Counter("rpc.retries")
+	reg.Counter("venus.cache.misses")
+	reg.Counter("venus.cache.hits")
+	fill()
+	return reg
+}
+
+// TestWriteJSONGolden pins the export format: sections in fixed order, names
+// sorted, buckets as ascending [index, count] pairs. Run with -update to
+// regenerate after a deliberate format change.
+func TestWriteJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry(true).WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	path := filepath.Join("testdata", "registry.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("WriteJSON drifted from golden file\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWriteJSONValid checks the hand-built document parses as JSON and holds
+// the values that went in.
+func TestWriteJSONValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry(true).WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var doc struct {
+		Counters map[string]int64 `json:"counters"`
+		Gauges   map[string]int64 `json:"gauges"`
+		Hists    map[string]struct {
+			Count   int64      `json:"count"`
+			SumNS   int64      `json:"sum_ns"`
+			P50NS   int64      `json:"p50_ns"`
+			Buckets [][2]int64 `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if doc.Counters["venus.cache.hits"] != 42 || doc.Counters["rpc.retries"] != 1 {
+		t.Errorf("counters: %v", doc.Counters)
+	}
+	if doc.Gauges["rpc.server0.inflight"] != 3 {
+		t.Errorf("gauges: %v", doc.Gauges)
+	}
+	h := doc.Hists["rpc.serve.latency"]
+	if h.Count != 7 {
+		t.Errorf("rpc.serve.latency count = %d, want 7", h.Count)
+	}
+	var bucketSum int64
+	for _, b := range h.Buckets {
+		bucketSum += b[1]
+	}
+	if bucketSum != h.Count {
+		t.Errorf("bucket counts sum to %d, count is %d", bucketSum, h.Count)
+	}
+	if empty := doc.Hists["vice.vol.2.latency"]; empty.Count != 0 || len(empty.Buckets) != 0 {
+		t.Errorf("never-observed histogram not empty: %+v", empty)
+	}
+}
+
+// TestWriteJSONDeterministic: instrument creation order and repeated export
+// must not change a byte.
+func TestWriteJSONDeterministic(t *testing.T) {
+	var a, b, c bytes.Buffer
+	fwd := goldenRegistry(true)
+	if err := fwd.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := fwd.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := goldenRegistry(false).WriteJSON(&c); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two exports of one registry differ")
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Error("instrument creation order changed the export")
+	}
+}
+
+// TestWriteJSONNil: a nil registry writes a valid, empty document.
+func TestWriteJSONNil(t *testing.T) {
+	var reg *Registry
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON on nil registry: %v", err)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil-registry export is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+}

@@ -1,0 +1,374 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"itcfs/internal/sim"
+)
+
+// Time-series telemetry. A Sampler is a virtual-time process that snapshots
+// every registry instrument on a fixed cadence and folds each into a bounded
+// ring of per-window points: counters become per-window deltas (rates),
+// gauges become values-at-sample, and histograms become per-window count and
+// p50/p90/p99 series computed by diffing bucket snapshots. External probes
+// (server CPU busy time, link busy time, RPC queue depth) plug into the same
+// cadence. Sampling only reads state, so a run with sampling off is
+// byte-identical — in every workload-visible outcome — to one with sampling
+// on, and identical seeds yield identical series.
+
+// Point is one sample: the window-end instant and the windowed value.
+type Point struct {
+	At sim.Time
+	V  int64
+}
+
+// Series is a bounded ring of points for one metric. Rings belong to a
+// Sampler, which serializes all access under its own lock.
+type Series struct {
+	name  string
+	pts   []Point // ring storage, len == capacity once full
+	head  int     // index of the oldest point when the ring is full
+	total uint64  // points ever appended, including overwritten ones
+}
+
+// DefaultSeriesCap bounds each series when the Sampler is created with a
+// non-positive capacity: at a 30-second cadence it holds a 4-hour window.
+const DefaultSeriesCap = 480
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// append adds one point, overwriting the oldest once the ring is full.
+func (s *Series) append(capacity int, p Point) {
+	if len(s.pts) < capacity {
+		s.pts = append(s.pts, p)
+	} else {
+		s.pts[s.head] = p
+		s.head = (s.head + 1) % len(s.pts)
+	}
+	s.total++
+}
+
+// points returns the ring's contents in chronological order.
+func (s *Series) points() []Point {
+	out := make([]Point, 0, len(s.pts))
+	out = append(out, s.pts[s.head:]...)
+	out = append(out, s.pts[:s.head]...)
+	return out
+}
+
+// Dropped returns how many points the ring has overwritten.
+func (s *Series) Dropped() uint64 { return s.total - uint64(len(s.pts)) }
+
+// probe is one external instrument sampled on the cadence.
+type probe struct {
+	name       string
+	fn         func() int64
+	cumulative bool  // true: emit per-window deltas of a monotonic total
+	last       int64 // previous reading, for cumulative probes
+}
+
+// Sampler snapshots a registry and a set of probes on a fixed virtual-time
+// cadence. Create one with NewSampler, register probes, then Start it on the
+// kernel (or call Sample directly from tests). A nil *Sampler is valid and
+// disables sampling: every method is a no-op.
+type Sampler struct {
+	// reg, every and cap are set at construction, immutable afterwards.
+	reg   *Registry
+	every time.Duration
+	cap   int
+
+	mu     sync.Mutex
+	series map[string]*Series // guarded by mu
+	probes []*probe           // guarded by mu
+	lastC  map[string]int64   // guarded by mu — previous counter readings
+	// previous histogram snapshots, for bucket diffs
+	// guarded by mu
+	lastH   map[string]HistSnapshot
+	samples int64 // guarded by mu — completed sampling rounds
+}
+
+// NewSampler creates a sampler over reg (which may be nil: probes still
+// sample). every is the cadence; capacity bounds each series' ring
+// (non-positive = DefaultSeriesCap).
+func NewSampler(reg *Registry, every time.Duration, capacity int) *Sampler {
+	if every <= 0 {
+		every = 30 * time.Second
+	}
+	if capacity <= 0 {
+		capacity = DefaultSeriesCap
+	}
+	return &Sampler{
+		reg:    reg,
+		every:  every,
+		cap:    capacity,
+		series: make(map[string]*Series),
+		lastC:  make(map[string]int64),
+		lastH:  make(map[string]HistSnapshot),
+	}
+}
+
+// Every returns the sampling cadence.
+func (s *Sampler) Every() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.every
+}
+
+// AddCumulative registers a probe whose reading is a monotonic total (a
+// Resource's busy time, a link's byte count); the series records per-window
+// deltas. No-op on a nil sampler.
+func (s *Sampler) AddCumulative(name string, fn func() int64) {
+	s.addProbe(name, fn, true)
+}
+
+// AddInstant registers a probe whose reading is an instantaneous level (a
+// queue length); the series records the value at each sample. No-op on a
+// nil sampler.
+func (s *Sampler) AddInstant(name string, fn func() int64) {
+	s.addProbe(name, fn, false)
+}
+
+func (s *Sampler) addProbe(name string, fn func() int64, cumulative bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := &probe{name: name, fn: fn, cumulative: cumulative}
+	if cumulative {
+		p.last = fn()
+	}
+	s.probes = append(s.probes, p)
+}
+
+// Start schedules sampling ticks on the kernel every cadence until the
+// horizon. The horizon bounds the self-renewing tick events so Kernel.Run
+// still terminates once real work drains (the sim.Gauge convention). Reads
+// only — the ticks shift event sequence numbers but never any workload
+// outcome.
+func (s *Sampler) Start(k *sim.Kernel, horizon time.Duration) {
+	if s == nil {
+		return
+	}
+	until := k.Now().Add(horizon)
+	var tick func()
+	tick = func() {
+		s.Sample(k.Now())
+		if k.Now().Add(s.every) <= until {
+			k.After(s.every, tick)
+		}
+	}
+	if k.Now().Add(s.every) <= until {
+		k.After(s.every, tick)
+	}
+}
+
+// Sample takes one sampling round at virtual time now: counters append their
+// delta since the previous round, gauges their current value, histograms a
+// window count and p50/p90/p99 (suffixes .n, .p50, .p90, .p99; quantiles in
+// nanoseconds) computed from bucket diffs, and probes per their kind. No-op
+// on a nil sampler.
+func (s *Sampler) Sample(now sim.Time) {
+	if s == nil {
+		return
+	}
+	snap := s.reg.Snapshot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range snap.Counters {
+		s.appendLocked(c.Name, Point{At: now, V: c.Value - s.lastC[c.Name]})
+		s.lastC[c.Name] = c.Value
+	}
+	for _, g := range snap.Gauges {
+		s.appendLocked(g.Name, Point{At: now, V: g.Value})
+	}
+	for i := range snap.Hists {
+		h := &snap.Hists[i]
+		prev := s.lastH[h.Name]
+		var diff [histBuckets]int64
+		for b := range diff {
+			diff[b] = h.Buckets[b] - prev.Buckets[b]
+		}
+		n := h.Count - prev.Count
+		s.appendLocked(h.Name+".n", Point{At: now, V: n})
+		s.appendLocked(h.Name+".p50", Point{At: now, V: int64(bucketQuantile(&diff, n, 0.50))})
+		s.appendLocked(h.Name+".p90", Point{At: now, V: int64(bucketQuantile(&diff, n, 0.90))})
+		s.appendLocked(h.Name+".p99", Point{At: now, V: int64(bucketQuantile(&diff, n, 0.99))})
+		s.lastH[h.Name] = *h
+	}
+	for _, p := range s.probes {
+		v := p.fn()
+		if p.cumulative {
+			s.appendLocked(p.name, Point{At: now, V: v - p.last})
+			p.last = v
+		} else {
+			s.appendLocked(p.name, Point{At: now, V: v})
+		}
+	}
+	s.samples++
+}
+
+//itcvet:holds mu
+func (s *Sampler) appendLocked(name string, p Point) {
+	sr := s.series[name]
+	if sr == nil {
+		sr = &Series{name: name}
+		s.series[name] = sr
+	}
+	sr.append(s.cap, p)
+}
+
+// Samples returns how many sampling rounds have completed.
+func (s *Sampler) Samples() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.samples
+}
+
+// Points returns the named series' points in chronological order (nil if the
+// series does not exist or on a nil sampler).
+func (s *Sampler) Points(name string) []Point {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr := s.series[name]
+	if sr == nil {
+		return nil
+	}
+	return sr.points()
+}
+
+// SeriesNames returns every series name, sorted.
+func (s *Sampler) SeriesNames() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.series))
+	for n := range s.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteCSV writes every series in long form — series,at_ns,value — sorted by
+// series name then time. Deterministic: same seed, same bytes.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	if _, err := io.WriteString(w, "series,at_ns,value\n"); err != nil {
+		return err
+	}
+	for _, name := range s.SeriesNames() {
+		for _, p := range s.Points(name) {
+			if _, err := fmt.Fprintf(w, "%s,%d,%d\n", name, int64(p.At), p.V); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the full telemetry state as one deterministic JSON
+// document: the sampling cadence, every series (sorted, as [at_ns, value]
+// pairs), and — when a registry is attached — its final snapshot via
+// Registry.WriteJSON, so consumers get cumulative totals next to windows.
+func (s *Sampler) WriteJSON(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "{\n\"every_ns\": %d,\n\"series\": {", int64(s.every)); err != nil {
+		return err
+	}
+	for i, name := range s.SeriesNames() {
+		comma := ","
+		if i == 0 {
+			comma = ""
+		}
+		if _, err := fmt.Fprintf(w, "%s\n %s: [", comma, jsonStr(name)); err != nil {
+			return err
+		}
+		for j, p := range s.Points(name) {
+			sep := ", "
+			if j == 0 {
+				sep = ""
+			}
+			if _, err := fmt.Fprintf(w, "%s[%d, %d]", sep, int64(p.At), p.V); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "]"); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n},\n\"registry\": "); err != nil {
+		return err
+	}
+	if err := s.reg.WriteJSON(w); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "}\n")
+	return err
+}
+
+// sparkLevels maps a window value to a glyph; ASCII so the dashboard renders
+// anywhere a report table does.
+const sparkLevels = " .:-=+*#%@"
+
+// WriteDashboard renders every series as one line — name, point count,
+// min/max/last values, and an ASCII sparkline of the most recent windows —
+// in sorted name order. Purely integer bucketing, so the text is
+// deterministic.
+func (s *Sampler) WriteDashboard(w io.Writer) {
+	if s == nil {
+		return
+	}
+	const sparkWidth = 60
+	fmt.Fprintf(w, "timeline: cadence %v, %d series (spark = last %d windows, scaled per series)\n",
+		s.every, len(s.SeriesNames()), sparkWidth)
+	for _, name := range s.SeriesNames() {
+		pts := s.Points(name)
+		if len(pts) == 0 {
+			continue
+		}
+		lo, hi := pts[0].V, pts[0].V
+		for _, p := range pts {
+			if p.V < lo {
+				lo = p.V
+			}
+			if p.V > hi {
+				hi = p.V
+			}
+		}
+		tail := pts
+		if len(tail) > sparkWidth {
+			tail = tail[len(tail)-sparkWidth:]
+		}
+		spark := make([]byte, len(tail))
+		for i, p := range tail {
+			lvl := 0
+			if hi > lo {
+				lvl = int((p.V - lo) * int64(len(sparkLevels)-1) / (hi - lo))
+			} else if p.V != 0 {
+				lvl = len(sparkLevels) - 1
+			}
+			spark[i] = sparkLevels[lvl]
+		}
+		fmt.Fprintf(w, "%-44s n=%-4d min=%-12d max=%-12d last=%-12d |%s|\n",
+			name, len(pts), lo, hi, pts[len(pts)-1].V, spark)
+	}
+}

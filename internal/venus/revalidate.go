@@ -96,6 +96,7 @@ func (v *Venus) Revalidate(p *sim.Proc, force bool) (checked, stale int, err err
 			}
 		}
 	}
+	v.noteSweep(force, checked, stale, err)
 	return checked, stale, err
 }
 

@@ -103,6 +103,9 @@ type Config struct {
 	// Metrics receives cache hit/miss counters and per-operation latency
 	// histograms; nil disables.
 	Metrics *trace.Registry
+	// Flight, when set, receives operational events — degraded-mode entry
+	// and exit, revalidation sweeps — for the flight recorder. Nil disables.
+	Flight *trace.Recorder
 }
 
 // entry is one cached whole file (or directory listing, or status-only
@@ -151,6 +154,12 @@ type Venus struct {
 	// trusts any promise, the whole cache is revalidated in bulk.
 	// guarded by mu
 	sweepPending bool
+	// degradedMode is set while cached copies are being served read-only
+	// because a custodian is unreachable; a revalidation sweep that reaches
+	// every custodian clears it. Drives the flight recorder's degraded
+	// entry/exit events.
+	// guarded by mu
+	degradedMode bool
 }
 
 // New creates a Venus. Call Login before any file operation.
@@ -369,8 +378,35 @@ func (v *Venus) degraded(e *entry, flags OpenFlag) (*entry, bool) {
 	}
 	v.mu.Lock()
 	v.stats.DegradedReads++
+	first := !v.degradedMode
+	v.degradedMode = true
 	v.mu.Unlock()
+	if first && v.cfg.Flight != nil {
+		v.cfg.Flight.Log("venus.degraded.enter", v.cfg.Machine,
+			"custodian unreachable; serving cached copies read-only (first: "+e.path+")")
+	}
 	return e, true
+}
+
+// noteSweep records a completed revalidation sweep in the flight recorder
+// and, when the sweep reached every custodian, ends degraded mode: a sweep
+// that got answers from the servers proves they are reachable again.
+func (v *Venus) noteSweep(force bool, checked, stale int, err error) {
+	v.mu.Lock()
+	wasDegraded := v.degradedMode
+	if err == nil {
+		v.degradedMode = false
+	}
+	v.mu.Unlock()
+	fl := v.cfg.Flight
+	if fl == nil {
+		return
+	}
+	fl.Log("venus.reconnect.sweep", v.cfg.Machine,
+		fmt.Sprintf("forced=%t checked=%d stale=%d ok=%t", force, checked, stale, err == nil))
+	if wasDegraded && err == nil {
+		fl.Log("venus.degraded.exit", v.cfg.Machine, "revalidation sweep reached every custodian")
+	}
 }
 
 // now returns the virtual time, or zero when Venus runs outside the

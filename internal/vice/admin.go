@@ -290,6 +290,10 @@ func (s *Server) handleVolMove(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 	if err := s.installLoc(ctx.Proc, []proto.LocEntry{le}, nil); err != nil {
 		return respErr(err)
 	}
+	if fl := s.cfg.Flight; fl != nil {
+		fl.Log("vice.volume.move", s.cfg.Name,
+			fmt.Sprintf("volume %d (%s) handed to %s", args.Volume, v.Name(), args.Target))
+	}
 	return rpc.Response{}
 }
 
@@ -330,6 +334,11 @@ func (s *Server) handleVolSalvage(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 		orphans += rep.OrphansRemoved
 		dangling += rep.DanglingEntries
 		links += rep.LinksFixed
+	}
+	if fl := s.cfg.Flight; fl != nil {
+		fl.Log("vice.salvage", s.cfg.Name,
+			fmt.Sprintf("volume %d: %d volumes scanned, %d orphans removed, %d dangling entries, %d links fixed",
+				args.Volume, len(reports), orphans, dangling, links))
 	}
 	var e wire.Encoder
 	e.Int(orphans)

@@ -1,6 +1,7 @@
 package vice
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -38,6 +39,8 @@ type CallbackTable struct {
 	unbatched bool            // guarded by mu
 	window    time.Duration   // guarded by mu — flusher linger before each drain
 	metrics   *trace.Registry // guarded by mu
+	flight    *trace.Recorder // guarded by mu — break-storm events
+	server    string          // guarded by mu — owning server, for event attribution
 	// promisedBase carries cumulative promise counts across Reset, which
 	// discards the shards (and their live counters) wholesale.
 	promisedBase int64 // guarded by mu
@@ -211,6 +214,21 @@ func (t *CallbackTable) SetMetrics(r *trace.Registry) {
 	t.metrics = r
 }
 
+// stormFanout is the fan-out at which a single break counts as a storm and
+// earns a flight-recorder event: one update invalidating this many
+// workstations is the load pattern §3.2 warns callbacks add per mutation.
+const stormFanout = 8
+
+// SetFlight attaches a flight recorder (and the owning server's name, for
+// attribution) that receives an event whenever one break fans out to
+// stormFanout or more workstations. Nil detaches.
+func (t *CallbackTable) SetFlight(fl *trace.Recorder, server string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.flight = fl
+	t.server = server
+}
+
 // SetUnbatched forces the legacy one-RPC-per-promise break path (the
 // pre-batching design, kept for ablation experiments).
 func (t *CallbackTable) SetUnbatched(v bool) {
@@ -253,6 +271,8 @@ func (t *CallbackTable) BreakBatch(p *sim.Proc, targets []BreakTarget, skip rpc.
 	var deliveries []delivery
 	t.mu.Lock()
 	m := t.metrics
+	fl := t.flight
+	server := t.server
 	unbatched := t.unbatched
 	t.mu.Unlock()
 	for _, tg := range targets {
@@ -262,6 +282,10 @@ func (t *CallbackTable) BreakBatch(p *sim.Proc, targets []BreakTarget, skip rpc.
 			// server-load term callbacks add per mutation (§3.2).
 			m.Counter("vice.callback.breaks").Add(int64(len(backs)))
 			m.Histogram("vice.callback.fanout").ObserveN(int64(len(backs)))
+		}
+		if fl != nil && len(backs) >= stormFanout {
+			fl.Log("vice.callback.storm", server,
+				fmt.Sprintf("break of %s fans out to %d workstations", tg.Path, len(backs)))
 		}
 		for _, back := range backs {
 			deliveries = append(deliveries,

@@ -68,8 +68,11 @@ type Config struct {
 	MaxWalkDepth int
 	// Metrics, when set, receives server-side counters and per-volume
 	// service-time histograms (lock conflicts, callback fan-out,
-	// vice.vol.<id>.latency). Nil disables all of it.
+	// vice.vol.<id>.latency, vice.vol.<id>.ops). Nil disables all of it.
 	Metrics *trace.Registry
+	// Flight, when set, receives operational events — salvages and callback
+	// break storms — for the flight recorder. Nil disables.
+	Flight *trace.Recorder
 	// UnbatchedBreaks forces one callback RPC per broken promise (the
 	// pre-batching break path) for ablation experiments such as E14.
 	UnbatchedBreaks bool
@@ -137,6 +140,7 @@ func New(cfg Config) *Server {
 		pendingVol: make(map[*sim.Proc]uint32),
 	}
 	s.callbacks.SetMetrics(cfg.Metrics)
+	s.callbacks.SetFlight(cfg.Flight, cfg.Name)
 	s.callbacks.SetUnbatched(cfg.UnbatchedBreaks)
 	s.callbacks.SetWindow(cfg.BreakWindow)
 	s.registerHandlers()
@@ -219,8 +223,15 @@ func (s *Server) noteAccess(ctx rpc.Ctx, vol uint32) {
 		s.volAccess[vol] = m
 	}
 	m[ctx.Peer]++
-	if s.cfg.Metrics != nil && ctx.Proc != nil {
-		s.pendingVol[ctx.Proc] = vol
+	if s.cfg.Metrics != nil {
+		// Per-volume call-mix counter: sampled into per-window rates, it is
+		// how the overload detector attributes a hot server's load to the
+		// volume driving it. (Registry locks nest under s.mu here; the
+		// registry never calls back into vice.)
+		s.cfg.Metrics.Counter(VolOpsMetric(vol)).Inc()
+		if ctx.Proc != nil {
+			s.pendingVol[ctx.Proc] = vol
+		}
 	}
 }
 
@@ -228,6 +239,12 @@ func (s *Server) noteAccess(ctx rpc.Ctx, vol uint32) {
 // tools look latencies up under the same name.
 func VolLatencyMetric(vol uint32) string {
 	return fmt.Sprintf("vice.vol.%d.latency", vol)
+}
+
+// VolOpsMetric names the per-volume hot-path operation counter; the overload
+// detector reads its per-window rate to find the volume behind a hot server.
+func VolOpsMetric(vol uint32) string {
+	return fmt.Sprintf("vice.vol.%d.ops", vol)
 }
 
 // ObserveCall is the rpc Observe hook: after each served call it records the

@@ -133,6 +133,11 @@ type CellConfig struct {
 	// Metrics, when set, receives counters and histograms from every layer
 	// (cache hits, RPC latency, link utilization, per-volume service time).
 	Metrics *trace.Registry
+	// FlightEvents, when positive, attaches a flight recorder retaining that
+	// many operational events (RPC retries, callback break storms, salvages,
+	// degraded-mode entry/exit, reconnect sweeps) with virtual timestamps.
+	// Read it from Cell.Flight.
+	FlightEvents int
 }
 
 // Server is one Vice cluster server with its simulated devices.
@@ -171,6 +176,12 @@ type Cell struct {
 	Tracer *trace.Tracer
 	// Metrics echoes CellConfig.Metrics.
 	Metrics *trace.Registry
+	// Flight is the cell-wide flight recorder, non-nil when
+	// CellConfig.FlightEvents was positive.
+	Flight *trace.Recorder
+	// Sampler is the time-series sampler installed by StartSampling (nil
+	// before the first call).
+	Sampler *trace.Sampler
 
 	cfg       CellConfig
 	costs     CostConfig
@@ -215,6 +226,9 @@ func NewCell(cfg CellConfig) *Cell {
 	if c.Metrics != nil {
 		c.Net.SetMetrics(c.Metrics)
 	}
+	if cfg.FlightEvents > 0 {
+		c.Flight = trace.NewRecorder(cfg.FlightEvents, func() sim.Time { return k.Now() })
+	}
 	serverKey, err := secure.NewSessionKey()
 	if err != nil {
 		panic(err)
@@ -257,6 +271,7 @@ func NewCell(cfg CellConfig) *Cell {
 			ProtAuthority:   i == 0,
 			AllocVolID:      c.allocVol,
 			Metrics:         cfg.Metrics,
+			Flight:          c.Flight,
 			UnbatchedBreaks: cfg.UnbatchedBreaks,
 			BreakWindow:     cfg.BreakWindow,
 		})
@@ -270,6 +285,7 @@ func NewCell(cfg CellConfig) *Cell {
 			Retry:       cfg.Retry,
 			Tracer:      c.Tracer,
 			Metrics:     cfg.Metrics,
+			Flight:      c.Flight,
 			Observe:     vs.ObserveCall,
 		})
 		c.Servers = append(c.Servers, &Server{
@@ -339,6 +355,46 @@ func (c *Cell) RunFor(d time.Duration) {
 // Now returns the cell's virtual time.
 func (c *Cell) Now() sim.Time { return c.Kernel.Now() }
 
+// ServerCPUSeries names the sampled per-window CPU busy-time series (in
+// nanoseconds of busy time per window) for a server; divide by the sampling
+// cadence for utilization. The overload detector reads it by this name.
+func ServerCPUSeries(server string) string { return "server." + server + ".cpu.busy_ns" }
+
+// ServerDiskSeries names the sampled per-window disk busy-time series.
+func ServerDiskSeries(server string) string { return "server." + server + ".disk.busy_ns" }
+
+// ServerQueueSeries names the sampled instantaneous CPU queue-depth series —
+// the LWP backlog of §5.2's saturated servers.
+func ServerQueueSeries(server string) string { return "server." + server + ".cpu.queue" }
+
+// LinkBusySeries names the sampled per-window busy-time series for a network
+// link (the backbone or a cluster LAN).
+func LinkBusySeries(link string) string { return "net." + link + ".link_busy_ns" }
+
+// StartSampling installs a time-series sampler over the cell: every registry
+// instrument plus probes for per-server CPU/disk busy time and queue depth
+// and per-link busy time, sampled every cadence of virtual time until
+// horizon from now. The horizon bounds the tick events so Kernel.Run still
+// terminates once workload drains. Sampling is read-only: it never perturbs
+// any workload outcome, only adds tick events to the schedule. The sampler
+// is also stored in Cell.Sampler.
+func (c *Cell) StartSampling(every, horizon time.Duration) *trace.Sampler {
+	s := trace.NewSampler(c.Metrics, every, 0)
+	for _, srv := range c.Servers {
+		srv := srv
+		s.AddCumulative(ServerCPUSeries(srv.Vice.Name()), func() int64 { return int64(srv.CPU.BusyTime()) })
+		s.AddCumulative(ServerDiskSeries(srv.Vice.Name()), func() int64 { return int64(srv.Disk.BusyTime()) })
+		s.AddInstant(ServerQueueSeries(srv.Vice.Name()), func() int64 { return int64(srv.CPU.QueueLen()) })
+	}
+	for _, l := range c.Net.Links() {
+		l := l
+		s.AddCumulative(LinkBusySeries(l.Name()), func() int64 { return int64(l.BusyTime()) })
+	}
+	s.Start(c.Kernel, horizon)
+	c.Sampler = s
+	return s
+}
+
 // AddUser registers a user (and password) in every server's protection
 // database replica. Bootstrap-time convenience; at runtime use the
 // protection server through Admin connections.
@@ -388,6 +444,7 @@ func (c *Cell) AddWorkstation(cluster int, name string) *Workstation {
 		Retry:       c.cfg.Retry,
 		Tracer:      c.Tracer,
 		Metrics:     c.cfg.Metrics,
+		Flight:      c.Flight,
 	})
 
 	home := c.Servers[cluster]
@@ -404,6 +461,7 @@ func (c *Cell) AddWorkstation(cluster int, name string) *Workstation {
 		RevalidateBatch:  c.cfg.RevalidateBatch,
 		Tracer:           c.Tracer,
 		Metrics:          c.cfg.Metrics,
+		Flight:           c.Flight,
 		Connect: func(p *sim.Proc, server string) (venus.Conn, error) {
 			srv := c.serverByName(server)
 			if srv == nil {
