@@ -40,6 +40,12 @@ cmp "$tmpdir/t1.txt" "$tmpdir/t2.txt"
 cmp "$tmpdir/s1.csv" "$tmpdir/s2.csv"
 rm -rf "$tmpdir"
 
+# Crash-matrix smoke: every injected crash point across three seeds must
+# recover to exactly the acknowledged prefix (strict) or an unbroken prefix
+# (generous). The full property also runs inside `go test ./...`; this keeps
+# it visible as its own gate.
+go test -run='^TestWALCrashProperty$' -count=1 ./internal/store/walstore
+
 # Short fuzz passes over the attacker-facing decoders and the path walker.
 go test -run=NONE -fuzz='^FuzzDecodeCall$' -fuzztime=10s ./internal/rpc
 go test -run=NONE -fuzz='^FuzzDecodeReply$' -fuzztime=10s ./internal/rpc
@@ -47,3 +53,5 @@ go test -run=NONE -fuzz='^FuzzResolvePath$' -fuzztime=10s ./internal/vice
 go test -run=NONE -fuzz='^FuzzDispatch$' -fuzztime=10s ./internal/vice
 go test -run=NONE -fuzz='^FuzzDecodeBulkTestValid$' -fuzztime=10s ./internal/wire
 go test -run=NONE -fuzz='^FuzzDecodeBulkBreak$' -fuzztime=10s ./internal/wire
+go test -run=NONE -fuzz='^FuzzWALReplay$' -fuzztime=10s ./internal/store/walstore
+go test -run=NONE -fuzz='^FuzzReadRecord$' -fuzztime=10s ./internal/store/walstore

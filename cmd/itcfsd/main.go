@@ -3,11 +3,18 @@
 // transfer, callbacks — that the simulator evaluates, using the identical
 // server code.
 //
-//	itcfsd -addr :7001 -operator-password secret
+//	itcfsd -addr :7001 -operator-password secret -data-dir /var/lib/itcfs
 //
 // Clients connect with cmd/itcfs. The first user is "operator" (a member of
 // System:Administrators), who can create users and volumes from the client
 // shell.
+//
+// With -data-dir the daemon stores volumes durably through the write-ahead
+// log engine (internal/store/walstore): every acknowledged operation
+// survives kill -9, and startup replays the log, salvages volumes, and
+// reports what it repaired to the flight recorder (vice.salvage events on
+// /events). Without -data-dir all state is in memory and dies with the
+// process.
 //
 // With -debug-addr the daemon also serves a read-only observability
 // endpoint: /metrics (the registry as deterministic JSON), /metrics.txt
@@ -32,24 +39,38 @@ import (
 	"itcfs/internal/rpc"
 	"itcfs/internal/secure"
 	"itcfs/internal/sim"
+	"itcfs/internal/store"
+	"itcfs/internal/store/walstore"
 	"itcfs/internal/trace"
 	"itcfs/internal/vice"
 	"itcfs/internal/volume"
 )
 
 func main() {
-	addr := flag.String("addr", ":7001", "listen address")
-	name := flag.String("name", "server0", "server name (custodian identity)")
-	modeFlag := flag.String("mode", "revised", "implementation mode: prototype or revised")
-	opPassword := flag.String("operator-password", "", "password for the bootstrap operator account (required)")
-	traceFlag := flag.Bool("trace", false, "record a span per served call (wall-clock timestamps)")
-	traceOut := flag.String("trace-out", "itcfsd-trace.json", "Chrome trace written on shutdown (with -trace)")
-	debugAddr := flag.String("debug-addr", "", "serve the read-only debug endpoint on this address (empty = off)")
-	flightEvents := flag.Int("flight-events", 1024, "operational events retained in the flight recorder")
-	flag.Parse()
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is main with an explicit argument list and exit code, so the
+// end-to-end restart test can re-exec the daemon as a helper process.
+func run(args []string) int {
+	fs := flag.NewFlagSet("itcfsd", flag.ExitOnError)
+	addr := fs.String("addr", ":7001", "listen address")
+	name := fs.String("name", "server0", "server name (custodian identity)")
+	modeFlag := fs.String("mode", "revised", "implementation mode: prototype or revised")
+	opPassword := fs.String("operator-password", "", "password for the bootstrap operator account (required)")
+	dataDir := fs.String("data-dir", "", "durable volume storage directory (empty = in-memory only)")
+	ckptInterval := fs.Duration("checkpoint-interval", time.Minute, "how often to checkpoint and compact the log (with -data-dir; 0 = only on clean shutdown)")
+	traceFlag := fs.Bool("trace", false, "record a span per served call (wall-clock timestamps)")
+	traceOut := fs.String("trace-out", "itcfsd-trace.json", "Chrome trace written on shutdown (with -trace)")
+	debugAddr := fs.String("debug-addr", "", "serve the read-only debug endpoint on this address (empty = off)")
+	flightEvents := fs.Int("flight-events", 1024, "operational events retained in the flight recorder")
+	readyFile := fs.String("ready-file", "", "write the bound serve and debug addresses here once listening (for tests)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *opPassword == "" {
 		fmt.Fprintln(os.Stderr, "itcfsd: -operator-password is required")
-		os.Exit(2)
+		return 2
 	}
 	mode := vice.Revised
 	if *modeFlag == "prototype" {
@@ -69,7 +90,6 @@ func main() {
 	must(db.Apply(prot.Mutation{Kind: prot.MutAddGroup, Name: vice.AdminGroup, Owner: "operator"}))
 	must(db.Apply(prot.Mutation{Kind: prot.MutAddMember, Name: vice.AdminGroup, Member: "operator"}))
 
-	nextVol := uint32(1)
 	// The real daemon serves real clients: file timestamps are wall time,
 	// and the flight recorder stamps events with a monotonic offset from
 	// process start.
@@ -78,6 +98,22 @@ func main() {
 	uptime := func() sim.Time { return sim.Time(time.Since(start)) } //itcvet:allow wallclock -- flight/trace timestamps measure real elapsed time
 	metrics := trace.NewRegistry()
 	flight := trace.NewRecorder(*flightEvents, uptime)
+
+	var st store.Store
+	if *dataDir != "" {
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			log.Printf("itcfsd: data dir: %v", err)
+			return 1
+		}
+		ws, err := walstore.Open(store.DirFS(*dataDir))
+		if err != nil {
+			log.Printf("itcfsd: open store: %v", err)
+			return 1
+		}
+		st = ws
+	}
+
+	nextVol := uint32(1)
 	srv := vice.New(vice.Config{
 		Name:          *name,
 		Mode:          mode,
@@ -88,12 +124,39 @@ func main() {
 		AllocVolID:    func() uint32 { nextVol++; return nextVol },
 		Metrics:       metrics,
 		Flight:        flight,
+		Store:         st,
 	})
-	rootACL := prot.NewACL()
-	rootACL.Grant(prot.AnyUser, prot.RightLookup|prot.RightRead)
-	rootACL.Grant(vice.AdminGroup, prot.RightsAll)
-	srv.AddVolume(volume.New(1, "root", rootACL, 0, "operator", clock))
-	srv.Loc().Install([]proto.LocEntry{{Prefix: "/", Volume: 1, Custodian: *name}}, nil)
+
+	if st != nil {
+		rep, err := srv.RecoverStore()
+		if err != nil {
+			log.Printf("itcfsd: recover store: %v", err)
+			return 1
+		}
+		for _, line := range rep.Lines() {
+			log.Printf("itcfsd: %s", line)
+		}
+		// Resume volume-ID allocation past everything recovered.
+		for _, id := range srv.VolumeIDs() {
+			if id > nextVol {
+				nextVol = id
+			}
+		}
+	}
+	if _, ok := srv.Volume(1); !ok {
+		// First boot (or no durable state): create the root volume.
+		rootACL := prot.NewACL()
+		rootACL.Grant(prot.AnyUser, prot.RightLookup|prot.RightRead)
+		rootACL.Grant(vice.AdminGroup, prot.RightsAll)
+		if err := srv.AddVolume(volume.New(1, "root", rootACL, 0, "operator", clock)); err != nil {
+			log.Printf("itcfsd: bootstrap root volume: %v", err)
+			return 1
+		}
+		if err := srv.InstallLoc([]proto.LocEntry{{Prefix: "/", Volume: 1, Custodian: *name}}, nil); err != nil {
+			log.Printf("itcfsd: bootstrap location: %v", err)
+			return 1
+		}
+	}
 
 	// A wall-clock tracer: real transports have no virtual time, so spans
 	// carry the same monotonic offset the flight recorder uses.
@@ -108,10 +171,22 @@ func main() {
 		metrics.WriteText(w)
 		flight.WriteText(w)
 	}
-	// shutdown flushes observability state and exits: the Chrome trace (when
-	// tracing), then the snapshot to stderr. Runs on clean signals and on
-	// fatal serve errors alike, so operational evidence survives both.
+	// shutdown flushes state and exits: a final checkpoint (when durable),
+	// the Chrome trace (when tracing), then the snapshot to stderr. Runs on
+	// clean signals and on fatal serve errors alike, so both durable state
+	// and operational evidence survive.
 	shutdown := func(code int) {
+		if st != nil {
+			if err := srv.CheckpointStore(); err != nil {
+				log.Printf("itcfsd: shutdown checkpoint: %v", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+			if err := st.Close(); err != nil {
+				log.Printf("itcfsd: close store: %v", err)
+			}
+		}
 		if tracer != nil {
 			f, err := os.Create(*traceOut)
 			if err == nil {
@@ -140,6 +215,19 @@ func main() {
 		shutdown(0)
 	}()
 
+	if st != nil && *ckptInterval > 0 {
+		go func() {
+			for {
+				time.Sleep(*ckptInterval) //itcvet:allow wallclock -- periodic checkpoint pacing in the real daemon
+				if err := srv.CheckpointStore(); err != nil {
+					log.Printf("itcfsd: checkpoint: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	debugBound := ""
 	if *debugAddr != "" {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -162,9 +250,11 @@ func main() {
 		})
 		dl, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
-			log.Fatalf("itcfsd: debug listen: %v", err)
+			log.Printf("itcfsd: debug listen: %v", err)
+			return 1
 		}
-		log.Printf("itcfsd: debug endpoint on http://%s (/metrics /metrics.txt /events /snapshot)", dl.Addr())
+		debugBound = dl.Addr().String()
+		log.Printf("itcfsd: debug endpoint on http://%s (/metrics /metrics.txt /events /snapshot)", debugBound)
 		go func() {
 			if err := http.Serve(dl, mux); err != nil {
 				log.Printf("itcfsd: debug serve: %v", err)
@@ -174,7 +264,15 @@ func main() {
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("itcfsd: listen: %v", err)
+		log.Printf("itcfsd: listen: %v", err)
+		return 1
+	}
+	if *readyFile != "" {
+		ready := "ADDR " + l.Addr().String() + "\nDEBUG " + debugBound + "\n"
+		if err := os.WriteFile(*readyFile, []byte(ready), 0o644); err != nil {
+			log.Printf("itcfsd: ready file: %v", err)
+			return 1
+		}
 	}
 	log.Printf("itcfsd: %s (%s mode) serving Vice on %s", *name, mode, l.Addr())
 	for {

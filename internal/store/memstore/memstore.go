@@ -1,0 +1,154 @@
+// Package memstore is the in-memory store engine. It keeps shadow volumes
+// built by replaying every commit — the same replay path walstore uses — so
+// the commit protocol is exercised even when nothing touches disk. The
+// deterministic simulator attaches it to Vice servers: Sync is a no-op,
+// nothing reads a clock, and a simulated server "restart" recovers from the
+// shadows exactly as a real one recovers from the log.
+package memstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"itcfs/internal/prot"
+	"itcfs/internal/proto"
+	"itcfs/internal/store"
+	"itcfs/internal/volume"
+)
+
+// Store is an in-memory store.Store.
+type Store struct {
+	mu sync.Mutex
+	// guarded by mu
+	vols map[uint32]*volume.Volume // shadow volumes, replay targets
+	// guarded by mu
+	protSnap []byte
+	// guarded by mu
+	protMuts []prot.Mutation
+	// guarded by mu
+	locOps []store.LocOp
+}
+
+// New returns an empty in-memory store.
+func New() *Store {
+	return &Store{vols: make(map[uint32]*volume.Volume)}
+}
+
+// BeginVolume records a volume's existence with its full initial image.
+func (s *Store) BeginVolume(id uint32, image []byte) error {
+	v, err := volume.Deserialize(image, nil)
+	if err != nil {
+		return fmt.Errorf("memstore: begin volume %d: %w", id, err)
+	}
+	if v.ID() != id {
+		return fmt.Errorf("memstore: image is volume %d, not %d", v.ID(), id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vols[id] = v
+	return nil
+}
+
+// DropVolume forgets a volume.
+func (s *Store) DropVolume(id uint32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.vols, id)
+	return nil
+}
+
+// Commit replays the commit onto the shadow volume.
+func (s *Store) Commit(c store.Commit) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.vols[c.Vol]
+	if !ok {
+		return fmt.Errorf("memstore: commit for unknown volume %d", c.Vol)
+	}
+	return store.ApplyCommit(v, c)
+}
+
+// PutLoc records a location-database change.
+func (s *Store) PutLoc(entries []proto.LocEntry, remove []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.locOps = append(s.locOps, store.LocOp{
+		Entries: append([]proto.LocEntry(nil), entries...),
+		Remove:  append([]string(nil), remove...),
+	})
+	return nil
+}
+
+// PutProt records a protection-database mutation.
+func (s *Store) PutProt(m prot.Mutation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.protMuts = append(s.protMuts, m)
+	return nil
+}
+
+// Sync is a no-op: memory is as durable as this engine gets.
+func (s *Store) Sync() error { return nil }
+
+// Recover returns deep copies of the shadow state. Volumes round-trip
+// through Serialize so the caller's mutations cannot reach the shadows.
+func (s *Store) Recover() (*store.Recovery, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := &store.Recovery{
+		ProtSnapshot:  append([]byte(nil), s.protSnap...),
+		ProtMutations: append([]prot.Mutation(nil), s.protMuts...),
+		LocOps:        append([]store.LocOp(nil), s.locOps...),
+	}
+	if s.protSnap == nil {
+		rec.ProtSnapshot = nil
+	}
+	for _, id := range sortedIDs(s.vols) {
+		v, err := volume.Deserialize(s.vols[id].Serialize(), nil)
+		if err != nil {
+			return nil, fmt.Errorf("memstore: recover volume %d: %w", id, err)
+		}
+		sr := v.Salvage()
+		rec.Volumes = append(rec.Volumes, v)
+		rec.Report.Volumes = append(rec.Report.Volumes, store.VolumeReport{
+			ID: id, Name: v.Name(), Vnodes: v.VnodeCount(), Salvage: sr,
+		})
+	}
+	return rec, nil
+}
+
+// Checkpoint replaces the shadow state with the snapshot.
+func (s *Store) Checkpoint(cp store.Checkpoint) error {
+	vols := make(map[uint32]*volume.Volume, len(cp.Volumes))
+	for _, vi := range cp.Volumes {
+		v, err := volume.Deserialize(vi.Image, nil)
+		if err != nil {
+			return fmt.Errorf("memstore: checkpoint volume %d: %w", vi.ID, err)
+		}
+		vols[vi.ID] = v
+	}
+	var locOps []store.LocOp
+	if len(cp.Loc) > 0 {
+		locOps = []store.LocOp{{Entries: append([]proto.LocEntry(nil), cp.Loc...)}}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vols = vols
+	s.protSnap = append([]byte(nil), cp.Prot...)
+	s.protMuts = nil
+	s.locOps = locOps
+	return nil
+}
+
+// Close releases nothing.
+func (s *Store) Close() error { return nil }
+
+func sortedIDs(m map[uint32]*volume.Volume) []uint32 {
+	ids := make([]uint32, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

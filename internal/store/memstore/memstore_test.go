@@ -1,0 +1,129 @@
+package memstore
+
+import (
+	"bytes"
+	"testing"
+
+	"itcfs/internal/prot"
+	"itcfs/internal/proto"
+	"itcfs/internal/store"
+	"itcfs/internal/volume"
+)
+
+func newVol(id uint32) *volume.Volume {
+	var tick int64
+	acl := prot.NewACL()
+	acl.Grant("satya", prot.RightsAll)
+	v := volume.New(id, "vol", acl, 0, "satya", func() int64 { tick++; return tick })
+	v.EnableDirtyTracking()
+	v.TakeDirty()
+	return v
+}
+
+func TestMemstoreRoundTrip(t *testing.T) {
+	s := New()
+	v := newVol(3)
+	if err := s.BeginVolume(v.ID(), v.Serialize()); err != nil {
+		t.Fatal(err)
+	}
+
+	vn, err := v.Create(v.Root(), "f", 0o644, "satya")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.WriteData(vn.Status.FID, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(store.CommitOf(v)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutProt(prot.Mutation{Kind: prot.MutAddUser, Name: "bovik"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutLoc([]proto.LocEntry{{Prefix: "/", Volume: 3, Custodian: "s0"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Volumes) != 1 || rec.Volumes[0].ID() != 3 {
+		t.Fatalf("recovered %d volumes", len(rec.Volumes))
+	}
+	if !bytes.Equal(rec.Volumes[0].Serialize(), v.Serialize()) {
+		t.Fatal("recovered volume diverged")
+	}
+	if len(rec.ProtMutations) != 1 || rec.ProtMutations[0].Name != "bovik" {
+		t.Fatalf("mutations = %+v", rec.ProtMutations)
+	}
+	if len(rec.LocOps) != 1 || len(rec.LocOps[0].Entries) != 1 {
+		t.Fatalf("loc ops = %+v", rec.LocOps)
+	}
+	if len(rec.Report.Volumes) != 1 || rec.Report.Volumes[0].ID != 3 {
+		t.Fatalf("report = %+v", rec.Report)
+	}
+
+	// Recovered volumes are copies: mutating one must not leak into the store.
+	if _, err := rec.Volumes[0].Create(rec.Volumes[0].Root(), "g", 0o644, "satya"); err != nil {
+		t.Fatal(err)
+	}
+	rec2, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec2.Volumes[0].Serialize(), v.Serialize()) {
+		t.Fatal("store state aliased by recovered volume")
+	}
+}
+
+func TestMemstoreCommitUnknownVolume(t *testing.T) {
+	s := New()
+	if err := s.Commit(store.Commit{Vol: 99}); err == nil {
+		t.Fatal("want unknown-volume error")
+	}
+}
+
+func TestMemstoreDropAndCheckpoint(t *testing.T) {
+	s := New()
+	v := newVol(1)
+	if err := s.BeginVolume(1, v.Serialize()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DropVolume(1); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Volumes) != 0 {
+		t.Fatalf("dropped volume recovered: %d", len(rec.Volumes))
+	}
+
+	w := newVol(2)
+	cp := store.Checkpoint{
+		Prot:    []byte{},
+		Loc:     []proto.LocEntry{{Prefix: "/", Volume: 2, Custodian: "s0"}},
+		Volumes: []store.VolumeImage{{ID: 2, Image: w.Serialize()}},
+	}
+	if err := s.Checkpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	rec, err = s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Volumes) != 1 || rec.Volumes[0].ID() != 2 {
+		t.Fatalf("after checkpoint: %d volumes", len(rec.Volumes))
+	}
+	if len(rec.LocOps) != 1 {
+		t.Fatalf("after checkpoint: loc ops = %+v", rec.LocOps)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package walstore
+
+import (
+	"encoding/hex"
+	"testing"
+
+	"itcfs/internal/proto"
+	"itcfs/internal/store"
+	"itcfs/internal/volume"
+	"itcfs/internal/wire"
+)
+
+// These goldens pin the on-disk encoding. A mismatch means the WAL format
+// changed: logs written by earlier builds will no longer replay. If the
+// change is deliberate, bump the magic version (ITCWAL01 → ITCWAL02) and
+// update the hex here; never let the format drift silently under an
+// unchanged magic.
+
+const (
+	goldenMagicWAL  = "ITCWAL01"
+	goldenMagicCkpt = "ITCCKP01"
+
+	// frameRecord(9, kindCommit, commit{Vol 7, Hdr{2,3,4,5,online},
+	// Deletes[1], Meta[{2,"m"}], Data[{2,"d"}]})
+	goldenRecordHex = "48000000107f830709000000000000000307000000020000000300000004000000000000000500000000000000010100000001000000010000000200000001000000" +
+		"6d01000000020000000100000064"
+
+	// encodeCheckpoint(4, {Prot "p", Loc [{"/", 1, "s0"}], no volumes})
+	goldenCkptHex = "495443434b50303128000000f40ee37b0400000000000000010000007001000000010000002f010000000200000073300000000000000000"
+)
+
+func goldenCommit() store.Commit {
+	return store.Commit{
+		Vol:     7,
+		Hdr:     volume.Header{Next: 2, Uniq: 3, Used: 4, Quota: 5, Online: true},
+		Deletes: []uint32{1},
+		Meta:    []store.VnodeMeta{{Vnode: 2, Meta: []byte("m")}},
+		Data:    []store.VnodeData{{Vnode: 2, Data: []byte("d")}},
+	}
+}
+
+func TestGoldenMagics(t *testing.T) {
+	if walMagic != goldenMagicWAL || ckptMagic != goldenMagicCkpt {
+		t.Fatalf("magic drifted: wal=%q ckpt=%q", walMagic, ckptMagic)
+	}
+}
+
+func TestGoldenRecordEncoding(t *testing.T) {
+	var e wire.Encoder
+	goldenCommit().Encode(&e)
+	rec := frameRecord(9, kindCommit, e.Buf())
+	if got := hex.EncodeToString(rec); got != goldenRecordHex {
+		t.Fatalf("record encoding drifted:\n got %s\nwant %s", got, goldenRecordHex)
+	}
+
+	// The golden bytes must also decode back to the same record.
+	seq, kind, body, next, err := readRecord(rec, 0)
+	if err != nil {
+		t.Fatalf("readRecord(golden): %v", err)
+	}
+	if seq != 9 || kind != kindCommit || next != len(rec) {
+		t.Fatalf("readRecord(golden) = seq %d kind %d next %d", seq, kind, next)
+	}
+	d := wire.NewDecoder(body)
+	c := store.DecodeCommit(d)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Vol != 7 || c.Hdr != goldenCommit().Hdr || len(c.Meta) != 1 || string(c.Data[0].Data) != "d" {
+		t.Fatalf("golden decode = %+v", c)
+	}
+}
+
+func TestGoldenCheckpointEncoding(t *testing.T) {
+	cp := store.Checkpoint{
+		Prot: []byte("p"),
+		Loc:  []proto.LocEntry{{Prefix: "/", Volume: 1, Custodian: "s0"}},
+	}
+	buf := encodeCheckpoint(4, cp)
+	if got := hex.EncodeToString(buf); got != goldenCkptHex {
+		t.Fatalf("checkpoint encoding drifted:\n got %s\nwant %s", got, goldenCkptHex)
+	}
+	seq, dec, err := decodeCheckpoint(buf)
+	if err != nil {
+		t.Fatalf("decodeCheckpoint(golden): %v", err)
+	}
+	if seq != 4 || string(dec.Prot) != "p" || len(dec.Loc) != 1 || dec.Loc[0].Prefix != "/" {
+		t.Fatalf("golden checkpoint decode = seq %d %+v", seq, dec)
+	}
+}
+
+// TestGoldenCRCCatchesFlips flips one bit of the golden record and requires
+// the reader to reject it.
+func TestGoldenCRCCatchesFlips(t *testing.T) {
+	rec, err := hex.DecodeString(goldenRecordHex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{8, 12, len(rec) - 1} { // seq, body, last byte
+		mut := append([]byte(nil), rec...)
+		mut[i] ^= 0x40
+		if _, _, _, _, rerr := readRecord(mut, 0); rerr == nil {
+			t.Fatalf("bit flip at %d went undetected", i)
+		}
+	}
+}

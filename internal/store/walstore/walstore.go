@@ -1,0 +1,401 @@
+// Package walstore is the on-disk store engine: a write-ahead log with
+// group-commit fsync and periodic checkpoint/compaction.
+//
+// Every store operation appends one checksummed, sequence-numbered record
+// to wal.log (see record.go for the format). Sync fsyncs the log —
+// concurrent committers coalesce onto a single fsync (group commit) — and
+// only then may the server acknowledge the operations. Checkpoint writes a
+// full snapshot to a separate file with an atomic rename and truncates the
+// log, bounding both recovery time and disk use.
+//
+// Open is recovery: load the checkpoint if one is intact, replay log
+// records past its sequence number, stop at the first torn or corrupt
+// record and truncate the tail it starts, then run volume salvage over the
+// rebuilt state. What fsync is assumed to guarantee, and what the replay
+// discipline tolerates, is spelled out in DESIGN.md §9.
+//
+// The engine never reads a clock and makes no scheduling decisions of its
+// own; given the same inputs it produces the same bytes, which the salvage
+// determinism test pins.
+package walstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"itcfs/internal/prot"
+	"itcfs/internal/proto"
+	"itcfs/internal/store"
+	"itcfs/internal/volume"
+	"itcfs/internal/wire"
+)
+
+// Store is the WAL engine. It implements store.Store.
+type Store struct {
+	fsys store.FS
+
+	mu   sync.Mutex
+	cond *sync.Cond // signals sync completion; paired with mu
+
+	// guarded by mu
+	log store.File // append handle on wal.log
+	// guarded by mu
+	seq uint64 // last sequence number appended
+	// guarded by mu
+	synced uint64 // last sequence number known durable
+	// guarded by mu
+	syncing bool // an fsync is in flight (group commit)
+	// guarded by mu
+	ckptSeq uint64 // sequence number the checkpoint file covers
+	// guarded by mu
+	err error // first write/sync failure; latched, store is dead after
+
+	recovered *store.Recovery // built once at Open, handed over by Recover
+}
+
+// Open mounts (or creates) a store on fsys and runs crash recovery. The
+// returned store is ready for commits; Recover hands over the rebuilt
+// state.
+func Open(fsys store.FS) (*Store, error) {
+	s := &Store{fsys: fsys}
+	s.cond = sync.NewCond(&s.mu)
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	f, err := fsys.Open(walName)
+	if err != nil {
+		return nil, fmt.Errorf("walstore: open log: %w", err)
+	}
+	s.log = f
+	return s, nil
+}
+
+// recover rebuilds state from the checkpoint and log, truncating any torn
+// tail, and leaves the result in s.recovered. It runs once from Open, before
+// the store is shared; it takes mu anyway so the seqno fields have one
+// locking story.
+func (s *Store) recover() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := &store.Recovery{}
+	rep := &rec.Report
+
+	// Checkpoint: a damaged one is treated as absent — the log still holds
+	// every record it would have covered only if compaction never ran, so
+	// say loudly that history may be gone.
+	vols := map[uint32]*volume.Volume{}
+	if buf, err := s.fsys.ReadFile(ckptName); err == nil {
+		seq, cp, err := decodeCheckpoint(buf)
+		if err != nil {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("checkpoint unreadable, ignored: %v", err))
+		} else {
+			s.ckptSeq = seq
+			rep.CheckpointSeq = seq
+			rec.ProtSnapshot = cp.Prot
+			if len(cp.Loc) > 0 {
+				rec.LocOps = append(rec.LocOps, store.LocOp{Entries: cp.Loc})
+			}
+			for _, vi := range cp.Volumes {
+				v, err := volume.Deserialize(vi.Image, nil)
+				if err != nil {
+					rep.Notes = append(rep.Notes, fmt.Sprintf("checkpoint volume %d unreadable, dropped: %v", vi.ID, err))
+					continue
+				}
+				vols[vi.ID] = v
+			}
+		}
+	}
+
+	// Log: replay valid records past the checkpoint; the first invalid one
+	// ends the log and the tail it starts is truncated away.
+	buf, err := s.fsys.ReadFile(walName)
+	switch {
+	case err == nil && len(buf) >= len(walMagic) && string(buf[:len(walMagic)]) == walMagic:
+		s.replay(buf, vols, rec)
+	case err == nil && len(buf) > 0:
+		rep.Notes = append(rep.Notes, "log header unreadable, log discarded")
+		rep.DiscardedBytes += int64(len(buf))
+		if err := s.fsys.Remove(walName); err != nil {
+			return fmt.Errorf("walstore: reset log: %w", err)
+		}
+		if err := s.writeMagic(); err != nil {
+			return err
+		}
+	default:
+		if err := s.writeMagic(); err != nil {
+			return err
+		}
+	}
+	if s.seq < s.ckptSeq {
+		s.seq = s.ckptSeq
+	}
+	s.synced = s.seq
+	rep.LastSeq = s.seq
+
+	// Salvage every volume, in volume-ID order so the report is stable.
+	for _, id := range sortedIDs(vols) {
+		v := vols[id]
+		sr := v.Salvage()
+		rec.Volumes = append(rec.Volumes, v)
+		rep.Volumes = append(rep.Volumes, store.VolumeReport{
+			ID: id, Name: v.Name(), Vnodes: v.VnodeCount(), Salvage: sr,
+		})
+	}
+	s.recovered = rec
+	return nil
+}
+
+// replay applies the log in buf to vols/rec and truncates any invalid tail.
+//
+//itcvet:holds mu
+func (s *Store) replay(buf []byte, vols map[uint32]*volume.Volume, rec *store.Recovery) {
+	rep := &rec.Report
+	off := len(walMagic)
+	valid := off // end of the last fully-valid record
+	var prev uint64
+	for off < len(buf) {
+		seq, kind, body, next, err := readRecord(buf, off)
+		if err != nil {
+			break
+		}
+		// Sequence discipline: the first record sets the base; after that
+		// every record must follow its predecessor exactly. A repeat, gap
+		// or rewind means the tail is not ours.
+		if prev != 0 && seq != prev+1 {
+			break
+		}
+		if prev == 0 && seq == 0 {
+			break
+		}
+		prev = seq
+		if seq <= s.ckptSeq {
+			rep.Skipped++
+			valid = next
+			off = next
+			continue
+		}
+		if !applyRecord(kind, body, vols, rec) {
+			break
+		}
+		rep.Replayed++
+		s.seq = seq
+		valid = next
+		off = next
+	}
+	if valid < len(buf) {
+		rep.DiscardedRecords++
+		rep.DiscardedBytes += int64(len(buf) - valid)
+		if err := s.fsys.Truncate(walName, int64(valid)); err != nil {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("tail truncation failed: %v", err))
+		}
+	}
+}
+
+// applyRecord applies one decoded record; false means the record (and
+// therefore the rest of the log) is unusable.
+func applyRecord(kind uint8, body []byte, vols map[uint32]*volume.Volume, rec *store.Recovery) bool {
+	switch kind {
+	case kindBegin:
+		d := wire.NewDecoder(body)
+		id := d.U32()
+		image := d.Bytes()
+		if d.Close() != nil {
+			return false
+		}
+		v, err := volume.Deserialize(image, nil)
+		if err != nil || v.ID() != id {
+			return false
+		}
+		vols[id] = v
+	case kindDrop:
+		d := wire.NewDecoder(body)
+		id := d.U32()
+		if d.Close() != nil {
+			return false
+		}
+		delete(vols, id)
+	case kindCommit:
+		d := wire.NewDecoder(body)
+		c := store.DecodeCommit(d)
+		if d.Close() != nil {
+			return false
+		}
+		v, ok := vols[c.Vol]
+		if !ok {
+			return false
+		}
+		if store.ApplyCommit(v, c) != nil {
+			return false
+		}
+	case kindLoc:
+		d := wire.NewDecoder(body)
+		a := proto.DecodeLocInstallArgs(d)
+		if d.Close() != nil {
+			return false
+		}
+		rec.LocOps = append(rec.LocOps, store.LocOp{Entries: a.Entries, Remove: a.Remove})
+	case kindProt:
+		d := wire.NewDecoder(body)
+		m := prot.DecodeMutation(d)
+		if d.Close() != nil {
+			return false
+		}
+		rec.ProtMutations = append(rec.ProtMutations, m)
+	default:
+		return false
+	}
+	return true
+}
+
+func (s *Store) writeMagic() error {
+	if err := s.fsys.WriteFileAtomic(walName, []byte(walMagic)); err != nil {
+		return fmt.Errorf("walstore: init log: %w", err)
+	}
+	return nil
+}
+
+// append frames and appends one record, assigning it the next seqno.
+func (s *Store) append(kind uint8, body []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	rec := frameRecord(s.seq+1, kind, body)
+	if err := s.log.Append(rec); err != nil {
+		s.err = fmt.Errorf("walstore: append: %w", err)
+		s.cond.Broadcast()
+		return s.err
+	}
+	s.seq++
+	return nil
+}
+
+// BeginVolume records a volume's existence with its full initial image.
+func (s *Store) BeginVolume(id uint32, image []byte) error {
+	return s.append(kindBegin, encodeVolumeBody(id, image))
+}
+
+// DropVolume forgets a volume.
+func (s *Store) DropVolume(id uint32) error {
+	var e wire.Encoder
+	e.U32(id)
+	return s.append(kindDrop, e.Buf())
+}
+
+// Commit records the durable effect of one logical operation.
+func (s *Store) Commit(c store.Commit) error {
+	var e wire.Encoder
+	c.Encode(&e)
+	return s.append(kindCommit, e.Buf())
+}
+
+// PutLoc records a location-database change.
+func (s *Store) PutLoc(entries []proto.LocEntry, remove []string) error {
+	var e wire.Encoder
+	proto.LocInstallArgs{Entries: entries, Remove: remove}.Encode(&e)
+	return s.append(kindLoc, e.Buf())
+}
+
+// PutProt records a protection-database mutation.
+func (s *Store) PutProt(m prot.Mutation) error {
+	var e wire.Encoder
+	m.Encode(&e)
+	return s.append(kindProt, e.Buf())
+}
+
+// Sync makes every appended record durable before returning. Concurrent
+// callers coalesce: whoever finds no fsync in flight issues one, everyone
+// else waits for a completion that covers their records.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	target := s.seq
+	for {
+		if s.err != nil {
+			return s.err
+		}
+		if s.synced >= target {
+			return nil
+		}
+		if s.syncing {
+			s.cond.Wait()
+			continue
+		}
+		s.syncing = true
+		covers := s.seq // appended before the fsync starts, so covered by it
+		log := s.log    // capture under mu: Close may nil the field
+		s.mu.Unlock()
+		err := log.Sync()
+		s.mu.Lock()
+		s.syncing = false
+		if err != nil {
+			if s.err == nil {
+				s.err = fmt.Errorf("walstore: fsync: %w", err)
+			}
+		} else if s.synced < covers {
+			s.synced = covers
+		}
+		s.cond.Broadcast()
+	}
+}
+
+// Recover hands over the state rebuilt at Open. Ownership of the volumes
+// transfers to the caller; Recover must be called at most once.
+func (s *Store) Recover() (*store.Recovery, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.recovered == nil {
+		return nil, errors.New("walstore: Recover called twice")
+	}
+	rec := s.recovered
+	s.recovered = nil
+	return rec, nil
+}
+
+// Checkpoint atomically replaces all history with a full snapshot: write
+// the snapshot file (atomic rename), then truncate the log. A crash between
+// the two is safe — replay skips records at or below the checkpoint seqno.
+func (s *Store) Checkpoint(cp store.Checkpoint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.fsys.WriteFileAtomic(ckptName, encodeCheckpoint(s.seq, cp)); err != nil {
+		s.err = fmt.Errorf("walstore: write checkpoint: %w", err)
+		s.cond.Broadcast()
+		return s.err
+	}
+	if err := s.fsys.Truncate(walName, int64(len(walMagic))); err != nil {
+		s.err = fmt.Errorf("walstore: truncate log: %w", err)
+		s.cond.Broadcast()
+		return s.err
+	}
+	s.ckptSeq = s.seq
+	s.synced = s.seq
+	return nil
+}
+
+// Close releases the log handle. It does not imply Sync.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	err := s.log.Close()
+	s.log = nil
+	return err
+}
+
+func sortedIDs(m map[uint32]*volume.Volume) []uint32 {
+	ids := make([]uint32, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

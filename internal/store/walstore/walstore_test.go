@@ -1,0 +1,225 @@
+package walstore
+
+import (
+	"bytes"
+	"testing"
+
+	"itcfs/internal/prot"
+	"itcfs/internal/proto"
+	"itcfs/internal/store"
+	"itcfs/internal/volume"
+)
+
+func newVol(t *testing.T, id uint32) *volume.Volume {
+	t.Helper()
+	var tick int64
+	acl := prot.NewACL()
+	acl.Grant("satya", prot.RightsAll)
+	v := volume.New(id, "vol", acl, 0, "satya", func() int64 { tick++; return tick })
+	v.EnableDirtyTracking()
+	v.TakeDirty()
+	return v
+}
+
+func open(t *testing.T, fsys store.FS) (*Store, *store.Recovery) {
+	t.Helper()
+	s, err := Open(fsys)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	rec, err := s.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	return s, rec
+}
+
+// workload journals a volume, two file operations, a location entry and a
+// protection mutation, syncing after each, and returns the volume's final
+// image.
+func workload(t *testing.T, s *Store) []byte {
+	t.Helper()
+	v := newVol(t, 3)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.BeginVolume(3, v.Serialize()))
+	must(s.Sync())
+
+	vn, err := v.Create(v.Root(), "paper.mss", 0o644, "satya")
+	must(err)
+	must(s.Commit(store.CommitOf(v)))
+	must(s.Sync())
+
+	_, err = v.WriteData(vn.Status.FID, []byte("venice precedes vice"))
+	must(err)
+	must(s.Commit(store.CommitOf(v)))
+	must(s.Sync())
+
+	must(s.PutLoc([]proto.LocEntry{{Prefix: "/", Volume: 3, Custodian: "s0"}}, nil))
+	must(s.PutProt(prot.Mutation{Kind: prot.MutAddUser, Name: "bovik"}))
+	must(s.Sync())
+	return v.Serialize()
+}
+
+func TestWALPersistAcrossReopen(t *testing.T) {
+	fsys := store.NewMemFS()
+	s1, rec1 := open(t, fsys)
+	if rec1.Report.Replayed != 0 || len(rec1.Volumes) != 0 {
+		t.Fatalf("fresh store not empty: %+v", rec1.Report)
+	}
+	want := workload(t, s1)
+
+	_, rec2 := open(t, fsys)
+	if len(rec2.Volumes) != 1 {
+		t.Fatalf("recovered %d volumes", len(rec2.Volumes))
+	}
+	if got := rec2.Volumes[0].Serialize(); !bytes.Equal(got, want) {
+		t.Fatal("recovered volume diverged from journalled state")
+	}
+	if rec2.Report.Replayed != 5 { // begin, commit, commit, loc, prot
+		t.Fatalf("Replayed = %d, want 5", rec2.Report.Replayed)
+	}
+	if rec2.Report.DiscardedRecords != 0 {
+		t.Fatalf("clean log discarded %d records", rec2.Report.DiscardedRecords)
+	}
+	if len(rec2.LocOps) != 1 || len(rec2.ProtMutations) != 1 {
+		t.Fatalf("loc=%d prot=%d", len(rec2.LocOps), len(rec2.ProtMutations))
+	}
+}
+
+func TestWALCheckpointCompacts(t *testing.T) {
+	fsys := store.NewMemFS()
+	s1, _ := open(t, fsys)
+	img := workload(t, s1)
+	cp := store.Checkpoint{
+		Prot:    []byte("prot-snapshot"),
+		Loc:     []proto.LocEntry{{Prefix: "/", Volume: 3, Custodian: "s0"}},
+		Volumes: []store.VolumeImage{{ID: 3, Image: img}},
+	}
+	if err := s1.Checkpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	wal, ok := fsys.Bytes(walName)
+	if !ok || string(wal) != walMagic {
+		t.Fatalf("log not compacted: %d bytes", len(wal))
+	}
+
+	// Post-checkpoint mutations land in the fresh log and replay on top.
+	v2 := newVol(t, 9)
+	if err := s1.BeginVolume(9, v2.Serialize()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec := open(t, fsys)
+	if rec.Report.Replayed != 1 || rec.Report.Skipped != 0 {
+		t.Fatalf("report after checkpoint: %+v", rec.Report)
+	}
+	if string(rec.ProtSnapshot) != "prot-snapshot" {
+		t.Fatalf("prot snapshot = %q", rec.ProtSnapshot)
+	}
+	if len(rec.Volumes) != 2 {
+		t.Fatalf("recovered %d volumes, want 2", len(rec.Volumes))
+	}
+	if rec.Volumes[0].ID() != 3 || rec.Volumes[1].ID() != 9 {
+		t.Fatalf("volume order: %d, %d", rec.Volumes[0].ID(), rec.Volumes[1].ID())
+	}
+	if !bytes.Equal(rec.Volumes[0].Serialize(), img) {
+		t.Fatal("checkpointed volume diverged")
+	}
+}
+
+func TestWALRecoverOnce(t *testing.T) {
+	s, _ := open(t, store.NewMemFS())
+	if _, err := s.Recover(); err == nil {
+		t.Fatal("second Recover must fail")
+	}
+}
+
+func TestWALTornTailDiscardedAndTruncated(t *testing.T) {
+	fsys := store.NewMemFS()
+	s1, _ := open(t, fsys)
+	want := workload(t, s1)
+
+	// A torn final record: the header promises more bytes than exist.
+	wal, _ := fsys.Bytes(walName)
+	clean := len(wal)
+	torn := append(append([]byte(nil), wal...), 0xEE, 0xFF, 0x10, 0x00)
+	fsys.SetFile(walName, torn)
+
+	_, rec := open(t, fsys)
+	if rec.Report.DiscardedRecords != 1 || rec.Report.DiscardedBytes != 4 {
+		t.Fatalf("discard accounting: %+v", rec.Report)
+	}
+	if !bytes.Equal(rec.Volumes[0].Serialize(), want) {
+		t.Fatal("torn tail corrupted recovered state")
+	}
+	// Recovery truncates the torn tail, so the next open is clean.
+	wal, _ = fsys.Bytes(walName)
+	if len(wal) != clean {
+		t.Fatalf("tail not truncated: %d bytes, want %d", len(wal), clean)
+	}
+	_, rec = open(t, fsys)
+	if rec.Report.DiscardedRecords != 0 {
+		t.Fatalf("second open still discarding: %+v", rec.Report)
+	}
+}
+
+func TestWALCorruptCheckpointIgnoredWithNote(t *testing.T) {
+	fsys := store.NewMemFS()
+	s1, _ := open(t, fsys)
+	workload(t, s1)
+	fsys.SetFile(ckptName, []byte("ITCCKP01 but not really"))
+
+	_, rec := open(t, fsys)
+	if len(rec.Report.Notes) == 0 {
+		t.Fatalf("no note about the corrupt checkpoint: %+v", rec.Report)
+	}
+	// The log alone still reconstructs everything.
+	if len(rec.Volumes) != 1 || rec.Report.Replayed != 5 {
+		t.Fatalf("recovery without checkpoint: %+v", rec.Report)
+	}
+}
+
+// TestSalvageDeterminism runs recovery twice over byte-identical on-disk
+// state — including a volume needing repair — and requires byte-identical
+// salvage reports, the same bar TestE15Determinism sets for telemetry.
+func TestSalvageDeterminism(t *testing.T) {
+	image := func() []byte {
+		fsys := store.NewMemFS()
+		s, _ := open(t, fsys)
+		v := newVol(t, 3)
+		if _, err := v.Create(v.Root(), "f", 0o644, "satya"); err != nil {
+			t.Fatal(err)
+		}
+		v.CorruptForTest()
+		if err := s.BeginVolume(3, v.Serialize()); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		wal, _ := fsys.Bytes(walName)
+		return wal
+	}()
+
+	run := func() string {
+		fsys := store.NewMemFS()
+		fsys.SetFile(walName, append([]byte(nil), image...))
+		_, rec := open(t, fsys)
+		return rec.Report.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("salvage reports differ between identical runs:\n--- a\n%s--- b\n%s", a, b)
+	}
+	if a == "" {
+		t.Fatal("empty salvage report")
+	}
+}

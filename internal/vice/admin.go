@@ -47,7 +47,9 @@ func (s *Server) broadcast(p *sim.Proc, req rpc.Request) error {
 
 // installLoc applies a location update locally and on every peer.
 func (s *Server) installLoc(p *sim.Proc, entries []proto.LocEntry, remove []string) error {
-	s.cfg.Loc.Install(entries, remove)
+	if err := s.InstallLoc(entries, remove); err != nil {
+		return err
+	}
 	return s.broadcast(p, rpc.Request{
 		Op:   rpc.Op(proto.OpLocInstall),
 		Body: proto.Marshal(proto.LocInstallArgs{Entries: entries, Remove: remove}),
@@ -78,12 +80,14 @@ func (s *Server) handleVolCreate(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 	acl.Grant(prot.AnyUser, prot.RightLookup|prot.RightRead)
 	id := s.cfg.AllocVolID()
 	vol := volume.New(id, args.Name, acl, args.Quota, args.Owner, s.cfg.Clock)
-	if err := pv.Mount(pdir, leaf, vol.Root()); err != nil {
+	// Journal the volume's existence before the mount entry referring to it.
+	if err := s.attachVolume(vol); err != nil {
 		return respErr(err)
 	}
-	s.mu.Lock()
-	s.vols[id] = vol
-	s.mu.Unlock()
+	if err := s.mutate(pv, func() error { return pv.Mount(pdir, leaf, vol.Root()) }); err != nil {
+		_ = s.detachVolume(id)
+		return respErr(err)
+	}
 	le := proto.LocEntry{Prefix: args.Path, Volume: id, Custodian: s.cfg.Name}
 	if err := s.installLoc(ctx.Proc, []proto.LocEntry{le}, nil); err != nil {
 		return respErr(err)
@@ -116,9 +120,9 @@ func (s *Server) handleVolClone(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 	}
 	id := s.cfg.AllocVolID()
 	clone := src.Clone(id, src.Name()+".readonly")
-	s.mu.Lock()
-	s.vols[id] = clone
-	s.mu.Unlock()
+	if err := s.attachVolume(clone); err != nil {
+		return respErr(err)
+	}
 
 	// Install the image on each replica server.
 	image := clone.Serialize()
@@ -154,12 +158,15 @@ func (s *Server) handleVolClone(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 		// already occupied by an earlier release, the new clone replaces
 		// it in one step. The old clone volume stays installed (multiple
 		// coexisting versions), merely unmounted from this name.
-		if old, lookErr := pv.Lookup(pdir, leaf); lookErr == nil && old.FID.Volume != pv.ID() {
-			if err := pv.Unmount(pdir, leaf); err != nil {
-				return respErr(err)
+		err = s.mutate(pv, func() error {
+			if old, lookErr := pv.Lookup(pdir, leaf); lookErr == nil && old.FID.Volume != pv.ID() {
+				if err := pv.Unmount(pdir, leaf); err != nil {
+					return err
+				}
 			}
-		}
-		if err := pv.Mount(pdir, leaf, clone.Root()); err != nil {
+			return pv.Mount(pdir, leaf, clone.Root())
+		})
+		if err != nil {
 			return respErr(err)
 		}
 		le := proto.LocEntry{Prefix: args.Path, Volume: id, Custodian: s.cfg.Name, Replicas: args.Replicas}
@@ -216,7 +223,9 @@ func (s *Server) handleVolSetQuota(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 	if !ok {
 		return respErr(fmt.Errorf("%w: volume %d", proto.ErrStale, args.Volume))
 	}
-	v.SetQuota(args.Quota)
+	if err := s.mutate(v, func() error { v.SetQuota(args.Quota); return nil }); err != nil {
+		return respErr(err)
+	}
 	return rpc.Response{}
 }
 
@@ -235,7 +244,9 @@ func (s *Server) handleVolOnlineOffline(online bool) rpc.HandlerFunc {
 		if !ok {
 			return respErr(fmt.Errorf("%w: volume %d", proto.ErrStale, args.Volume))
 		}
-		v.SetOnline(online)
+		if err := s.mutate(v, func() error { v.SetOnline(online); return nil }); err != nil {
+			return respErr(err)
+		}
 		return rpc.Response{}
 	}
 }
@@ -269,7 +280,9 @@ func (s *Server) handleVolMove(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 		return respErr(fmt.Errorf("%w: volume %d not in location database", proto.ErrStale, args.Volume))
 	}
 
-	v.SetOnline(false) // unavailable during the change
+	if err := s.mutate(v, func() error { v.SetOnline(false); return nil }); err != nil { // unavailable during the change
+		return respErr(err)
+	}
 	image := v.Serialize()
 	resp, err := peer.Call(ctx.Proc, rpc.Request{
 		Op:   rpc.Op(proto.OpVolInstall),
@@ -277,15 +290,15 @@ func (s *Server) handleVolMove(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 		Bulk: image,
 	})
 	if err != nil || !resp.OK() {
-		v.SetOnline(true) // move failed; restore service
+		_ = s.mutate(v, func() error { v.SetOnline(true); return nil }) // move failed; restore service
 		if err == nil {
 			err = proto.CodeToErr(resp.Code, string(resp.Body))
 		}
 		return respErr(err)
 	}
-	s.mu.Lock()
-	delete(s.vols, args.Volume)
-	s.mu.Unlock()
+	if err := s.detachVolume(args.Volume); err != nil {
+		return respErr(err)
+	}
 	le.Custodian = args.Target
 	if err := s.installLoc(ctx.Proc, []proto.LocEntry{le}, nil); err != nil {
 		return respErr(err)
@@ -327,7 +340,9 @@ func (s *Server) handleVolSalvage(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 		if !ok {
 			return respErr(fmt.Errorf("%w: volume %d", proto.ErrStale, args.Volume))
 		}
-		reports = append(reports, v.Salvage())
+		var rep volume.SalvageReport
+		_ = s.mutate(v, func() error { rep = v.Salvage(); return nil }) // repairs applied in memory regardless
+		reports = append(reports, rep)
 	}
 	var orphans, dangling, links int
 	for _, rep := range reports {
@@ -360,8 +375,8 @@ func (s *Server) handleProtMutate(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 	if err != nil {
 		return respErr(err)
 	}
-	if err := s.cfg.DB.Apply(m); err != nil {
-		return respErr(fmt.Errorf("%w: %v", proto.ErrBadRequest, err))
+	if err := s.applyProt(m); err != nil {
+		return respErr(err)
 	}
 	if err := s.broadcast(ctx.Proc, rpc.Request{Op: rpc.Op(proto.OpProtInstall), Body: req.Body}); err != nil {
 		return respErr(err)
@@ -389,7 +404,9 @@ func (s *Server) handleLocInstall(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 	if err != nil {
 		return respErr(err)
 	}
-	s.cfg.Loc.Install(args.Entries, args.Remove)
+	if err := s.InstallLoc(args.Entries, args.Remove); err != nil {
+		return respErr(err)
+	}
 	return rpc.Response{}
 }
 
@@ -405,9 +422,9 @@ func (s *Server) handleVolInstall(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 		return respErr(fmt.Errorf("%w: %v", proto.ErrBadRequest, err))
 	}
 	vol.SetOnline(true)
-	s.mu.Lock()
-	s.vols[vol.ID()] = vol
-	s.mu.Unlock()
+	if err := s.attachVolume(vol); err != nil {
+		return respErr(err)
+	}
 	return rpc.Response{}
 }
 
@@ -419,8 +436,8 @@ func (s *Server) handleProtInstall(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 	if err != nil {
 		return respErr(err)
 	}
-	if err := s.cfg.DB.Apply(m); err != nil {
-		return respErr(fmt.Errorf("%w: %v", proto.ErrBadRequest, err))
+	if err := s.applyProt(m); err != nil {
+		return respErr(err)
 	}
 	return rpc.Response{}
 }

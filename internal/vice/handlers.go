@@ -116,7 +116,10 @@ func (s *Server) handleStore(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 		// be overwritten even by holders of directory write rights.
 		return respErr(fmt.Errorf("%w: file mode %04o forbids writing", proto.ErrAccess, vn.Status.Mode))
 	}
-	vn, err = v.WriteData(fid, req.Bulk)
+	err = s.mutate(v, func() error {
+		vn, err = v.WriteData(fid, req.Bulk)
+		return err
+	})
 	if err != nil {
 		return respErr(err)
 	}
@@ -186,15 +189,21 @@ func (s *Server) handleSetStatus(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 	if args.SetOwner && !s.isAdmin(ctx.User) {
 		return respErr(fmt.Errorf("%w: only operations staff may change owners", proto.ErrNotAllowed))
 	}
-	if args.SetMode {
-		if err := v.SetMode(fid, args.Mode); err != nil {
-			return respErr(err)
+	err = s.mutate(v, func() error {
+		if args.SetMode {
+			if err := v.SetMode(fid, args.Mode); err != nil {
+				return err
+			}
 		}
-	}
-	if args.SetOwner {
-		if err := v.SetOwner(fid, args.Owner); err != nil {
-			return respErr(err)
+		if args.SetOwner {
+			if err := v.SetOwner(fid, args.Owner); err != nil {
+				return err
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		return respErr(err)
 	}
 	vn, err := v.Get(fid)
 	if err != nil {
@@ -320,7 +329,11 @@ func (s *Server) handleCreate(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 	if err := s.checkRights(ctx.User, acl, prot.RightInsert); err != nil {
 		return respErr(err)
 	}
-	vn, err := v.Create(dir, args.Name, args.Mode, ctx.User)
+	var vn *volume.Vnode
+	err = s.mutate(v, func() error {
+		vn, err = v.Create(dir, args.Name, args.Mode, ctx.User)
+		return err
+	})
 	if err != nil {
 		return respErr(err)
 	}
@@ -347,7 +360,11 @@ func (s *Server) handleMakeDir(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 	if err := s.checkRights(ctx.User, acl, prot.RightInsert); err != nil {
 		return respErr(err)
 	}
-	vn, err := v.MakeDir(dir, args.Name, args.Mode, ctx.User)
+	var vn *volume.Vnode
+	err = s.mutate(v, func() error {
+		vn, err = v.MakeDir(dir, args.Name, args.Mode, ctx.User)
+		return err
+	})
 	if err != nil {
 		return respErr(err)
 	}
@@ -382,11 +399,12 @@ func (s *Server) removeCommon(ctx rpc.Ctx, req rpc.Request, isDir bool) rpc.Resp
 		return respErr(err)
 	}
 	victim, lookupErr := v.Lookup(dir, args.Name)
-	if isDir {
-		err = v.RemoveDir(dir, args.Name)
-	} else {
-		err = v.Remove(dir, args.Name)
-	}
+	err = s.mutate(v, func() error {
+		if isDir {
+			return v.RemoveDir(dir, args.Name)
+		}
+		return v.Remove(dir, args.Name)
+	})
 	if err != nil {
 		return respErr(err)
 	}
@@ -430,7 +448,9 @@ func (s *Server) handleRename(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 	if err := s.checkRights(ctx.User, toACL, prot.RightInsert); err != nil {
 		return respErr(err)
 	}
-	if err := v.Rename(from, args.FromName, to, args.ToName); err != nil {
+	if err := s.mutate(v, func() error {
+		return v.Rename(from, args.FromName, to, args.ToName)
+	}); err != nil {
 		return respErr(err)
 	}
 	if s.cfg.Mode == Revised {
@@ -459,7 +479,11 @@ func (s *Server) handleSymlink(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 	if err := s.checkRights(ctx.User, acl, prot.RightInsert); err != nil {
 		return respErr(err)
 	}
-	vn, err := v.Symlink(dir, args.Name, args.Target)
+	var vn *volume.Vnode
+	err = s.mutate(v, func() error {
+		vn, err = v.Symlink(dir, args.Name, args.Target)
+		return err
+	})
 	if err != nil {
 		return respErr(err)
 	}
@@ -492,7 +516,9 @@ func (s *Server) handleLink(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 	if err := s.checkRights(ctx.User, acl, prot.RightInsert); err != nil {
 		return respErr(err)
 	}
-	if err := v.Link(dir, args.Name, target); err != nil {
+	if err := s.mutate(v, func() error {
+		return v.Link(dir, args.Name, target)
+	}); err != nil {
 		return respErr(err)
 	}
 	if s.cfg.Mode == Revised {
@@ -521,7 +547,9 @@ func (s *Server) handleSetACL(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 	if err := s.checkRights(ctx.User, acl, prot.RightAdmin); err != nil {
 		return respErr(err)
 	}
-	if err := v.SetACL(dir, newACL); err != nil {
+	if err := s.mutate(v, func() error {
+		return v.SetACL(dir, newACL)
+	}); err != nil {
 		return respErr(err)
 	}
 	if s.cfg.Mode == Revised {

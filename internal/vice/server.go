@@ -11,6 +11,7 @@ import (
 	"itcfs/internal/proto"
 	"itcfs/internal/rpc"
 	"itcfs/internal/sim"
+	"itcfs/internal/store"
 	"itcfs/internal/trace"
 	"itcfs/internal/unixfs"
 	"itcfs/internal/volume"
@@ -81,6 +82,11 @@ type Config struct {
 	// concurrent updates' breaks for the same workstation share one RPC.
 	// Zero keeps the default.
 	BreakWindow time.Duration
+	// Store, when set, journals every volume, location and protection
+	// mutation durably before it is acknowledged; RecoverStore loads the
+	// surviving state back after a restart. Nil keeps volumes volatile (the
+	// simulator's default).
+	Store store.Store
 }
 
 // Server is one Vice cluster server.
@@ -90,6 +96,10 @@ type Server struct {
 	mu    sync.Mutex
 	vols  map[uint32]*volume.Volume // guarded by mu
 	peers map[string]Caller         // guarded by mu
+
+	// applyMu serializes mutation+journal pairs when a store is configured
+	// (see store.go). Acquired before mu; never while holding mu.
+	applyMu sync.Mutex
 
 	locks     *LockTable
 	callbacks *CallbackTable
@@ -176,11 +186,10 @@ func (s *Server) AddPeer(name string, c Caller) {
 	s.peers[name] = c
 }
 
-// AddVolume installs a volume on this server (bootstrap and tests).
-func (s *Server) AddVolume(v *volume.Volume) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.vols[v.ID()] = v
+// AddVolume installs a volume on this server (bootstrap and tests),
+// journalling its image when a store is configured.
+func (s *Server) AddVolume(v *volume.Volume) error {
+	return s.attachVolume(v)
 }
 
 // Volume returns a locally stored volume.
@@ -308,13 +317,22 @@ func (s *Server) Restarts() int64 {
 	return s.restarts
 }
 
-// SalvageAll runs crash recovery on every local volume.
+// SalvageAll runs crash recovery on every local volume, journalling any
+// repairs. Volumes are collected under mu and salvaged outside it: salvage
+// mutates, and mutations must take applyMu first (lock order, see store.go).
 func (s *Server) SalvageAll() map[uint32]volume.SalvageReport {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[uint32]volume.SalvageReport, len(s.vols))
-	for id, v := range s.vols {
-		out[id] = v.Salvage()
+	vols := make([]*volume.Volume, 0, len(s.vols))
+	for _, v := range s.vols {
+		vols = append(vols, v)
+	}
+	s.mu.Unlock()
+	sort.Slice(vols, func(i, j int) bool { return vols[i].ID() < vols[j].ID() })
+	out := make(map[uint32]volume.SalvageReport, len(vols))
+	for _, v := range vols {
+		var rep volume.SalvageReport
+		_ = s.mutate(v, func() error { rep = v.Salvage(); return nil }) // repairs applied in memory regardless
+		out[v.ID()] = rep
 	}
 	return out
 }

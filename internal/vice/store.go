@@ -1,0 +1,226 @@
+package vice
+
+// Durable storage. When Config.Store is set, every volume mutation, every
+// location-database change and every protection-database mutation is
+// journalled through the store before the operation is acknowledged; at
+// startup RecoverStore loads back what survived a crash and reports what
+// salvage repaired. When Config.Store is nil — the deterministic simulator's
+// default — every hook here is an inert nil check and the server behaves
+// exactly as before.
+//
+// Locking: applyMu serializes mutation+journal pairs so the log order
+// matches the apply order. It is acquired before s.mu (CheckpointStore holds
+// both); nothing acquires applyMu while holding s.mu. Sync runs outside
+// applyMu so slow fsyncs don't serialize independent operations — the store
+// coalesces concurrent Syncs into one fsync (group commit).
+
+import (
+	"fmt"
+	"sort"
+
+	"itcfs/internal/prot"
+	"itcfs/internal/proto"
+	"itcfs/internal/store"
+	"itcfs/internal/volume"
+)
+
+// storeErr converts a store failure into the internal-error code clients
+// see. The store latches its first failure, so once this happens every
+// subsequent mutation fails the same way — the server is effectively
+// read-only until restarted.
+func storeErr(err error) error {
+	return fmt.Errorf("%w: store: %v", proto.ErrInternal, err)
+}
+
+// mutate runs fn, which mutates v, and journals what it dirtied. The
+// operation is durable (synced) before mutate returns nil. With no store
+// configured this is exactly fn().
+func (s *Server) mutate(v *volume.Volume, fn func() error) error {
+	st := s.cfg.Store
+	if st == nil {
+		return fn()
+	}
+	s.applyMu.Lock()
+	err := fn()
+	c := store.CommitOf(v)
+	committed := err == nil || len(c.Deletes)+len(c.Meta)+len(c.Data) > 0
+	var werr error
+	if committed {
+		werr = st.Commit(c)
+	}
+	s.applyMu.Unlock()
+	if werr == nil && committed {
+		werr = st.Sync()
+	}
+	if err != nil {
+		return err // the operation itself failed; any partial effect is journalled
+	}
+	if werr != nil {
+		return storeErr(werr)
+	}
+	return nil
+}
+
+// attachVolume registers v locally, journalling its full image first so the
+// volume exists durably before any mutation of it can be logged.
+func (s *Server) attachVolume(v *volume.Volume) error {
+	if st := s.cfg.Store; st != nil {
+		v.EnableDirtyTracking()
+		s.applyMu.Lock()
+		err := st.BeginVolume(v.ID(), v.Serialize())
+		s.applyMu.Unlock()
+		if err == nil {
+			err = st.Sync()
+		}
+		if err != nil {
+			return storeErr(err)
+		}
+	}
+	s.mu.Lock()
+	s.vols[v.ID()] = v
+	s.mu.Unlock()
+	return nil
+}
+
+// detachVolume removes a volume locally and from the store (volume moves,
+// and undo of a failed create).
+func (s *Server) detachVolume(id uint32) error {
+	s.mu.Lock()
+	delete(s.vols, id)
+	s.mu.Unlock()
+	if st := s.cfg.Store; st != nil {
+		s.applyMu.Lock()
+		err := st.DropVolume(id)
+		s.applyMu.Unlock()
+		if err == nil {
+			err = st.Sync()
+		}
+		if err != nil {
+			return storeErr(err)
+		}
+	}
+	return nil
+}
+
+// InstallLoc applies a location-database update locally and journals it.
+func (s *Server) InstallLoc(entries []proto.LocEntry, remove []string) error {
+	s.cfg.Loc.Install(entries, remove)
+	if st := s.cfg.Store; st != nil {
+		s.applyMu.Lock()
+		err := st.PutLoc(entries, remove)
+		s.applyMu.Unlock()
+		if err == nil {
+			err = st.Sync()
+		}
+		if err != nil {
+			return storeErr(err)
+		}
+	}
+	return nil
+}
+
+// applyProt applies a protection-database mutation locally and journals it.
+func (s *Server) applyProt(m prot.Mutation) error {
+	if err := s.cfg.DB.Apply(m); err != nil {
+		return fmt.Errorf("%w: %v", proto.ErrBadRequest, err)
+	}
+	if st := s.cfg.Store; st != nil {
+		s.applyMu.Lock()
+		err := st.PutProt(m)
+		s.applyMu.Unlock()
+		if err == nil {
+			err = st.Sync()
+		}
+		if err != nil {
+			return storeErr(err)
+		}
+	}
+	return nil
+}
+
+// RecoverStore loads the store's surviving state into the server: the
+// protection database, the location database, and every volume (already
+// salvaged by the engine, here fitted with the server's clock and dirty
+// tracking). The recovery report goes to the flight recorder as
+// vice.salvage events and to the metrics registry, and the store is
+// checkpointed immediately so the replayed log is compacted away. Call once,
+// before serving.
+func (s *Server) RecoverStore() (*store.Report, error) {
+	st := s.cfg.Store
+	if st == nil {
+		return nil, nil
+	}
+	rec, err := st.Recover()
+	if err != nil {
+		return nil, err
+	}
+	rep := &rec.Report
+	if rec.ProtSnapshot != nil {
+		if err := s.cfg.DB.LoadSnapshot(rec.ProtSnapshot); err != nil {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("protection snapshot rejected: %v", err))
+		}
+	}
+	for _, m := range rec.ProtMutations {
+		if err := s.cfg.DB.Apply(m); err != nil {
+			// Replay of an already-applied or stale mutation; the database
+			// stays self-consistent, so note it and continue.
+			rep.Notes = append(rep.Notes, fmt.Sprintf("protection mutation replay: %v", err))
+		}
+	}
+	for _, op := range rec.LocOps {
+		s.cfg.Loc.Install(op.Entries, op.Remove)
+	}
+	s.mu.Lock()
+	for _, v := range rec.Volumes {
+		v.SetClock(s.cfg.Clock)
+		v.EnableDirtyTracking()
+		s.vols[v.ID()] = v
+	}
+	s.mu.Unlock()
+	if fl := s.cfg.Flight; fl != nil {
+		for _, line := range rep.Lines() {
+			fl.Log("vice.salvage", s.cfg.Name, line)
+		}
+	}
+	if m := s.cfg.Metrics; m != nil {
+		m.Counter("vice.salvage.replayed").Add(int64(rep.Replayed))
+		m.Counter("vice.salvage.discarded_records").Add(int64(rep.DiscardedRecords))
+		m.Counter("vice.salvage.discarded_bytes").Add(rep.DiscardedBytes)
+		for _, vr := range rep.Volumes {
+			m.Counter("vice.salvage.orphans_removed").Add(int64(vr.Salvage.OrphansRemoved))
+			m.Counter("vice.salvage.dangling_entries").Add(int64(vr.Salvage.DanglingEntries))
+			m.Counter("vice.salvage.links_fixed").Add(int64(vr.Salvage.LinksFixed))
+		}
+	}
+	if err := s.CheckpointStore(); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// CheckpointStore writes a full snapshot of server state to the store and
+// truncates its log. Mutations are quiesced (applyMu) for the duration, so
+// the snapshot is a consistent cut.
+func (s *Server) CheckpointStore() error {
+	st := s.cfg.Store
+	if st == nil {
+		return nil
+	}
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	cp := store.Checkpoint{
+		Prot: s.cfg.DB.Snapshot(),
+		Loc:  s.cfg.Loc.Entries(),
+	}
+	s.mu.Lock()
+	ids := make([]uint32, 0, len(s.vols))
+	for id := range s.vols {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		cp.Volumes = append(cp.Volumes, store.VolumeImage{ID: id, Image: s.vols[id].Serialize()})
+	}
+	s.mu.Unlock()
+	return st.Checkpoint(cp)
+}

@@ -1,0 +1,190 @@
+package vice
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"itcfs/internal/prot"
+	"itcfs/internal/proto"
+	"itcfs/internal/rpc"
+	"itcfs/internal/secure"
+	"itcfs/internal/sim"
+	"itcfs/internal/store"
+	"itcfs/internal/store/walstore"
+	"itcfs/internal/trace"
+	"itcfs/internal/volume"
+)
+
+// durableServer is one server with a store attached, the shape itcfsd runs:
+// recover first, bootstrap the root volume only when nothing was recovered.
+type durableServer struct {
+	srv     *Server
+	flight  *trace.Recorder
+	metrics *trace.Registry
+	report  *store.Report
+}
+
+func newDurableServer(t *testing.T, st store.Store) *durableServer {
+	t.Helper()
+	db := prot.NewDB()
+	for _, m := range []prot.Mutation{
+		{Kind: prot.MutAddUser, Name: "satya", Key: secure.DeriveKey("satya", "pw")},
+		{Kind: prot.MutAddUser, Name: "operator", Key: secure.DeriveKey("operator", "pw")},
+		{Kind: prot.MutAddGroup, Name: AdminGroup, Owner: "operator"},
+		{Kind: prot.MutAddMember, Name: AdminGroup, Member: "operator"},
+	} {
+		if err := db.Apply(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var clock int64
+	var vclock sim.Time
+	d := &durableServer{
+		metrics: trace.NewRegistry(),
+		flight:  trace.NewRecorder(256, func() sim.Time { vclock++; return vclock }),
+	}
+	d.srv = New(Config{
+		Name:          "server0",
+		Mode:          Revised,
+		DB:            db,
+		Loc:           NewLocDB(),
+		Clock:         func() int64 { clock++; return clock },
+		ProtAuthority: true,
+		AllocVolID:    func() uint32 { return 99 },
+		Metrics:       d.metrics,
+		Flight:        d.flight,
+		Store:         st,
+	})
+	rep, err := d.srv.RecoverStore()
+	if err != nil {
+		t.Fatalf("RecoverStore: %v", err)
+	}
+	d.report = rep
+	if _, ok := d.srv.Volume(1); !ok {
+		rootACL := prot.NewACL()
+		rootACL.Grant(prot.AnyUser, prot.RightLookup|prot.RightRead)
+		rootACL.Grant(AdminGroup, prot.RightsAll)
+		root := volume.New(1, "root", rootACL, 0, "operator", func() int64 { clock++; return clock })
+		if err := d.srv.AddVolume(root); err != nil {
+			t.Fatalf("AddVolume: %v", err)
+		}
+		if err := d.srv.InstallLoc([]proto.LocEntry{{Prefix: "/", Volume: 1, Custodian: "server0"}}, nil); err != nil {
+			t.Fatalf("InstallLoc: %v", err)
+		}
+	}
+	return d
+}
+
+func (d *durableServer) call(t *testing.T, user string, op uint16, body, bulk []byte) []byte {
+	t.Helper()
+	resp := d.srv.Dispatcher().Dispatch(rpc.Ctx{User: user},
+		rpc.Request{Op: rpc.Op(op), Body: body, Bulk: bulk})
+	if !resp.OK() {
+		t.Fatalf("op %d failed: code %d: %s", op, resp.Code, resp.Body)
+	}
+	return resp.Bulk
+}
+
+// TestStorePersistAcrossServerRestart is the vice-level crash test: run a
+// workload against one server, abandon it without any clean shutdown (its
+// checkpoint never runs), and bring up a second server over the same disk
+// bytes. Everything acknowledged — files, directories, the location entry,
+// a protection mutation — must be there, and the salvage report must reach
+// the flight recorder and the metrics registry.
+func TestStorePersistAcrossServerRestart(t *testing.T) {
+	fsys := store.NewMemFS()
+	ws, err := walstore.Open(fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := newDurableServer(t, ws)
+
+	d1.call(t, "operator", proto.OpMakeDir,
+		proto.Marshal(proto.NameArgs{Dir: pathRef("/"), Name: "d", Mode: 0o755}), nil)
+	d1.call(t, "operator", proto.OpCreate,
+		proto.Marshal(proto.NameArgs{Dir: pathRef("/d"), Name: "f", Mode: 0o644}), nil)
+	d1.call(t, "operator", proto.OpStore,
+		proto.Marshal(proto.StoreArgs{Ref: pathRef("/d/f")}), []byte("durable bytes"))
+	d1.call(t, "operator", proto.OpProtMutate,
+		proto.Marshal(prot.Mutation{Kind: prot.MutAddUser, Name: "bovik"}), nil)
+
+	// No checkpoint, no close: the second open replays the log.
+	ws2, err := walstore.Open(fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := newDurableServer(t, ws2)
+	if d2.report == nil || d2.report.Replayed == 0 {
+		t.Fatalf("nothing replayed: %+v", d2.report)
+	}
+
+	got := d2.call(t, "operator", proto.OpFetch,
+		proto.Marshal(proto.FetchArgs{Ref: pathRef("/d/f")}), nil)
+	if string(got) != "durable bytes" {
+		t.Fatalf("fetched %q", got)
+	}
+	if !d2.srv.cfg.DB.HasUser("bovik") {
+		t.Fatal("protection mutation lost")
+	}
+	if _, ok := d2.srv.Loc().Resolve("/d/f"); !ok {
+		t.Fatal("location entry lost")
+	}
+
+	var fl bytes.Buffer
+	d2.flight.WriteText(&fl)
+	if !strings.Contains(fl.String(), "vice.salvage") {
+		t.Fatalf("no vice.salvage flight event:\n%s", fl.String())
+	}
+	var mt bytes.Buffer
+	d2.metrics.WriteText(&mt)
+	if !strings.Contains(mt.String(), "vice.salvage.replayed") {
+		t.Fatalf("no vice.salvage.replayed metric:\n%s", mt.String())
+	}
+
+	// RecoverStore checkpointed: the log is compacted back to its header.
+	wal, err := fsys.ReadFile("wal.log")
+	if err != nil || len(wal) != 8 {
+		t.Fatalf("log not compacted after recovery: %d bytes, %v", len(wal), err)
+	}
+}
+
+// TestStoreFailureSurfacesAndUnackedWriteStaysVolatile: once the disk dies,
+// mutations fail with an internal error, and a restart from what stable
+// storage holds serves only the acknowledged history — the failed write
+// never becomes durable.
+func TestStoreFailureSurfacesAndUnackedWriteStaysVolatile(t *testing.T) {
+	f := store.NewFaultFS(1, 0)
+	f.Strict = true
+	ws, err := walstore.Open(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDurableServer(t, ws)
+	d.call(t, "operator", proto.OpCreate,
+		proto.Marshal(proto.NameArgs{Dir: pathRef("/"), Name: "f", Mode: 0o644}), nil)
+	d.call(t, "operator", proto.OpStore,
+		proto.Marshal(proto.StoreArgs{Ref: pathRef("/f")}), []byte("before"))
+
+	// Kill the disk out from under the store.
+	f.CrashNow()
+
+	resp := d.srv.Dispatcher().Dispatch(rpc.Ctx{User: "operator"},
+		rpc.Request{Op: rpc.Op(proto.OpStore),
+			Body: proto.Marshal(proto.StoreArgs{Ref: pathRef("/f")}), Bulk: []byte("after")})
+	if resp.OK() || resp.Code != proto.CodeInternal {
+		t.Fatalf("store mutation with dead disk: code %d", resp.Code)
+	}
+
+	// Restart from the survivors: the error'd write must not have made it.
+	ws2, err := walstore.Open(f.Survivors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := newDurableServer(t, ws2)
+	got := d2.call(t, "operator", proto.OpFetch,
+		proto.Marshal(proto.FetchArgs{Ref: pathRef("/f")}), nil)
+	if string(got) != "before" {
+		t.Fatalf("recovered contents = %q, want the acked %q", got, "before")
+	}
+}

@@ -167,6 +167,7 @@ func (v *Volume) Salvage() SalvageReport {
 			child, ok := v.vnodes[de.FID.Vnode]
 			if !ok || child.Status.FID != de.FID {
 				delete(vn.Entries, name)
+				v.markMeta(id)
 				rep.DanglingEntries++
 				continue
 			}
@@ -185,6 +186,7 @@ func (v *Volume) Salvage() SalvageReport {
 	for id, vn := range v.vnodes {
 		if !reachable[id] {
 			delete(v.vnodes, id)
+			v.markDead(id)
 			rep.OrphansRemoved++
 			continue
 		}
@@ -201,6 +203,7 @@ func (v *Volume) Salvage() SalvageReport {
 		}
 		if vn.Status.Links != want {
 			vn.Status.Links = want
+			v.markMeta(id)
 			rep.LinksFixed++
 		}
 		if vn.Status.Type == proto.TypeFile {

@@ -1,0 +1,240 @@
+package volume
+
+// Durability hooks. A Volume is an in-memory structure; the store engines in
+// internal/store make it durable by journalling every mutation and replaying
+// the journal after a crash. This file is the narrow waist between the two:
+//
+//   - Header captures the volume's mutable scalar state (allocation
+//     counters, byte accounting, availability), persisted with every commit.
+//   - EncodeVnodeMeta / RestoreVnodeMeta round-trip one vnode's metadata —
+//     status record, parent pointer, access list, directory entries — WITHOUT
+//     its file content. Content travels separately (DataOf / RestoreData),
+//     mirroring the metadata/blocks split of log-structured file stores.
+//   - Dirty tracking records which vnodes each mutation touched, so a store
+//     can journal exactly the changed records. Tracking is off by default
+//     (the deterministic simulator keeps volumes volatile and pays nothing);
+//     a server with a store enables it per volume.
+//
+// Restore* methods are for recovery and shadow replay only: they bypass
+// quota, writability and clock logic, reproduce state byte-for-byte, and
+// never mark anything dirty themselves.
+
+import (
+	"fmt"
+	"sort"
+
+	"itcfs/internal/prot"
+	"itcfs/internal/proto"
+	"itcfs/internal/wire"
+)
+
+// Header is the volume's mutable scalar state outside any vnode. Identity
+// (ID, name, read-only flag) is immutable after creation and travels in the
+// full Serialize image instead.
+type Header struct {
+	Next   uint32 // next vnode number to allocate
+	Uniq   uint32 // generation counter
+	Used   int64  // data bytes consumed
+	Quota  int64  // byte quota (0 = unlimited)
+	Online bool
+}
+
+// Encode marshals the header.
+func (h Header) Encode(e *wire.Encoder) {
+	e.U32(h.Next)
+	e.U32(h.Uniq)
+	e.I64(h.Used)
+	e.I64(h.Quota)
+	e.Bool(h.Online)
+}
+
+// DecodeHeader unmarshals a header written by Encode.
+func DecodeHeader(d *wire.Decoder) Header {
+	return Header{
+		Next:   d.U32(),
+		Uniq:   d.U32(),
+		Used:   d.I64(),
+		Quota:  d.I64(),
+		Online: d.Bool(),
+	}
+}
+
+// Header snapshots the volume's mutable scalar state.
+func (v *Volume) Header() Header {
+	return Header{Next: v.next, Uniq: v.uniq, Used: v.used, Quota: v.quota, Online: v.online}
+}
+
+// RestoreHeader replaces the mutable scalar state during recovery.
+func (v *Volume) RestoreHeader(h Header) {
+	v.next = h.Next
+	v.uniq = h.Uniq
+	v.used = h.Used
+	v.quota = h.Quota
+	v.online = h.Online
+}
+
+// SetClock replaces the mtime source. Recovery installs the server's clock
+// into volumes deserialized without one; nil is ignored.
+func (v *Volume) SetClock(c Clock) {
+	if c != nil {
+		v.clock = c
+	}
+}
+
+// Dirty bits per vnode.
+const (
+	dirtyMeta uint8 = 1 << iota // status, parent, ACL or entries changed
+	dirtyData                   // file content changed
+)
+
+// EnableDirtyTracking turns on mutation tracking for this volume. A server
+// backed by a store enables it on every volume it installs; simulator
+// volumes leave it off and pay nothing.
+func (v *Volume) EnableDirtyTracking() {
+	if v.dirty == nil {
+		v.dirty = make(map[uint32]uint8)
+		v.dead = make(map[uint32]bool)
+	}
+}
+
+// TrackingDirty reports whether mutation tracking is enabled.
+func (v *Volume) TrackingDirty() bool { return v.dirty != nil }
+
+func (v *Volume) markMeta(id uint32) {
+	if v.dirty != nil {
+		v.dirty[id] |= dirtyMeta
+	}
+}
+
+func (v *Volume) markData(id uint32) {
+	if v.dirty != nil {
+		v.dirty[id] |= dirtyMeta | dirtyData
+	}
+}
+
+func (v *Volume) markDead(id uint32) {
+	if v.dirty != nil {
+		delete(v.dirty, id)
+		v.dead[id] = true
+	}
+}
+
+// TakeDirty drains the dirty sets, returning the touched vnode numbers in
+// ascending order: vnodes whose metadata changed, vnodes whose content
+// changed, and vnodes deleted since the last drain. Vnode numbers are never
+// reused, so a number cannot appear as both changed and deleted.
+func (v *Volume) TakeDirty() (meta, data, dead []uint32) {
+	if v.dirty == nil {
+		return nil, nil, nil
+	}
+	for id, bits := range v.dirty {
+		meta = append(meta, id)
+		if bits&dirtyData != 0 {
+			data = append(data, id)
+		}
+	}
+	for id := range v.dead {
+		dead = append(dead, id)
+	}
+	sort.Slice(meta, func(i, j int) bool { return meta[i] < meta[j] })
+	sort.Slice(data, func(i, j int) bool { return data[i] < data[j] })
+	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+	v.dirty = make(map[uint32]uint8)
+	v.dead = make(map[uint32]bool)
+	return meta, data, dead
+}
+
+// EncodeVnodeMeta encodes one vnode's metadata — parent, status, ACL and
+// directory entries, but not file content — for the journal. The second
+// return is false when the vnode no longer exists.
+func (v *Volume) EncodeVnodeMeta(id uint32) ([]byte, bool) {
+	vn, ok := v.vnodes[id]
+	if !ok {
+		return nil, false
+	}
+	var e wire.Encoder
+	e.U32(vn.Parent)
+	vn.Status.Encode(&e)
+	vn.ACL.Encode(&e)
+	names := make([]string, 0, len(vn.Entries))
+	for n := range vn.Entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	e.U32(uint32(len(names)))
+	for _, n := range names {
+		de := vn.Entries[n]
+		e.String(de.Name)
+		de.FID.Encode(&e)
+		e.U8(uint8(de.Type))
+	}
+	return append([]byte(nil), e.Buf()...), true
+}
+
+// RestoreVnodeMeta installs a vnode's metadata during recovery, creating the
+// vnode if needed and preserving any file content already restored.
+func (v *Volume) RestoreVnodeMeta(id uint32, rec []byte) error {
+	d := wire.NewDecoder(rec)
+	parent := d.U32()
+	st := proto.DecodeStatus(d)
+	acl := prot.DecodeACL(d)
+	n := d.ListLen(1)
+	var entries map[string]proto.DirEntry
+	if n > 0 || st.Type == proto.TypeDir {
+		entries = make(map[string]proto.DirEntry, n)
+	}
+	for i := 0; i < n && d.Err() == nil; i++ {
+		de := proto.DirEntry{Name: d.String(), FID: proto.DecodeFID(d), Type: proto.FileType(d.U8())}
+		entries[de.Name] = de
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("volume: corrupt vnode %d metadata: %w", id, err)
+	}
+	vn, ok := v.vnodes[id]
+	if !ok {
+		vn = &Vnode{}
+		v.vnodes[id] = vn
+	}
+	vn.Parent = parent
+	vn.Status = st
+	vn.ACL = acl
+	vn.Entries = entries
+	return nil
+}
+
+// RestoreData installs a vnode's file content during recovery. The bytes are
+// copied: callers may pass slices aliasing a journal buffer.
+func (v *Volume) RestoreData(id uint32, data []byte) error {
+	vn, ok := v.vnodes[id]
+	if !ok {
+		return fmt.Errorf("volume: data for missing vnode %d", id)
+	}
+	vn.Data = append([]byte(nil), data...)
+	return nil
+}
+
+// DataOf returns a vnode's file content for the journal. The slice is shared
+// (WriteData replaces slices rather than mutating them), so callers may hold
+// it across the commit without copying.
+func (v *Volume) DataOf(id uint32) ([]byte, bool) {
+	vn, ok := v.vnodes[id]
+	if !ok {
+		return nil, false
+	}
+	return vn.Data, true
+}
+
+// DropVnode removes a vnode during recovery replay.
+func (v *Volume) DropVnode(id uint32) {
+	delete(v.vnodes, id)
+}
+
+// VnodeIDs lists the live vnode numbers in ascending order.
+func (v *Volume) VnodeIDs() []uint32 {
+	ids := make([]uint32, 0, len(v.vnodes))
+	for id := range v.vnodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

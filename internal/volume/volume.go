@@ -54,6 +54,12 @@ type Volume struct {
 	uniq     uint32 // generation counter
 	vnodes   map[uint32]*Vnode
 	clock    Clock
+
+	// Dirty tracking for durable stores (see store.go). Both maps are nil
+	// unless EnableDirtyTracking has been called; nil maps make every mark a
+	// no-op, so simulator volumes pay nothing.
+	dirty map[uint32]uint8
+	dead  map[uint32]bool
 }
 
 // New creates an empty read-write volume whose root directory carries acl.
@@ -217,6 +223,7 @@ func (v *Volume) newVnode(typ proto.FileType, mode uint16, owner string) *Vnode 
 		vn.Status.Links = 2
 	}
 	v.vnodes[id] = vn
+	v.markMeta(id)
 	return vn
 }
 
@@ -224,6 +231,7 @@ func (v *Volume) touchDir(dn *Vnode) {
 	dn.Status.Mtime = v.clock()
 	dn.Status.Version++
 	dn.Status.Size = int64(len(dn.Entries))
+	v.markMeta(dn.Status.FID.Vnode)
 }
 
 // Create makes a new empty file name in dir.
@@ -306,6 +314,7 @@ func (v *Volume) Link(dir proto.FID, name string, target proto.FID) error {
 	}
 	dn.Entries[name] = proto.DirEntry{Name: name, FID: tn.Status.FID, Type: tn.Status.Type}
 	tn.Status.Links++
+	v.markMeta(tn.Status.FID.Vnode)
 	v.touchDir(dn)
 	return nil
 }
@@ -346,6 +355,7 @@ func (v *Volume) WriteData(fid proto.FID, data []byte) (*Vnode, error) {
 	vn.Status.Size = int64(len(data))
 	vn.Status.Version++
 	vn.Status.Mtime = v.clock()
+	v.markData(fid.Vnode)
 	return vn, nil
 }
 
@@ -384,6 +394,9 @@ func (v *Volume) Remove(dir proto.FID, name string) error {
 				v.used -= vn.Status.Size
 			}
 			delete(v.vnodes, de.FID.Vnode)
+			v.markDead(de.FID.Vnode)
+		} else {
+			v.markMeta(de.FID.Vnode)
 		}
 	}
 	delete(dn.Entries, name)
@@ -412,6 +425,7 @@ func (v *Volume) RemoveDir(dir proto.FID, name string) error {
 		return fmt.Errorf("%w: %s", proto.ErrNotEmpty, name)
 	}
 	delete(v.vnodes, de.FID.Vnode)
+	v.markDead(de.FID.Vnode)
 	delete(dn.Entries, name)
 	dn.Status.Links--
 	v.touchDir(dn)
@@ -454,6 +468,7 @@ func (v *Volume) Rename(fromDir proto.FID, fromName string, toDir proto.FID, toN
 				return fmt.Errorf("%w: %s", proto.ErrNotEmpty, toName)
 			}
 			delete(v.vnodes, old.FID.Vnode)
+			v.markDead(old.FID.Vnode)
 			tdn.Status.Links--
 		case old.Type == proto.TypeDir || de.Type == proto.TypeDir:
 			return proto.ErrIsDir
@@ -468,6 +483,7 @@ func (v *Volume) Rename(fromDir proto.FID, fromName string, toDir proto.FID, toN
 	tdn.Entries[toName] = de
 	if moved, err := v.Get(de.FID); err == nil && moved.Parent == fromDir.Vnode {
 		moved.Parent = toDir.Vnode
+		v.markMeta(de.FID.Vnode)
 	}
 	if de.Type == proto.TypeDir && fdn != tdn {
 		fdn.Status.Links--
@@ -508,6 +524,7 @@ func (v *Volume) SetMode(fid proto.FID, mode uint16) error {
 	}
 	vn.Status.Mode = mode
 	vn.Status.Version++
+	v.markMeta(fid.Vnode)
 	return nil
 }
 
@@ -522,6 +539,7 @@ func (v *Volume) SetOwner(fid proto.FID, owner string) error {
 	}
 	vn.Status.Owner = owner
 	vn.Status.Version++
+	v.markMeta(fid.Vnode)
 	return nil
 }
 
@@ -612,5 +630,6 @@ func (v *Volume) SetACL(dir proto.FID, acl prot.ACL) error {
 	}
 	dn.ACL = acl.Clone()
 	dn.Status.Version++
+	v.markMeta(dir.Vnode)
 	return nil
 }

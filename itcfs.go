@@ -39,6 +39,7 @@ import (
 	"itcfs/internal/rpc"
 	"itcfs/internal/secure"
 	"itcfs/internal/sim"
+	"itcfs/internal/store"
 	"itcfs/internal/trace"
 	"itcfs/internal/unixfs"
 	"itcfs/internal/venus"
@@ -138,6 +139,14 @@ type CellConfig struct {
 	// degraded-mode entry/exit, reconnect sweeps) with virtual timestamps.
 	// Read it from Cell.Flight.
 	FlightEvents int
+
+	// Store, when set, supplies a durable store per server (argument is the
+	// server index; return nil for volatile). The default — nil everywhere —
+	// keeps volumes in memory, exactly the pre-durability behaviour; attach
+	// memstore.New() to journal through the store without touching disk, or
+	// a walstore for real files. The simulator's determinism is unaffected
+	// either way (see TestStoreDeterminism).
+	Store func(server int) store.Store
 }
 
 // Server is one Vice cluster server with its simulated devices.
@@ -274,6 +283,7 @@ func NewCell(cfg CellConfig) *Cell {
 			Flight:          c.Flight,
 			UnbatchedBreaks: cfg.UnbatchedBreaks,
 			BreakWindow:     cfg.BreakWindow,
+			Store:           storeFor(cfg.Store, i),
 		})
 		ep := rpc.NewEndpoint(c.Net, node, rpc.EndpointConfig{
 			Keys:        db.LookupKey,
@@ -298,7 +308,9 @@ func NewCell(cfg CellConfig) *Cell {
 	rootACL.Grant(prot.AnyUser, prot.RightLookup|prot.RightRead)
 	rootACL.Grant(vice.AdminGroup, prot.RightsAll)
 	root := volume.New(1, "root", rootACL, 0, "operator", clock)
-	c.Servers[0].Vice.AddVolume(root)
+	if err := c.Servers[0].Vice.AddVolume(root); err != nil {
+		panic(err)
+	}
 	le := proto.LocEntry{Prefix: "/", Volume: 1, Custodian: c.Servers[0].Vice.Name()}
 	for _, s := range c.Servers {
 		s.Vice.Loc().Install([]proto.LocEntry{le}, nil)
@@ -333,6 +345,14 @@ func mustApply(db *prot.DB, m prot.Mutation) {
 	if err := db.Apply(m); err != nil {
 		panic(fmt.Sprintf("itcfs: bootstrap: %v", err))
 	}
+}
+
+// storeFor indirects through the optional per-server store factory.
+func storeFor(f func(int) store.Store, i int) store.Store {
+	if f == nil {
+		return nil
+	}
+	return f(i)
 }
 
 func (c *Cell) allocVol() uint32 {
