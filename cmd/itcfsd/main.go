@@ -114,11 +114,12 @@ func run(args []string) int {
 	}
 
 	nextVol := uint32(1)
+	locdb := vice.NewLocDB()
 	srv := vice.New(vice.Config{
 		Name:          *name,
 		Mode:          mode,
 		DB:            db,
-		Loc:           vice.NewLocDB(),
+		Loc:           locdb,
 		Clock:         clock,
 		ProtAuthority: true,
 		AllocVolID:    func() uint32 { nextVol++; return nextVol },
@@ -136,10 +137,19 @@ func run(args []string) int {
 		for _, line := range rep.Lines() {
 			log.Printf("itcfsd: %s", line)
 		}
-		// Resume volume-ID allocation past everything recovered.
+		// Resume volume-ID allocation past everything recovered: volumes
+		// still held here, and every ID the location database references —
+		// a volume moved to a peer before the restart is no longer local,
+		// but re-issuing its ID would break AllocVolID's cell-wide
+		// uniqueness and collide in the location database.
 		for _, id := range srv.VolumeIDs() {
 			if id > nextVol {
 				nextVol = id
+			}
+		}
+		for _, e := range locdb.Entries() {
+			if e.Volume > nextVol {
+				nextVol = e.Volume
 			}
 		}
 	}

@@ -10,7 +10,10 @@
 //
 // Open is recovery: load the checkpoint if one is intact, replay log
 // records past its sequence number, stop at the first torn or corrupt
-// record and truncate the tail it starts, then run volume salvage over the
+// record and truncate the tail it starts (a CRC-valid record that is merely
+// semantically unusable — say a commit for a volume whose checkpoint image
+// was dropped — is skipped with a note instead, so it cannot take healthy
+// volumes' later records down with it), then run volume salvage over the
 // rebuilt state. What fsync is assumed to guarantee, and what the replay
 // discipline tolerates, is spelled out in DESIGN.md §9.
 //
@@ -176,8 +179,24 @@ func (s *Store) replay(buf []byte, vols map[uint32]*volume.Volume, rec *store.Re
 			off = next
 			continue
 		}
-		if !applyRecord(kind, body, vols, rec) {
-			break
+		if err := applyRecord(kind, body, vols, rec); err != nil {
+			if errors.Is(err, errRecordCorrupt) {
+				// CRC passed but the body won't decode: format corruption,
+				// so nothing past this record can be trusted.
+				rep.Notes = append(rep.Notes, fmt.Sprintf(
+					"record seq %d (%s) corrupt, log ends here: %v", seq, kindName(kind), err))
+				break
+			}
+			// Decodable but semantically unusable — e.g. a commit for a
+			// volume dropped because its checkpoint image was unreadable.
+			// Skip just this record: truncating here would discard every
+			// later acked record for healthy volumes.
+			rep.Notes = append(rep.Notes, fmt.Sprintf(
+				"record seq %d (%s) unusable, skipped: %v", seq, kindName(kind), err))
+			s.seq = seq
+			valid = next
+			off = next
+			continue
 		}
 		rep.Replayed++
 		s.seq = seq
@@ -193,60 +212,85 @@ func (s *Store) replay(buf []byte, vols map[uint32]*volume.Volume, rec *store.Re
 	}
 }
 
-// applyRecord applies one decoded record; false means the record (and
-// therefore the rest of the log) is unusable.
-func applyRecord(kind uint8, body []byte, vols map[uint32]*volume.Volume, rec *store.Recovery) bool {
+// errRecordCorrupt marks a CRC-valid record whose body nonetheless fails to
+// decode: format-level corruption, so replay must not trust the log past it.
+// Any other applyRecord error is a semantic rejection of just that record.
+var errRecordCorrupt = errors.New("body undecodable")
+
+func kindName(kind uint8) string {
+	switch kind {
+	case kindBegin:
+		return "begin"
+	case kindDrop:
+		return "drop"
+	case kindCommit:
+		return "commit"
+	case kindLoc:
+		return "loc"
+	case kindProt:
+		return "prot"
+	}
+	return fmt.Sprintf("kind %d", kind)
+}
+
+// applyRecord applies one decoded record. errRecordCorrupt (possibly
+// wrapped) means the log cannot be trusted past this record; any other
+// error means this record alone is unusable.
+func applyRecord(kind uint8, body []byte, vols map[uint32]*volume.Volume, rec *store.Recovery) error {
 	switch kind {
 	case kindBegin:
 		d := wire.NewDecoder(body)
 		id := d.U32()
 		image := d.Bytes()
 		if d.Close() != nil {
-			return false
+			return errRecordCorrupt
 		}
 		v, err := volume.Deserialize(image, nil)
-		if err != nil || v.ID() != id {
-			return false
+		if err != nil {
+			return fmt.Errorf("volume %d image unreadable: %v", id, err)
+		}
+		if v.ID() != id {
+			return fmt.Errorf("volume image declares id %d, record says %d", v.ID(), id)
 		}
 		vols[id] = v
 	case kindDrop:
 		d := wire.NewDecoder(body)
 		id := d.U32()
 		if d.Close() != nil {
-			return false
+			return errRecordCorrupt
 		}
 		delete(vols, id)
 	case kindCommit:
 		d := wire.NewDecoder(body)
 		c := store.DecodeCommit(d)
 		if d.Close() != nil {
-			return false
+			return errRecordCorrupt
 		}
 		v, ok := vols[c.Vol]
 		if !ok {
-			return false
+			return fmt.Errorf("commit for unknown volume %d", c.Vol)
 		}
-		if store.ApplyCommit(v, c) != nil {
-			return false
+		if err := store.ApplyCommit(v, c); err != nil {
+			return fmt.Errorf("commit to volume %d: %v", c.Vol, err)
 		}
 	case kindLoc:
 		d := wire.NewDecoder(body)
 		a := proto.DecodeLocInstallArgs(d)
 		if d.Close() != nil {
-			return false
+			return errRecordCorrupt
 		}
 		rec.LocOps = append(rec.LocOps, store.LocOp{Entries: a.Entries, Remove: a.Remove})
 	case kindProt:
 		d := wire.NewDecoder(body)
 		m := prot.DecodeMutation(d)
 		if d.Close() != nil {
-			return false
+			return errRecordCorrupt
 		}
 		rec.ProtMutations = append(rec.ProtMutations, m)
 	default:
-		return false
+		return fmt.Errorf("unknown record kind %d: %w", kind, errRecordCorrupt)
 	}
-	return true
+	return nil
 }
 
 func (s *Store) writeMagic() error {
@@ -379,7 +423,10 @@ func (s *Store) Checkpoint(cp store.Checkpoint) error {
 	return nil
 }
 
-// Close releases the log handle. It does not imply Sync.
+// Close releases the log handle. It does not imply Sync. Closing latches
+// the store's error so a racing Commit or Sync (an RPC handler still
+// mid-mutate during shutdown) gets an error back instead of dereferencing
+// the nil log handle.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -388,6 +435,10 @@ func (s *Store) Close() error {
 	}
 	err := s.log.Close()
 	s.log = nil
+	if s.err == nil {
+		s.err = errors.New("walstore: closed")
+	}
+	s.cond.Broadcast()
 	return err
 }
 

@@ -2,6 +2,7 @@ package walstore
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"itcfs/internal/prot"
@@ -184,6 +185,77 @@ func TestWALCorruptCheckpointIgnoredWithNote(t *testing.T) {
 	// The log alone still reconstructs everything.
 	if len(rec.Volumes) != 1 || rec.Report.Replayed != 5 {
 		t.Fatalf("recovery without checkpoint: %+v", rec.Report)
+	}
+}
+
+// TestWALSemanticSkipKeepsLaterRecords: a CRC-valid record that is
+// semantically unusable — here a commit for a volume the log never began —
+// is skipped with a note, not treated as the end of the log. Acked records
+// after it for healthy volumes must still replay.
+func TestWALSemanticSkipKeepsLaterRecords(t *testing.T) {
+	fsys := store.NewMemFS()
+	s1, _ := open(t, fsys)
+	want := workload(t, s1)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s1.Commit(store.Commit{Vol: 99})) // orphan commit: volume unknown
+	must(s1.PutLoc([]proto.LocEntry{{Prefix: "/tail", Volume: 3, Custodian: "s0"}}, nil))
+	must(s1.Sync())
+
+	_, rec := open(t, fsys)
+	if rec.Report.Replayed != 6 { // workload's 5, plus the trailing loc
+		t.Fatalf("Replayed = %d, want 6: %+v", rec.Report.Replayed, rec.Report)
+	}
+	if rec.Report.DiscardedRecords != 0 || rec.Report.DiscardedBytes != 0 {
+		t.Fatalf("semantic rejection truncated the log: %+v", rec.Report)
+	}
+	if len(rec.LocOps) != 2 {
+		t.Fatalf("loc op after the unusable record lost: have %d", len(rec.LocOps))
+	}
+	if len(rec.Volumes) != 1 || !bytes.Equal(rec.Volumes[0].Serialize(), want) {
+		t.Fatal("healthy volume damaged by the skip")
+	}
+	noted := false
+	for _, n := range rec.Report.Notes {
+		if strings.Contains(n, "unusable, skipped") {
+			noted = true
+		}
+	}
+	if !noted {
+		t.Fatalf("no note about the skipped record: %q", rec.Report.Notes)
+	}
+
+	// The skipped record stays in the log, so a second recovery reads the
+	// same bytes and must say exactly the same thing.
+	_, rec2 := open(t, fsys)
+	if rec.Report.String() != rec2.Report.String() {
+		t.Fatalf("skip not deterministic:\n--- a\n%s--- b\n%s", rec.Report.String(), rec2.Report.String())
+	}
+}
+
+// TestWALCloseLatchesError: shutdown closes the store while RPC handlers may
+// still be mid-mutate; a racing Commit/Sync/Checkpoint must get an error
+// back, not dereference the nil log handle.
+func TestWALCloseLatchesError(t *testing.T) {
+	s, _ := open(t, store.NewMemFS())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(store.Commit{Vol: 3}); err == nil {
+		t.Fatal("Commit after Close returned nil")
+	}
+	if err := s.Sync(); err == nil {
+		t.Fatal("Sync after Close returned nil")
+	}
+	if err := s.Checkpoint(store.Checkpoint{}); err == nil {
+		t.Fatal("Checkpoint after Close returned nil")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
 	}
 }
 

@@ -62,78 +62,119 @@ func (s *Server) mutate(v *volume.Volume, fn func() error) error {
 }
 
 // attachVolume registers v locally, journalling its full image first so the
-// volume exists durably before any mutation of it can be logged.
+// volume exists durably before any mutation of it can be logged. The journal
+// append and the s.vols insert happen under one applyMu hold: a checkpoint
+// interleaving between them would snapshot without the volume yet truncate
+// the log past its BeginVolume record, losing the acked create and orphaning
+// every later commit for it.
 func (s *Server) attachVolume(v *volume.Volume) error {
-	if st := s.cfg.Store; st != nil {
-		v.EnableDirtyTracking()
-		s.applyMu.Lock()
-		err := st.BeginVolume(v.ID(), v.Serialize())
-		s.applyMu.Unlock()
-		if err == nil {
-			err = st.Sync()
-		}
-		if err != nil {
-			return storeErr(err)
-		}
+	st := s.cfg.Store
+	if st == nil {
+		s.mu.Lock()
+		s.vols[v.ID()] = v
+		s.mu.Unlock()
+		return nil
 	}
-	s.mu.Lock()
-	s.vols[v.ID()] = v
-	s.mu.Unlock()
+	v.EnableDirtyTracking()
+	s.applyMu.Lock()
+	err := st.BeginVolume(v.ID(), v.Serialize())
+	if err == nil {
+		s.mu.Lock()
+		s.vols[v.ID()] = v
+		s.mu.Unlock()
+	}
+	s.applyMu.Unlock()
+	if err == nil {
+		err = st.Sync()
+	}
+	if err != nil {
+		// Not durable, so not acked: the volume must not be visible either.
+		s.mu.Lock()
+		delete(s.vols, v.ID())
+		s.mu.Unlock()
+		return storeErr(err)
+	}
 	return nil
 }
 
 // detachVolume removes a volume locally and from the store (volume moves,
-// and undo of a failed create).
+// and undo of a failed create). As in attachVolume, the local removal and
+// the journal append share one applyMu hold so a checkpoint sees either
+// both or neither.
 func (s *Server) detachVolume(id uint32) error {
+	st := s.cfg.Store
+	if st == nil {
+		s.mu.Lock()
+		delete(s.vols, id)
+		s.mu.Unlock()
+		return nil
+	}
+	s.applyMu.Lock()
 	s.mu.Lock()
 	delete(s.vols, id)
 	s.mu.Unlock()
-	if st := s.cfg.Store; st != nil {
-		s.applyMu.Lock()
-		err := st.DropVolume(id)
-		s.applyMu.Unlock()
-		if err == nil {
-			err = st.Sync()
-		}
-		if err != nil {
-			return storeErr(err)
-		}
+	err := st.DropVolume(id)
+	s.applyMu.Unlock()
+	if err == nil {
+		err = st.Sync()
+	}
+	if err != nil {
+		return storeErr(err)
 	}
 	return nil
 }
 
 // InstallLoc applies a location-database update locally and journals it.
+// Apply and journal happen under one applyMu hold (as mutate does for volume
+// commits): Loc.Install is last-writer-wins per prefix, so two concurrent
+// installs applied in order A,B but journalled B,A would replay after a
+// crash to state the pre-crash server never acknowledged.
 func (s *Server) InstallLoc(entries []proto.LocEntry, remove []string) error {
+	st := s.cfg.Store
+	if st == nil {
+		s.cfg.Loc.Install(entries, remove)
+		return nil
+	}
+	s.applyMu.Lock()
 	s.cfg.Loc.Install(entries, remove)
-	if st := s.cfg.Store; st != nil {
-		s.applyMu.Lock()
-		err := st.PutLoc(entries, remove)
-		s.applyMu.Unlock()
-		if err == nil {
-			err = st.Sync()
-		}
-		if err != nil {
-			return storeErr(err)
-		}
+	err := st.PutLoc(entries, remove)
+	s.applyMu.Unlock()
+	if err == nil {
+		err = st.Sync()
+	}
+	if err != nil {
+		return storeErr(err)
 	}
 	return nil
 }
 
-// applyProt applies a protection-database mutation locally and journals it.
+// applyProt applies a protection-database mutation locally and journals it,
+// under one applyMu hold so the log order matches the apply order (prot
+// mutations are order-sensitive). A mutation the database rejects is never
+// journalled.
 func (s *Server) applyProt(m prot.Mutation) error {
-	if err := s.cfg.DB.Apply(m); err != nil {
+	st := s.cfg.Store
+	if st == nil {
+		if err := s.cfg.DB.Apply(m); err != nil {
+			return fmt.Errorf("%w: %v", proto.ErrBadRequest, err)
+		}
+		return nil
+	}
+	s.applyMu.Lock()
+	err := s.cfg.DB.Apply(m)
+	var werr error
+	if err == nil {
+		werr = st.PutProt(m)
+	}
+	s.applyMu.Unlock()
+	if err != nil {
 		return fmt.Errorf("%w: %v", proto.ErrBadRequest, err)
 	}
-	if st := s.cfg.Store; st != nil {
-		s.applyMu.Lock()
-		err := st.PutProt(m)
-		s.applyMu.Unlock()
-		if err == nil {
-			err = st.Sync()
-		}
-		if err != nil {
-			return storeErr(err)
-		}
+	if werr == nil {
+		werr = st.Sync()
+	}
+	if werr != nil {
+		return storeErr(werr)
 	}
 	return nil
 }

@@ -149,6 +149,67 @@ func TestStorePersistAcrossServerRestart(t *testing.T) {
 	}
 }
 
+// hookStore wraps a store so a test can interleave work at the exact point
+// attachVolume calls Sync — outside applyMu, where the periodic checkpointer
+// can preempt a volume create.
+type hookStore struct {
+	store.Store
+	onSync func()
+}
+
+func (h *hookStore) Sync() error {
+	if fn := h.onSync; fn != nil {
+		h.onSync = nil
+		fn()
+	}
+	return h.Store.Sync()
+}
+
+// TestAttachVolumeVsCheckpoint pins the attach/checkpoint interleaving: a
+// checkpoint running between a volume's BeginVolume journal append and its
+// Sync must still include the volume. If it snapshots without it, the
+// checkpoint truncates the log past the BeginVolume record and the acked
+// create silently vanishes on restart.
+func TestAttachVolumeVsCheckpoint(t *testing.T) {
+	fsys := store.NewMemFS()
+	ws, err := walstore.Open(fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &hookStore{Store: ws}
+	d := newDurableServer(t, hs)
+
+	hs.onSync = func() {
+		if err := d.srv.CheckpointStore(); err != nil {
+			t.Errorf("checkpoint during attach: %v", err)
+		}
+	}
+	acl := prot.NewACL()
+	acl.Grant("operator", prot.RightsAll)
+	var clock int64
+	v := volume.New(7, "vol7", acl, 0, "operator", func() int64 { clock++; return clock })
+	if err := d.srv.AddVolume(v); err != nil {
+		t.Fatalf("AddVolume: %v", err)
+	}
+
+	// Abandon without clean shutdown: the acked create must survive the
+	// checkpoint that ran mid-attach.
+	ws2, err := walstore.Open(fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ws2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rv := range rec.Volumes {
+		if rv.ID() == 7 {
+			return
+		}
+	}
+	t.Fatalf("acked volume create lost: recovered %d volumes, none with ID 7", len(rec.Volumes))
+}
+
 // TestStoreFailureSurfacesAndUnackedWriteStaysVolatile: once the disk dies,
 // mutations fail with an internal error, and a restart from what stable
 // storage holds serves only the acknowledged history — the failed write
