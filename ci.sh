@@ -40,6 +40,15 @@ cmp "$tmpdir/t1.txt" "$tmpdir/t2.txt"
 cmp "$tmpdir/s1.csv" "$tmpdir/s2.csv"
 rm -rf "$tmpdir"
 
+# Replication determinism smoke: two same-seed E16 runs must produce
+# byte-identical reports — release pushes, the mid-run crash, failovers,
+# dedup counters and the Andrew run all replay exactly — and the
+# experiment's own invariants (zero failed replicated reads, a real
+# unreplicated outage, dedup ratio >= 1.5) are asserted inside it. Runs
+# under the race detector like the rest of the suite; kept visible as
+# its own gate alongside the E15 smoke above.
+go test -race -run='^TestE16Determinism$' -count=1 ./internal/harness
+
 # Crash-matrix smoke: every injected crash point across three seeds must
 # recover to exactly the acknowledged prefix (strict) or an unbroken prefix
 # (generous). The full property also runs inside `go test ./...`; this keeps
@@ -51,6 +60,7 @@ go test -run=NONE -fuzz='^FuzzDecodeCall$' -fuzztime=10s ./internal/rpc
 go test -run=NONE -fuzz='^FuzzDecodeReply$' -fuzztime=10s ./internal/rpc
 go test -run=NONE -fuzz='^FuzzResolvePath$' -fuzztime=10s ./internal/vice
 go test -run=NONE -fuzz='^FuzzDispatch$' -fuzztime=10s ./internal/vice
+go test -run=NONE -fuzz='^FuzzLocEntry$' -fuzztime=10s ./internal/proto
 go test -run=NONE -fuzz='^FuzzDecodeBulkTestValid$' -fuzztime=10s ./internal/wire
 go test -run=NONE -fuzz='^FuzzDecodeBulkBreak$' -fuzztime=10s ./internal/wire
 go test -run=NONE -fuzz='^FuzzWALReplay$' -fuzztime=10s ./internal/store/walstore

@@ -161,6 +161,18 @@ func main() {
 			e15 = res
 			return res.Report, nil
 		}},
+		{"E16", func() (*harness.Report, error) {
+			cfg := harness.DefaultE16()
+			if *quick {
+				cfg.Window = 3 * time.Minute
+				cfg.SysFiles = 12
+			}
+			res, err := harness.E16Replication(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return res.Report, nil
+		}},
 	}
 
 	fmt.Println("itcbench — reproduction of 'The ITC Distributed File System' (SOSP 1985), §5.2")

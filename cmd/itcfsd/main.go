@@ -18,8 +18,9 @@
 //
 // With -debug-addr the daemon also serves a read-only observability
 // endpoint: /metrics (the registry as deterministic JSON), /metrics.txt
-// (the text report), /events (the flight-recorder ring) and /snapshot (the
-// combined dump also written to stderr on shutdown).
+// (the text report), /events (the flight-recorder ring), /locdb (the
+// location database with per-volume custodians and replica sets) and
+// /snapshot (the combined dump also written to stderr on shutdown).
 package main
 
 import (
@@ -48,6 +49,22 @@ import (
 
 func main() {
 	os.Exit(run(os.Args[1:]))
+}
+
+// writeLocDB renders the location database — the operator's map of where
+// every volume lives and which servers carry read-only replicas of it.
+// Served on /locdb and folded into /snapshot; entries come out of
+// LocDB.Entries() sorted, so the listing is stable across requests.
+func writeLocDB(w io.Writer, locdb *vice.LocDB) {
+	entries := locdb.Entries()
+	fmt.Fprintf(w, "location database: version %d, %d entries\n", locdb.Version(), len(entries))
+	for _, e := range entries {
+		fmt.Fprintf(w, "  %-24s volume %-6d custodian %s", e.Prefix, e.Volume, e.Custodian)
+		if len(e.Replicas) > 0 {
+			fmt.Fprintf(w, "  replicas %v", e.Replicas)
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 // run is main with an explicit argument list and exit code, so the
@@ -176,9 +193,10 @@ func run(args []string) int {
 	}
 
 	// snapshot is the one dump path every exit and the debug endpoint share:
-	// the metrics report and the flight-recorder ring.
+	// the metrics report, the location database and the flight-recorder ring.
 	snapshot := func(w io.Writer) {
 		metrics.WriteText(w)
+		writeLocDB(w, locdb)
 		flight.WriteText(w)
 	}
 	// shutdown flushes state and exits: a final checkpoint (when durable),
@@ -254,6 +272,10 @@ func run(args []string) int {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			flight.WriteText(w)
 		})
+		mux.HandleFunc("/locdb", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			writeLocDB(w, locdb)
+		})
 		mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			snapshot(w)
@@ -264,7 +286,7 @@ func run(args []string) int {
 			return 1
 		}
 		debugBound = dl.Addr().String()
-		log.Printf("itcfsd: debug endpoint on http://%s (/metrics /metrics.txt /events /snapshot)", debugBound)
+		log.Printf("itcfsd: debug endpoint on http://%s (/metrics /metrics.txt /events /locdb /snapshot)", debugBound)
 		go func() {
 			if err := http.Serve(dl, mux); err != nil {
 				log.Printf("itcfsd: debug serve: %v", err)

@@ -15,6 +15,7 @@ import (
 	"itcfs/internal/proto"
 	"itcfs/internal/rpc"
 	"itcfs/internal/secure"
+	"itcfs/internal/vice"
 )
 
 // TestItcfsdHelperProcess is not a test: re-exec'd by the restart test below
@@ -203,5 +204,87 @@ func TestItcfsdKillDashNineRestart(t *testing.T) {
 	}
 	if !strings.Contains(string(events), "vice.salvage") {
 		t.Fatalf("no vice.salvage event after restart:\n%s", events)
+	}
+}
+
+// TestWriteLocDB pins the /locdb rendering: version, sorted entries,
+// custodians, and — the part a single-daemon end-to-end test cannot drive —
+// replica sets.
+func TestWriteLocDB(t *testing.T) {
+	db := vice.NewLocDB()
+	db.Install([]proto.LocEntry{
+		{Prefix: "/", Volume: 1, Custodian: "server0"},
+		{Prefix: "/unix/bin-ro", Volume: 4, Custodian: "server0", Replicas: []string{"server1", "server2"}},
+		{Prefix: "/usr/amy", Volume: 3, Custodian: "server1"},
+	}, nil)
+	var b strings.Builder
+	writeLocDB(&b, db)
+	out := b.String()
+	if !strings.Contains(out, fmt.Sprintf("location database: version %d, 3 entries", db.Version())) {
+		t.Errorf("missing header with version and count:\n%s", out)
+	}
+	for _, want := range []string{
+		"volume 1", "custodian server0",
+		"/usr/amy", "custodian server1",
+		"/unix/bin-ro", "replicas [server1 server2]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering lacks %q:\n%s", want, out)
+		}
+	}
+	// Entries must come out sorted by prefix, not map order.
+	if strings.Index(out, "/unix/bin-ro") > strings.Index(out, "/usr/amy") {
+		t.Errorf("entries not sorted by prefix:\n%s", out)
+	}
+}
+
+// TestItcfsdLocDBEndpoint drives the real daemon: create a volume and a
+// read-only clone over TCP, then read the location database back from the
+// /locdb debug endpoint and find both mounts with their custodian.
+func TestItcfsdLocDBEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	d := startDaemon(t, filepath.Join(t.TempDir(), "data"))
+	peer := d.dial(t)
+
+	resp := mustOK(t, call(t, peer, proto.OpVolCreate,
+		proto.Marshal(proto.VolCreateArgs{Name: "proj", Path: "/proj", Owner: "operator"}), nil))
+	vs, err := proto.Unmarshal(resp.Body, proto.DecodeVolStatusReply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vid := vs.Volume
+	mustOK(t, call(t, peer, proto.OpVolClone,
+		proto.Marshal(proto.VolCloneArgs{Volume: vid, Path: "/proj-ro"}), nil))
+
+	httpResp, err := http.Get("http://" + d.debug + "/locdb")
+	if err != nil {
+		t.Fatalf("GET /locdb: %v", err)
+	}
+	body, err := io.ReadAll(httpResp.Body)
+	httpResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{"location database: version", "/proj", "/proj-ro", "custodian server0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/locdb lacks %q:\n%s", want, out)
+		}
+	}
+
+	// The same listing is folded into the shared snapshot path.
+	httpResp, err = http.Get("http://" + d.debug + "/snapshot")
+	if err != nil {
+		t.Fatalf("GET /snapshot: %v", err)
+	}
+	snap, err := io.ReadAll(httpResp.Body)
+	httpResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(snap), "location database: version") {
+		t.Errorf("/snapshot does not include the location database:\n%.400s", snap)
 	}
 }

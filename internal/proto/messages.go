@@ -315,7 +315,7 @@ func (r CustodianReply) Encode(e *wire.Encoder) {
 	e.String(r.Prefix)
 	e.U32(r.Volume)
 	e.String(r.Custodian)
-	e.U32(uint32(len(r.Replicas)))
+	e.ListLen(len(r.Replicas))
 	for _, rep := range r.Replicas {
 		e.String(rep)
 	}
@@ -324,8 +324,8 @@ func (r CustodianReply) Encode(e *wire.Encoder) {
 // DecodeCustodianReply unmarshals CustodianReply.
 func DecodeCustodianReply(d *wire.Decoder) CustodianReply {
 	r := CustodianReply{Prefix: d.String(), Volume: d.U32(), Custodian: d.String()}
-	n := d.U32()
-	for i := uint32(0); i < n && d.Err() == nil; i++ {
+	n := d.ListLen(4) // each replica name is at least a u32 length prefix
+	for i := 0; i < n && d.Err() == nil; i++ {
 		r.Replicas = append(r.Replicas, d.String())
 	}
 	return r
@@ -404,7 +404,7 @@ type VolCloneArgs struct {
 func (a VolCloneArgs) Encode(e *wire.Encoder) {
 	e.U32(a.Volume)
 	e.String(a.Path)
-	e.U32(uint32(len(a.Replicas)))
+	e.ListLen(len(a.Replicas))
 	for _, r := range a.Replicas {
 		e.String(r)
 	}
@@ -413,8 +413,8 @@ func (a VolCloneArgs) Encode(e *wire.Encoder) {
 // DecodeVolCloneArgs unmarshals VolCloneArgs.
 func DecodeVolCloneArgs(d *wire.Decoder) VolCloneArgs {
 	a := VolCloneArgs{Volume: d.U32(), Path: d.String()}
-	n := d.U32()
-	for i := uint32(0); i < n && d.Err() == nil; i++ {
+	n := d.ListLen(4) // each replica name is at least a u32 length prefix
+	for i := 0; i < n && d.Err() == nil; i++ {
 		a.Replicas = append(a.Replicas, d.String())
 	}
 	return a
@@ -509,17 +509,19 @@ func (le LocEntry) Encode(e *wire.Encoder) {
 	e.String(le.Prefix)
 	e.U32(le.Volume)
 	e.String(le.Custodian)
-	e.U32(uint32(len(le.Replicas)))
+	e.ListLen(len(le.Replicas))
 	for _, r := range le.Replicas {
 		e.String(r)
 	}
 }
 
-// DecodeLocEntry unmarshals a LocEntry.
+// DecodeLocEntry unmarshals a LocEntry. The replica list is length-validated
+// against the bytes present: a lying count fails fast instead of driving a
+// huge preallocation or a silent short list.
 func DecodeLocEntry(d *wire.Decoder) LocEntry {
 	le := LocEntry{Prefix: d.String(), Volume: d.U32(), Custodian: d.String()}
-	n := d.U32()
-	for i := uint32(0); i < n && d.Err() == nil; i++ {
+	n := d.ListLen(4) // each replica name is at least a u32 length prefix
+	for i := 0; i < n && d.Err() == nil; i++ {
 		le.Replicas = append(le.Replicas, d.String())
 	}
 	return le
@@ -533,11 +535,11 @@ type LocInstallArgs struct {
 }
 
 func (a LocInstallArgs) Encode(e *wire.Encoder) {
-	e.U32(uint32(len(a.Entries)))
+	e.ListLen(len(a.Entries))
 	for _, le := range a.Entries {
 		le.Encode(e)
 	}
-	e.U32(uint32(len(a.Remove)))
+	e.ListLen(len(a.Remove))
 	for _, p := range a.Remove {
 		e.String(p)
 	}
@@ -546,12 +548,14 @@ func (a LocInstallArgs) Encode(e *wire.Encoder) {
 // DecodeLocInstallArgs unmarshals LocInstallArgs.
 func DecodeLocInstallArgs(d *wire.Decoder) LocInstallArgs {
 	var a LocInstallArgs
-	n := d.U32()
-	for i := uint32(0); i < n && d.Err() == nil; i++ {
+	// Each entry is at least two u32 string lengths, a volume id and a
+	// replica count.
+	n := d.ListLen(4 + 4 + 4 + 4)
+	for i := 0; i < n && d.Err() == nil; i++ {
 		a.Entries = append(a.Entries, DecodeLocEntry(d))
 	}
-	m := d.U32()
-	for i := uint32(0); i < m && d.Err() == nil; i++ {
+	m := d.ListLen(4)
+	for i := 0; i < m && d.Err() == nil; i++ {
 		a.Remove = append(a.Remove, d.String())
 	}
 	return a

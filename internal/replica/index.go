@@ -1,0 +1,88 @@
+package replica
+
+import (
+	"crypto/sha256"
+	"sync"
+
+	"itcfs/internal/trace"
+)
+
+// Index is a content-addressed block store: identical byte slices — the
+// common case across a volume, its clones, its releases, and the replicas
+// installed from the same image — are held once and shared by reference.
+// Intern hands back a canonical slice for the content; callers must treat
+// it as immutable, which the store layer already guarantees (WriteData
+// replaces whole slices, never edits in place) and the Venus cache adopts
+// for clean entries.
+//
+// The index keeps two counters: logical bytes (every slice interned) and
+// physical bytes (slices stored). Their ratio is the dedup ratio E16
+// reports for the system-binary file class.
+type Index struct {
+	metrics *trace.Registry
+
+	mu sync.Mutex
+	// guarded by mu
+	blocks map[[sha256.Size]byte][]byte
+	// guarded by mu
+	logical uint64
+	// guarded by mu
+	physical uint64
+}
+
+// NewIndex returns an empty index. metrics may be nil; when set, the index
+// keeps "replica.dedup.logical_bytes" and "replica.dedup.physical_bytes"
+// gauges current.
+func NewIndex(metrics *trace.Registry) *Index {
+	return &Index{
+		metrics: metrics,
+		blocks:  make(map[[sha256.Size]byte][]byte),
+	}
+}
+
+// Intern returns the canonical shared slice for data, storing data itself
+// when its content is new. Empty and nil slices intern to nil. The returned
+// slice must not be mutated.
+func (ix *Index) Intern(data []byte) []byte {
+	if ix == nil || len(data) == 0 {
+		return data
+	}
+	sum := sha256.Sum256(data)
+	ix.mu.Lock()
+	have, ok := ix.blocks[sum]
+	if !ok {
+		ix.blocks[sum] = data
+		have = data
+		ix.physical += uint64(len(data))
+	}
+	ix.logical += uint64(len(data))
+	logical, physical := ix.logical, ix.physical
+	ix.mu.Unlock()
+	if ix.metrics != nil {
+		ix.metrics.Gauge("replica.dedup.logical_bytes").Set(int64(logical))
+		ix.metrics.Gauge("replica.dedup.physical_bytes").Set(int64(physical))
+	}
+	return have
+}
+
+// Stats reports the bytes interned (logical), the bytes stored (physical),
+// and the number of distinct blocks.
+func (ix *Index) Stats() (logical, physical uint64, blocks int) {
+	if ix == nil {
+		return 0, 0, 0
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.logical, ix.physical, len(ix.blocks)
+}
+
+// Ratio is logical/physical — 1.0 means no sharing, 2.0 means every block
+// is stored once but referenced twice on average. Zero physical bytes
+// yields 1.0.
+func (ix *Index) Ratio() float64 {
+	logical, physical, _ := ix.Stats()
+	if physical == 0 {
+		return 1.0
+	}
+	return float64(logical) / float64(physical)
+}

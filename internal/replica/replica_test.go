@@ -1,0 +1,160 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestPropagateConfirmsInOrder(t *testing.T) {
+	c := NewController("s0", nil, nil)
+	c.Begin(7, "bin.ro", "/bin-ro", []string{"s1", "s2", "s3"})
+	var pushed []string
+	if err := c.Propagate(7, func(s string) error {
+		pushed = append(pushed, s)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pushed, []string{"s1", "s2", "s3"}) {
+		t.Fatalf("pushed %v", pushed)
+	}
+	if p := c.Pending(7); len(p) != 0 {
+		t.Fatalf("pending after full propagation: %v", p)
+	}
+	if inc := c.Incomplete(); len(inc) != 0 {
+		t.Fatalf("incomplete: %v", inc)
+	}
+}
+
+func TestPropagateResumesAfterFailure(t *testing.T) {
+	c := NewController("s0", nil, nil)
+	c.Begin(7, "bin.ro", "/bin-ro", []string{"s1", "s2", "s3"})
+
+	boom := errors.New("s2 unreachable")
+	var pushed []string
+	err := c.Propagate(7, func(s string) error {
+		pushed = append(pushed, s)
+		if s == "s2" {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	if !reflect.DeepEqual(pushed, []string{"s1", "s2"}) {
+		t.Fatalf("first attempt pushed %v", pushed)
+	}
+	if p := c.Pending(7); !reflect.DeepEqual(p, []string{"s2", "s3"}) {
+		t.Fatalf("pending = %v, want [s2 s3]", p)
+	}
+	if inc := c.Incomplete(); !reflect.DeepEqual(inc, []uint32{7}) {
+		t.Fatalf("incomplete = %v", inc)
+	}
+
+	// Retry pushes only the replicas that never confirmed.
+	pushed = nil
+	if err := c.Propagate(7, func(s string) error {
+		pushed = append(pushed, s)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pushed, []string{"s2", "s3"}) {
+		t.Fatalf("resume pushed %v, want [s2 s3]", pushed)
+	}
+	if p := c.Pending(7); len(p) != 0 {
+		t.Fatalf("pending after resume: %v", p)
+	}
+}
+
+func TestBeginAgainResetsPending(t *testing.T) {
+	c := NewController("s0", nil, nil)
+	c.Begin(7, "bin.ro", "/bin-ro", []string{"s1", "s2"})
+	if err := c.Propagate(7, func(string) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	// A resume after recovery may re-register only the missing subset.
+	c.Begin(7, "bin.ro", "/bin-ro", []string{"s2"})
+	if p := c.Pending(7); !reflect.DeepEqual(p, []string{"s2"}) {
+		t.Fatalf("pending = %v, want [s2]", p)
+	}
+	rels := c.Releases()
+	if len(rels) != 1 || rels[0].Volume != 7 || rels[0].Path != "/bin-ro" {
+		t.Fatalf("releases = %+v", rels)
+	}
+}
+
+func TestPropagateUnknownVolume(t *testing.T) {
+	c := NewController("s0", nil, nil)
+	if err := c.Propagate(9, func(string) error { return nil }); err == nil {
+		t.Fatal("expected error for unknown release")
+	}
+}
+
+func TestIndexSharesIdenticalContent(t *testing.T) {
+	ix := NewIndex(nil)
+	a := []byte("the system binary")
+	b := append([]byte(nil), a...) // same content, distinct backing array
+
+	ca := ix.Intern(a)
+	cb := ix.Intern(b)
+	if !bytes.Equal(ca, cb) {
+		t.Fatal("interned slices differ in content")
+	}
+	if &ca[0] != &cb[0] {
+		t.Fatal("identical content not shared")
+	}
+	logical, physical, blocks := ix.Stats()
+	if logical != 2*uint64(len(a)) || physical != uint64(len(a)) || blocks != 1 {
+		t.Fatalf("stats = %d/%d/%d", logical, physical, blocks)
+	}
+	if r := ix.Ratio(); r != 2.0 {
+		t.Fatalf("ratio = %v", r)
+	}
+
+	// Distinct content stays distinct.
+	other := ix.Intern([]byte("something else"))
+	if bytes.Equal(other, ca) {
+		t.Fatal("distinct content collided")
+	}
+	if _, _, blocks := ix.Stats(); blocks != 2 {
+		t.Fatalf("blocks = %d", blocks)
+	}
+}
+
+func TestIndexNilAndEmpty(t *testing.T) {
+	var nilIx *Index
+	if got := nilIx.Intern([]byte("x")); string(got) != "x" {
+		t.Fatalf("nil index Intern = %q", got)
+	}
+	if r := nilIx.Ratio(); r != 1.0 {
+		t.Fatalf("nil ratio = %v", r)
+	}
+	ix := NewIndex(nil)
+	if got := ix.Intern(nil); got != nil {
+		t.Fatalf("Intern(nil) = %v", got)
+	}
+	if got := ix.Intern([]byte{}); len(got) != 0 {
+		t.Fatalf("Intern(empty) = %v", got)
+	}
+	if r := ix.Ratio(); r != 1.0 {
+		t.Fatalf("empty ratio = %v", r)
+	}
+}
+
+func TestIndexManyBlocksRatio(t *testing.T) {
+	ix := NewIndex(nil)
+	// Ten distinct blocks, each interned three times.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 10; i++ {
+			ix.Intern([]byte(fmt.Sprintf("block-%d-payload-payload", i)))
+		}
+	}
+	if r := ix.Ratio(); r != 3.0 {
+		t.Fatalf("ratio = %v, want 3.0", r)
+	}
+}

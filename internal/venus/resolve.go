@@ -2,6 +2,8 @@ package venus
 
 import (
 	"fmt"
+	"sort"
+	"time"
 
 	"itcfs/internal/proto"
 	"itcfs/internal/rpc"
@@ -12,9 +14,17 @@ import (
 
 // Routing: Venus caches custodianship information and uses it as hints
 // (§3.1). A request sent to the wrong server comes back with the identity
-// of the right one; Venus updates its hint and retries.
+// of the right one; Venus updates its hint and retries. Read-only-eligible
+// operations on replicated volumes additionally fail over down a
+// deterministic replica order when a server is unreachable.
 
 const maxRedirects = 4
+
+// failoverBackoff is the pause before trying the next replica after a
+// server in the fallback order proved unreachable, doubling per hop. It
+// spaces the retries of a workstation storm out without approaching the
+// transport's own timeout scale.
+const failoverBackoff = 5 * time.Millisecond
 
 // conn returns (dialing if necessary) a connection to server.
 func (v *Venus) conn(p *sim.Proc, server string) (Conn, error) {
@@ -84,19 +94,59 @@ func (v *Venus) locate(p *sim.Proc, path string) (proto.CustodianReply, error) {
 	return cr, nil
 }
 
-// serverFor picks the server to ask for a location entry: the custodian,
-// unless a read-only replica lives on our home cluster server and the
-// operation is a read (fetch from the nearest replica, §4 "localize if
-// possible").
-func (v *Venus) serverFor(cr proto.CustodianReply, readOnlyOK bool) string {
-	if readOnlyOK {
+// serverOrder returns every server worth asking for a location entry, in
+// preference order. Mutations and unreplicated volumes go only to the
+// custodian. For a read-only-eligible operation on a replicated volume the
+// order is deterministic and documented:
+//
+//  1. the home cluster server, when it carries a replica or is the
+//     custodian ("localize if possible", §4);
+//  2. the custodian (its copy is authoritative);
+//  3. the remaining replicas in lexicographic order.
+//
+// Duplicates are dropped. callAt fails over down this list when a server is
+// unreachable, so every workstation with the same home server walks the same
+// order — deterministic under the simulator and pinned by unit test.
+func (v *Venus) serverOrder(cr proto.CustodianReply, readOnlyOK bool) []string {
+	if !readOnlyOK || len(cr.Replicas) == 0 {
+		return []string{cr.Custodian}
+	}
+	order := make([]string, 0, len(cr.Replicas)+2)
+	seen := func(s string) bool {
+		for _, have := range order {
+			if have == s {
+				return true
+			}
+		}
+		return false
+	}
+	if v.cfg.HomeServer == cr.Custodian {
+		order = append(order, cr.Custodian)
+	} else {
 		for _, rep := range cr.Replicas {
 			if rep == v.cfg.HomeServer {
-				return rep
+				order = append(order, rep)
+				break
 			}
 		}
 	}
-	return cr.Custodian
+	if !seen(cr.Custodian) {
+		order = append(order, cr.Custodian)
+	}
+	reps := append([]string(nil), cr.Replicas...)
+	sort.Strings(reps)
+	for _, rep := range reps {
+		if rep != "" && !seen(rep) {
+			order = append(order, rep)
+		}
+	}
+	return order
+}
+
+// serverFor picks the preferred server for a location entry — the head of
+// serverOrder.
+func (v *Venus) serverFor(cr proto.CustodianReply, readOnlyOK bool) string {
+	return v.serverOrder(cr, readOnlyOK)[0]
 }
 
 func readOp(op rpc.Op) bool {
@@ -114,8 +164,7 @@ func (v *Venus) callPath(p *sim.Proc, path string, req rpc.Request) (rpc.Respons
 	if err != nil {
 		return rpc.Response{}, err
 	}
-	server := v.serverFor(cr, readOp(req.Op))
-	return v.callAt(p, server, path, cr, req)
+	return v.callAt(p, v.serverOrder(cr, readOp(req.Op)), path, cr, req)
 }
 
 // locateVolume finds the location entry for a specific volume. Unlike
@@ -173,22 +222,53 @@ func (v *Venus) callRef(p *sim.Proc, ref proto.Ref, pathHint string, req rpc.Req
 	if err != nil {
 		return rpc.Response{}, err
 	}
-	server := v.serverFor(cr, readOp(req.Op))
-	return v.callAt(p, server, pathHint, cr, req)
+	return v.callAt(p, v.serverOrder(cr, readOp(req.Op)), pathHint, cr, req)
 }
 
-// callAt performs the call, retrying at the hinted custodian on
-// CodeWrongServer (stale hints are corrected, not fatal). Under
-// ReconnectRetries, a transport failure drops the dead connection, redials
-// and re-issues the call — this is how Venus survives a server that crashed
-// and restarted, losing every connection it had accepted.
-func (v *Venus) callAt(p *sim.Proc, server, path string, cr proto.CustodianReply, req rpc.Request) (rpc.Response, error) {
+// callAt performs the call against the first reachable server in servers,
+// retrying at the hinted custodian on CodeWrongServer (stale hints are
+// corrected, not fatal). Under ReconnectRetries, a transport failure drops
+// the dead connection, redials and re-issues the call — this is how Venus
+// survives a server that crashed and restarted, losing every connection it
+// had accepted. When the current server stays unreachable after its redial
+// budget, the call fails over to the next server in the fallback order
+// (read-only replicas of the same volume), with a short doubling backoff
+// between hops — a crashed custodian blacks nothing out as long as one
+// replica survives.
+func (v *Venus) callAt(p *sim.Proc, servers []string, path string, cr proto.CustodianReply, req rpc.Request) (rpc.Response, error) {
 	redials, redirects := 0, 0
+	si := 0
+	server := servers[si]
+	// failNext advances to the next fallback server, reporting whether one
+	// exists.
+	failNext := func(err error) bool {
+		if si+1 >= len(servers) {
+			return false
+		}
+		if p != nil {
+			p.Sleep(failoverBackoff << uint(si))
+		}
+		si++
+		v.mu.Lock()
+		v.stats.Failovers++
+		v.mu.Unlock()
+		v.cfg.Metrics.Counter("venus.failover").Inc()
+		if fl := v.cfg.Flight; fl != nil {
+			fl.Log("venus.failover", v.cfg.Machine,
+				fmt.Sprintf("%s unreachable (%v), trying replica %s", server, err, servers[si]))
+		}
+		server = servers[si]
+		redials = 0
+		return true
+	}
 	for {
 		c, err := v.conn(p, server)
 		if err != nil {
 			if isRedialable(err) && redials < v.cfg.ReconnectRetries {
 				redials++
+				continue
+			}
+			if isTransportErr(err) && failNext(err) {
 				continue
 			}
 			return rpc.Response{}, err
@@ -203,12 +283,20 @@ func (v *Venus) callAt(p *sim.Proc, server, path string, cr proto.CustodianReply
 				redials++
 				continue
 			}
+			if isTransportErr(err) {
+				v.dropConn(server, c)
+				if failNext(err) {
+					continue
+				}
+			}
 			return rpc.Response{}, err
 		}
 		if resp.Code != proto.CodeWrongServer {
 			return resp, nil
 		}
 		// Stale hint: drop it and follow the custodian the server named.
+		// The redirect target replaces the fallback order — the hinting
+		// server is authoritative about who holds the volume now.
 		hinted := string(resp.Body)
 		v.mu.Lock()
 		delete(v.pathLoc, cr.Prefix)
@@ -220,7 +308,8 @@ func (v *Venus) callAt(p *sim.Proc, server, path string, cr proto.CustodianReply
 		if redirects++; redirects >= maxRedirects {
 			return rpc.Response{}, fmt.Errorf("%w: too many custodian redirects for %s", proto.ErrInternal, path)
 		}
-		server = hinted
+		servers = []string{hinted}
+		si, server, redials = 0, hinted, 0
 	}
 }
 

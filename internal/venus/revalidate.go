@@ -56,9 +56,15 @@ func (v *Venus) Revalidate(p *sim.Proc, force bool) (checked, stale int, err err
 		return 0, 0, nil
 	}
 
-	// Group by custodian, keeping servers in the order their first entry
-	// appears in the FID-sorted candidate list — deterministic.
+	// Group by preferred server, keeping servers in the order their first
+	// entry appears in the FID-sorted candidate list — deterministic. Each
+	// group remembers its full fallback order: entries on a replicated
+	// read-only volume may be validated against any replica (replicas of a
+	// release are immutable and share the clone's versions), so when the
+	// preferred server is unreachable the sweep fails over instead of
+	// leaving the whole group unrefreshed.
 	byServer := make(map[string][]revalCandidate)
+	fallbacks := make(map[string][]string)
 	var order []string
 	for _, c := range cands {
 		cr, lerr := v.locateVolume(p, c.fid.Volume, c.path)
@@ -66,9 +72,11 @@ func (v *Venus) Revalidate(p *sim.Proc, force bool) (checked, stale int, err err
 			err = lerr
 			continue
 		}
-		server := v.serverFor(cr, true)
+		servers := v.serverOrder(cr, true)
+		server := servers[0]
 		if _, ok := byServer[server]; !ok {
 			order = append(order, server)
+			fallbacks[server] = servers
 		}
 		byServer[server] = append(byServer[server], c)
 	}
@@ -88,7 +96,7 @@ func (v *Venus) Revalidate(p *sim.Proc, force bool) (checked, stale int, err err
 				chunk = chunk[:batch]
 			}
 			items = items[len(chunk):]
-			n, st, cerr := v.revalidateChunk(p, server, chunk)
+			n, st, cerr := v.revalidateChunk(p, fallbacks[server], chunk)
 			checked += n
 			stale += st
 			if cerr != nil {
@@ -100,10 +108,11 @@ func (v *Venus) Revalidate(p *sim.Proc, force bool) (checked, stale int, err err
 	return checked, stale, err
 }
 
-// revalidateChunk checks one custodian's batch. A single-entry chunk uses
-// the legacy TestValid call — so RevalidateBatch=1 reproduces the unbatched
-// protocol exactly, which is what E14's ablation side measures.
-func (v *Venus) revalidateChunk(p *sim.Proc, server string, chunk []revalCandidate) (checked, stale int, err error) {
+// revalidateChunk checks one custodian's batch against the first reachable
+// server in servers. A single-entry chunk uses the legacy TestValid call —
+// so RevalidateBatch=1 reproduces the unbatched protocol exactly, which is
+// what E14's ablation side measures.
+func (v *Venus) revalidateChunk(p *sim.Proc, servers []string, chunk []revalCandidate) (checked, stale int, err error) {
 	v.mu.Lock()
 	v.stats.Revalidated += int64(len(chunk))
 	v.mu.Unlock()
@@ -120,7 +129,7 @@ func (v *Venus) revalidateChunk(p *sim.Proc, server string, chunk []revalCandida
 	for _, c := range chunk {
 		args.Items = append(args.Items, proto.TestValidArgs{Ref: proto.Ref{FID: c.fid}, Version: c.version})
 	}
-	reply, err := v.bulkTestValid(p, server, args)
+	reply, err := v.bulkTestValid(p, servers, args)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -153,11 +162,15 @@ func (v *Venus) applyRevalidation(p *sim.Proc, chunk []revalCandidate, verdicts 
 	return stale
 }
 
-// bulkTestValid performs one BulkTestValid RPC against server, redialing a
-// dead connection like callAt does. It deliberately skips wrong-server
-// redirect handling: a custodian that no longer hosts an item answers
-// Valid=false for it, and the next open's fetch chases the move.
-func (v *Venus) bulkTestValid(p *sim.Proc, server string, args proto.BulkTestValidArgs) (proto.BulkTestValidReply, error) {
+// bulkTestValid performs one BulkTestValid RPC against the first reachable
+// server in servers, redialing a dead connection like callAt does and
+// failing over down the replica order when a server stays unreachable. It
+// deliberately skips wrong-server redirect handling: a custodian that no
+// longer hosts an item answers Valid=false for it, and the next open's
+// fetch chases the move. A read-only replica never breaks callbacks — its
+// volumes are immutable — so a Valid answer from any replica is as good as
+// the custodian's.
+func (v *Venus) bulkTestValid(p *sim.Proc, servers []string, args proto.BulkTestValidArgs) (proto.BulkTestValidReply, error) {
 	sp := v.cfg.Tracer.Begin(p, "venus.validate.bulk", v.cfg.Machine)
 	defer sp.End()
 	v.mu.Lock()
@@ -167,12 +180,32 @@ func (v *Venus) bulkTestValid(p *sim.Proc, server string, args proto.BulkTestVal
 		Op:   rpc.Op(proto.OpBulkTestValid),
 		Body: proto.Marshal(args),
 	}
-	redials := 0
+	redials, si := 0, 0
+	server := servers[si]
+	failNext := func() bool {
+		if si+1 >= len(servers) {
+			return false
+		}
+		if p != nil {
+			p.Sleep(failoverBackoff << uint(si))
+		}
+		si++
+		server = servers[si]
+		redials = 0
+		v.mu.Lock()
+		v.stats.Failovers++
+		v.mu.Unlock()
+		v.cfg.Metrics.Counter("venus.failover").Inc()
+		return true
+	}
 	for {
 		c, err := v.conn(p, server)
 		if err != nil {
 			if isRedialable(err) && redials < v.cfg.ReconnectRetries {
 				redials++
+				continue
+			}
+			if isTransportErr(err) && failNext() {
 				continue
 			}
 			return proto.BulkTestValidReply{}, err
@@ -183,6 +216,12 @@ func (v *Venus) bulkTestValid(p *sim.Proc, server string, args proto.BulkTestVal
 				v.dropConn(server, c)
 				redials++
 				continue
+			}
+			if isTransportErr(err) {
+				v.dropConn(server, c)
+				if failNext() {
+					continue
+				}
 			}
 			return proto.BulkTestValidReply{}, err
 		}

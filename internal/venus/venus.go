@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"itcfs/internal/proto"
+	"itcfs/internal/replica"
 	"itcfs/internal/rpc"
 	"itcfs/internal/secure"
 	"itcfs/internal/sim"
@@ -59,6 +60,7 @@ type Stats struct {
 	BytesStored     int64
 	DegradedReads   int64 // reads served from cache while the server was unreachable
 	Reconnects      int64 // dead connections dropped for redial after transport failure
+	Failovers       int64 // calls moved to a fallback replica after a server stayed unreachable
 }
 
 // HitRatio returns hits over opens (0 when no opens).
@@ -106,6 +108,13 @@ type Config struct {
 	// Flight, when set, receives operational events — degraded-mode entry
 	// and exit, revalidation sweeps — for the flight recorder. Nil disables.
 	Flight *trace.Recorder
+	// Blocks, when set, interns every fetched file's content into a
+	// content-addressed index before it is written to the cache, so
+	// identical blocks fetched by the workstations sharing the index (the
+	// common case for system binaries served from replicated read-only
+	// volumes) are held once and the dedup ratio is measurable. Nil
+	// disables.
+	Blocks *replica.Index
 }
 
 // entry is one cached whole file (or directory listing, or status-only
@@ -636,6 +645,9 @@ func (v *Venus) installEntry(path string, st proto.Status, data []byte, now sim.
 		e.cacheFile = fmt.Sprintf("%s/c%d", v.cfg.CacheDir, v.nextID)
 	} else {
 		v.bytes -= e.status.Size
+	}
+	if ix := v.cfg.Blocks; ix != nil {
+		data = ix.Intern(data)
 	}
 	if err := v.cfg.Local.WriteFile(e.cacheFile, data, 0o600, "venus"); err != nil {
 		return nil, err

@@ -118,32 +118,27 @@ func (s *Server) handleVolClone(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 		}
 		return respErr(fmt.Errorf("%w: volume %d", proto.ErrStale, args.Volume))
 	}
+	// Validate the replica set before any visible effect: an unknown server
+	// name must fail the whole release, not leave a mounted release with a
+	// replica that can never confirm.
+	for _, rep := range args.Replicas {
+		s.mu.Lock()
+		_, havePeer := s.peers[rep]
+		s.mu.Unlock()
+		if !havePeer {
+			return respErr(fmt.Errorf("%w: unknown replica server %s", proto.ErrBadRequest, rep))
+		}
+	}
 	id := s.cfg.AllocVolID()
 	clone := src.Clone(id, src.Name()+".readonly")
 	if err := s.attachVolume(clone); err != nil {
 		return respErr(err)
 	}
-
-	// Install the image on each replica server.
-	image := clone.Serialize()
-	for _, rep := range args.Replicas {
-		s.mu.Lock()
-		peer, ok := s.peers[rep]
-		s.mu.Unlock()
-		if !ok {
-			return respErr(fmt.Errorf("%w: unknown replica server %s", proto.ErrBadRequest, rep))
-		}
-		resp, err := peer.Call(ctx.Proc, rpc.Request{
-			Op:   rpc.Op(proto.OpVolInstall),
-			Body: proto.Marshal(proto.VolInstallArgs{Volume: id, Name: clone.Name(), ReadOnly: true}),
-			Bulk: image,
-		})
-		if err != nil {
-			return respErr(err)
-		}
-		if !resp.OK() {
-			return respErr(proto.CodeToErr(resp.Code, string(resp.Body)))
-		}
+	if ix := s.cfg.Blocks; ix != nil {
+		clone.InternData(ix.Intern)
+	}
+	if len(args.Replicas) > 0 {
+		s.release.Begin(id, clone.Name(), args.Path, args.Replicas)
 	}
 
 	if args.Path != "" {
@@ -175,6 +170,19 @@ func (s *Server) handleVolClone(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 		}
 		if s.cfg.Mode == Revised {
 			s.callbacks.Break(ctx.Proc, pdir, parentPath, nil)
+		}
+	}
+
+	// Push the image to each replica, after the location entry naming the
+	// replica set is journalled and broadcast: a crash mid-propagation
+	// leaves a durable record of which release was in flight, and
+	// ResumeReleases finishes the missing installs after recovery. Until a
+	// replica confirms, clients asking it for the volume are redirected to
+	// the custodian (WrongServer), so the window is visible only as an
+	// extra hop.
+	if len(args.Replicas) > 0 {
+		if err := s.release.Propagate(id, s.pushRelease(ctx.Proc, clone)); err != nil {
+			return respErr(err)
 		}
 	}
 	return rpc.Response{Body: proto.Marshal(s.volStatusLocked(clone))}
@@ -414,12 +422,29 @@ func (s *Server) handleVolInstall(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 	if ctx.User != ServerUser {
 		return respErr(fmt.Errorf("%w: server-to-server only", proto.ErrNotAllowed))
 	}
-	if _, err := proto.Unmarshal(req.Body, proto.DecodeVolInstallArgs); err != nil {
+	args, err := proto.Unmarshal(req.Body, proto.DecodeVolInstallArgs)
+	if err != nil {
 		return respErr(err)
+	}
+	// Read-only installs are idempotent: a release's image for a volume ID
+	// is immutable, so a retry (an interrupted release being resumed after
+	// the custodian's WAL recovery) that finds the volume already attached
+	// has nothing left to do. Without this, every resume would fail on the
+	// replicas that DID confirm before the crash.
+	if args.ReadOnly {
+		s.mu.Lock()
+		_, have := s.vols[args.Volume]
+		s.mu.Unlock()
+		if have {
+			return rpc.Response{}
+		}
 	}
 	vol, err := volume.Deserialize(req.Bulk, s.cfg.Clock)
 	if err != nil {
 		return respErr(fmt.Errorf("%w: %v", proto.ErrBadRequest, err))
+	}
+	if ix := s.cfg.Blocks; ix != nil {
+		vol.InternData(ix.Intern)
 	}
 	vol.SetOnline(true)
 	if err := s.attachVolume(vol); err != nil {

@@ -9,6 +9,7 @@ import (
 
 	"itcfs/internal/prot"
 	"itcfs/internal/proto"
+	"itcfs/internal/replica"
 	"itcfs/internal/rpc"
 	"itcfs/internal/sim"
 	"itcfs/internal/store"
@@ -87,6 +88,12 @@ type Config struct {
 	// surviving state back after a restart. Nil keeps volumes volatile (the
 	// simulator's default).
 	Store store.Store
+	// Blocks, when set, is the content-addressed block index: volume images
+	// arriving by clone, install or recovery have their file content
+	// interned so identical blocks across clones, releases and replicas are
+	// stored once. Share one index across a cell's servers to measure
+	// cell-wide dedup. Nil disables interning.
+	Blocks *replica.Index
 }
 
 // Server is one Vice cluster server.
@@ -104,6 +111,7 @@ type Server struct {
 	locks     *LockTable
 	callbacks *CallbackTable
 	disp      *rpc.Server
+	release   *replica.Controller
 	restarts  int64 // guarded by mu
 
 	// Traffic counters for the evaluation harness.
@@ -149,6 +157,7 @@ func New(cfg Config) *Server {
 		volAccess:  make(map[uint32]map[string]int64),
 		pendingVol: make(map[*sim.Proc]uint32),
 	}
+	s.release = replica.NewController(cfg.Name, cfg.Metrics, cfg.Flight)
 	s.callbacks.SetMetrics(cfg.Metrics)
 	s.callbacks.SetFlight(cfg.Flight, cfg.Name)
 	s.callbacks.SetUnbatched(cfg.UnbatchedBreaks)

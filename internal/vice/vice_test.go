@@ -7,6 +7,7 @@ import (
 
 	"itcfs/internal/prot"
 	"itcfs/internal/proto"
+	"itcfs/internal/replica"
 	"itcfs/internal/rpc"
 	"itcfs/internal/secure"
 	"itcfs/internal/sim"
@@ -22,15 +23,18 @@ func (c directCaller) Call(p *sim.Proc, req rpc.Request) (rpc.Response, error) {
 }
 
 // cell is a small test cell: servers with replicated databases, a root
-// volume on servers[0], all peers wired.
+// volume on servers[0], all peers wired. Every server shares one
+// content-addressed block index, as a production cell measuring dedup
+// would, so the whole suite exercises interning.
 type cell struct {
 	servers []*Server
+	blocks  *replica.Index
 	nextVol uint32
 }
 
 func newCell(t testing.TB, mode Mode, n int) *cell {
 	t.Helper()
-	c := &cell{nextVol: 1}
+	c := &cell{nextVol: 1, blocks: replica.NewIndex(nil)}
 	alloc := func() uint32 { c.nextVol++; return c.nextVol }
 	var clock int64
 	clk := func() int64 { clock++; return clock }
@@ -51,18 +55,19 @@ func newCell(t testing.TB, mode Mode, n int) *cell {
 
 	for i := 0; i < n; i++ {
 		// Each server holds its own replica of the protection database.
-		replica := prot.NewDB()
-		if err := replica.LoadSnapshot(db.Snapshot()); err != nil {
+		dbCopy := prot.NewDB()
+		if err := dbCopy.LoadSnapshot(db.Snapshot()); err != nil {
 			t.Fatal(err)
 		}
 		s := New(Config{
 			Name:          fmt.Sprintf("server%d", i),
 			Mode:          mode,
-			DB:            replica,
+			DB:            dbCopy,
 			Loc:           NewLocDB(),
 			Clock:         clk,
 			ProtAuthority: i == 0,
 			AllocVolID:    alloc,
+			Blocks:        c.blocks,
 		})
 		c.servers = append(c.servers, s)
 	}

@@ -36,6 +36,7 @@ import (
 	"itcfs/internal/netsim"
 	"itcfs/internal/prot"
 	"itcfs/internal/proto"
+	"itcfs/internal/replica"
 	"itcfs/internal/rpc"
 	"itcfs/internal/secure"
 	"itcfs/internal/sim"
@@ -147,6 +148,13 @@ type CellConfig struct {
 	// a walstore for real files. The simulator's determinism is unaffected
 	// either way (see TestStoreDeterminism).
 	Store func(server int) store.Store
+
+	// Blocks, when set, is a cell-wide content-addressed block index: every
+	// server deduplicates read-only clone/replica content through it, and
+	// every Venus interns fetched file data into it, so N replicas of the
+	// system binaries cost one copy of each distinct block. Nil (the
+	// default) disables dedup entirely.
+	Blocks *replica.Index
 }
 
 // Server is one Vice cluster server with its simulated devices.
@@ -284,6 +292,7 @@ func NewCell(cfg CellConfig) *Cell {
 			UnbatchedBreaks: cfg.UnbatchedBreaks,
 			BreakWindow:     cfg.BreakWindow,
 			Store:           storeFor(cfg.Store, i),
+			Blocks:          cfg.Blocks,
 		})
 		ep := rpc.NewEndpoint(c.Net, node, rpc.EndpointConfig{
 			Keys:        db.LookupKey,
@@ -479,6 +488,7 @@ func (c *Cell) AddWorkstation(cluster int, name string) *Workstation {
 		CallbackTTL:      c.cfg.CallbackTTL,
 		ReconnectRetries: c.cfg.ReconnectRetries,
 		RevalidateBatch:  c.cfg.RevalidateBatch,
+		Blocks:           c.cfg.Blocks,
 		Tracer:           c.Tracer,
 		Metrics:          c.cfg.Metrics,
 		Flight:           c.Flight,
