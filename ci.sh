@@ -8,11 +8,29 @@ cd "$(dirname "$0")"
 go vet ./...
 go build ./...
 
-# Project-specific static analysis (tools/itcvet): wall-clock bans in
-# deterministic code, unseeded global rand, guarded-field lock discipline,
-# and map-iteration order leaking into ordered outputs. A finding fails CI.
+# Project-specific static analysis (tools/itcvet), a hard gate ahead of the
+# race pass: wall-clock bans in deterministic code, unseeded global rand,
+# guarded-field lock discipline, map-iteration order leaking into ordered
+# outputs, lock-order cycles and blocking-while-locked (lockorder), dropped
+# durability errors (durcheck), and coverage drift — fuzz targets absent
+# from this script, unpaired or untested codecs, uncontracted mutexes
+# (driftcheck). Runs over ./... which includes ./tools/... itself, so the
+# analyzers are held to their own rules. A finding fails CI.
 go build -o itcvet ./tools/itcvet
 go vet -vettool="$(pwd)/itcvet" ./...
+
+# Lock-order graph: byte-identical across runs (determinism), acyclic
+# (-lockgraph exits nonzero on a cycle), and matching the copy embedded in
+# DESIGN.md section 7 so the documented graph cannot drift from the code.
+# Regenerate the doc block with: ./itcvet -lockgraph ./...
+lgdir="$(mktemp -d)"
+./itcvet -lockgraph ./... > "$lgdir/g1.txt"
+./itcvet -lockgraph ./... > "$lgdir/g2.txt"
+cmp "$lgdir/g1.txt" "$lgdir/g2.txt"
+sed -n '/<!-- lockgraph:begin -->/,/<!-- lockgraph:end -->/p' DESIGN.md \
+	| sed '1d;$d' | sed '/^```/d' > "$lgdir/doc.txt"
+cmp "$lgdir/g1.txt" "$lgdir/doc.txt"
+rm -rf "$lgdir"
 rm -f itcvet
 
 # Known-vulnerability scan: advisory only (the tool and its vuln DB need

@@ -1,0 +1,56 @@
+package leakcheck
+
+import (
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestCheckPassesWhenSettled: the baseline itself is not a leak.
+func TestCheckPassesWhenSettled(t *testing.T) {
+	if got := check(io.Discard, runtime.NumGoroutine()); got != 0 {
+		t.Fatalf("check on a settled process = %d, want 0", got)
+	}
+}
+
+// TestCheckFlagsLeak: a goroutine parked past the settling window fails the
+// check and its stack appears in the dump.
+func TestCheckFlagsLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	stop := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-stop
+	}()
+	<-started
+	defer close(stop)
+	var dump strings.Builder
+	if got := check(&dump, base); got == 0 {
+		t.Fatal("check missed a parked goroutine")
+	}
+	if !strings.Contains(dump.String(), "TestCheckFlagsLeak") {
+		t.Fatalf("stack dump does not name the leaking test:\n%s", dump.String())
+	}
+}
+
+// TestFuzzingDetection: the check stands down for fuzz invocations, whose
+// coordinator goroutines never settle.
+func TestFuzzingDetection(t *testing.T) {
+	saved := os.Args
+	defer func() { os.Args = saved }()
+	os.Args = []string{"pkg.test", "-test.run=NONE"}
+	if fuzzing() {
+		t.Fatal("plain run misdetected as fuzzing")
+	}
+	os.Args = []string{"pkg.test", "-test.fuzz=^FuzzX$", "-test.fuzztime=10s"}
+	if !fuzzing() {
+		t.Fatal("-test.fuzz not detected")
+	}
+	os.Args = []string{"pkg.test", "-test.fuzzworker"}
+	if !fuzzing() {
+		t.Fatal("-test.fuzzworker not detected")
+	}
+}

@@ -1,0 +1,76 @@
+package proto
+
+import (
+	"reflect"
+	"testing"
+
+	"itcfs/internal/wire"
+)
+
+func TestBulkTestValidArgsRoundTrip(t *testing.T) {
+	a := BulkTestValidArgs{Items: []TestValidArgs{
+		{Ref: Ref{FID: FID{Volume: 1, Vnode: 2, Uniq: 3}}, Version: 9},
+		{Ref: Ref{Path: "/usr/satya/paper.tex"}, Version: 0},
+	}}
+	var e wire.Encoder
+	a.Encode(&e)
+	d := wire.NewDecoder(e.Buf())
+	got := DecodeBulkTestValidArgs(d)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, a) {
+		t.Fatalf("round trip: %+v != %+v", got, a)
+	}
+}
+
+func TestBulkTestValidReplyRoundTrip(t *testing.T) {
+	r := BulkTestValidReply{Items: []TestValidReply{
+		{Valid: true, Version: 12},
+		{Valid: false, Version: 0},
+	}}
+	var e wire.Encoder
+	r.Encode(&e)
+	d := wire.NewDecoder(e.Buf())
+	got := DecodeBulkTestValidReply(d)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("round trip: %+v != %+v", got, r)
+	}
+}
+
+func TestBulkBreakArgsRoundTrip(t *testing.T) {
+	a := BulkBreakArgs{Items: []CallbackBreakArgs{
+		{FID: FID{Volume: 4, Vnode: 5, Uniq: 6}},
+		{FID: FID{Volume: 4, Vnode: 7, Uniq: 1}, Path: "/usr/satya"},
+	}}
+	var e wire.Encoder
+	a.Encode(&e)
+	d := wire.NewDecoder(e.Buf())
+	got := DecodeBulkBreakArgs(d)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, a) {
+		t.Fatalf("round trip: %+v != %+v", got, a)
+	}
+}
+
+// Truncated bulk payloads must fail cleanly, not over-allocate: ListLen
+// bounds the claimed count by the bytes actually present.
+func TestBulkDecodeTruncated(t *testing.T) {
+	a := BulkTestValidArgs{Items: []TestValidArgs{
+		{Ref: Ref{FID: FID{Volume: 1, Vnode: 2, Uniq: 3}}, Version: 9},
+		{Ref: Ref{FID: FID{Volume: 1, Vnode: 4, Uniq: 5}}, Version: 10},
+	}}
+	var e wire.Encoder
+	a.Encode(&e)
+	buf := e.Buf()
+	d := wire.NewDecoder(buf[:len(buf)-3])
+	DecodeBulkTestValidArgs(d)
+	if d.Close() == nil {
+		t.Fatal("truncated bulk payload decoded without error")
+	}
+}

@@ -1,0 +1,11 @@
+package replica
+
+import (
+	"testing"
+
+	"itcfs/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine running —
+// a release controller or subscriber that outlives its Close.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

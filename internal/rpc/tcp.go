@@ -172,6 +172,7 @@ func (p *Peer) Close() error {
 	}
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 	for _, seq := range seqs {
+		//itcvet:allowblocking pending channels are buffered (cap 1) and receive exactly one send, so this never parks
 		p.pending[seq] <- outcome{err: ErrClosed}
 		delete(p.pending, seq)
 	}
@@ -185,6 +186,7 @@ func (p *Peer) Done() <-chan struct{} { return p.done }
 func (p *Peer) writeSealed(plain []byte) error {
 	p.wmu.Lock()
 	defer p.wmu.Unlock()
+	//itcvet:allowblocking wmu exists to serialize frame writes; writers expect to pace each other on socket I/O
 	return wire.WriteFrame(p.conn, p.box.Seal(plain))
 }
 

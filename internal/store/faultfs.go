@@ -26,16 +26,18 @@ import (
 // replays the identical crash. Run once with CrashAt == 0 (never crash) and
 // read Events() to enumerate the crash points a workload exposes.
 type FaultFS struct {
-	mu      sync.Mutex
-	seed    int64
-	rng     *rand.Rand
-	crashAt int // 1-based event number to crash on; 0 = never
-	event   int
-	crashed bool
+	mu   sync.Mutex
+	seed int64      // guarded by mu
+	rng  *rand.Rand // guarded by mu
+	// 1-based event number to crash on; 0 = never.
+	crashAt int  // guarded by mu
+	event   int  // guarded by mu
+	crashed bool // guarded by mu
 	// Strict drops every unsynced byte at Survivors time, so recovered state
-	// is exactly the synced (acknowledged) prefix.
+	// is exactly the synced (acknowledged) prefix. Set before use, never
+	// mutated during a run.
 	Strict bool
-	files  map[string]*faultFile
+	files  map[string]*faultFile // guarded by mu
 }
 
 type faultFile struct {
@@ -83,6 +85,8 @@ func (f *FaultFS) Crashed() bool {
 
 // step counts one durability event and reports whether this is the crash.
 // Callers hold f.mu.
+//
+//itcvet:holds mu
 func (f *FaultFS) step() bool {
 	if f.crashed {
 		return true
@@ -95,6 +99,9 @@ func (f *FaultFS) step() bool {
 	return false
 }
 
+// file returns name's entry, creating it if absent. Callers hold f.mu.
+//
+//itcvet:holds mu
 func (f *FaultFS) file(name string) *faultFile {
 	ff, ok := f.files[name]
 	if !ok {

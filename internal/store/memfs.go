@@ -9,7 +9,7 @@ import (
 // MemFS is an in-memory FS for tests: same contract as DirFS with no disk.
 type MemFS struct {
 	mu    sync.Mutex
-	files map[string][]byte
+	files map[string][]byte // guarded by mu
 }
 
 // NewMemFS returns an empty in-memory filesystem.

@@ -1,0 +1,11 @@
+package venus
+
+import (
+	"testing"
+
+	"itcfs/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine running —
+// a cache manager, prober or TCP peer that outlives its Close.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

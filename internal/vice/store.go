@@ -46,6 +46,7 @@ func (s *Server) mutate(v *volume.Volume, fn func() error) error {
 	committed := err == nil || len(c.Deletes)+len(c.Meta)+len(c.Data) > 0
 	var werr error
 	if committed {
+		//itcvet:allowblocking Commit is a buffered append, not an fsync (Sync runs outside applyMu); log order must match apply order
 		werr = st.Commit(c)
 	}
 	s.applyMu.Unlock()
@@ -268,5 +269,6 @@ func (s *Server) CheckpointStore() error {
 		cp.Volumes = append(cp.Volumes, store.VolumeImage{ID: id, Image: s.vols[id].Serialize()})
 	}
 	s.mu.Unlock()
+	//itcvet:allowblocking checkpoint quiesces mutations by design so the snapshot is a consistent cut
 	return st.Checkpoint(cp)
 }

@@ -2,7 +2,9 @@ package vice
 
 import (
 	"bytes"
+	"errors"
 	"strings"
+	"sync"
 	"testing"
 
 	"itcfs/internal/prot"
@@ -247,5 +249,113 @@ func TestStoreFailureSurfacesAndUnackedWriteStaysVolatile(t *testing.T) {
 		proto.Marshal(proto.FetchArgs{Ref: pathRef("/f")}), nil)
 	if string(got) != "before" {
 		t.Fatalf("recovered contents = %q, want the acked %q", got, "before")
+	}
+}
+
+// syncFailFS delegates to an in-memory FS but, once armed, fails every fsync
+// on the log. Appends keep succeeding — the record reaches the OS buffer,
+// the flush dies — which is exactly the ordering where a positive ack would
+// be a lie.
+type syncFailFS struct {
+	store.FS
+	mu    sync.Mutex
+	armed bool // guarded by mu
+}
+
+var errInjectedFsync = errors.New("injected fsync failure")
+
+func (s *syncFailFS) arm(on bool) {
+	s.mu.Lock()
+	s.armed = on
+	s.mu.Unlock()
+}
+
+func (s *syncFailFS) Open(name string) (store.File, error) {
+	f, err := s.FS.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &syncFailFile{File: f, fs: s}, nil
+}
+
+type syncFailFile struct {
+	store.File
+	fs *syncFailFS
+}
+
+func (f *syncFailFile) Sync() error {
+	f.fs.mu.Lock()
+	armed := f.fs.armed
+	f.fs.mu.Unlock()
+	if armed {
+		return errInjectedFsync
+	}
+	return f.File.Sync()
+}
+
+// TestSyncFailureLatchesAcrossMutatePaths pins walstore's latch discipline as
+// seen through the vice mutate paths: the mutation whose fsync failed is
+// refused (a failed Sync is never followed by a positive ack), and the latch
+// makes every later mutation — volume writes, creates, location installs,
+// protection changes — keep failing even after the disk "recovers", because
+// the store cannot know how much of its buffered tail actually survived.
+// Reads keep working: the server degrades to read-only, not to dead.
+func TestSyncFailureLatchesAcrossMutatePaths(t *testing.T) {
+	fsys := &syncFailFS{FS: store.NewMemFS()}
+	ws, err := walstore.Open(fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDurableServer(t, ws)
+	d.call(t, "operator", proto.OpCreate,
+		proto.Marshal(proto.NameArgs{Dir: pathRef("/"), Name: "f", Mode: 0o644}), nil)
+	d.call(t, "operator", proto.OpStore,
+		proto.Marshal(proto.StoreArgs{Ref: pathRef("/f")}), []byte("before"))
+	d.call(t, "operator", proto.OpCreate,
+		proto.Marshal(proto.NameArgs{Dir: pathRef("/"), Name: "r", Mode: 0o644}), nil)
+	d.call(t, "operator", proto.OpStore,
+		proto.Marshal(proto.StoreArgs{Ref: pathRef("/r")}), []byte("stable"))
+
+	// The append succeeds, the fsync fails: no ack.
+	fsys.arm(true)
+	resp := d.srv.Dispatcher().Dispatch(rpc.Ctx{User: "operator"},
+		rpc.Request{Op: rpc.Op(proto.OpStore),
+			Body: proto.Marshal(proto.StoreArgs{Ref: pathRef("/f")}), Bulk: []byte("after")})
+	if resp.OK() || resp.Code != proto.CodeInternal {
+		t.Fatalf("store with failing fsync: code %d, want internal error", resp.Code)
+	}
+
+	// The disk comes back, but the store has latched: it cannot tell which of
+	// its buffered records reached the platter, so nothing after the failure
+	// may be acknowledged either.
+	fsys.arm(false)
+	mutations := []struct {
+		name string
+		op   uint16
+		body []byte
+		bulk []byte
+	}{
+		{"store", proto.OpStore, proto.Marshal(proto.StoreArgs{Ref: pathRef("/f")}), []byte("later")},
+		{"create", proto.OpCreate, proto.Marshal(proto.NameArgs{Dir: pathRef("/"), Name: "g", Mode: 0o644}), nil},
+	}
+	for _, m := range mutations {
+		resp := d.srv.Dispatcher().Dispatch(rpc.Ctx{User: "operator"},
+			rpc.Request{Op: rpc.Op(m.op), Body: m.body, Bulk: m.bulk})
+		if resp.OK() || resp.Code != proto.CodeInternal {
+			t.Fatalf("%s after latched fsync failure: code %d, want internal error", m.name, resp.Code)
+		}
+	}
+	if err := d.srv.InstallLoc([]proto.LocEntry{{Prefix: "/x", Volume: 2, Custodian: "server0"}}, nil); err == nil {
+		t.Fatal("InstallLoc after latched fsync failure succeeded")
+	}
+
+	// Read-only service continues: a file no failed write touched still
+	// serves its acked contents. (Files the refused writes did touch may show
+	// the in-memory effect — the server is read-only until restarted, and a
+	// restart replays only what stable storage holds.)
+	got := d.call(t, "operator", proto.OpFetch,
+		proto.Marshal(proto.FetchArgs{Ref: pathRef("/r")}), nil)
+	if string(got) != "stable" {
+		t.Fatalf("read after latch = %q, want the acked %q", got, "stable")
 	}
 }

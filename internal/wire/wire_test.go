@@ -221,3 +221,24 @@ func TestQuickDecodeGarbageSafe(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	for _, h := range []TraceHeader{
+		{},
+		{Trace: 0xdeadbeefcafef00d, Span: 1},
+	} {
+		var e Encoder
+		h.Encode(&e)
+		if len(e.Buf()) != 16 {
+			t.Fatalf("TraceHeader encoded to %d bytes, want fixed 16", len(e.Buf()))
+		}
+		d := NewDecoder(e.Buf())
+		got := DecodeTraceHeader(d)
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got != h {
+			t.Fatalf("round trip: %+v != %+v", got, h)
+		}
+	}
+}

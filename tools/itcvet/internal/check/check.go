@@ -107,6 +107,11 @@ func collectAllows(fset *token.FileSet, files []*ast.File) []*allowSite {
 				if !ok {
 					continue
 				}
+				// A longer directive sharing the prefix — itcvet:allowblocking,
+				// owned by the lockorder analyzer — is not an itcvet:allow.
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue
+				}
 				if i := strings.Index(rest, "--"); i >= 0 {
 					rest = rest[:i]
 				}

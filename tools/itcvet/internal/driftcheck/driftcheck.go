@@ -1,0 +1,296 @@
+// Package driftcheck detects coverage drift: the gap that opens when code
+// grows a new surface but the harness that was supposed to exercise it is
+// never told.
+//
+// Three invariants, each cheap to state and easy to silently lose:
+//
+//  1. Every Fuzz* target is exercised by ci.sh. A fuzz function that is not
+//     in the CI fuzz gate runs zero iterations forever; the check word-
+//     matches each target's name against the ci.sh found at the module
+//     root (walking up from the package directory, never past a directory
+//     named "testdata", so fixture modules bring their own ci.sh).
+//
+//  2. Every Encode has a Decode and a round-trip test. In the codec
+//     packages (wire, proto), an exported EncodeX function must have a
+//     DecodeX counterpart, a method (T) Encode must have a DecodeT, and
+//     the decoder's name must appear in some *_test.go in the package —
+//     the cheapest possible witness that a round-trip test exists. An
+//     encoder without a decoder is a write-only format; one without a
+//     round-trip test is a format whose compatibility nobody checks.
+//
+//  3. Every mutex-owning struct states its contract. A sync.Mutex or
+//     sync.RWMutex field must either be named by at least one sibling
+//     field's "guarded by <mu>" comment (lockcheck then enforces it) or
+//     carry its own comment saying what it serializes/guards. An
+//     uncontracted mutex is invisible to lockcheck and lockorder's holds
+//     annotations — exactly the state the MemFS and FaultFS mutexes had
+//     drifted into when this check was written.
+//
+// Findings carry category "drift" for the standard //itcvet:allow hatch.
+package driftcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"itcfs/tools/itcvet/internal/check"
+)
+
+// Analyzer is the driftcheck pass.
+var Analyzer = &check.Analyzer{
+	Name:     "driftcheck",
+	Doc:      "coverage drift: Fuzz* targets absent from ci.sh, Encode* without Decode*/round-trip tests in wire and proto, mutexes without a guarded-by contract",
+	Category: "drift",
+	Run:      run,
+}
+
+// codecPkgs are the packages whose Encode/Decode surface is paired.
+var codecPkgs = map[string]bool{"wire": true, "proto": true}
+
+func run(pass *check.Pass) {
+	checkFuzzTargets(pass)
+	if codecPkgs[pass.Pkg.Name()] {
+		checkCodecPairs(pass)
+	}
+	checkMutexContracts(pass)
+}
+
+// --- invariant 1: fuzz targets vs ci.sh -------------------------------
+
+func checkFuzzTargets(pass *check.Pass) {
+	type target struct {
+		decl *ast.FuncDecl
+		dir  string
+	}
+	var targets []target
+	for _, f := range pass.Files {
+		posn := pass.Fset.Position(f.Pos())
+		if !strings.HasSuffix(posn.Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || !strings.HasPrefix(fd.Name.Name, "Fuzz") {
+				continue
+			}
+			targets = append(targets, target{fd, filepath.Dir(posn.Filename)})
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+	ciCache := map[string]string{}
+	for _, t := range targets {
+		ci, ok := ciCache[t.dir]
+		if !ok {
+			ci = readCI(t.dir)
+			ciCache[t.dir] = ci
+		}
+		if ci == "" {
+			continue // no ci.sh governs this module; nothing to drift from
+		}
+		if !regexp.MustCompile(`\b` + regexp.QuoteMeta(t.decl.Name.Name) + `\b`).MatchString(ci) {
+			pass.Reportf(t.decl.Pos(),
+				"fuzz target %s is not exercised by ci.sh; a fuzz function missing from the CI gate runs zero iterations forever", t.decl.Name.Name)
+		}
+	}
+}
+
+// readCI walks up from dir to the module root (go.mod) and returns that
+// directory's ci.sh, or "" if either is missing. The walk never ascends
+// out of a directory named "testdata": fixture packages must bring their
+// own module, not inherit the real repo's gate.
+func readCI(dir string) string {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			b, err := os.ReadFile(filepath.Join(dir, "ci.sh"))
+			if err != nil {
+				return ""
+			}
+			return string(b)
+		}
+		if filepath.Base(dir) == "testdata" {
+			return ""
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}
+
+// --- invariant 2: Encode/Decode pairing and round-trip tests ----------
+
+func checkCodecPairs(pass *check.Pass) {
+	// encoder name -> required decoder name, with a report position.
+	type want struct {
+		encoder string
+		decoder string
+		pos     ast.Node
+	}
+	var wants []want
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !ast.IsExported(fd.Name.Name) {
+				continue
+			}
+			switch {
+			case fd.Recv == nil && strings.HasPrefix(fd.Name.Name, "Encode"):
+				wants = append(wants, want{fd.Name.Name, "Decode" + strings.TrimPrefix(fd.Name.Name, "Encode"), fd.Name})
+			case fd.Recv != nil && fd.Name.Name == "Encode":
+				if tn := recvTypeName(pass, fd); tn != "" && ast.IsExported(tn) {
+					wants = append(wants, want{tn + ".Encode", "Decode" + tn, fd.Name})
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		return
+	}
+	sort.Slice(wants, func(i, j int) bool { return wants[i].encoder < wants[j].encoder })
+	tests := testFileText(pass)
+	for _, w := range wants {
+		if pass.Pkg.Scope().Lookup(w.decoder) == nil {
+			pass.Reportf(w.pos.Pos(),
+				"%s has no matching %s in package %s; an encoder without a decoder is a write-only wire format", w.encoder, w.decoder, pass.Pkg.Name())
+			continue
+		}
+		if !strings.Contains(tests, w.decoder) {
+			pass.Reportf(w.pos.Pos(),
+				"%s has no round-trip test: no *_test.go in the package mentions %s", w.encoder, w.decoder)
+		}
+	}
+}
+
+// testFileText concatenates every *_test.go in the package directory, read
+// from disk: the vet unit for the plain package does not carry test files,
+// and the check must not depend on which unit variant it runs in.
+func testFileText(pass *check.Pass) string {
+	if len(pass.Files) == 0 {
+		return ""
+	}
+	dir := filepath.Dir(pass.Fset.Position(pass.Files[0].Pos()).Filename)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return ""
+	}
+	var sb strings.Builder
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err == nil {
+			sb.Write(b)
+		}
+	}
+	return sb.String()
+}
+
+func recvTypeName(pass *check.Pass, fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := pass.Info.TypeOf(fd.Recv.List[0].Type)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// --- invariant 3: mutex contracts -------------------------------------
+
+var guardedByRE = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// contractWords in a mutex's own comment count as a stated contract for
+// mutexes that serialize actions rather than guard fields (Peer.wmu,
+// Server.applyMu).
+var contractWords = regexp.MustCompile(`\b(serializes|guards|guarded)\b`)
+
+func checkMutexContracts(pass *check.Pass) {
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			// Which mutex fields exist, and which are named by a sibling's
+			// guarded-by comment or carry their own contract comment.
+			type mutexField struct {
+				name string
+				fld  *ast.Field
+			}
+			var mutexes []mutexField
+			named := map[string]bool{}
+			for _, fld := range st.Fields.List {
+				if isMutexType(pass.Info.TypeOf(fld.Type)) {
+					for _, name := range fld.Names {
+						mutexes = append(mutexes, mutexField{name.Name, fld})
+					}
+					if len(fld.Names) == 0 { // embedded sync.Mutex
+						mutexes = append(mutexes, mutexField{"Mutex", fld})
+					}
+				}
+				for _, m := range guardedByRE.FindAllStringSubmatch(fieldComments(fld), -1) {
+					named[m[1]] = true
+				}
+			}
+			for _, m := range mutexes {
+				if named[m.name] || contractWords.MatchString(fieldComments(m.fld)) {
+					continue
+				}
+				pass.Reportf(m.fld.Pos(),
+					"mutex %s.%s has no contract: no sibling field says `// guarded by %s` and the mutex's own comment does not say what it serializes or guards",
+					ts.Name.Name, m.name, m.name)
+			}
+			return true
+		})
+	}
+}
+
+func fieldComments(fld *ast.Field) string {
+	var sb strings.Builder
+	if fld.Doc != nil {
+		sb.WriteString(fld.Doc.Text())
+		sb.WriteString("\n")
+	}
+	if fld.Comment != nil {
+		sb.WriteString(fld.Comment.Text())
+	}
+	return sb.String()
+}
+
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}

@@ -1,0 +1,16 @@
+package driftcheck_test
+
+import (
+	"testing"
+
+	"itcfs/tools/itcvet/internal/checktest"
+	"itcfs/tools/itcvet/internal/driftcheck"
+)
+
+func TestFuzzAndMutexDrift(t *testing.T) {
+	checktest.Run(t, driftcheck.Analyzer, "testdata", "dr")
+}
+
+func TestCodecPairs(t *testing.T) {
+	checktest.Run(t, driftcheck.Analyzer, "testdata", "wire")
+}

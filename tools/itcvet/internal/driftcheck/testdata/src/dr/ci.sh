@@ -1,0 +1,2 @@
+#!/bin/sh
+go test -run=NONE -fuzz='^FuzzTableRows$' -fuzztime=10s .

@@ -1,0 +1,37 @@
+// Package dr exercises driftcheck's fuzz-in-ci and mutex-contract
+// invariants; the fixture directory carries its own go.mod and ci.sh so the
+// walk-up never reaches the real repository's gate.
+package dr
+
+import "sync"
+
+// Contracted: a sibling field names the mutex.
+type Table struct {
+	mu   sync.Mutex
+	rows map[int]string // guarded by mu
+}
+
+// SelfStated: the mutex's own comment says what it serializes.
+type Writer struct {
+	wmu sync.Mutex // serializes frame writes
+	n   int
+}
+
+// Bare has drifted: nothing states what mu protects.
+type Bare struct {
+	mu sync.Mutex // want `mutex Bare\.mu has no contract`
+	n  int
+}
+
+// ReadMostly uses an RWMutex; the contract rule is the same.
+type ReadMostly struct {
+	mu sync.RWMutex // want `mutex ReadMostly\.mu has no contract`
+	m  map[string]int
+}
+
+// Allowed opts out explicitly, with a reason the reader can audit.
+type Allowed struct {
+	//itcvet:allow drift -- scratch mutex for a benchmark harness, no shared fields
+	mu sync.Mutex
+	n  int
+}

@@ -1,0 +1,11 @@
+package dr
+
+import "testing"
+
+func FuzzTableRows(f *testing.F) {
+	f.Fuzz(func(t *testing.T, k int, v string) {})
+}
+
+func FuzzForgotten(f *testing.F) { // want `fuzz target FuzzForgotten is not exercised by ci\.sh`
+	f.Fuzz(func(t *testing.T, b []byte) {})
+}

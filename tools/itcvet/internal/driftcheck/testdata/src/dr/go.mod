@@ -1,0 +1,3 @@
+module fixture/dr
+
+go 1.22

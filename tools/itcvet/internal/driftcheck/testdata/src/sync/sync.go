@@ -1,0 +1,14 @@
+// Package sync is a fixture stub: the mutex surface driftcheck recognizes.
+package sync
+
+type Mutex struct{ state int32 }
+
+func (m *Mutex) Lock()
+func (m *Mutex) Unlock()
+
+type RWMutex struct{ state int32 }
+
+func (m *RWMutex) Lock()
+func (m *RWMutex) Unlock()
+func (m *RWMutex) RLock()
+func (m *RWMutex) RUnlock()

@@ -1,0 +1,10 @@
+// Package testing is a fixture stub: just the fuzzing surface the
+// driftcheck fixtures use.
+package testing
+
+type T struct{}
+
+type F struct{}
+
+func (f *F) Add(args ...any)
+func (f *F) Fuzz(fn any)

@@ -1,0 +1,24 @@
+// Package wire exercises driftcheck's Encode/Decode pairing: the package
+// name makes it a codec package.
+package wire
+
+// Good has both directions and a round-trip test.
+func EncodeGood(v uint32) []byte { return nil }
+
+func DecodeGood(b []byte) (uint32, error) { return 0, nil }
+
+// Header pairs a method encoder with a DecodeHeader function.
+type Header struct{ Len uint32 }
+
+func (h Header) Encode() []byte { return nil }
+
+func DecodeHeader(b []byte) (Header, error) { return Header{}, nil }
+
+func EncodeOrphan(v uint64) []byte { return nil } // want `EncodeOrphan has no matching DecodeOrphan`
+
+func EncodeUntested(v uint16) []byte { return nil } // want `EncodeUntested has no round-trip test`
+
+func DecodeUntested(b []byte) (uint16, error) { return 0, nil }
+
+// ChecksumEncode does not begin with Encode: prefix rule leaves it alone.
+func ChecksumEncode(b []byte) uint32 { return 0 }

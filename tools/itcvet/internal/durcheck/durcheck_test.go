@@ -1,0 +1,12 @@
+package durcheck_test
+
+import (
+	"testing"
+
+	"itcfs/tools/itcvet/internal/checktest"
+	"itcfs/tools/itcvet/internal/durcheck"
+)
+
+func TestDurcheck(t *testing.T) {
+	checktest.Run(t, durcheck.Analyzer, "testdata", "du")
+}

@@ -1,0 +1,93 @@
+// Package du exercises durcheck: every way a durability error can be
+// dropped, and every way of handling one that counts.
+package du
+
+import "fmt"
+
+type Store struct{ err error }
+
+func (s *Store) Commit() error
+func (s *Store) Sync() error
+func (s *Store) Checkpoint() error
+func (s *Store) Recover() (int, error)
+
+type File struct{}
+
+func (File) Sync() error
+func (File) Append(b []byte) error
+
+type FS struct{}
+
+func (FS) WriteFileAtomic(name string, b []byte) error
+
+// Rec is a flight-recorder-shaped logger.
+type Rec struct{}
+
+func (Rec) Log(args ...any)
+
+// Cache is outside the durability plane: same method name, no finding.
+type Cache struct{}
+
+func (Cache) Sync() error
+
+func drop(s *Store) {
+	s.Commit() // want `Store\.Commit error is ignored`
+}
+
+func deferDrop(f File) {
+	defer f.Sync() // want `deferred File\.Sync discards its error`
+}
+
+func blank(s *Store) {
+	_ = s.Sync() // want `Store\.Sync error is assigned to _`
+}
+
+func blankTuple(s *Store) {
+	_, _ = s.Recover() // want `Store\.Recover error is assigned to _`
+}
+
+func blankReplace(fs FS) {
+	_ = fs.WriteFileAtomic("loc.db", nil) // want `FS\.WriteFileAtomic error is assigned to _`
+}
+
+func overwritten(s *Store) error {
+	err := s.Commit()
+	if err != nil {
+		return err
+	}
+	err = s.Sync() // want `Store\.Sync error is captured in err but never read`
+	return nil
+}
+
+func logOnly(s *Store, r Rec) {
+	err := s.Sync() // want `Store\.Sync error is only logged`
+	if err != nil {
+		r.Log("sync failed", err)
+	}
+}
+
+func propagated(s *Store) error {
+	return s.Sync() // returned: no finding
+}
+
+func checked(s *Store) error {
+	if err := s.Checkpoint(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err) // wrapped: propagation
+	}
+	return nil
+}
+
+func latched(s *Store, f File) {
+	if s.err == nil {
+		s.err = f.Append(nil) // stored in a field: latched
+	}
+}
+
+func bestEffort(f File) {
+	//itcvet:allow durability -- advisory prefetch, repeated on the next commit
+	_ = f.Sync()
+}
+
+func notDurability(c Cache) {
+	c.Sync() // Cache is not store-like: no finding
+}

@@ -1,0 +1,6 @@
+// Package fmt is a fixture stub: just the surface durcheck fixtures use.
+package fmt
+
+func Errorf(format string, args ...any) error
+func Sprintf(format string, args ...any) string
+func Printf(format string, args ...any) (int, error)

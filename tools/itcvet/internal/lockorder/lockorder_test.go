@@ -1,0 +1,16 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"itcfs/tools/itcvet/internal/checktest"
+	"itcfs/tools/itcvet/internal/lockorder"
+)
+
+func TestBlocking(t *testing.T) {
+	checktest.Run(t, lockorder.Analyzer, "testdata", "lo")
+}
+
+func TestCycle(t *testing.T) {
+	checktest.Run(t, lockorder.Analyzer, "testdata", "cycle")
+}

@@ -1,0 +1,45 @@
+// Package cycle seeds one lock-order inversion: one() acquires B.mu under
+// A.mu directly, two() acquires A.mu under B.mu through a call.
+package cycle
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex // guarded by mu
+	n  int
+}
+
+type B struct {
+	mu sync.Mutex // guarded by mu
+	n  int
+}
+
+func one(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want `lock-order cycle \(potential deadlock\): A\.mu -> B\.mu \(cycle\.go:\d+, one\) -> A\.mu \(cycle\.go:\d+, two calls touchA\)`
+	b.n++
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func touchA(a *A) {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+}
+
+func two(a *A, b *B) {
+	b.mu.Lock()
+	touchA(a)
+	b.mu.Unlock()
+}
+
+// consistent nests the same pair in one order only elsewhere: no extra
+// cycle beyond the one above, and no blocking findings anywhere here.
+func consistent(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // second witness for A.mu -> B.mu; deduplicated, no new report
+	b.n--
+	b.mu.Unlock()
+	a.mu.Unlock()
+}

@@ -1,0 +1,125 @@
+// Package lo exercises the blocking-while-locked check: every class of
+// blocking operation under a held mutex, the //itcvet:allowblocking escape
+// hatch (used, unused, malformed), and the exemptions (sync.Cond, goroutine
+// bodies, select arms, unlocked paths).
+package lo
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex // guarded by mu
+	n  int        // guarded by mu
+}
+
+type Peer struct{}
+
+func (*Peer) Call(op string) error
+
+type Store struct{}
+
+func (*Store) Commit() error
+
+type File struct{}
+
+func (File) Sync() error
+
+type FS struct{}
+
+func (FS) WriteFileAtomic(name string, data []byte) error
+
+func send(a *A, ch chan int) {
+	a.mu.Lock()
+	ch <- 1 // want `channel send while A\.mu is held`
+	a.mu.Unlock()
+}
+
+func sendAllowed(a *A, ch chan int) {
+	a.mu.Lock()
+	//itcvet:allowblocking capacity-1 channel drained by a dedicated process
+	ch <- 1
+	a.mu.Unlock()
+}
+
+func recv(a *A, ch chan int) {
+	a.mu.Lock()
+	<-ch // want `channel receive while A\.mu is held`
+	a.mu.Unlock()
+}
+
+func recvAfterUnlock(a *A, ch chan int) {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+	<-ch // unlocked: no finding
+}
+
+func wait(a *A, ch chan int, stop chan struct{}) {
+	a.mu.Lock()
+	select { // want `select with no default while A\.mu is held`
+	case <-ch:
+	case <-stop:
+	}
+	a.mu.Unlock()
+}
+
+func poll(a *A, ch chan int) {
+	a.mu.Lock()
+	select { // a default arm cannot park the holder: no finding
+	case <-ch:
+	default:
+	}
+	a.mu.Unlock()
+}
+
+func rpc(a *A, p *Peer) {
+	a.mu.Lock()
+	_ = p.Call("ping") // want `RPC Call while A\.mu is held`
+	a.mu.Unlock()
+}
+
+func commit(a *A, st *Store) {
+	a.mu.Lock()
+	_ = st.Commit() // want `durable store Commit while A\.mu is held`
+	a.mu.Unlock()
+}
+
+func fsync(a *A, f File) {
+	a.mu.Lock()
+	_ = f.Sync() // want `fsync \(Sync\) while A\.mu is held`
+	a.mu.Unlock()
+}
+
+func replace(a *A, fs FS) {
+	a.mu.Lock()
+	_ = fs.WriteFileAtomic("loc.db", nil) // want `durable replace \(WriteFileAtomic\) while A\.mu is held`
+	a.mu.Unlock()
+}
+
+func blockHelper(ch chan int) int { return <-ch }
+
+func callsBlocker(a *A, ch chan int) {
+	a.mu.Lock()
+	_ = blockHelper(ch) // want `call to blockHelper performs channel receive while A\.mu is held`
+	a.mu.Unlock()
+}
+
+func spawn(a *A, ch chan int) {
+	a.mu.Lock()
+	go func() { ch <- 1 }() // the goroutine holds nothing: no finding
+	a.n++
+	a.mu.Unlock()
+}
+
+func stale(a *A) {
+	a.mu.Lock()
+	//itcvet:allowblocking nothing here blocks // want `unused itcvet:allowblocking annotation`
+	a.n++
+	a.mu.Unlock()
+}
+
+func bare(a *A, ch chan int) {
+	a.mu.Lock()
+	/* want `malformed itcvet:allowblocking annotation` */ //itcvet:allowblocking
+	ch <- 1 // want `channel send while A\.mu is held`
+	a.mu.Unlock()
+}

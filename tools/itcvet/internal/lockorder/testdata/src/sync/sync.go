@@ -1,0 +1,27 @@
+// Package sync is a fixture stub: the mutex and condition-variable surface
+// lockorder recognizes.
+package sync
+
+type Mutex struct{ state int32 }
+
+func (m *Mutex) Lock()
+func (m *Mutex) Unlock()
+
+type RWMutex struct{ state int32 }
+
+func (m *RWMutex) Lock()
+func (m *RWMutex) Unlock()
+func (m *RWMutex) RLock()
+func (m *RWMutex) RUnlock()
+
+type Locker interface {
+	Lock()
+	Unlock()
+}
+
+type Cond struct{ L Locker }
+
+func NewCond(l Locker) *Cond
+func (c *Cond) Wait()
+func (c *Cond) Signal()
+func (c *Cond) Broadcast()

@@ -3,10 +3,19 @@
 //	go build -o itcvet ./tools/itcvet
 //	go vet -vettool=$(pwd)/itcvet ./...
 //
-// It bundles four project-specific analyzers — simtime, seedrand,
-// lockcheck, mapiter (see their package docs) — that machine-check the two
-// invariants every experiment rests on: virtual-time runs are bit-for-bit
-// deterministic, and annotated shared state is touched only under its lock.
+// It bundles seven project-specific analyzers — simtime, seedrand,
+// lockcheck, mapiter, lockorder, durcheck, driftcheck (see their package
+// docs) — that machine-check the invariants every experiment rests on:
+// virtual-time runs are bit-for-bit deterministic, annotated shared state
+// is touched only under its lock, lock acquisition order is globally
+// consistent and never blocks while held, durability errors are never
+// dropped, and the fuzz/codec/mutex coverage the harness promises cannot
+// silently drift.
+//
+// Besides the vettool protocol, "itcvet -lockgraph [packages]" prints the
+// whole-module lock-acquisition graph (lockorder's view) in a
+// deterministic text form and exits 1 on any cycle; DESIGN.md §7 embeds
+// that output.
 //
 // The program speaks the protocol the go command expects of a -vettool
 // directly, with no dependency outside the standard library (the usual
@@ -45,7 +54,10 @@ import (
 	"strings"
 
 	"itcfs/tools/itcvet/internal/check"
+	"itcfs/tools/itcvet/internal/driftcheck"
+	"itcfs/tools/itcvet/internal/durcheck"
 	"itcfs/tools/itcvet/internal/lockcheck"
+	"itcfs/tools/itcvet/internal/lockorder"
 	"itcfs/tools/itcvet/internal/mapiter"
 	"itcfs/tools/itcvet/internal/seedrand"
 	"itcfs/tools/itcvet/internal/simtime"
@@ -56,6 +68,9 @@ var analyzers = []*check.Analyzer{
 	seedrand.Analyzer,
 	lockcheck.Analyzer,
 	mapiter.Analyzer,
+	lockorder.Analyzer,
+	durcheck.Analyzer,
+	driftcheck.Analyzer,
 }
 
 // vetConfig mirrors the JSON the go command writes to vet.cfg (see
@@ -86,6 +101,7 @@ func main() {
 
 	vFlag := flag.String("V", "", "print version and exit (the go command passes -V=full)")
 	flagsFlag := flag.Bool("flags", false, "print a JSON description of the analyzer flags and exit")
+	lockgraphFlag := flag.Bool("lockgraph", false, "print the lock-acquisition graph for the named packages (default ./...) and exit 1 on any cycle")
 	enabled := map[string]*bool{}
 	for _, a := range analyzers {
 		enabled[a.Name] = flag.Bool(a.Name, true, a.Doc)
@@ -97,6 +113,8 @@ func main() {
 		printVersion()
 	case *flagsFlag:
 		printFlags()
+	case *lockgraphFlag:
+		os.Exit(lockgraphMain(flag.Args()))
 	default:
 		args := flag.Args()
 		if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
