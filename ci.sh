@@ -73,6 +73,23 @@ go test -race -run='^TestE16Determinism$' -count=1 ./internal/harness
 # it visible as its own gate.
 go test -run='^TestWALCrashProperty$' -count=1 ./internal/store/walstore
 
+# Kernel scale smoke: the batched E14 mix at 10k clients (quick per-client
+# mix) must complete, and the scale-bench JSON it emits must carry exactly
+# the same keys as the committed BENCH_scale.json, so the committed
+# trajectory cannot silently drift from what the tool produces. Values are
+# machine-dependent and deliberately not compared.
+tmpdir="$(mktemp -d)"
+go run ./cmd/itcbench -run E14 -clients 10000 -quick -scale-out "$tmpdir/scale.json" >/dev/null
+grep -o '"[a-z_]*":' "$tmpdir/scale.json" | sort -u > "$tmpdir/keys_new.txt"
+grep -o '"[a-z_]*":' BENCH_scale.json | sort -u > "$tmpdir/keys_committed.txt"
+cmp "$tmpdir/keys_new.txt" "$tmpdir/keys_committed.txt"
+rm -rf "$tmpdir"
+
+# Sim-kernel micro-benchmarks, one short pass each: keeps the park/resume,
+# mailbox and timetable benches building and running. The zero-alloc gates
+# (TestMailboxPutGetZeroAlloc and friends) run in `go test ./...` above.
+go test -run=NONE -bench='^Benchmark(ParkResume|MailboxSendRecv|ScheduleDrain)$' -benchtime=100x ./internal/sim
+
 # Short fuzz passes over the attacker-facing decoders and the path walker.
 go test -run=NONE -fuzz='^FuzzDecodeCall$' -fuzztime=10s ./internal/rpc
 go test -run=NONE -fuzz='^FuzzDecodeReply$' -fuzztime=10s ./internal/rpc

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -33,6 +34,9 @@ func main() {
 	timeline := flag.Bool("timeline", false, "print the E15 telemetry dashboard and flight recorder")
 	timelineOut := flag.String("timeline-out", "", "write the E15 dashboard and flight recorder to this file")
 	seriesOut := flag.String("series-out", "", "export the E15 time series (.json = JSON, otherwise CSV)")
+	clients := flag.String("clients", "", "comma-separated client counts for the kernel scale bench (implies -run SCALE; with -run E14 it replaces the protocol sweep)")
+	scaleOut := flag.String("scale-out", "", "write the scale bench result as BENCH_scale.json-format JSON to this path")
+	scaleReps := flag.Int("scale-reps", 1, "scale bench measurement repetitions per client count (best-of)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -41,13 +45,29 @@ func main() {
 			want[strings.ToUpper(strings.TrimSpace(id))] = true
 		}
 	}
-	selected := func(id string) bool { return len(want) == 0 || want[strings.ToUpper(id)] }
+	if *clients != "" {
+		// -clients selects the scale bench: standalone, or in place of E14's
+		// protocol sweep when the caller asked for E14 (the CI smoke runs
+		// `-run E14 -clients 10000 -quick`).
+		delete(want, "E14")
+		want["SCALE"] = true
+	}
+	selected := func(id string) bool {
+		if len(want) == 0 {
+			// The default sweep regenerates the paper's evaluation; the SCALE
+			// bench measures the simulator itself (minutes at 30k clients) and
+			// runs only on explicit request (-run SCALE or -clients).
+			return id != "SCALE"
+		}
+		return want[strings.ToUpper(id)]
+	}
 
 	type exp struct {
 		id string
 		fn func() (*harness.Report, error)
 	}
 	var e15 *harness.E15Result
+	var scaleRes *harness.ScaleBench
 	scale := 1.0
 	if *quick {
 		scale = 0.25
@@ -173,6 +193,27 @@ func main() {
 			}
 			return res.Report, nil
 		}},
+		{"SCALE", func() (*harness.Report, error) {
+			cfg := harness.DefaultScaleBench()
+			if *clients != "" {
+				cfg.Clients = nil
+				for _, s := range strings.Split(*clients, ",") {
+					n, err := strconv.Atoi(strings.TrimSpace(s))
+					if err != nil || n <= 0 {
+						return nil, fmt.Errorf("bad -clients entry %q", s)
+					}
+					cfg.Clients = append(cfg.Clients, n)
+				}
+			}
+			cfg.Quick = *quick
+			cfg.Reps = *scaleReps
+			sb, err := harness.RunScaleBench(cfg)
+			if err != nil {
+				return nil, err
+			}
+			scaleRes = sb
+			return sb.Report(), nil
+		}},
 	}
 
 	fmt.Println("itcbench — reproduction of 'The ITC Distributed File System' (SOSP 1985), §5.2")
@@ -206,6 +247,24 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote Chrome trace of the revised-mode Andrew run to %s\n", *traceOut)
+	}
+	if *scaleOut != "" {
+		if scaleRes == nil {
+			fmt.Fprintln(os.Stderr, "scale-out: no scale bench result (run with -run SCALE or -clients, and check it succeeded)")
+			os.Exit(1)
+		}
+		f, err := os.Create(*scaleOut)
+		if err == nil {
+			err = scaleRes.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scale-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote kernel scale bench to %s\n", *scaleOut)
 	}
 	if *timeline || *timelineOut != "" || *seriesOut != "" {
 		if e15 == nil {

@@ -31,6 +31,12 @@ type E14Config struct {
 	// CallbackTTL bounds promise trust so the periodic sweeps have entries
 	// to revalidate.
 	CallbackTTL time.Duration
+	// LoginStagger spreads client logins uniformly over this ramp. Zero
+	// keeps the original all-at-once login (fine into the low thousands);
+	// the kernel scale bench sets it, because tens of thousands of
+	// simultaneous handshakes against one server exceed any retry budget —
+	// and real workstation populations don't power on in the same instant.
+	LoginStagger time.Duration
 }
 
 // DefaultE14 returns the standard configuration.
@@ -120,9 +126,7 @@ func e14Run(cfg E14Config, n int, batched bool) (e14Side, error) {
 		Clusters:    1,
 		CallbackTTL: cfg.CallbackTTL,
 		Metrics:     reg,
-		// Load spikes (a burst's refetch wave) can push queueing past one
-		// call timeout; both sides get the same patient retry policy.
-		Retry: rpc.RetryPolicy{Attempts: 4, Backoff: 15 * time.Second, MaxBackoff: 2 * time.Minute},
+		Retry:       e14Retry(),
 	}
 	if !batched {
 		cc.UnbatchedBreaks = true
@@ -177,7 +181,11 @@ func e14Run(cfg E14Config, n int, batched bool) (e14Side, error) {
 	for i := range ws {
 		i := i
 		u := workload.NewScaleUser(i, scale)
-		cell.Kernel.Spawn(fmt.Sprintf("scale-%04d", i), func(p *sim.Proc) {
+		start := cell.Now()
+		if cfg.LoginStagger > 0 {
+			start = start.Add(cfg.LoginStagger * time.Duration(i) / time.Duration(n))
+		}
+		cell.Kernel.SpawnAt(start, fmt.Sprintf("scale-%04d", i), func(p *sim.Proc) {
 			if lerr := ws[i].Login(p, "load", "pw"); lerr != nil {
 				errs[i] = lerr
 				return
@@ -211,6 +219,13 @@ func e14Run(cfg E14Config, n int, batched bool) (e14Side, error) {
 	side.revalRPCs = agg.Validations + agg.BulkValidations
 	side.revalItems = agg.Revalidated
 	return side, nil
+}
+
+// e14Retry is the patient retry policy the E14 sweep and the kernel scale
+// bench share: load spikes (a burst's refetch wave) can push queueing past
+// one call timeout.
+func e14Retry() rpc.RetryPolicy {
+	return rpc.RetryPolicy{Attempts: 4, Backoff: 15 * time.Second, MaxBackoff: 2 * time.Minute}
 }
 
 func breaksOf(srv *itcfs.Server) int64 {

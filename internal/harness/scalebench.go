@@ -1,0 +1,353 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"itcfs"
+	"itcfs/internal/sim"
+	"itcfs/internal/trace"
+	"itcfs/internal/workload"
+)
+
+// Scale bench — the simulator's own performance trajectory. Every other
+// experiment measures the simulated system in virtual time; this one measures
+// the simulator in real time: wall-clock seconds and heap allocations per
+// simulated client-hour of the batched E14 mix, at increasing client counts.
+// The numbers gate the kernel-scale refactor (bucketed timetable, pooled
+// messages and frames, flattened receive paths): BENCH_scale.json, emitted
+// from this code and committed at the repo root, records the trajectory, and
+// ci.sh re-emits it and compares the schema so the file cannot silently rot.
+
+// ScalePoint is one measured client count.
+type ScalePoint struct {
+	Clients int `json:"clients"`
+	// ClientHours is clients times the virtual hours the client phase took —
+	// the work actually simulated, and the normalizer for the two unit costs.
+	ClientHours float64 `json:"client_hours"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Allocs      uint64  `json:"allocs"`
+	// WallPerClientHour and AllocsPerClientHour are the headline unit costs:
+	// real seconds and heap allocations spent to simulate one client-hour.
+	WallPerClientHour   float64 `json:"wall_seconds_per_client_hour"`
+	AllocsPerClientHour float64 `json:"allocs_per_client_hour"`
+}
+
+// ScaleImprovement compares the reference point against the pre-refactor
+// baseline, as ratios (baseline cost / current cost; higher is better).
+type ScaleImprovement struct {
+	ReferenceClients int     `json:"reference_clients"`
+	Wall             float64 `json:"wall"`
+	Allocs           float64 `json:"allocs"`
+}
+
+// ScaleBench is the full trajectory, serialized as BENCH_scale.json.
+type ScaleBench struct {
+	Schema   string `json:"schema"`
+	Workload string `json:"workload"`
+	Quick    bool   `json:"quick"`
+	// Baseline is the pre-refactor kernel at 1000 clients, measured from the
+	// same tree with the refactor stashed (best of 3). It is embedded as data
+	// rather than re-measured because the pre-refactor code no longer exists
+	// in the tree.
+	Baseline    ScalePoint        `json:"baseline"`
+	Points      []ScalePoint      `json:"points"`
+	Improvement *ScaleImprovement `json:"improvement"`
+	// Note records measurement caveats; see the refactor discussion in
+	// DESIGN.md §11 for why allocations improved far more than wall time.
+	Note string `json:"note"`
+}
+
+// preRefactorBaseline is the unrefactored kernel (heap-per-event timetable,
+// per-message allocation, per-name metric lookups, dispatcher processes)
+// driving batched E14 at 1000 clients: best of 3 runs of the same
+// measurement loop, taken via `git stash` from the refactored tree.
+var preRefactorBaseline = ScalePoint{
+	Clients:             1000,
+	ClientHours:         26392.4,
+	WallSeconds:         5.417,
+	Allocs:              14569414,
+	WallPerClientHour:   0.000205,
+	AllocsPerClientHour: 552,
+}
+
+// ScaleBenchConfig sizes a scale-bench run.
+type ScaleBenchConfig struct {
+	Clients []int // client counts, in reporting order
+	Reps    int   // measurement repetitions per count, best-of (0 = 1)
+	Quick   bool  // shrink the per-client mix for CI smoke runs
+}
+
+// DefaultScaleBench returns the standard trajectory: the tentpole's 1k/10k/30k
+// sweep at one rep.
+func DefaultScaleBench() ScaleBenchConfig {
+	return ScaleBenchConfig{Clients: []int{1000, 10000, 30000}}
+}
+
+// RunScaleBench measures the trajectory. Wall-clock time is the measurement
+// here, not a hidden dependency: the simulated outcome is deterministic and
+// unaffected.
+func RunScaleBench(cfg ScaleBenchConfig) (*ScaleBench, error) {
+	if len(cfg.Clients) == 0 {
+		cfg.Clients = DefaultScaleBench().Clients
+	}
+	if cfg.Reps <= 0 {
+		cfg.Reps = 1
+	}
+	e14 := DefaultE14()
+	if cfg.Quick {
+		// A lighter per-client mix with the same shape: enough ops to touch
+		// every hot path (browse, hot-set reads, bursts, sweeps), few enough
+		// that a 10k-client smoke fits in CI.
+		e14.Scale.Ops = 10
+		e14.Scale.Browse = 4
+		e14.Scale.Stagger = 2 * time.Hour
+	}
+	sb := &ScaleBench{
+		Schema:   "itcfs-bench-scale/v1",
+		Workload: "E14 batched: shared-pool browse + zipf re-reads + publisher bursts + TTL sweeps",
+		Quick:    cfg.Quick,
+		Baseline: preRefactorBaseline,
+		Note: "allocs improved ~7x; wall ~2x, floored by real AES-CTR/HMAC sealing " +
+			"and goroutine-based process switches (see DESIGN.md)",
+	}
+	for _, n := range cfg.Clients {
+		best := ScalePoint{}
+		for rep := 0; rep < cfg.Reps; rep++ {
+			p, err := measureScalePoint(e14, n)
+			if err != nil {
+				return nil, fmt.Errorf("scale bench at %d clients: %w", n, err)
+			}
+			if rep == 0 || p.WallSeconds < best.WallSeconds {
+				best = p
+			}
+		}
+		sb.Points = append(sb.Points, best)
+	}
+	ref := sb.Points[0]
+	sb.Improvement = &ScaleImprovement{
+		ReferenceClients: ref.Clients,
+		Wall:             round3(sb.Baseline.WallPerClientHour / ref.WallPerClientHour),
+		Allocs:           round3(sb.Baseline.AllocsPerClientHour / ref.AllocsPerClientHour),
+	}
+	return sb, nil
+}
+
+// scaleClusterSize is the client population one cluster server carries in
+// the sharded scale bench. Beyond the E14 sweep's single-server range the
+// deployment grows with the population — one cluster server per
+// scaleClusterSize clients, each cluster with its own shared pool — exactly
+// how the paper's cell scales (§3.1). The bench measures the simulator's
+// cost per client-hour, so the simulated system must stay inside its own
+// operating envelope (a server drowning under 30k clients would measure
+// timeout storms, not kernel throughput); 1000 clients already run one
+// server at ~55% CPU with minute-scale p90 open latency, so the shards are
+// half that, leaving headroom for the cross-cluster traffic every cluster
+// sends the root volume's custodian (login stats, cold browse walks, sweep
+// revalidations of the cached root path).
+const scaleClusterSize = 500
+
+// scaleArrivalSpacing floors the mean time between client arrivals in the
+// sharded bench. Each arriving client's login and cold walk of /vice and
+// /vice/usr land on the root volume's custodian regardless of cluster, so
+// the sustainable arrival rate is a property of that one server, not of the
+// population; 3.6 s/client is the rate the 10,000-clients-over-10-hours
+// point sustains with headroom.
+const scaleArrivalSpacing = 3600 * time.Millisecond
+
+// measureScalePoint runs the batched E14 mix once at n clients, measuring
+// real time and allocations around the whole run (setup included: at 30k
+// clients, building the cell is part of what must scale). At or below 1000
+// clients it runs the exact single-cluster e14Run the pre-refactor baseline
+// was measured with, so the improvement ratio compares identical workloads;
+// above that, the sharded multi-cluster variant.
+func measureScalePoint(cfg E14Config, n int) (ScalePoint, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now() //itcvet:allow wallclock -- the scale bench measures real elapsed time by design
+	var elapsed time.Duration
+	if n <= 1000 {
+		side, err := e14Run(cfg, n, true)
+		if err != nil {
+			return ScalePoint{}, err
+		}
+		elapsed = side.elapsed
+	} else {
+		var err error
+		elapsed, err = scaleRun(cfg, n)
+		if err != nil {
+			return ScalePoint{}, err
+		}
+	}
+	wall := time.Since(start) //itcvet:allow wallclock -- the scale bench measures real elapsed time by design
+	runtime.ReadMemStats(&after)
+	allocs := after.Mallocs - before.Mallocs
+	ch := float64(n) * elapsed.Seconds() / 3600
+	p := ScalePoint{
+		Clients:     n,
+		ClientHours: round3(ch),
+		WallSeconds: round3(wall.Seconds()),
+		Allocs:      allocs,
+	}
+	if ch > 0 {
+		p.WallPerClientHour = round6(wall.Seconds() / ch)
+		p.AllocsPerClientHour = round3(float64(allocs) / ch)
+	}
+	return p, nil
+}
+
+// scaleRun drives the batched E14 mix at n clients across one cluster per
+// scaleClusterSize of them: per-cluster load users, shared pools and
+// publishers (clients round-robin over clusters, so each cluster's client 0
+// is its publisher), with logins ramped over the op stagger window. Returns
+// the virtual time the client phase took.
+func scaleRun(cfg E14Config, n int) (time.Duration, error) {
+	clusters := (n + scaleClusterSize - 1) / scaleClusterSize
+	reg := trace.NewRegistry()
+	cc := itcfs.CellConfig{
+		Mode:        itcfs.Revised,
+		Clusters:    clusters,
+		CallbackTTL: cfg.CallbackTTL,
+		Metrics:     reg,
+		Retry:       e14Retry(),
+		BreakWindow: 8 * time.Second,
+	}
+	cell := itcfs.NewCell(cc)
+
+	// Widen the arrival ramp (login spawn ramp plus each client's own start
+	// stagger) so arrivals never exceed the shared-root custodian's
+	// sustainable rate — workstation populations this size don't power on
+	// at one instant anyway.
+	stagger := cfg.Scale.Stagger
+	if min := time.Duration(n) * scaleArrivalSpacing; stagger < min {
+		stagger = min
+	}
+
+	loadUser := func(c int) string { return fmt.Sprintf("load%d", c) }
+	poolRoot := func(c int) string { return fmt.Sprintf("/vice/usr/load%d/shared", c) }
+	perCluster := func(c int) workload.ScaleConfig {
+		sc := cfg.Scale
+		// Decorrelate the clusters' schedules: each gets its own seed, pool
+		// and publisher, like independent buildings on one campus.
+		sc.Seed = cfg.Seed + int64(c)*1_000_003
+		sc.Root = poolRoot(c)
+		sc.Stagger = stagger
+		return sc
+	}
+
+	var err error
+	cell.Run(func(p *sim.Proc) {
+		admin, aerr := cell.Admin(p, 0)
+		if aerr != nil {
+			err = aerr
+			return
+		}
+		for c := 0; c < clusters; c++ {
+			if _, aerr := admin.NewUserAt(p, loadUser(c), "pw", 0, cell.Servers[c].Vice.Name()); aerr != nil {
+				err = aerr
+				return
+			}
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	for c := 0; c < clusters; c++ {
+		c := c
+		setup := cell.AddWorkstation(c, fmt.Sprintf("setup%d", c))
+		cell.Run(func(p *sim.Proc) {
+			if err = setup.Login(p, loadUser(c), "pw"); err != nil {
+				return
+			}
+			sc := perCluster(c)
+			r := rand.New(rand.NewSource(sc.Seed))
+			err = workload.PopulateShared(p, setup.FS, sc, r)
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	ws := make([]*itcfs.Workstation, n)
+	for i := range ws {
+		ws[i] = cell.AddWorkstation(i%clusters, fmt.Sprintf("scale-ws%05d", i))
+	}
+	t0 := cell.Now()
+	errs := make([]error, n)
+	for i := range ws {
+		i := i
+		c := i % clusters
+		u := workload.NewScaleUser(i/clusters, perCluster(c))
+		start := t0
+		if stagger > 0 {
+			start = start.Add(stagger * time.Duration(i) / time.Duration(n))
+		}
+		cell.Kernel.SpawnAt(start, fmt.Sprintf("scale-%05d", i), func(p *sim.Proc) {
+			if lerr := ws[i].Login(p, loadUser(c), "pw"); lerr != nil {
+				errs[i] = lerr
+				return
+			}
+			errs[i] = u.Run(p, ws[i].FS, ws[i].Venus)
+		})
+	}
+	cell.Kernel.Run()
+	for _, e := range errs {
+		if e != nil {
+			return 0, e
+		}
+	}
+	return cell.Now().Sub(t0), nil
+}
+
+func round3(v float64) float64 { return roundTo(v, 1e3) }
+func round6(v float64) float64 { return roundTo(v, 1e6) }
+
+func roundTo(v, scale float64) float64 {
+	if v < 0 {
+		return -roundTo(-v, scale)
+	}
+	return float64(int64(v*scale+0.5)) / scale
+}
+
+// WriteJSON emits the bench as deterministic, indented JSON (struct field
+// order; no map keys anywhere in the schema).
+func (sb *ScaleBench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sb)
+}
+
+// Report renders the trajectory as a standard experiment table.
+func (sb *ScaleBench) Report() *Report {
+	r := newReport("SCALE", "sim-kernel cost per simulated client-hour (batched E14)",
+		"the revised design exists to serve many more clients per server; the simulator "+
+			"itself must scale to drive that population",
+		"clients", "client-hours", "wall s", "wall s/ch", "allocs/ch")
+	base := sb.Baseline
+	r.addRow(fmt.Sprintf("%d (pre-refactor)", base.Clients),
+		fmt.Sprintf("%.1f", base.ClientHours),
+		fmt.Sprintf("%.2f", base.WallSeconds),
+		fmt.Sprintf("%.6f", base.WallPerClientHour),
+		fmt.Sprintf("%.0f", base.AllocsPerClientHour))
+	for _, p := range sb.Points {
+		r.addRow(fmt.Sprintf("%d", p.Clients),
+			fmt.Sprintf("%.1f", p.ClientHours),
+			fmt.Sprintf("%.2f", p.WallSeconds),
+			fmt.Sprintf("%.6f", p.WallPerClientHour),
+			fmt.Sprintf("%.0f", p.AllocsPerClientHour))
+		r.Metrics[fmt.Sprintf("wall_per_ch_%d", p.Clients)] = p.WallPerClientHour
+		r.Metrics[fmt.Sprintf("allocs_per_ch_%d", p.Clients)] = p.AllocsPerClientHour
+	}
+	if imp := sb.Improvement; imp != nil {
+		r.addRow(fmt.Sprintf("improvement @%d", imp.ReferenceClients), "",
+			"", fmt.Sprintf("%.1fx", imp.Wall), fmt.Sprintf("%.1fx", imp.Allocs))
+		r.Metrics["improvement_wall"] = imp.Wall
+		r.Metrics["improvement_allocs"] = imp.Allocs
+	}
+	return r
+}

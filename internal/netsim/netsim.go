@@ -56,6 +56,11 @@ func ITCDefaults() Config {
 
 // Link is a shared-medium LAN segment. Frames transmit one at a time in
 // arrival order.
+//
+// A Link is its own serialization-complete event (Fire): at most one frame
+// is clocking onto the medium at a time, so the in-flight frame lives in cur
+// and completion schedules without allocating. Waiting frames queue in a
+// head-indexed ring.
 type Link struct {
 	k         *sim.Kernel
 	name      string
@@ -64,7 +69,9 @@ type Link struct {
 	busy      bool
 	busySince sim.Time
 	busyTime  time.Duration
-	queue     []pending
+	cur       *frame   // frame on the medium, while busy
+	queue     []*frame // head-indexed ring of waiting frames
+	qhead     int
 
 	frames int64
 	bytes  int64
@@ -74,13 +81,6 @@ type Link struct {
 	mBytes  *trace.Counter
 	mQueue  *trace.Histogram
 	mBusyNs *trace.Gauge
-}
-
-type pending struct {
-	size int
-	enq  sim.Time // when the frame joined the queue, for queueing delay
-	sink DelaySink
-	then func()
 }
 
 func newLink(k *sim.Kernel, name string, bandwidth int64) *Link {
@@ -123,41 +123,59 @@ func (l *Link) serialization(size int) time.Duration {
 	return time.Duration(bits * int64(time.Second) / l.bandwidth)
 }
 
-// transmit queues a frame of size bytes; then runs (in kernel context) when
-// the frame has fully left the segment. If the payload accounts its own
-// delays (DelaySink), the time spent waiting for the medium and the time
-// clocking onto it are credited to it as queueing and serialization.
-func (l *Link) transmit(size int, sink DelaySink, then func()) {
+// transmit queues frame f on the segment; f.txDone runs (in kernel context)
+// when it has fully left. If the payload accounts its own delays
+// (DelaySink), the time spent waiting for the medium and the time clocking
+// onto it are credited to it as queueing and serialization.
+func (l *Link) transmit(f *frame) {
 	if l.busy {
-		l.queue = append(l.queue, pending{size: size, enq: l.k.Now(), sink: sink, then: then})
+		f.enq = l.k.Now()
+		if l.qhead == len(l.queue) {
+			l.queue = l.queue[:0]
+			l.qhead = 0
+		}
+		l.queue = append(l.queue, f)
 		return
 	}
-	l.begin(size, 0, sink, then)
+	l.begin(f, 0)
 }
 
-func (l *Link) begin(size int, queued time.Duration, sink DelaySink, then func()) {
+func (l *Link) begin(f *frame, queued time.Duration) {
 	l.busy = true
 	l.busySince = l.k.Now()
+	l.cur = f
 	l.frames++
-	l.bytes += int64(size)
+	l.bytes += int64(f.wire)
 	l.mFrames.Inc()
-	l.mBytes.Add(int64(size))
+	l.mBytes.Add(int64(f.wire))
 	l.mQueue.Observe(queued)
-	serial := l.serialization(size)
-	if sink != nil {
-		sink.AddNetDelay(queued, serial, 0)
+	serial := l.serialization(f.wire)
+	if f.sink != nil {
+		f.sink.AddNetDelay(queued, serial, 0)
 	}
-	l.k.After(serial, func() {
-		l.busyTime += l.k.Now().Sub(l.busySince)
-		l.busy = false
-		l.mBusyNs.Set(int64(l.busyTime))
-		if len(l.queue) > 0 {
-			next := l.queue[0]
-			l.queue = l.queue[1:]
-			l.begin(next.size, l.k.Now().Sub(next.enq), next.sink, next.then)
+	l.k.AfterFire(serial, l)
+}
+
+// Fire completes the current transmission: the frame has left the segment,
+// the next queued frame (if any) begins clocking on at this instant, and the
+// completed frame advances to its next hop.
+func (l *Link) Fire() {
+	f := l.cur
+	l.cur = nil
+	l.busyTime += l.k.Now().Sub(l.busySince)
+	l.busy = false
+	l.mBusyNs.Set(int64(l.busyTime))
+	if l.qhead < len(l.queue) {
+		next := l.queue[l.qhead]
+		l.queue[l.qhead] = nil
+		l.qhead++
+		if l.qhead == len(l.queue) {
+			l.queue = l.queue[:0]
+			l.qhead = 0
 		}
-		then()
-	})
+		l.begin(next, l.k.Now().Sub(next.enq))
+	}
+	f.txDone()
 }
 
 // Cluster is one LAN segment bridged to the backbone.
@@ -173,7 +191,19 @@ type Node struct {
 	Name    string
 	Cluster *Cluster
 	Inbox   *sim.Mailbox[Message]
+	// sink, when set, receives delivered messages in kernel event context
+	// instead of the Inbox. See SetSink.
+	sink func(Message)
 }
+
+// SetSink routes this node's deliveries to fn instead of the Inbox mailbox.
+// fn runs in kernel event context — one scheduling hop after final
+// propagation, exactly where the mailbox wake-up would have run — so it must
+// not park; anything that blocks must be handed to a spawned process. A
+// receive loop that only demultiplexes (the RPC endpoint's dispatcher) saves
+// a full park/resume round trip per frame this way, which at tens of
+// thousands of clients is a measurable slice of wall-clock time.
+func (n *Node) SetSink(fn func(Message)) { n.sink = fn }
 
 // FaultAction tells the network what to do with one frame. The zero value
 // delivers the frame normally.
@@ -209,6 +239,37 @@ type DelaySink interface {
 	AddNetDelay(queue, serial, prop time.Duration)
 }
 
+// frame is one in-flight transmission, pooled on the Network so the
+// steady-state send path allocates nothing. Its Fire method advances it
+// through the fixed stages of its route — the staged replacement for the
+// closure chain a frame's hops used to capture — and txDone is the
+// link-transmission-complete continuation.
+type frame struct {
+	n     *Network
+	msg   Message
+	wire  int // msg.Size plus frame overhead
+	sink  DelaySink
+	stage uint8
+	enq   sim.Time // when the frame joined a busy link's queue
+	free  *frame   // pool linkage
+}
+
+// Frame stages. "hop" stages fire after a propagation (and bridge) delay;
+// "tx" stages are set while the frame is on a medium and steer txDone.
+const (
+	stageDelayedRoute uint8 = iota // fault-injector delay elapsed: route now
+	stageStartSame                 // begin transmit on the source LAN (same cluster)
+	stageStartCross                // begin transmit on the source LAN (cross cluster)
+	stageTxSrcSame                 // on source LAN, destination in same cluster
+	stageTxSrcCross                // on source LAN, headed for the backbone
+	stageHopBackbone               // reached the backbone bridge: transmit there
+	stageTxBackbone                // on the backbone
+	stageHopDst                    // reached the destination bridge: transmit on its LAN
+	stageTxDst                     // on the destination LAN
+	stageDeliver                   // final propagation done: deliver to the inbox
+	stageSinkDeliver               // sink hand-off: run the destination's sink
+)
+
 // Network is the campus internetwork: a backbone plus bridged clusters.
 type Network struct {
 	k        *sim.Kernel
@@ -223,6 +284,8 @@ type Network struct {
 
 	fault    FaultInjector
 	nodeDown map[NodeID]bool
+
+	freeFrames *frame // pool of recycled frames
 
 	offered       int64
 	delivered     int64
@@ -391,12 +454,13 @@ func (n *Network) Send(src, dst NodeID, size int, payload interface{}) {
 			n.faultCorrupts++
 		}
 	}
-	route := func() { n.route(src, dst, size, payload) }
 	if act.Delay > 0 {
 		n.faultDelays++
-		n.k.After(act.Delay, route)
+		f := n.newFrame(src, dst, size, payload)
+		f.stage = stageDelayedRoute
+		n.k.AfterFire(act.Delay, f)
 	} else {
-		route()
+		n.route(src, dst, size, payload)
 	}
 	if act.Duplicate {
 		n.offered++
@@ -405,70 +469,139 @@ func (n *Network) Send(src, dst NodeID, size int, payload interface{}) {
 	}
 }
 
+// newFrame takes a frame from the pool (or allocates one) and initializes it
+// for a src->dst transmission.
+func (n *Network) newFrame(src, dst NodeID, size int, payload interface{}) *frame {
+	f := n.freeFrames
+	if f == nil {
+		f = &frame{n: n}
+	} else {
+		n.freeFrames = f.free
+		f.free = nil
+	}
+	f.msg = Message{From: src, To: dst, Size: size, Payload: payload}
+	f.wire = size + n.cfg.FrameOverhead
+	f.sink, _ = payload.(DelaySink)
+	return f
+}
+
+// release returns a finished frame to the pool.
+func (n *Network) release(f *frame) {
+	f.msg = Message{}
+	f.sink = nil
+	f.free = n.freeFrames
+	n.freeFrames = f
+}
+
 // route carries one frame across the topology and delivers it. A DelaySink
 // payload is credited the path's fixed propagation budget up front (it is
 // known from the topology) and its queueing and serialization delays by each
 // link as they happen. A frame dropped en route keeps its credited delays;
 // only delivered frames are ever read back, so that is harmless.
 func (n *Network) route(src, dst NodeID, size int, payload interface{}) {
-	s, d := n.nodes[src], n.nodes[dst]
-	msg := Message{From: src, To: dst, Size: size, Payload: payload}
-	deliver := func() {
-		if n.nodeDown[dst] {
-			n.downDrops++
-			return
-		}
-		n.delivered++
-		d.Inbox.Put(msg)
-	}
-	wire := size + n.cfg.FrameOverhead
-	sink, _ := payload.(DelaySink)
+	n.routeFrame(n.newFrame(src, dst, size, payload))
+}
 
+func (n *Network) routeFrame(f *frame) {
+	s, d := n.nodes[f.msg.From], n.nodes[f.msg.To]
 	switch {
 	case s == d:
-		if sink != nil {
-			sink.AddNetDelay(0, 0, n.cfg.LocalDelay)
+		if f.sink != nil {
+			f.sink.AddNetDelay(0, 0, n.cfg.LocalDelay)
 		}
-		n.k.After(n.cfg.LocalDelay, deliver)
+		f.stage = stageDeliver
+		n.k.AfterFire(n.cfg.LocalDelay, f)
 	case s.Cluster == d.Cluster:
 		// One hop on the shared cluster LAN.
-		if sink != nil {
-			sink.AddNetDelay(0, 0, n.cfg.Propagation)
+		if f.sink != nil {
+			f.sink.AddNetDelay(0, 0, n.cfg.Propagation)
 		}
-		n.k.After(0, func() {
-			s.Cluster.LAN.transmit(wire, sink, func() {
-				n.k.After(n.cfg.Propagation, deliver)
-			})
-		})
+		f.stage = stageStartSame
+		n.k.AfterFire(0, f)
 	default:
 		if n.partitioned[s.Cluster.ID] || n.partitioned[d.Cluster.ID] {
 			n.drops++
+			n.release(f)
 			return
 		}
 		// Cluster LAN -> bridge -> backbone -> bridge -> cluster LAN.
 		// Bridge store-and-forward time counts as propagation: it is a
 		// fixed per-path cost, not contention.
-		if sink != nil {
-			sink.AddNetDelay(0, 0, 3*n.cfg.Propagation+2*n.cfg.BridgeDelay)
+		if f.sink != nil {
+			f.sink.AddNetDelay(0, 0, 3*n.cfg.Propagation+2*n.cfg.BridgeDelay)
 		}
 		n.crossClusterFrames++
-		n.k.After(0, func() {
-			s.Cluster.LAN.transmit(wire, sink, func() {
-				n.k.After(n.cfg.Propagation+n.cfg.BridgeDelay, func() {
-					if n.partitioned[s.Cluster.ID] || n.partitioned[d.Cluster.ID] {
-						n.drops++
-						return
-					}
-					n.Backbone.transmit(wire, sink, func() {
-						n.k.After(n.cfg.Propagation+n.cfg.BridgeDelay, func() {
-							d.Cluster.LAN.transmit(wire, sink, func() {
-								n.k.After(n.cfg.Propagation, deliver)
-							})
-						})
-					})
-				})
-			})
-		})
+		f.stage = stageStartCross
+		n.k.AfterFire(0, f)
+	}
+}
+
+// Fire advances the frame to its next stage after a scheduled delay — the
+// fault-injector hold, the start-of-route yield, a bridge crossing, or the
+// final propagation leg.
+func (f *frame) Fire() {
+	n := f.n
+	switch f.stage {
+	case stageDelayedRoute:
+		n.routeFrame(f)
+	case stageStartSame:
+		f.stage = stageTxSrcSame
+		n.nodes[f.msg.From].Cluster.LAN.transmit(f)
+	case stageStartCross:
+		f.stage = stageTxSrcCross
+		n.nodes[f.msg.From].Cluster.LAN.transmit(f)
+	case stageHopBackbone:
+		if n.partitioned[n.nodes[f.msg.From].Cluster.ID] || n.partitioned[n.nodes[f.msg.To].Cluster.ID] {
+			n.drops++
+			n.release(f)
+			return
+		}
+		f.stage = stageTxBackbone
+		n.Backbone.transmit(f)
+	case stageHopDst:
+		f.stage = stageTxDst
+		n.nodes[f.msg.To].Cluster.LAN.transmit(f)
+	case stageDeliver:
+		if n.nodeDown[f.msg.To] {
+			n.downDrops++
+			n.release(f)
+			return
+		}
+		n.delivered++
+		nd := n.nodes[f.msg.To]
+		if nd.sink != nil {
+			// Mirror the mailbox wake-up: run the sink one same-instant
+			// scheduling hop later, exactly where a receiver parked on the
+			// inbox would have resumed. Without the hop, the sink would run
+			// ahead of events already queued at this instant.
+			f.stage = stageSinkDeliver
+			n.k.AtFire(n.k.Now(), f)
+			return
+		}
+		nd.Inbox.Put(f.msg)
+		n.release(f)
+	case stageSinkDeliver:
+		sink := n.nodes[f.msg.To].sink
+		msg := f.msg
+		n.release(f)
+		sink(msg)
+	}
+}
+
+// txDone is the link's continuation: the frame has fully left a segment and
+// begins its next propagation (plus bridge store-and-forward) leg.
+func (f *frame) txDone() {
+	n := f.n
+	switch f.stage {
+	case stageTxSrcSame, stageTxDst:
+		f.stage = stageDeliver
+		n.k.AfterFire(n.cfg.Propagation, f)
+	case stageTxSrcCross:
+		f.stage = stageHopBackbone
+		n.k.AfterFire(n.cfg.Propagation+n.cfg.BridgeDelay, f)
+	case stageTxBackbone:
+		f.stage = stageHopDst
+		n.k.AfterFire(n.cfg.Propagation+n.cfg.BridgeDelay, f)
 	}
 }
 

@@ -223,6 +223,9 @@ type DB struct {
 	users   map[string]*User  // guarded by mu
 	groups  map[string]*Group // guarded by mu
 	version uint64            // guarded by mu
+	// cpsCache memoizes CPS per user, dropped whole on any mutation.
+	// guarded by mu
+	cpsCache map[string][]string
 }
 
 // NewDB returns an empty database.
@@ -299,10 +302,31 @@ func (db *DB) Members(group string) ([]string, error) {
 
 // CPS computes the Current Protection Subdomain of a user: the user itself,
 // AnyUser, and every group reachable by (recursive) membership. The result
-// is sorted.
+// is sorted. It is memoized until the next mutation — access checks run it
+// on every protected server operation — so callers must not modify the
+// returned slice.
 func (db *DB) CPS(user string) []string {
 	db.mu.RLock()
-	defer db.mu.RUnlock()
+	cps, ok := db.cpsCache[user]
+	db.mu.RUnlock()
+	if ok {
+		return cps
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if cps, ok := db.cpsCache[user]; ok {
+		return cps
+	}
+	cps = db.cpsLocked(user)
+	if db.cpsCache == nil {
+		db.cpsCache = make(map[string][]string)
+	}
+	db.cpsCache[user] = cps
+	return cps
+}
+
+//itcvet:holds mu
+func (db *DB) cpsLocked(user string) []string {
 	seen := map[string]bool{user: true, AnyUser: true}
 	// Fixed point: a group is in the CPS if any of its members is.
 	for changed := true; changed; {
@@ -382,6 +406,7 @@ func (db *DB) Apply(m Mutation) error {
 		return err
 	}
 	db.version++
+	db.cpsCache = nil
 	return nil
 }
 
@@ -576,5 +601,6 @@ func (db *DB) LoadSnapshot(data []byte) error {
 	db.version = version
 	db.users = users
 	db.groups = groups
+	db.cpsCache = nil
 	return nil
 }

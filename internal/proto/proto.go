@@ -198,14 +198,16 @@ type DirEntry struct {
 
 // EncodeDirEntries marshals a directory listing into file contents.
 func EncodeDirEntries(entries []DirEntry) []byte {
-	var e wire.Encoder
+	e := wire.GetEncoder()
 	e.U32(uint32(len(entries)))
 	for _, de := range entries {
 		e.String(de.Name)
-		de.FID.Encode(&e)
+		de.FID.Encode(e)
 		e.U8(uint8(de.Type))
 	}
-	return append([]byte(nil), e.Buf()...)
+	out := append([]byte(nil), e.Buf()...)
+	wire.PutEncoder(e)
+	return out
 }
 
 // DecodeDirEntries unmarshals directory file contents.

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"itcfs/internal/secure"
 	"itcfs/internal/sim"
 	"itcfs/internal/trace"
 	"itcfs/internal/wire"
@@ -159,23 +160,46 @@ const (
 // op, body, bulk). The trace header is always present — zero when untraced —
 // so packet sizes, and with them simulated time, never depend on whether
 // tracing is enabled.
-func encodeCall(seq uint32, tc wire.TraceHeader, req Request) []byte {
-	var e wire.Encoder
+func encodeCallInto(e *wire.Encoder, seq uint32, tc wire.TraceHeader, req Request) {
 	e.U32(seq)
-	tc.Encode(&e)
+	tc.Encode(e)
 	e.U16(uint16(req.Op))
 	e.Bytes(req.Body)
 	e.Bytes(req.Bulk)
-	return append([]byte(nil), e.Buf()...)
 }
 
+func encodeCall(seq uint32, tc wire.TraceHeader, req Request) []byte {
+	e := wire.GetEncoder()
+	encodeCallInto(e, seq, tc, req)
+	out := append([]byte(nil), e.Buf()...)
+	wire.PutEncoder(e)
+	return out
+}
+
+// sealCall encodes and seals a call packet in one step: the plaintext lives
+// only in a pooled scratch buffer, never in a fresh allocation of its own.
+// With bulk transfers riding in call bodies that intermediate copy was a
+// measurable slice of the simulator's allocation volume.
+func sealCall(box *secure.Box, seq uint32, tc wire.TraceHeader, req Request) []byte {
+	e := wire.GetEncoder()
+	encodeCallInto(e, seq, tc, req)
+	sealed := box.Seal(e.Buf())
+	wire.PutEncoder(e)
+	return sealed
+}
+
+// decodeCall decodes a call packet. The returned request's Body and Bulk
+// alias plain, which the caller must treat as surrendered: every transport
+// hands decodeCall a freshly allocated buffer (Box.Open output or a frame
+// read), so aliasing saves two copies per call without sharing hazards.
 func decodeCall(plain []byte) (seq uint32, tc wire.TraceHeader, req Request, err error) {
-	d := wire.NewDecoder(plain)
+	var d wire.Decoder
+	d.Reset(plain)
 	seq = d.U32()
-	tc = wire.DecodeTraceHeader(d)
+	tc = wire.DecodeTraceHeader(&d)
 	req.Op = Op(d.U16())
-	req.Body = append([]byte(nil), d.Bytes()...)
-	req.Bulk = append([]byte(nil), d.Bytes()...)
+	req.Body = d.Bytes()
+	req.Bulk = d.Bytes()
 	if err := d.Close(); err != nil {
 		return 0, wire.TraceHeader{}, Request{}, fmt.Errorf("%w: %v", ErrBadPacket, err)
 	}
@@ -186,23 +210,42 @@ func decodeCall(plain []byte) (seq uint32, tc wire.TraceHeader, req Request, err
 // code, body, bulk). The server echoes its measured service time so the
 // client can attribute call latency between network and server; like the
 // trace header it is always present, zero on transports that don't measure.
-func encodeReply(seq uint32, svc time.Duration, resp Response) []byte {
-	var e wire.Encoder
+func encodeReplyInto(e *wire.Encoder, seq uint32, svc time.Duration, resp Response) {
 	e.U32(seq)
 	e.U64(uint64(svc))
 	e.U16(resp.Code)
 	e.Bytes(resp.Body)
 	e.Bytes(resp.Bulk)
-	return append([]byte(nil), e.Buf()...)
 }
 
+func encodeReply(seq uint32, svc time.Duration, resp Response) []byte {
+	e := wire.GetEncoder()
+	encodeReplyInto(e, seq, svc, resp)
+	out := append([]byte(nil), e.Buf()...)
+	wire.PutEncoder(e)
+	return out
+}
+
+// sealReply is encodeReply fused with Seal; see sealCall. Fetch replies
+// carry whole files in Bulk, so the skipped plaintext copy is the file.
+func sealReply(box *secure.Box, seq uint32, svc time.Duration, resp Response) []byte {
+	e := wire.GetEncoder()
+	encodeReplyInto(e, seq, svc, resp)
+	sealed := box.Seal(e.Buf())
+	wire.PutEncoder(e)
+	return sealed
+}
+
+// decodeReply decodes a reply packet. Body and Bulk alias plain (see
+// decodeCall).
 func decodeReply(plain []byte) (seq uint32, svc time.Duration, resp Response, err error) {
-	d := wire.NewDecoder(plain)
+	var d wire.Decoder
+	d.Reset(plain)
 	seq = d.U32()
 	svc = time.Duration(d.U64())
 	resp.Code = d.U16()
-	resp.Body = append([]byte(nil), d.Bytes()...)
-	resp.Bulk = append([]byte(nil), d.Bytes()...)
+	resp.Body = d.Bytes()
+	resp.Bulk = d.Bytes()
 	if err := d.Close(); err != nil {
 		return 0, 0, Response{}, fmt.Errorf("%w: %v", ErrBadPacket, err)
 	}

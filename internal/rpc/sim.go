@@ -3,6 +3,7 @@ package rpc
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"itcfs/internal/netsim"
@@ -130,8 +131,9 @@ type EndpointConfig struct {
 
 // Endpoint binds RPC to one node of the simulated network. It serves
 // inbound connections (if configured with keys and a server) and originates
-// outbound ones. Create it before running the kernel, or from kernel
-// context: it spawns its dispatcher process at construction.
+// outbound ones. It registers itself as the node's frame sink at
+// construction, so received frames dispatch in kernel event context with no
+// receive loop to wake.
 type Endpoint struct {
 	k    *sim.Kernel
 	net  *netsim.Network
@@ -153,6 +155,17 @@ type Endpoint struct {
 	// mInflight gauges the calls currently executing in worker processes on
 	// this endpoint (server endpoints only). Nil without a registry.
 	mInflight *trace.Gauge
+
+	// Cached handles for the per-call metrics. Registry lookups hash the
+	// metric name under a mutex; resolving once at construction keeps the
+	// call hot path free of them. All are nil (and their methods no-ops)
+	// without a registry.
+	mRetries  *trace.Counter
+	mTimeouts *trace.Counter
+	mReplays  *trace.Counter
+	mDupSup   *trace.Counter
+	mServeLat *trace.Histogram
+	mCallLat  *trace.Histogram
 }
 
 type inKey struct {
@@ -199,7 +212,7 @@ type inConn struct {
 	serve   *replyCache // dedupes inbound calls
 }
 
-// NewEndpoint attaches an endpoint to node and starts its dispatcher.
+// NewEndpoint attaches an endpoint to node and registers its receive sink.
 func NewEndpoint(net *netsim.Network, node *netsim.Node, cfg EndpointConfig) *Endpoint {
 	if cfg.CallTimeout == 0 {
 		cfg.CallTimeout = 60 * time.Second
@@ -223,7 +236,13 @@ func NewEndpoint(net *netsim.Network, node *netsim.Node, cfg EndpointConfig) *En
 		// registry with idle series.
 		ep.mInflight = cfg.Metrics.Gauge("rpc." + node.Name + ".inflight")
 	}
-	ep.k.Spawn("rpc-dispatch:"+node.Name, ep.dispatch)
+	ep.mRetries = cfg.Metrics.Counter("rpc.retries")
+	ep.mTimeouts = cfg.Metrics.Counter("rpc.call.timeouts")
+	ep.mReplays = cfg.Metrics.Counter("rpc.reply_cache.replays")
+	ep.mDupSup = cfg.Metrics.Counter("rpc.dup_suppressed")
+	ep.mServeLat = cfg.Metrics.Histogram("rpc.serve.latency")
+	ep.mCallLat = cfg.Metrics.Histogram("rpc.call.latency")
+	node.SetSink(ep.deliver)
 	return ep
 }
 
@@ -298,37 +317,51 @@ func (ep *Endpoint) send(to netsim.NodeID, p *pkt) {
 	ep.net.Send(ep.node.ID, to, p.size(), p)
 }
 
-// dispatch is the endpoint's receive loop. It never parks on anything but
-// the inbox; all potentially-blocking work runs in per-call worker
-// processes, which is exactly the single-process/many-LWPs server structure
-// of the revised implementation (§3.5.2).
-func (ep *Endpoint) dispatch(p *sim.Proc) {
-	for {
-		msg := ep.node.Recv(p)
-		pk, ok := msg.Payload.(*pkt)
-		if !ok {
-			continue
-		}
-		if ep.down {
-			continue // a crashed host hears nothing
-		}
-		switch pk.Kind {
-		case kindHello, kindProof:
-			ep.handleHandshake(pk)
-		case kindChallenge, kindSession:
-			if c := ep.outbound[pk.Conn]; c != nil && c.remote == pk.From && c.hsReply != nil {
-				f := c.hsReply
-				c.hsReply = nil
-				f.Set(pk.Data)
-			}
-		case kindCall:
-			ep.handleCall(pk)
-		case kindReply:
-			ep.handleReply(pk)
-		case kindClose:
-			delete(ep.inbound, inKey{pk.From, pk.Conn})
-		}
+// deliver is the endpoint's receive path, registered as the node's frame
+// sink: it runs in kernel event context, one scheduling hop after final
+// propagation — exactly where the old dispatcher process resumed from its
+// inbox park, minus the park/resume round trip per frame. It never blocks;
+// all potentially-blocking work runs in per-call worker processes, which is
+// exactly the single-process/many-LWPs server structure of the revised
+// implementation (§3.5.2).
+func (ep *Endpoint) deliver(msg netsim.Message) {
+	pk, ok := msg.Payload.(*pkt)
+	if !ok {
+		return
 	}
+	if ep.down {
+		return // a crashed host hears nothing
+	}
+	switch pk.Kind {
+	case kindHello, kindProof:
+		ep.handleHandshake(pk)
+	case kindChallenge, kindSession:
+		if c := ep.outbound[pk.Conn]; c != nil && c.remote == pk.From && c.hsReply != nil {
+			f := c.hsReply
+			c.hsReply = nil
+			f.Set(pk.Data)
+		}
+	case kindCall:
+		ep.handleCall(pk)
+	case kindReply:
+		ep.handleReply(pk)
+	case kindClose:
+		delete(ep.inbound, inKey{pk.From, pk.Conn})
+	}
+}
+
+// workerNames caches per-op worker process names: a server spawns one worker
+// per inbound call, and formatting the name fresh each time was a measurable
+// allocation site at tens of thousands of clients.
+var workerNames sync.Map // Op -> string
+
+func workerName(op Op) string {
+	if n, ok := workerNames.Load(op); ok {
+		return n.(string)
+	}
+	n := fmt.Sprintf("rpc-worker-op%d", op)
+	workerNames.Store(op, n)
+	return n
 }
 
 // handleHandshake serves handshake messages 1 and 3 in a worker process,
@@ -419,20 +452,20 @@ func (ep *Endpoint) handleCall(pk *pkt) {
 	// time, so replays attribute latency truthfully.
 	if sealed, ok := serve.done[seq]; ok {
 		ep.dupSuppressed++
-		ep.cfg.Metrics.Counter("rpc.reply_cache.replays").Inc()
+		ep.mReplays.Inc()
 		ep.send(pk.From, &pkt{Conn: pk.Conn, Kind: kindReply, Data: sealed})
 		return
 	}
 	if serve.inflight[seq] {
 		ep.dupSuppressed++
-		ep.cfg.Metrics.Counter("rpc.dup_suppressed").Inc()
+		ep.mDupSup.Inc()
 		return
 	}
 	serve.inflight[seq] = true
 	ep.callCounts[req.Op]++
 	ep.callsTotal++
 	ep.mInflight.Add(1)
-	ep.k.Spawn(fmt.Sprintf("rpc-worker-op%d", req.Op), func(p *sim.Proc) {
+	ep.k.Spawn(workerName(req.Op), func(p *sim.Proc) {
 		defer ep.mInflight.Add(-1)
 		started := p.Now()
 		sp := ep.cfg.Tracer.BeginRemote(p, tc, trace.SpanRPCServe, ep.node.Name)
@@ -448,9 +481,9 @@ func (ep *Endpoint) handleCall(pk *pkt) {
 		if ep.cfg.Observe != nil {
 			ep.cfg.Observe(ctx, req, resp, svc)
 		}
-		ep.cfg.Metrics.Histogram("rpc.serve.latency").Observe(svc)
+		ep.mServeLat.Observe(svc)
 		sp.End()
-		sealed := box.Seal(encodeReply(seq, svc, resp))
+		sealed := sealReply(box, seq, svc, resp)
 		serve.finish(seq, sealed)
 		ep.send(pk.From, &pkt{Conn: pk.Conn, Kind: kindReply, Data: sealed})
 	})
@@ -551,7 +584,7 @@ func (c *SimConn) handshakeStep(p *sim.Proc, kind uint8, data []byte) ([]byte, e
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
 			c.ep.retries++
-			c.ep.cfg.Metrics.Counter("rpc.retries").Inc()
+			c.ep.mRetries.Inc()
 			if fl := c.ep.cfg.Flight; fl != nil {
 				fl.Log("rpc.retry", c.ep.node.Name,
 					fmt.Sprintf("handshake kind %d attempt %d to node %d", kind, a+1, c.remote))
@@ -593,7 +626,7 @@ func (c *SimConn) Call(p *sim.Proc, req Request) (Response, error) {
 	started := p.Now()
 	c.nextSeq++
 	seq := c.nextSeq
-	plain := encodeCall(seq, sp.Context(), req)
+	tc := sp.Context()
 	attempts := c.ep.cfg.Retry.Attempts
 	if attempts < 1 {
 		attempts = 1
@@ -602,7 +635,7 @@ func (c *SimConn) Call(p *sim.Proc, req Request) (Response, error) {
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
 			c.ep.retries++
-			c.ep.cfg.Metrics.Counter("rpc.retries").Inc()
+			c.ep.mRetries.Inc()
 			if fl := c.ep.cfg.Flight; fl != nil {
 				fl.Log("rpc.retry", c.ep.node.Name,
 					fmt.Sprintf("op %d attempt %d to node %d", req.Op, a+1, c.remote))
@@ -615,13 +648,17 @@ func (c *SimConn) Call(p *sim.Proc, req Request) (Response, error) {
 		}
 		f := sim.NewFuture[outcome](c.ep.k)
 		c.pending[seq] = f
-		reqPkt := &pkt{Conn: c.id, Kind: kindCall, Data: c.box.Seal(plain)}
+		// Re-encoding on retry is cheaper than keeping the plaintext alive
+		// across the call; each attempt seals fresh (new nonce) regardless.
+		reqPkt := &pkt{Conn: c.id, Kind: kindCall, Data: sealCall(c.box, seq, tc, req)}
 		c.ep.send(c.remote, reqPkt)
 		c.ep.k.After(c.ep.cfg.CallTimeout, func() {
-			if f.TrySet(outcome{err: fmt.Errorf("%w: op %d to node %d", ErrTimeout, req.Op, c.remote)}) {
-				if c.pending[seq] == f {
-					delete(c.pending, seq)
-				}
+			if f.Done() {
+				return // answered; don't build the timeout error
+			}
+			f.Set(outcome{err: fmt.Errorf("%w: op %d to node %d", ErrTimeout, req.Op, c.remote)})
+			if c.pending[seq] == f {
+				delete(c.pending, seq)
 			}
 		})
 		out := f.Wait(p)
@@ -629,7 +666,7 @@ func (c *SimConn) Call(p *sim.Proc, req Request) (Response, error) {
 			c.ep.finishCall(sp, p, started, reqPkt, out)
 			return out.resp, nil
 		}
-		c.ep.cfg.Metrics.Counter("rpc.call.timeouts").Inc()
+		c.ep.mTimeouts.Inc()
 		lastErr = out.err
 	}
 	sp.End()
@@ -655,7 +692,7 @@ func (ep *Endpoint) finishCall(sp *trace.Span, p *sim.Proc, started sim.Time, re
 	sp.SetInt(trace.AttrNetPropNs, int64(pr))
 	sp.SetInt(trace.AttrServerNs, int64(out.svc))
 	sp.End()
-	ep.cfg.Metrics.Histogram("rpc.call.latency").Observe(p.Now().Sub(started))
+	ep.mCallLat.Observe(p.Now().Sub(started))
 }
 
 // Close tears down the connection; the server forgets its state.
@@ -683,16 +720,18 @@ func (ic *inConn) CallBack(p *sim.Proc, req Request) (Response, error) {
 	seq := ic.nextSeq
 	f := sim.NewFuture[outcome](ic.ep.k)
 	ic.pending[seq] = f
-	reqPkt := &pkt{Conn: ic.key.conn, Kind: kindCall, Data: ic.box.Seal(encodeCall(seq, sp.Context(), req))}
+	reqPkt := &pkt{Conn: ic.key.conn, Kind: kindCall, Data: sealCall(ic.box, seq, sp.Context(), req)}
 	ic.ep.send(ic.key.from, reqPkt)
 	ic.ep.k.After(ic.ep.cfg.CallbackTimeout, func() {
-		if f.TrySet(outcome{err: fmt.Errorf("%w: callback op %d", ErrTimeout, req.Op)}) {
-			delete(ic.pending, seq)
+		if f.Done() {
+			return // answered; don't build the timeout error
 		}
+		f.Set(outcome{err: fmt.Errorf("%w: callback op %d", ErrTimeout, req.Op)})
+		delete(ic.pending, seq)
 	})
 	out := f.Wait(p)
 	if out.err != nil {
-		ic.ep.cfg.Metrics.Counter("rpc.call.timeouts").Inc()
+		ic.ep.mTimeouts.Inc()
 		sp.End()
 		return out.resp, out.err
 	}

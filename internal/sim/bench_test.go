@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"testing"
+)
+
+// countFirer is a pre-allocated event body; Fire just counts.
+type countFirer struct{ n int }
+
+func (f *countFirer) Fire() { f.n++ }
+
+// BenchmarkParkResume measures one Sleep round trip: schedule a future
+// wake-up, park the process, switch to the kernel, advance the clock,
+// dispatch back. This is the unit cost of every blocking operation in the
+// simulator, so it bounds how many client operations a wall-clock second can
+// carry.
+func BenchmarkParkResume(b *testing.B) {
+	k := NewKernel()
+	k.Spawn("bench", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkMailboxSendRecv measures a request/reply round trip between two
+// processes over two mailboxes: two Puts, two Gets, and the two park/resume
+// switches between them — the shape of every simulated RPC hop.
+func BenchmarkMailboxSendRecv(b *testing.B) {
+	k := NewKernel()
+	req := NewMailbox[int](k)
+	rep := NewMailbox[int](k)
+	k.Spawn("echo", func(p *Proc) {
+		for {
+			v := req.Get(p)
+			if v < 0 {
+				return
+			}
+			rep.Put(v)
+		}
+	})
+	k.Spawn("driver", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			req.Put(i)
+			rep.Get(p)
+		}
+		req.Put(-1)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkScheduleDrain measures the bucketed timetable: bursts of events
+// scheduled at one future instant, then drained. A burst pays one heap
+// operation for the instant, not one per event, and recycled bucket slices
+// keep steady-state scheduling allocation-free.
+func BenchmarkScheduleDrain(b *testing.B) {
+	const burst = 64
+	k := NewKernel()
+	f := &countFirer{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += burst {
+		t := k.Now().Add(1)
+		for j := 0; j < burst; j++ {
+			k.AtFire(t, f)
+		}
+		k.Run()
+	}
+}
+
+// TestMailboxPutGetZeroAlloc pins the mailbox hot path: once the ring is
+// warm, Put and Get recycle the same backing array and allocate nothing.
+func TestMailboxPutGetZeroAlloc(t *testing.T) {
+	k := NewKernel()
+	m := NewMailbox[int](k)
+	m.Put(0)
+	m.TryGet() // warm the ring
+	if a := testing.AllocsPerRun(100, func() {
+		m.Put(7)
+		m.TryGet()
+	}); a != 0 {
+		t.Fatalf("mailbox put/get allocates %v per op; want 0", a)
+	}
+}
+
+// TestScheduleDrainZeroAlloc pins the timetable's steady state end to end:
+// scheduling a burst at a fresh future instant and draining it reuses the
+// recycled bucket slice and the times heap's backing array, allocating
+// nothing per round.
+func TestScheduleDrainZeroAlloc(t *testing.T) {
+	const burst = 64
+	k := NewKernel()
+	f := &countFirer{}
+	round := func() {
+		at := k.Now().Add(1)
+		for j := 0; j < burst; j++ {
+			k.AtFire(at, f)
+		}
+		k.Run()
+	}
+	round() // warm: grow the bucket slice, heap and free pool
+	round()
+	if a := testing.AllocsPerRun(50, round); a != 0 {
+		t.Fatalf("schedule+drain round allocates %v; want 0", a)
+	}
+	if f.n == 0 {
+		t.Fatal("no events fired")
+	}
+}
+
+// TestAtFireSameInstantZeroAlloc pins the same-instant fast path: an event
+// scheduled for the current instant appends straight to the live run queue —
+// no heap push, no bucket lookup, no allocation. The run queue is pre-grown
+// first so amortized slice growth (a capacity cost, not a per-event one)
+// doesn't obscure the gate.
+func TestAtFireSameInstantZeroAlloc(t *testing.T) {
+	k := NewKernel()
+	f := &countFirer{}
+	var allocs float64
+	k.At(1, func() {
+		const runs = 100
+		if need := len(k.curr) + runs + 2; cap(k.curr) < need {
+			grown := make([]event, len(k.curr), 2*need)
+			copy(grown, k.curr)
+			k.curr = grown
+		}
+		allocs = testing.AllocsPerRun(runs, func() { k.AtFire(k.Now(), f) })
+	})
+	k.Run()
+	if allocs != 0 {
+		t.Fatalf("same-instant AtFire allocates %v; want 0", allocs)
+	}
+	if f.n != 101 {
+		t.Fatalf("fired %d events; want 101", f.n)
+	}
+}
+
+// TestProcExitStress spawns a large population of short-lived processes —
+// the simulator's per-call worker pattern at scale — and requires every one
+// to exit and unregister. Run under -race in CI, it also exercises the
+// kernel/proc channel handoff for data races at high churn.
+func TestProcExitStress(t *testing.T) {
+	const procs = 5000
+	k := NewKernel()
+	m := NewMailbox[int](k)
+	var got int
+	for i := 0; i < procs; i++ {
+		i := i
+		k.SpawnAt(Time(i%17), "stress", func(p *Proc) {
+			p.Sleep(Duration(i % 5))
+			m.Put(i)
+			p.Yield()
+		})
+	}
+	k.Spawn("drain", func(p *Proc) {
+		for j := 0; j < procs; j++ {
+			m.Get(p)
+			got++
+		}
+	})
+	k.Run()
+	if got != procs {
+		t.Fatalf("drained %d messages; want %d", got, procs)
+	}
+	if n := k.Procs(); n != 0 {
+		t.Fatalf("%d processes still live after Run; want 0", n)
+	}
+}

@@ -1,7 +1,7 @@
 // Package sim provides a deterministic, process-oriented discrete-event
 // simulation kernel.
 //
-// A Kernel advances a virtual clock over a heap of timed events. Processes
+// A Kernel advances a virtual clock over a timetable of events. Processes
 // are ordinary goroutines that run one at a time under kernel control: a
 // process runs until it parks (Sleep, mailbox receive, resource acquisition,
 // future wait), at which point control returns to the kernel, which fires the
@@ -14,10 +14,25 @@
 // (for example the Vice server logic, which serves real TCP clients too)
 // keeps its ordinary mutexes; the rule there is only that a lock is never
 // held across a park point.
+//
+// # Scheduling internals
+//
+// The kernel is sized for tens of thousands of simulated processes, so the
+// event queue is organized to make the common operations allocation-free:
+//
+//   - Events at the same virtual instant live in one bucket slice and are
+//     drained in FIFO order by a cursor, with no per-event heap traffic; the
+//     binary heap orders only the *distinct* pending instants. A burst of N
+//     same-instant callbacks costs one heap operation, not N.
+//   - An event is a 4-word value, not a pointer: scheduling appends to a
+//     recycled bucket slice and allocates nothing in steady state.
+//   - Process wake-ups (Sleep, mailbox, future, resource) are stored as the
+//     *Proc itself rather than a closure; pooled consumer objects (netsim
+//     frames, resource grants) schedule themselves via the Firer interface.
+//     Only ad-hoc At/After callbacks pay for a closure.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -41,47 +56,56 @@ func (t Time) Add(d Duration) Time { return t + Time(d) }
 // Sub returns the interval t-u.
 func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 
+// Firer is an event body that schedules without allocating: anything with a
+// Fire method can be passed to AtFire/AfterFire, so pooled objects (netsim
+// frames, resource grants) carry their own callback state instead of a
+// fresh closure per event.
+type Firer interface{ Fire() }
+
+// event is one scheduled callback. Exactly one of p, ps, fr, fn is set; they
+// are checked in that order (process wake-ups dominate at scale). Events
+// carry no timestamp: an event's instant is the bucket it lives in.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	p  *Proc  // wake this parked process
+	ps *Proc  // start this not-yet-running process (its fn field holds the body)
+	fr Firer  // pre-allocated event body
+	fn func() // ad-hoc callback
 }
 
 // Kernel is a discrete-event simulation executive. The zero value is not
 // usable; create one with NewKernel.
 type Kernel struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
+	now Time
+
+	// curr holds the events of the instant currently being drained (always
+	// at virtual time now); curr[cursor:] are still to fire. Scheduling at
+	// the current instant appends here, which preserves the global
+	// schedule-order FIFO among same-instant events. times is a min-heap of
+	// the distinct future instants, and buckets holds their event slices;
+	// free recycles drained bucket slices.
+	curr    []event
+	cursor  int
+	times   []Time
+	buckets map[Time][]event
+	free    [][]event
+
 	parked  chan struct{} // signalled by a proc when it parks or exits
 	stopped bool
 	nprocs  int // live (spawned, not yet exited) processes
 	current *Proc
 }
 
+// maxFreeBuckets bounds the recycled-slice pool; beyond it, drained bucket
+// slices are dropped for the GC. The pool only needs to cover the working
+// set of distinct pending instants.
+const maxFreeBuckets = 64
+
 // NewKernel returns a kernel with an empty event queue and the clock at zero.
 func NewKernel() *Kernel {
-	return &Kernel{parked: make(chan struct{})}
+	return &Kernel{
+		parked:  make(chan struct{}),
+		buckets: make(map[Time][]event),
+	}
 }
 
 // Now returns the current virtual time.
@@ -89,16 +113,121 @@ func (k *Kernel) Now() Time { return k.now }
 
 // At schedules fn to run in kernel context at virtual time t. Scheduling in
 // the past (t < Now) panics: it would silently reorder causality.
-func (k *Kernel) At(t Time, fn func()) {
-	if t < k.now {
-		panic(fmt.Sprintf("sim: event scheduled at %v before now %v", t, k.now))
-	}
-	k.seq++
-	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
-}
+func (k *Kernel) At(t Time, fn func()) { k.schedule(t, event{fn: fn}) }
 
 // After schedules fn to run d from now.
-func (k *Kernel) After(d Duration, fn func()) { k.At(k.now.Add(d), fn) }
+func (k *Kernel) After(d Duration, fn func()) { k.schedule(k.now.Add(d), event{fn: fn}) }
+
+// AtFire schedules f.Fire to run in kernel context at virtual time t,
+// without allocating: f carries its own state.
+func (k *Kernel) AtFire(t Time, f Firer) { k.schedule(t, event{fr: f}) }
+
+// AfterFire schedules f.Fire to run d from now.
+func (k *Kernel) AfterFire(d Duration, f Firer) { k.schedule(k.now.Add(d), event{fr: f}) }
+
+// wakeAt schedules parked process p to resume at virtual time t.
+func (k *Kernel) wakeAt(t Time, p *Proc) { k.schedule(t, event{p: p}) }
+
+// schedule enqueues e at instant t, preserving the invariant that events at
+// one instant fire in scheduling order: the current instant's events append
+// to the live run queue, future instants append to their bucket.
+func (k *Kernel) schedule(t Time, e event) {
+	if t <= k.now {
+		if t == k.now {
+			k.curr = append(k.curr, e)
+			return
+		}
+		panic(fmt.Sprintf("sim: event scheduled at %v before now %v", t, k.now))
+	}
+	b, ok := k.buckets[t]
+	if !ok {
+		k.pushTime(t)
+		if n := len(k.free); n > 0 {
+			b = k.free[n-1]
+			k.free[n-1] = nil
+			k.free = k.free[:n-1]
+		}
+	}
+	k.buckets[t] = append(b, e)
+}
+
+// pushTime adds a distinct instant to the time heap (sift-up; hand-rolled to
+// keep Time values out of interface boxes).
+func (k *Kernel) pushTime(t Time) {
+	h := append(k.times, t)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent] <= h[i] {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	k.times = h
+}
+
+// popTime removes and returns the earliest pending instant (sift-down).
+func (k *Kernel) popTime() Time {
+	h := k.times
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && h[r] < h[l] {
+			min = r
+		}
+		if h[i] <= h[min] {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	k.times = h
+	return top
+}
+
+// fire runs one event body.
+func (k *Kernel) fire(e event) {
+	switch {
+	case e.p != nil:
+		k.dispatch(e.p)
+	case e.ps != nil:
+		go e.ps.run()
+		k.dispatch(e.ps)
+	case e.fr != nil:
+		e.fr.Fire()
+	default:
+		e.fn()
+	}
+}
+
+// drained recycles the exhausted run queue. Every fired slot was already
+// zeroed, so the slice can be reused without pinning dead closures.
+func (k *Kernel) drained() {
+	if cap(k.curr) > 0 && len(k.free) < maxFreeBuckets {
+		k.free = append(k.free, k.curr[:0])
+	}
+	k.curr = nil
+	k.cursor = 0
+}
+
+// advance installs the earliest pending bucket as the run queue and moves
+// the clock to its instant. The caller has drained curr.
+func (k *Kernel) advance() {
+	t := k.popTime()
+	k.now = t
+	k.curr = k.buckets[t]
+	k.cursor = 0
+	delete(k.buckets, t)
+}
 
 // Stop makes Run return after the current event completes. Pending events
 // remain queued; Run may be called again to continue.
@@ -108,10 +237,19 @@ func (k *Kernel) Stop() { k.stopped = true }
 // It returns the virtual time at which it stopped.
 func (k *Kernel) Run() Time {
 	k.stopped = false
-	for len(k.events) > 0 && !k.stopped {
-		e := heap.Pop(&k.events).(*event)
-		k.now = e.at
-		e.fn()
+	for !k.stopped {
+		if k.cursor < len(k.curr) {
+			e := k.curr[k.cursor]
+			k.curr[k.cursor] = event{}
+			k.cursor++
+			k.fire(e)
+			continue
+		}
+		k.drained()
+		if len(k.times) == 0 {
+			break
+		}
+		k.advance()
 	}
 	return k.now
 }
@@ -121,10 +259,19 @@ func (k *Kernel) Run() Time {
 // reached it.
 func (k *Kernel) RunUntil(t Time) Time {
 	k.stopped = false
-	for len(k.events) > 0 && !k.stopped && k.events[0].at <= t {
-		e := heap.Pop(&k.events).(*event)
-		k.now = e.at
-		e.fn()
+	for !k.stopped && k.now <= t {
+		if k.cursor < len(k.curr) {
+			e := k.curr[k.cursor]
+			k.curr[k.cursor] = event{}
+			k.cursor++
+			k.fire(e)
+			continue
+		}
+		k.drained()
+		if len(k.times) == 0 || k.times[0] > t {
+			break
+		}
+		k.advance()
 	}
 	if !k.stopped && k.now < t {
 		k.now = t
@@ -133,7 +280,7 @@ func (k *Kernel) RunUntil(t Time) Time {
 }
 
 // Idle reports whether no events are pending.
-func (k *Kernel) Idle() bool { return len(k.events) == 0 }
+func (k *Kernel) Idle() bool { return k.cursor >= len(k.curr) && len(k.times) == 0 }
 
 // Procs returns the number of live processes.
 func (k *Kernel) Procs() int { return k.nprocs }
@@ -144,6 +291,7 @@ type Proc struct {
 	k      *Kernel
 	name   string
 	resume chan struct{}
+	fn     func(p *Proc) // body, until the process starts
 	exited bool
 
 	// Trace is proc-local storage for the ambient trace span of whatever
@@ -171,19 +319,22 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 
 // SpawnAt creates a process running fn, starting at virtual time t.
 func (k *Kernel) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
-	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	p := &Proc{k: k, name: name, resume: make(chan struct{}), fn: fn}
 	k.nprocs++
-	k.At(t, func() {
-		go func() {
-			<-p.resume
-			fn(p)
-			p.exited = true
-			k.nprocs--
-			k.parked <- struct{}{}
-		}()
-		k.dispatch(p)
-	})
+	k.schedule(t, event{ps: p})
 	return p
+}
+
+// run is the body of a process goroutine: wait for the first dispatch, run
+// the spawned function, then exit, returning control to the kernel.
+func (p *Proc) run() {
+	<-p.resume
+	fn := p.fn
+	p.fn = nil
+	fn(p)
+	p.exited = true
+	p.k.nprocs--
+	p.k.parked <- struct{}{}
 }
 
 // dispatch hands the CPU to p and waits for it to park or exit. Must be
@@ -208,8 +359,7 @@ func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		panic("sim: negative sleep")
 	}
-	k := p.k
-	k.After(d, func() { k.dispatch(p) })
+	p.k.wakeAt(p.k.now.Add(d), p)
 	p.park()
 }
 

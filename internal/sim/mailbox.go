@@ -4,10 +4,18 @@ package sim
 // be called from kernel context (an event callback) or from a running
 // process; Get may only be called from a process and parks until a value is
 // available.
+//
+// The queue and waiter list are head-indexed rings: Get consumes from the
+// head without re-slicing the backing array away, so a steady-state
+// producer/consumer pair recycles one allocation instead of growing and
+// re-copying forever. Waking a receiver schedules the parked Proc directly
+// (no closure), so Put is allocation-free once the ring is warm.
 type Mailbox[T any] struct {
 	k       *Kernel
 	queue   []T
+	qhead   int
 	waiters []*Proc
+	whead   int
 }
 
 // NewMailbox returns an empty mailbox on kernel k.
@@ -16,48 +24,65 @@ func NewMailbox[T any](k *Kernel) *Mailbox[T] {
 }
 
 // Len reports the number of queued values.
-func (m *Mailbox[T]) Len() int { return len(m.queue) }
+func (m *Mailbox[T]) Len() int { return len(m.queue) - m.qhead }
 
 // Put enqueues v. If a process is waiting, it is scheduled to wake at the
 // current virtual time.
 func (m *Mailbox[T]) Put(v T) {
+	if m.qhead == len(m.queue) {
+		// Empty: rewind to reuse the ring's capacity.
+		m.queue = m.queue[:0]
+		m.qhead = 0
+	}
 	m.queue = append(m.queue, v)
-	if len(m.waiters) > 0 {
-		p := m.waiters[0]
-		m.waiters = m.waiters[1:]
-		m.k.After(0, func() { m.k.dispatch(p) })
+	if m.whead < len(m.waiters) {
+		p := m.waiters[m.whead]
+		m.waiters[m.whead] = nil
+		m.whead++
+		if m.whead == len(m.waiters) {
+			m.waiters = m.waiters[:0]
+			m.whead = 0
+		}
+		m.k.wakeAt(m.k.now, p)
 	}
 }
 
 // Get dequeues the oldest value, parking the calling process until one is
 // available.
 func (m *Mailbox[T]) Get(p *Proc) T {
-	for len(m.queue) == 0 {
+	for m.qhead == len(m.queue) {
 		m.waiters = append(m.waiters, p)
 		p.park()
 	}
-	v := m.queue[0]
-	m.queue = m.queue[1:]
+	var zero T
+	v := m.queue[m.qhead]
+	m.queue[m.qhead] = zero
+	m.qhead++
 	return v
 }
 
 // TryGet dequeues a value if one is present without parking.
 func (m *Mailbox[T]) TryGet() (T, bool) {
 	var zero T
-	if len(m.queue) == 0 {
+	if m.qhead == len(m.queue) {
 		return zero, false
 	}
-	v := m.queue[0]
-	m.queue = m.queue[1:]
+	v := m.queue[m.qhead]
+	m.queue[m.qhead] = zero
+	m.qhead++
 	return v, true
 }
 
 // Future is a write-once value that processes can wait on. It is the reply
 // slot for simulated RPCs.
 type Future[T any] struct {
-	k       *Kernel
-	done    bool
-	v       T
+	k    *Kernel
+	done bool
+	v    T
+	// The single-waiter case is nearly universal (one caller per reply
+	// slot), so the first waiter is held inline; only a second concurrent
+	// waiter allocates the overflow slice.
+	w       *Proc
 	waiters []*Proc
 }
 
@@ -87,9 +112,12 @@ func (f *Future[T]) Set(v T) {
 	}
 	f.done = true
 	f.v = v
+	if f.w != nil {
+		f.k.wakeAt(f.k.now, f.w)
+		f.w = nil
+	}
 	for _, p := range f.waiters {
-		p := p
-		f.k.After(0, func() { f.k.dispatch(p) })
+		f.k.wakeAt(f.k.now, p)
 	}
 	f.waiters = nil
 }
@@ -98,7 +126,11 @@ func (f *Future[T]) Set(v T) {
 // value.
 func (f *Future[T]) Wait(p *Proc) T {
 	for !f.done {
-		f.waiters = append(f.waiters, p)
+		if f.w == nil || f.w == p {
+			f.w = p
+		} else {
+			f.waiters = append(f.waiters, p)
+		}
 		p.park()
 	}
 	return f.v

@@ -10,8 +10,9 @@ type Resource struct {
 	name string
 
 	busy    bool
-	queue   []*grant
-	serving *grant
+	queue   []grant // head-indexed ring of waiters, in arrival order
+	qhead   int
+	serving grant // valid while busy
 
 	busyTime  Duration // cumulative time spent busy
 	busySince Time     // valid when busy
@@ -19,6 +20,10 @@ type Resource struct {
 	queuedMax int
 }
 
+// grant is one process's claim on the resource. Grants are values, queued in
+// place: acquiring a contended resource allocates nothing once the ring is
+// warm, and the hold-completion event is the Resource itself (via Fire), not
+// a closure.
 type grant struct {
 	p    *Proc
 	hold Duration
@@ -42,39 +47,53 @@ func (r *Resource) Use(p *Proc, d Duration) {
 	if d < 0 {
 		panic("sim: negative hold time")
 	}
-	g := &grant{p: p, hold: d}
 	if r.busy {
-		r.queue = append(r.queue, g)
-		if len(r.queue) > r.queuedMax {
-			r.queuedMax = len(r.queue)
+		if r.qhead == len(r.queue) {
+			r.queue = r.queue[:0]
+			r.qhead = 0
+		}
+		r.queue = append(r.queue, grant{p: p, hold: d})
+		if n := len(r.queue) - r.qhead; n > r.queuedMax {
+			r.queuedMax = n
 		}
 		p.park() // woken by release when it is our turn
 	}
-	r.start(g)
+	r.start(grant{p: p, hold: d})
 	p.park() // woken when the hold completes
 }
 
-// start begins serving g. The caller (Use, or release) has established that
+// start begins serving g. The caller (Use, or Fire) has established that
 // the resource is free.
-func (r *Resource) start(g *grant) {
+func (r *Resource) start(g grant) {
 	r.busy = true
 	r.serving = g
 	r.busySince = r.k.now
 	r.uses++
-	r.k.After(g.hold, func() {
-		r.busyTime += Duration(r.k.now - r.busySince)
-		r.busy = false
-		r.serving = nil
-		done := g.p
-		if len(r.queue) > 0 {
-			next := r.queue[0]
-			r.queue = r.queue[1:]
-			// Wake the next holder first so its service begins at this
-			// instant; it calls start from its own goroutine via Use.
-			r.k.dispatch(next.p)
+	r.k.AfterFire(g.hold, r)
+}
+
+// Fire completes the current hold: account busy time, hand the resource to
+// the next queued waiter (whose service begins at this instant), then wake
+// the finished holder. It implements Firer so a hold completion schedules
+// without allocating.
+func (r *Resource) Fire() {
+	r.busyTime += Duration(r.k.now - r.busySince)
+	r.busy = false
+	done := r.serving.p
+	r.serving = grant{}
+	if r.qhead < len(r.queue) {
+		next := r.queue[r.qhead]
+		r.queue[r.qhead] = grant{}
+		r.qhead++
+		if r.qhead == len(r.queue) {
+			r.queue = r.queue[:0]
+			r.qhead = 0
 		}
-		r.k.dispatch(done)
-	})
+		// Wake the next holder first so its service begins at this
+		// instant; it calls start from its own goroutine via Use.
+		r.k.dispatch(next.p)
+	}
+	r.k.dispatch(done)
 }
 
 // BusyTime returns the cumulative virtual time the resource has been busy,
@@ -91,7 +110,7 @@ func (r *Resource) BusyTime() Duration {
 func (r *Resource) Uses() int64 { return r.uses }
 
 // QueueLen returns the number of processes currently waiting.
-func (r *Resource) QueueLen() int { return len(r.queue) }
+func (r *Resource) QueueLen() int { return len(r.queue) - r.qhead }
 
 // MaxQueueLen returns the high-water mark of the wait queue.
 func (r *Resource) MaxQueueLen() int { return r.queuedMax }

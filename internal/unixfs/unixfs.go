@@ -136,10 +136,62 @@ func (fs *FS) UsedBytes() int64 {
 	return fs.used
 }
 
-// split normalizes an absolute path into components. "/" yields nil.
+// isClean reports whether path is already in canonical form: absolute, no
+// empty, "." or ".." components, no trailing slash (except the root itself).
+// Nearly every path the system handles is, so the path helpers take
+// allocation-free fast paths over such strings.
+func isClean(path string) bool {
+	if path == "" || path[0] != '/' {
+		return false
+	}
+	if path == "/" {
+		return true
+	}
+	start := 1
+	for i := 1; i <= len(path); i++ {
+		if i == len(path) || path[i] == '/' {
+			switch path[start:i] {
+			case "", ".", "..":
+				return false
+			}
+			start = i + 1
+		}
+	}
+	return true
+}
+
+// cleanElem reports whether a path element can be appended to a clean path
+// with a single slash and keep it clean: one non-empty component.
+func cleanElem(e string) bool {
+	return e != "" && e != "." && e != ".." && strings.IndexByte(e, '/') < 0
+}
+
+// split normalizes an absolute path into components. "/" yields nil. The
+// components of an already-clean path are subslices of it; splitting such a
+// path allocates only the component slice.
 func split(path string) ([]string, error) {
 	if path == "" || path[0] != '/' {
 		return nil, fmt.Errorf("%w: path %q must be absolute", ErrInvalid, path)
+	}
+	if isClean(path) {
+		if path == "/" {
+			return nil, nil
+		}
+		n := 0
+		for i := 0; i < len(path); i++ {
+			if path[i] == '/' {
+				n++
+			}
+		}
+		parts := make([]string, 0, n)
+		start := 1
+		for i := 1; i <= len(path); i++ {
+			if i == len(path) || path[i] == '/' {
+				parts = append(parts, path[start:i])
+				start = i + 1
+			}
+		}
+		return parts, nil
 	}
 	var parts []string
 	for _, c := range strings.Split(path, "/") {
@@ -156,8 +208,35 @@ func split(path string) ([]string, error) {
 	return parts, nil
 }
 
+// splitInto is split appending into a caller-provided buffer, letting hot
+// callers keep the parts slice on the stack for clean paths of ordinary
+// depth. Unclean paths fall back to split and allocate.
+func splitInto(path string, buf []string) ([]string, error) {
+	if path == "" || path[0] != '/' {
+		return nil, fmt.Errorf("%w: path %q must be absolute", ErrInvalid, path)
+	}
+	if !isClean(path) {
+		return split(path)
+	}
+	if path == "/" {
+		return buf, nil
+	}
+	start := 1
+	for i := 1; i <= len(path); i++ {
+		if i == len(path) || path[i] == '/' {
+			buf = append(buf, path[start:i])
+			start = i + 1
+		}
+	}
+	return buf, nil
+}
+
 // Clean normalizes a path the way split does, returning the canonical form.
+// A path already in canonical form is returned as-is, with no allocation.
 func Clean(path string) string {
+	if isClean(path) {
+		return path
+	}
 	parts, err := split(path)
 	if err != nil || len(parts) == 0 {
 		return "/"
@@ -167,11 +246,45 @@ func Clean(path string) string {
 
 // Join concatenates path elements with slashes and cleans the result.
 func Join(elems ...string) string {
+	// Fast path: a clean absolute head followed by single clean components
+	// concatenates directly.
+	if len(elems) > 0 && isClean(elems[0]) {
+		n := len(elems[0])
+		ok := true
+		for _, e := range elems[1:] {
+			if !cleanElem(e) {
+				ok = false
+				break
+			}
+			n += 1 + len(e)
+		}
+		if ok {
+			if len(elems) == 1 {
+				return elems[0]
+			}
+			var b strings.Builder
+			b.Grow(n)
+			if elems[0] != "/" {
+				b.WriteString(elems[0])
+			}
+			for _, e := range elems[1:] {
+				b.WriteByte('/')
+				b.WriteString(e)
+			}
+			return b.String()
+		}
+	}
 	return Clean("/" + strings.Join(elems, "/"))
 }
 
 // Base returns the final element of path ("/" for the root).
 func Base(path string) string {
+	if isClean(path) {
+		if path == "/" {
+			return "/"
+		}
+		return path[strings.LastIndexByte(path, '/')+1:]
+	}
 	parts, err := split(path)
 	if err != nil || len(parts) == 0 {
 		return "/"
@@ -181,6 +294,12 @@ func Base(path string) string {
 
 // Dir returns the parent of path ("/" for the root).
 func Dir(path string) string {
+	if isClean(path) {
+		if i := strings.LastIndexByte(path, '/'); i > 0 {
+			return path[:i]
+		}
+		return "/"
+	}
 	parts, err := split(path)
 	if err != nil || len(parts) <= 1 {
 		return "/"
@@ -198,7 +317,8 @@ func (fs *FS) walk(path string, followLast bool, depth int) (parent *inode, name
 	if depth > maxSymlinks {
 		return nil, "", nil, fmt.Errorf("%w: %s", ErrLoop, path)
 	}
-	parts, err := split(path)
+	var partsBuf [8]string
+	parts, err := splitInto(path, partsBuf[:0])
 	if err != nil {
 		return nil, "", nil, err
 	}

@@ -252,7 +252,7 @@ func (v *Venus) callAt(p *sim.Proc, servers []string, path string, cr proto.Cust
 		v.mu.Lock()
 		v.stats.Failovers++
 		v.mu.Unlock()
-		v.cfg.Metrics.Counter("venus.failover").Inc()
+		v.mFailover.Inc()
 		if fl := v.cfg.Flight; fl != nil {
 			fl.Log("venus.failover", v.cfg.Machine,
 				fmt.Sprintf("%s unreachable (%v), trying replica %s", server, err, servers[si]))
@@ -351,8 +351,19 @@ func (v *Venus) resolve(p *sim.Proc, path string, followLast bool, depth int) (p
 	cur := proto.FID{Volume: cr.Volume, Vnode: 1, Uniq: 1} // volume root
 	prefix := cr.Prefix
 	components := splitComponents(path, prefix)
+	// walked is the portion of path resolved so far — path is clean and the
+	// components are subslices of it, so the hint for each level is a prefix
+	// of path itself, sliced out by offset with no joining or allocation.
+	end := 0
+	if prefix != "/" {
+		end = len(prefix)
+	}
 	for i, comp := range components {
-		entries, err := v.dirEntries(p, cur, unixfs.Join(prefix, joinComponents(components[:i])))
+		walked := prefix
+		if end > 0 {
+			walked = path[:end]
+		}
+		entries, err := v.dirEntries(p, cur, walked)
 		if err != nil {
 			return proto.FID{}, err
 		}
@@ -374,31 +385,45 @@ func (v *Venus) resolve(p *sim.Proc, path string, followLast bool, depth int) (p
 			}
 			target := st.Target
 			if len(target) == 0 || target[0] != '/' {
-				target = unixfs.Join(prefix, joinComponents(components[:i]), target)
+				target = unixfs.Join(walked, target)
 			}
 			rest := joinComponents(components[i+1:])
 			return v.resolve(p, unixfs.Join(target, rest), followLast, depth+1)
 		}
 		cur = found.FID
+		end += 1 + len(comp)
 	}
 	return cur, nil
 }
 
+// splitComponents splits the part of a clean path below prefix into its
+// name components. The components are subslices of path, so splitting
+// allocates only the component slice itself.
 func splitComponents(path, prefix string) []string {
 	rest := path
 	if prefix != "/" {
 		rest = path[len(prefix):]
 	}
-	var out []string
-	comp := ""
-	for i := 0; i <= len(rest); i++ {
-		if i == len(rest) || rest[i] == '/' {
-			if comp != "" {
-				out = append(out, comp)
-			}
-			comp = ""
-		} else {
-			comp += string(rest[i])
+	n := 0
+	for i := 0; i < len(rest); i++ {
+		if rest[i] != '/' && (i == 0 || rest[i-1] == '/') {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < len(rest); {
+		for i < len(rest) && rest[i] == '/' {
+			i++
+		}
+		start := i
+		for i < len(rest) && rest[i] != '/' {
+			i++
+		}
+		if i > start {
+			out = append(out, rest[start:i])
 		}
 	}
 	return out
@@ -413,19 +438,33 @@ func joinComponents(parts []string) string {
 }
 
 // dirEntries returns a directory's listing, through the cache. Directory
-// files participate in caching and callbacks exactly like plain files.
+// files participate in caching and callbacks exactly like plain files; the
+// decoded listing is additionally memoized on the entry (resolution reads it
+// per path component, and re-decoding the directory file each time dominated
+// the client's allocation profile). Callers must not modify the result.
 func (v *Venus) dirEntries(p *sim.Proc, dir proto.FID, path string) ([]proto.DirEntry, error) {
 	v.mu.Lock()
 	e := v.byFID[dir]
 	fresh := e != nil && v.freshLocked(e, v.now(p))
+	if fresh && e.cacheFile != "" && e.dirEnts != nil {
+		v.touch(e)
+		ents := e.dirEnts
+		v.mu.Unlock()
+		return ents, nil
+	}
 	v.mu.Unlock()
 	if e != nil && e.cacheFile != "" && fresh {
 		data, err := v.cfg.Local.ReadFile(e.cacheFile)
 		if err == nil {
+			ents, derr := proto.DecodeDirEntries(data)
+			if derr != nil {
+				return nil, derr
+			}
 			v.mu.Lock()
 			v.touch(e)
+			e.dirEnts = ents
 			v.mu.Unlock()
-			return proto.DecodeDirEntries(data)
+			return ents, nil
 		}
 	}
 	e, err := v.fetchEntry(p, proto.Ref{FID: dir}, path, 0)
@@ -436,7 +475,14 @@ func (v *Venus) dirEntries(p *sim.Proc, dir proto.FID, path string) ([]proto.Dir
 	if err != nil {
 		return nil, err
 	}
-	return proto.DecodeDirEntries(data)
+	ents, err := proto.DecodeDirEntries(data)
+	if err != nil {
+		return nil, err
+	}
+	v.mu.Lock()
+	e.dirEnts = ents
+	v.mu.Unlock()
+	return ents, nil
 }
 
 // statFID fetches status by FID (symlink targets during resolution).
@@ -616,14 +662,16 @@ func (v *Venus) patchDir(dir proto.FID, patch dirPatch, resp rpc.Response) bool 
 	if err != nil {
 		return false
 	}
-	updated := proto.EncodeDirEntries(patch(entries, resp))
+	patched := patch(entries, resp)
+	updated := proto.EncodeDirEntries(patched)
 	if err := v.cfg.Local.WriteFile(e.cacheFile, updated, 0o600, "venus"); err != nil {
 		return false
 	}
 	v.mu.Lock()
 	v.bytes += int64(len(updated)) - e.status.Size
 	e.status.Size = int64(len(updated))
-	v.evictLocked() // the listing may have grown past the cache limit
+	e.dirEnts = patched // memoized listing follows the patched file
+	v.evictLocked()     // the listing may have grown past the cache limit
 	v.mu.Unlock()
 	return true
 }

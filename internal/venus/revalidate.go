@@ -195,7 +195,7 @@ func (v *Venus) bulkTestValid(p *sim.Proc, servers []string, args proto.BulkTest
 		v.mu.Lock()
 		v.stats.Failovers++
 		v.mu.Unlock()
-		v.cfg.Metrics.Counter("venus.failover").Inc()
+		v.mFailover.Inc()
 		return true
 	}
 	for {

@@ -123,8 +123,14 @@ type entry struct {
 	path      string // canonical Vice path (prototype key; hint in revised)
 	fid       proto.FID
 	status    proto.Status
-	cacheFile string   // local file holding the data ("" = status-only)
-	valid     bool     // revised: callback promise still held
+	cacheFile string // local file holding the data ("" = status-only)
+	// dirEnts memoizes the decoded listing of a cached directory file. It is
+	// dropped whenever cacheFile is rewritten (install, local write) and
+	// replaced in place by patchDir; resolution walks read it on every path
+	// component, so re-decoding per walk would dominate the client's
+	// allocation profile. Callers must not modify the returned slice.
+	dirEnts []proto.DirEntry
+	valid   bool // revised: callback promise still held
 	dirty     bool     // modified locally, not yet stored
 	open      int      // open handle count (pinned)
 	fetchedAt sim.Time // when the copy (and its promise) was last confirmed
@@ -169,6 +175,16 @@ type Venus struct {
 	// entry/exit events.
 	// guarded by mu
 	degradedMode bool
+
+	// Cached metric handles, resolved once at construction: opens are the
+	// hot path and registry lookups hash the metric name under a mutex.
+	// All are nil (and their methods no-ops) without a registry.
+	mCacheHits *trace.Counter
+	mCacheMiss *trace.Counter
+	mFailover  *trace.Counter
+	mBreaks    *trace.Counter
+	mOpenLat   *trace.Histogram
+	mStoreLat  *trace.Histogram
 }
 
 // New creates a Venus. Call Login before any file operation.
@@ -184,13 +200,19 @@ func New(cfg Config) *Venus {
 	}
 	_ = cfg.Local.MkdirAll(cfg.CacheDir, 0o700, "venus")
 	return &Venus{
-		cfg:     cfg,
-		conns:   make(map[string]Conn),
-		byPath:  make(map[string]*entry),
-		byFID:   make(map[proto.FID]*entry),
-		lru:     list.New(),
-		volLoc:  make(map[uint32]proto.CustodianReply),
-		pathLoc: make(map[string]proto.CustodianReply),
+		cfg:        cfg,
+		conns:      make(map[string]Conn),
+		byPath:     make(map[string]*entry),
+		byFID:      make(map[proto.FID]*entry),
+		lru:        list.New(),
+		volLoc:     make(map[uint32]proto.CustodianReply),
+		pathLoc:    make(map[string]proto.CustodianReply),
+		mCacheHits: cfg.Metrics.Counter("venus.cache.hits"),
+		mCacheMiss: cfg.Metrics.Counter("venus.cache.misses"),
+		mFailover:  cfg.Metrics.Counter("venus.failover"),
+		mBreaks:    cfg.Metrics.Counter("venus.callback_breaks"),
+		mOpenLat:   cfg.Metrics.Histogram("venus.open.latency"),
+		mStoreLat:  cfg.Metrics.Histogram("venus.store.latency"),
 	}
 }
 
@@ -279,15 +301,18 @@ func (v *Venus) Open(p *sim.Proc, path string, flags OpenFlag) (*Handle, error) 
 		sp := v.cfg.Tracer.Begin(p, "venus.open", v.cfg.Machine)
 		sp.SetStr("path", path)
 		started := v.now(p)
-		before := v.Stats()
+		v.mu.Lock()
+		beforeHits, beforeMisses := v.stats.Hits, v.stats.Misses
+		v.mu.Unlock()
 		defer func() {
-			after := v.Stats()
-			hits, misses := after.Hits-before.Hits, after.Misses-before.Misses
+			v.mu.Lock()
+			hits, misses := v.stats.Hits-beforeHits, v.stats.Misses-beforeMisses
+			v.mu.Unlock()
 			sp.SetInt("hit", hits)
-			v.cfg.Metrics.Counter("venus.cache.hits").Add(hits)
-			v.cfg.Metrics.Counter("venus.cache.misses").Add(misses)
+			v.mCacheHits.Add(hits)
+			v.mCacheMiss.Add(misses)
 			sp.End()
-			v.cfg.Metrics.Histogram("venus.open.latency").Observe(v.now(p).Sub(started))
+			v.mOpenLat.Observe(v.now(p).Sub(started))
 		}()
 	}
 	e, err := v.lookupEntry(p, path, flags)
@@ -308,6 +333,7 @@ func (v *Venus) Open(p *sim.Proc, path string, flags OpenFlag) (*Handle, error) 
 		}
 		v.mu.Lock()
 		e.dirty = true
+		e.dirEnts = nil
 		v.mu.Unlock()
 	}
 	return h, nil
@@ -655,6 +681,7 @@ func (v *Venus) installEntry(path string, st proto.Status, data []byte, now sim.
 	e.path = path
 	e.fid = st.FID
 	e.status = st
+	e.dirEnts = nil
 	e.valid = true
 	e.dirty = false
 	e.fetchedAt = now
@@ -756,7 +783,7 @@ func (v *Venus) HandleCallbackBreak(_ rpc.Ctx, req rpc.Request) rpc.Response {
 	if err != nil {
 		return rpc.Response{Code: proto.CodeBadRequest}
 	}
-	v.cfg.Metrics.Counter("venus.callback_breaks").Inc()
+	v.mBreaks.Inc()
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	v.stats.CallbackBreaks++
@@ -780,7 +807,7 @@ func (v *Venus) HandleBulkBreak(_ rpc.Ctx, req rpc.Request) rpc.Response {
 	if err != nil {
 		return rpc.Response{Code: proto.CodeBadRequest}
 	}
-	v.cfg.Metrics.Counter("venus.callback_breaks").Add(int64(len(args.Items)))
+	v.mBreaks.Add(int64(len(args.Items)))
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	v.stats.CallbackBreaks += int64(len(args.Items))
@@ -833,6 +860,7 @@ func (h *Handle) WriteAt(buf []byte, off int64) (int, error) {
 	if err == nil {
 		h.v.mu.Lock()
 		h.e.dirty = true
+		h.e.dirEnts = nil
 		h.v.mu.Unlock()
 	}
 	return n, err
@@ -901,7 +929,7 @@ func (v *Venus) storeEntry(p *sim.Proc, e *entry) error {
 	started := v.now(p)
 	defer func() {
 		sp.End()
-		v.cfg.Metrics.Histogram("venus.store.latency").Observe(v.now(p).Sub(started))
+		v.mStoreLat.Observe(v.now(p).Sub(started))
 	}()
 	data, err := v.cfg.Local.ReadFile(e.cacheFile)
 	if err != nil {

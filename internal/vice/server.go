@@ -125,6 +125,12 @@ type Server struct {
 	// access patterns and recommending custodian reassignment).
 	// guarded by mu
 	volAccess map[uint32]map[string]int64
+	// volOps and volLat cache the per-volume metric handles: both are
+	// touched on every served hot-path call, and resolving the Sprintf'd
+	// name through the registry each time is measurable at scale.
+	// guarded by mu
+	volOps map[uint32]*trace.Counter
+	volLat map[uint32]*trace.Histogram
 	// pendingVol remembers, per serving worker process, which volume the
 	// in-flight call touched, so ObserveCall can attribute the call's
 	// service time to that volume's latency histogram.
@@ -155,6 +161,8 @@ func New(cfg Config) *Server {
 		callbacks:  NewCallbackTable(),
 		disp:       rpc.NewServer(),
 		volAccess:  make(map[uint32]map[string]int64),
+		volOps:     make(map[uint32]*trace.Counter),
+		volLat:     make(map[uint32]*trace.Histogram),
 		pendingVol: make(map[*sim.Proc]uint32),
 	}
 	s.release = replica.NewController(cfg.Name, cfg.Metrics, cfg.Flight)
@@ -246,7 +254,12 @@ func (s *Server) noteAccess(ctx rpc.Ctx, vol uint32) {
 		// how the overload detector attributes a hot server's load to the
 		// volume driving it. (Registry locks nest under s.mu here; the
 		// registry never calls back into vice.)
-		s.cfg.Metrics.Counter(VolOpsMetric(vol)).Inc()
+		c := s.volOps[vol]
+		if c == nil {
+			c = s.cfg.Metrics.Counter(VolOpsMetric(vol))
+			s.volOps[vol] = c
+		}
+		c.Inc()
 		if ctx.Proc != nil {
 			s.pendingVol[ctx.Proc] = vol
 		}
@@ -274,12 +287,18 @@ func (s *Server) ObserveCall(ctx rpc.Ctx, req rpc.Request, resp rpc.Response, sv
 	}
 	s.mu.Lock()
 	vol, ok := s.pendingVol[ctx.Proc]
+	var h *trace.Histogram
 	if ok {
 		delete(s.pendingVol, ctx.Proc)
+		h = s.volLat[vol]
+		if h == nil {
+			h = s.cfg.Metrics.Histogram(VolLatencyMetric(vol))
+			s.volLat[vol] = h
+		}
 	}
 	s.mu.Unlock()
 	if ok {
-		s.cfg.Metrics.Histogram(VolLatencyMetric(vol)).Observe(svc)
+		h.Observe(svc)
 	}
 }
 

@@ -261,18 +261,29 @@ func (fs *FS) ReadFile(p *sim.Proc, path string) ([]byte, error) {
 		return nil, err
 	}
 	defer f.Close(p)
-	var out []byte
-	buf := make([]byte, 32<<10)
+	// Size the buffer from the open handle's (cached) status and read the
+	// data straight into it — no scratch buffer, no second copy. The spare
+	// byte lets the final read report EOF without an extra growth step.
+	var size int64
+	if f.vh != nil {
+		size = f.vh.Status().Size
+	} else if st, serr := fs.local.Stat(f.lpath); serr == nil {
+		size = st.Size
+	}
+	out := make([]byte, 0, size+1)
 	off := int64(0)
 	for {
-		n, err := f.ReadAt(buf, off)
+		if len(out) == cap(out) {
+			out = append(out, 0)[:len(out)]
+		}
+		n, err := f.ReadAt(out[len(out):cap(out)], off)
 		if err != nil {
 			return nil, err
 		}
 		if n == 0 {
 			return out, nil
 		}
-		out = append(out, buf[:n]...)
+		out = out[:len(out)+n]
 		off += int64(n)
 	}
 }

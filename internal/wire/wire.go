@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // ErrTruncated is returned when a decoder runs out of bytes.
@@ -96,6 +97,11 @@ type Decoder struct {
 
 // NewDecoder returns a decoder over buf. The decoder does not copy buf.
 func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Reset re-points d at buf, clearing position and error state. It lets hot
+// paths run a stack-allocated Decoder instead of a fresh heap one per
+// message.
+func (d *Decoder) Reset(buf []byte) { *d = Decoder{buf: buf} }
 
 // Err returns the first decoding error, or nil.
 func (d *Decoder) Err() error { return d.err }
@@ -234,12 +240,30 @@ type Message interface {
 	Encode(e *Encoder)
 }
 
+// encoders pools Marshal scratch buffers. Messages are encoded by appending
+// piecewise, so a fresh Encoder pays a chain of growth reallocations per
+// message; reusing warmed buffers leaves exactly one exact-size allocation
+// per Marshal (the returned copy).
+var encoders = sync.Pool{New: func() any { return new(Encoder) }}
+
+// GetEncoder returns an empty Encoder from an internal pool. Hand it back
+// with PutEncoder after copying the bytes out.
+func GetEncoder() *Encoder {
+	e := encoders.Get().(*Encoder)
+	e.Reset()
+	return e
+}
+
+// PutEncoder returns e to the pool. The caller must not retain e.Buf().
+func PutEncoder(e *Encoder) { encoders.Put(e) }
+
 // Marshal encodes m into a fresh byte slice.
 func Marshal(m Message) []byte {
-	var e Encoder
-	m.Encode(&e)
+	e := GetEncoder()
+	m.Encode(e)
 	out := make([]byte, len(e.buf))
 	copy(out, e.buf)
+	PutEncoder(e)
 	return out
 }
 

@@ -11,6 +11,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"itcfs/internal/sim"
@@ -65,8 +66,35 @@ func DefaultScale(seed int64) ScaleConfig {
 	}
 }
 
+// sharedNames caches the pool's name table per root. The popularity loop
+// names a pool file on every operation, and at tens of thousands of clients
+// formatting the path per op was a top allocation site. Tables only grow;
+// concurrent rebuilds are harmless (entries are identical, last store wins).
+var sharedNames sync.Map // string root -> []string
+
+func sharedNameTable(root string, n int) []string {
+	if v, ok := sharedNames.Load(root); ok {
+		if t := v.([]string); len(t) >= n {
+			return t
+		}
+	}
+	t := make([]string, n)
+	for i := range t {
+		t[i] = fmt.Sprintf("%s/s%03d", root, i)
+	}
+	sharedNames.Store(root, t)
+	return t
+}
+
 // SharedFile names pool file i under root.
-func SharedFile(root string, i int) string { return fmt.Sprintf("%s/s%03d", root, i) }
+func SharedFile(root string, i int) string {
+	if v, ok := sharedNames.Load(root); ok {
+		if t := v.([]string); i < len(t) {
+			return t[i]
+		}
+	}
+	return fmt.Sprintf("%s/s%03d", root, i)
+}
 
 // PopulateShared creates the pool. Call it from a single workstation before
 // starting the clients.
@@ -90,6 +118,7 @@ type ScaleUser struct {
 	cfg    ScaleConfig
 	r      *rand.Rand
 	zipf   *rand.Zipf
+	names  []string // shared pool name table (see sharedNames)
 	writer bool
 	ops    int64
 }
@@ -101,6 +130,7 @@ func NewScaleUser(index int, cfg ScaleConfig) *ScaleUser {
 		cfg:    cfg,
 		r:      r,
 		zipf:   rand.NewZipf(r, cfg.Zipf, 1, uint64(cfg.SharedFiles-1)),
+		names:  sharedNameTable(cfg.Root, cfg.SharedFiles),
 		writer: index < cfg.Writers,
 	}
 }
@@ -118,7 +148,7 @@ func (u *ScaleUser) Run(p *sim.Proc, fs *virtue.FS, v *venus.Venus) error {
 		if u.cfg.BrowseThink > 0 {
 			p.Sleep(time.Duration(u.r.ExpFloat64() * float64(u.cfg.BrowseThink)))
 		}
-		if _, err := fs.ReadFile(p, SharedFile(u.cfg.Root, i)); err != nil {
+		if _, err := fs.ReadFile(p, u.names[i]); err != nil {
 			return fmt.Errorf("scale browse %d: %w", i, err)
 		}
 		u.maybeSweep(p, v)
@@ -146,7 +176,7 @@ func (u *ScaleUser) Step(p *sim.Proc, fs *virtue.FS, v *venus.Venus, i int) erro
 		// storm hits nearly every cache.
 		err = u.installBurst(p, fs, 0)
 	} else {
-		_, err = fs.ReadFile(p, SharedFile(u.cfg.Root, int(u.zipf.Uint64())))
+		_, err = fs.ReadFile(p, u.names[int(u.zipf.Uint64())])
 	}
 	if err != nil {
 		return fmt.Errorf("scale op %d: %w", i, err)
@@ -185,10 +215,10 @@ func (u *ScaleUser) installBurst(p *sim.Proc, fs *virtue.FS, first int) error {
 		// consumed in a fixed order regardless of store completion order.
 		n := 1 + int(u.r.ExpFloat64()*float64(u.cfg.MeanKB)*1024)
 		data := randBytes(u.r, n)
-		path := SharedFile(u.cfg.Root, (first+j)%u.cfg.SharedFiles)
+		path := u.names[(first+j)%u.cfg.SharedFiles]
 		f := sim.NewFuture[error](k)
 		done[j] = f
-		k.Spawn(fmt.Sprintf("install-%d-%d", u.ops, j), func(wp *sim.Proc) {
+		k.Spawn("install", func(wp *sim.Proc) {
 			f.Set(fs.WriteFile(wp, path, data))
 		})
 	}
