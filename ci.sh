@@ -85,6 +85,26 @@ grep -o '"[a-z_]*":' BENCH_scale.json | sort -u > "$tmpdir/keys_committed.txt"
 cmp "$tmpdir/keys_new.txt" "$tmpdir/keys_committed.txt"
 rm -rf "$tmpdir"
 
+# Observability-at-scale smoke: the E17 ablation at 10k clients (quick mix)
+# must complete — which also enforces its built-in inertness guard (tracing
+# off/sampled/full produce identical virtual timelines and byte-identical
+# metric registries) and fires the seeded SLO breach with its critical-path
+# attribution — and the JSON it emits must carry exactly the same keys as
+# the committed BENCH_obs.json. Values are machine-dependent and
+# deliberately not compared; the committed 30k overhead numbers are
+# regenerated with: go run ./cmd/itcbench -run E17 -scale-reps 5 -obs-out BENCH_obs.json
+tmpdir="$(mktemp -d)"
+go run ./cmd/itcbench -run E17 -clients 10000 -obs-out "$tmpdir/obs.json" >/dev/null
+grep -o '"[a-z_]*":' "$tmpdir/obs.json" | sort -u > "$tmpdir/keys_new.txt"
+grep -o '"[a-z_]*":' BENCH_obs.json | sort -u > "$tmpdir/keys_committed.txt"
+cmp "$tmpdir/keys_new.txt" "$tmpdir/keys_committed.txt"
+rm -rf "$tmpdir"
+
+# Observability zero-alloc gates, visible as their own pass: the sampled-out
+# trace path and the striped-counter hot path must not allocate (these also
+# run inside `go test ./...` above).
+go test -run='^Test(SampledOutPathAllocFree|StripedCounterAllocFree|DisabledPathsAllocFree)$' -count=1 ./internal/trace
+
 # Sim-kernel micro-benchmarks, one short pass each: keeps the park/resume,
 # mailbox and timetable benches building and running. The zero-alloc gates
 # (TestMailboxPutGetZeroAlloc and friends) run in `go test ./...` above.

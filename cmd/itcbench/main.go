@@ -36,7 +36,8 @@ func main() {
 	seriesOut := flag.String("series-out", "", "export the E15 time series (.json = JSON, otherwise CSV)")
 	clients := flag.String("clients", "", "comma-separated client counts for the kernel scale bench (implies -run SCALE; with -run E14 it replaces the protocol sweep)")
 	scaleOut := flag.String("scale-out", "", "write the scale bench result as BENCH_scale.json-format JSON to this path")
-	scaleReps := flag.Int("scale-reps", 1, "scale bench measurement repetitions per client count (best-of)")
+	scaleReps := flag.Int("scale-reps", 1, "scale/obs bench measurement repetitions per client count (best-of)")
+	obsOut := flag.String("obs-out", "", "write the E17 observability bench result as BENCH_obs.json-format JSON to this path")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -45,19 +46,21 @@ func main() {
 			want[strings.ToUpper(strings.TrimSpace(id))] = true
 		}
 	}
-	if *clients != "" {
+	if *clients != "" && !want["E17"] {
 		// -clients selects the scale bench: standalone, or in place of E14's
 		// protocol sweep when the caller asked for E14 (the CI smoke runs
-		// `-run E14 -clients 10000 -quick`).
+		// `-run E14 -clients 10000 -quick`). With -run E17 the counts feed
+		// the observability ablation instead.
 		delete(want, "E14")
 		want["SCALE"] = true
 	}
 	selected := func(id string) bool {
 		if len(want) == 0 {
 			// The default sweep regenerates the paper's evaluation; the SCALE
-			// bench measures the simulator itself (minutes at 30k clients) and
-			// runs only on explicit request (-run SCALE or -clients).
-			return id != "SCALE"
+			// and E17 benches measure the simulator itself (minutes at 30k
+			// clients) and run only on explicit request (-run SCALE/-clients,
+			// -run E17).
+			return id != "SCALE" && id != "E17"
 		}
 		return want[strings.ToUpper(id)]
 	}
@@ -68,6 +71,7 @@ func main() {
 	}
 	var e15 *harness.E15Result
 	var scaleRes *harness.ScaleBench
+	var obsRes *harness.ObsBench
 	scale := 1.0
 	if *quick {
 		scale = 0.25
@@ -193,6 +197,26 @@ func main() {
 			}
 			return res.Report, nil
 		}},
+		{"E17", func() (*harness.Report, error) {
+			cfg := harness.DefaultE17()
+			if *clients != "" {
+				cfg.Clients = nil
+				for _, s := range strings.Split(*clients, ",") {
+					n, err := strconv.Atoi(strings.TrimSpace(s))
+					if err != nil || n <= 0 {
+						return nil, fmt.Errorf("bad -clients entry %q", s)
+					}
+					cfg.Clients = append(cfg.Clients, n)
+				}
+			}
+			cfg.Reps = *scaleReps
+			ob, err := harness.RunObsBench(cfg)
+			if err != nil {
+				return nil, err
+			}
+			obsRes = ob
+			return ob.Report(), nil
+		}},
 		{"SCALE", func() (*harness.Report, error) {
 			cfg := harness.DefaultScaleBench()
 			if *clients != "" {
@@ -265,6 +289,24 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote kernel scale bench to %s\n", *scaleOut)
+	}
+	if *obsOut != "" {
+		if obsRes == nil {
+			fmt.Fprintln(os.Stderr, "obs-out: no observability bench result (run with -run E17, and check it succeeded)")
+			os.Exit(1)
+		}
+		f, err := os.Create(*obsOut)
+		if err == nil {
+			err = obsRes.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obs-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote observability bench to %s\n", *obsOut)
 	}
 	if *timeline || *timelineOut != "" || *seriesOut != "" {
 		if e15 == nil {

@@ -17,10 +17,12 @@
 // process.
 //
 // With -debug-addr the daemon also serves a read-only observability
-// endpoint: /metrics (the registry as deterministic JSON), /metrics.txt
-// (the text report), /events (the flight-recorder ring), /locdb (the
-// location database with per-volume custodians and replica sets) and
-// /snapshot (the combined dump also written to stderr on shutdown).
+// endpoint: /metrics (the registry as deterministic JSON, including
+// wall-clock rpc.serve.latency and rpc.accept.latency histograms),
+// /metrics.txt (the text report), /events (the flight-recorder ring),
+// /locdb (the location database with per-volume custodians and replica
+// sets), /snapshot (the combined dump also written to stderr on shutdown)
+// and /debug/pprof/ (live CPU and heap profiling via net/http/pprof).
 package main
 
 import (
@@ -30,6 +32,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -280,13 +283,20 @@ func run(args []string) int {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			snapshot(w)
 		})
+		// Live profiling: the simulator answers "where does virtual time go",
+		// pprof answers "where does this process's real CPU and heap go".
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		dl, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
 			log.Printf("itcfsd: debug listen: %v", err)
 			return 1
 		}
 		debugBound = dl.Addr().String()
-		log.Printf("itcfsd: debug endpoint on http://%s (/metrics /metrics.txt /events /locdb /snapshot)", debugBound)
+		log.Printf("itcfsd: debug endpoint on http://%s (/metrics /metrics.txt /events /locdb /snapshot /debug/pprof/)", debugBound)
 		go func() {
 			if err := http.Serve(dl, mux); err != nil {
 				log.Printf("itcfsd: debug serve: %v", err)
@@ -314,13 +324,16 @@ func run(args []string) int {
 			shutdown(1)
 		}
 		go func(c net.Conn) {
+			acceptStart := time.Now() //itcvet:allow wallclock -- real handshake cost, outside the simulator
 			peer, err := rpc.AcceptPeer(c, db.LookupKey, srv.Dispatcher())
 			if err != nil {
 				log.Printf("itcfsd: %s: handshake rejected: %v", c.RemoteAddr(), err)
 				c.Close()
 				return
 			}
+			metrics.Histogram(trace.MetricRPCAcceptLatency).Observe(time.Since(acceptStart)) //itcvet:allow wallclock -- real handshake cost, outside the simulator
 			peer.SetTracer(tracer)
+			peer.SetMetrics(metrics)
 			log.Printf("itcfsd: %s authenticated as %q", c.RemoteAddr(), peer.User())
 			<-peer.Done()
 			srv.Locks().ReleaseAllFor(peer.User())

@@ -288,3 +288,50 @@ func TestItcfsdLocDBEndpoint(t *testing.T) {
 		t.Errorf("/snapshot does not include the location database:\n%.400s", snap)
 	}
 }
+
+// TestItcfsdDebugProfilingAndLatency drives the real daemon and checks the
+// operational surface this deployment leans on: /debug/pprof/ answers with
+// the live profile index, and /metrics carries the wall-clock RPC service
+// and handshake latency histograms fed by the served calls.
+func TestItcfsdDebugProfilingAndLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	d := startDaemon(t, "")
+	peer := d.dial(t)
+	mustOK(t, call(t, peer, proto.OpVolCreate,
+		proto.Marshal(proto.VolCreateArgs{Name: "proj", Path: "/proj", Owner: "operator"}), nil))
+
+	httpResp, err := http.Get("http://" + d.debug + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("GET /debug/pprof/: %v", err)
+	}
+	body, err := io.ReadAll(httpResp.Body)
+	httpResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", httpResp.StatusCode)
+	}
+	for _, want := range []string{"goroutine", "heap"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/debug/pprof/ index lacks %q profile", want)
+		}
+	}
+
+	httpResp, err = http.Get("http://" + d.debug + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, err = io.ReadAll(httpResp.Body)
+	httpResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"rpc.serve.latency"`, `"rpc.accept.latency"`} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics lacks the %s histogram:\n%.600s", want, body)
+		}
+	}
+}

@@ -267,7 +267,7 @@ func e16RunLeg(cfg E16Config, replicate bool) (*e16Leg, error) {
 	if err != nil {
 		return nil, fmt.Errorf("release: %w", err)
 	}
-	leg.releaseInstalls = metrics.Counter("replica.release.installs").Value()
+	leg.releaseInstalls = metrics.Counter(trace.MetricReplicaReleaseInstalls).Value()
 
 	// Stations: readers in every cluster (logged in as the operator — the
 	// released tree is world-readable) plus the Andrew runner next to its

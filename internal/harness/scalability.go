@@ -204,7 +204,7 @@ func e14Run(cfg E14Config, n int, batched bool) (e14Side, error) {
 	if side.elapsed > 0 {
 		side.util = float64(srv.CPU.BusyTime()-cpu0) / float64(side.elapsed)
 	}
-	if h := reg.FindHistogram("venus.open.latency"); h != nil {
+	if h := reg.FindHistogram(trace.MetricVenusOpenLatency); h != nil {
 		side.p90 = h.Quantile(0.90)
 	}
 	side.breaks = breaksOf(srv) - breaks0

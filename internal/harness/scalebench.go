@@ -179,7 +179,7 @@ func measureScalePoint(cfg E14Config, n int) (ScalePoint, error) {
 		elapsed = side.elapsed
 	} else {
 		var err error
-		elapsed, err = scaleRun(cfg, n)
+		_, elapsed, err = scaleRun(cfg, n, nil)
 		if err != nil {
 			return ScalePoint{}, err
 		}
@@ -204,9 +204,11 @@ func measureScalePoint(cfg E14Config, n int) (ScalePoint, error) {
 // scaleRun drives the batched E14 mix at n clients across one cluster per
 // scaleClusterSize of them: per-cluster load users, shared pools and
 // publishers (clients round-robin over clusters, so each cluster's client 0
-// is its publisher), with logins ramped over the op stagger window. Returns
-// the virtual time the client phase took.
-func scaleRun(cfg E14Config, n int) (time.Duration, error) {
+// is its publisher), with logins ramped over the op stagger window. mut, when
+// non-nil, adjusts the cell configuration before the cell is built — how E17
+// ablates the observability plane over the identical workload. Returns the
+// cell and the virtual time the client phase took.
+func scaleRun(cfg E14Config, n int, mut func(*itcfs.CellConfig)) (*itcfs.Cell, time.Duration, error) {
 	clusters := (n + scaleClusterSize - 1) / scaleClusterSize
 	reg := trace.NewRegistry()
 	cc := itcfs.CellConfig{
@@ -216,6 +218,9 @@ func scaleRun(cfg E14Config, n int) (time.Duration, error) {
 		Metrics:     reg,
 		Retry:       e14Retry(),
 		BreakWindow: 8 * time.Second,
+	}
+	if mut != nil {
+		mut(&cc)
 	}
 	cell := itcfs.NewCell(cc)
 
@@ -255,7 +260,7 @@ func scaleRun(cfg E14Config, n int) (time.Duration, error) {
 		}
 	})
 	if err != nil {
-		return 0, err
+		return nil, 0, err
 	}
 	for c := 0; c < clusters; c++ {
 		c := c
@@ -269,7 +274,7 @@ func scaleRun(cfg E14Config, n int) (time.Duration, error) {
 			err = workload.PopulateShared(p, setup.FS, sc, r)
 		})
 		if err != nil {
-			return 0, err
+			return nil, 0, err
 		}
 	}
 
@@ -298,10 +303,10 @@ func scaleRun(cfg E14Config, n int) (time.Duration, error) {
 	cell.Kernel.Run()
 	for _, e := range errs {
 		if e != nil {
-			return 0, e
+			return nil, 0, e
 		}
 	}
-	return cell.Now().Sub(t0), nil
+	return cell, cell.Now().Sub(t0), nil
 }
 
 func round3(v float64) float64 { return roundTo(v, 1e3) }

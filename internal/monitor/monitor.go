@@ -54,12 +54,18 @@ func DefaultConfig() Config {
 type Advisor struct {
 	cfg  Config
 	cell *itcfs.Cell
+	slo  *SLOMonitor // optional — lets overload findings cite burn rates
 }
 
 // New creates an advisor over a cell.
 func New(cell *itcfs.Cell, cfg Config) *Advisor {
 	return &Advisor{cfg: cfg, cell: cell}
 }
+
+// UseSLO gives the advisor an SLO monitor to consult: subsequent
+// DetectOverload findings cite the worst current burn rate, turning "the
+// server is busy" into "and clients are paying for it".
+func (a *Advisor) UseSLO(m *SLOMonitor) { a.slo = m }
 
 // clusterOf maps a node name to its cluster index (-1 if unknown).
 func (a *Advisor) clusterOf(nodeName string) int {

@@ -98,6 +98,9 @@ func (a *Advisor) DetectOverload(s *trace.Sampler, cfg OverloadConfig) []HotVolu
 			"CPU above %.0f%% for %d consecutive windows since %v (peak %.0f%%, mean %.0f%%); volume %d served %d ops in the interval",
 			100*cfg.UtilThreshold, hv.Windows, hv.Onset, 100*hv.PeakUtil, 100*hv.MeanUtil,
 			hv.Volume, hv.VolumeOps)
+		if class, burn, ok := a.slo.WorstBurn(); ok && burn > 0 {
+			hv.Reason += fmt.Sprintf("; slo burn %s=%.1fx", class, burn)
+		}
 		out = append(out, hv)
 	}
 	return out

@@ -374,10 +374,10 @@ func (n *Network) SetMetrics(r *trace.Registry) {
 			l.mFrames, l.mBytes, l.mQueue, l.mBusyNs = nil, nil, nil, nil
 			continue
 		}
-		l.mFrames = r.Counter("net." + l.name + ".frames")
-		l.mBytes = r.Counter("net." + l.name + ".bytes")
-		l.mQueue = r.Histogram("net." + l.name + ".queue")
-		l.mBusyNs = r.Gauge("net." + l.name + ".busy_ns")
+		l.mFrames = r.Counter(trace.LinkFramesMetric(l.name))
+		l.mBytes = r.Counter(trace.LinkBytesMetric(l.name))
+		l.mQueue = r.Histogram(trace.LinkQueueMetric(l.name))
+		l.mBusyNs = r.Gauge(trace.LinkBusyGauge(l.name))
 	}
 }
 

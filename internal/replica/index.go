@@ -59,8 +59,8 @@ func (ix *Index) Intern(data []byte) []byte {
 	logical, physical := ix.logical, ix.physical
 	ix.mu.Unlock()
 	if ix.metrics != nil {
-		ix.metrics.Gauge("replica.dedup.logical_bytes").Set(int64(logical))
-		ix.metrics.Gauge("replica.dedup.physical_bytes").Set(int64(physical))
+		ix.metrics.Gauge(trace.MetricReplicaDedupLogicalBytes).Set(int64(logical))
+		ix.metrics.Gauge(trace.MetricReplicaDedupPhysicalBytes).Set(int64(physical))
 	}
 	return have
 }

@@ -97,18 +97,18 @@ func (c *Controller) Propagate(vol uint32, push func(server string) error) error
 
 	for _, server := range pending {
 		if err := push(server); err != nil {
-			c.metrics.Counter("replica.release.push_failures").Inc()
+			c.metrics.Counter(trace.MetricReplicaReleasePushFailures).Inc()
 			if c.flight != nil {
-				c.flight.Log("replica.release", c.origin,
+				c.flight.Log(trace.EventReplicaRelease, c.origin,
 					fmt.Sprintf("volume %d (%s): push to %s failed: %v", vol, name, server, err))
 			}
 			return fmt.Errorf("replica: install volume %d on %s: %w", vol, server, err)
 		}
-		c.metrics.Counter("replica.release.installs").Inc()
+		c.metrics.Counter(trace.MetricReplicaReleaseInstalls).Inc()
 		c.confirm(vol, server)
 	}
 	if c.flight != nil {
-		c.flight.Log("replica.release", c.origin,
+		c.flight.Log(trace.EventReplicaRelease, c.origin,
 			fmt.Sprintf("volume %d (%s) released to %d replicas", vol, name, len(pending)))
 	}
 	return nil

@@ -159,11 +159,15 @@ type Endpoint struct {
 	// Cached handles for the per-call metrics. Registry lookups hash the
 	// metric name under a mutex; resolving once at construction keeps the
 	// call hot path free of them. All are nil (and their methods no-ops)
-	// without a registry.
-	mRetries  *trace.Counter
-	mTimeouts *trace.Counter
-	mReplays  *trace.Counter
-	mDupSup   *trace.Counter
+	// without a registry. The cell-wide counters every endpoint shares by
+	// name are striped: mShard (this endpoint's node-name hash) pins each
+	// machine's increments to one shard, so 30k clients retrying at once
+	// don't serialize on a single cache line.
+	mShard    uint64
+	mRetries  *trace.StripedCounter
+	mTimeouts *trace.StripedCounter
+	mReplays  *trace.StripedCounter
+	mDupSup   *trace.StripedCounter
 	mServeLat *trace.Histogram
 	mCallLat  *trace.Histogram
 }
@@ -234,14 +238,15 @@ func NewEndpoint(net *netsim.Network, node *netsim.Node, cfg EndpointConfig) *En
 		// Only authenticating (server) endpoints gauge their worker queue:
 		// a thousand workstations' callback endpoints would pollute the
 		// registry with idle series.
-		ep.mInflight = cfg.Metrics.Gauge("rpc." + node.Name + ".inflight")
+		ep.mInflight = cfg.Metrics.Gauge(trace.RPCInflightGauge(node.Name))
 	}
-	ep.mRetries = cfg.Metrics.Counter("rpc.retries")
-	ep.mTimeouts = cfg.Metrics.Counter("rpc.call.timeouts")
-	ep.mReplays = cfg.Metrics.Counter("rpc.reply_cache.replays")
-	ep.mDupSup = cfg.Metrics.Counter("rpc.dup_suppressed")
-	ep.mServeLat = cfg.Metrics.Histogram("rpc.serve.latency")
-	ep.mCallLat = cfg.Metrics.Histogram("rpc.call.latency")
+	ep.mShard = trace.ShardKey(node.Name)
+	ep.mRetries = cfg.Metrics.Striped(trace.MetricRPCRetries)
+	ep.mTimeouts = cfg.Metrics.Striped(trace.MetricRPCCallTimeouts)
+	ep.mReplays = cfg.Metrics.Striped(trace.MetricRPCReplyCacheReplays)
+	ep.mDupSup = cfg.Metrics.Striped(trace.MetricRPCDupSuppressed)
+	ep.mServeLat = cfg.Metrics.Histogram(trace.MetricRPCServeLatency)
+	ep.mCallLat = cfg.Metrics.Histogram(trace.MetricRPCCallLatency)
 	node.SetSink(ep.deliver)
 	return ep
 }
@@ -452,13 +457,13 @@ func (ep *Endpoint) handleCall(pk *pkt) {
 	// time, so replays attribute latency truthfully.
 	if sealed, ok := serve.done[seq]; ok {
 		ep.dupSuppressed++
-		ep.mReplays.Inc()
+		ep.mReplays.Inc(ep.mShard)
 		ep.send(pk.From, &pkt{Conn: pk.Conn, Kind: kindReply, Data: sealed})
 		return
 	}
 	if serve.inflight[seq] {
 		ep.dupSuppressed++
-		ep.mDupSup.Inc()
+		ep.mDupSup.Inc(ep.mShard)
 		return
 	}
 	serve.inflight[seq] = true
@@ -584,9 +589,9 @@ func (c *SimConn) handshakeStep(p *sim.Proc, kind uint8, data []byte) ([]byte, e
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
 			c.ep.retries++
-			c.ep.mRetries.Inc()
+			c.ep.mRetries.Inc(c.ep.mShard)
 			if fl := c.ep.cfg.Flight; fl != nil {
-				fl.Log("rpc.retry", c.ep.node.Name,
+				fl.Log(trace.EventRPCRetry, c.ep.node.Name,
 					fmt.Sprintf("handshake kind %d attempt %d to node %d", kind, a+1, c.remote))
 			}
 			p.Sleep(c.ep.backoff(a))
@@ -635,9 +640,9 @@ func (c *SimConn) Call(p *sim.Proc, req Request) (Response, error) {
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
 			c.ep.retries++
-			c.ep.mRetries.Inc()
+			c.ep.mRetries.Inc(c.ep.mShard)
 			if fl := c.ep.cfg.Flight; fl != nil {
-				fl.Log("rpc.retry", c.ep.node.Name,
+				fl.Log(trace.EventRPCRetry, c.ep.node.Name,
 					fmt.Sprintf("op %d attempt %d to node %d", req.Op, a+1, c.remote))
 			}
 			p.Sleep(c.ep.backoff(a))
@@ -666,7 +671,7 @@ func (c *SimConn) Call(p *sim.Proc, req Request) (Response, error) {
 			c.ep.finishCall(sp, p, started, reqPkt, out)
 			return out.resp, nil
 		}
-		c.ep.mTimeouts.Inc()
+		c.ep.mTimeouts.Inc(c.ep.mShard)
 		lastErr = out.err
 	}
 	sp.End()
@@ -731,7 +736,7 @@ func (ic *inConn) CallBack(p *sim.Proc, req Request) (Response, error) {
 	})
 	out := f.Wait(p)
 	if out.err != nil {
-		ic.ep.mTimeouts.Inc()
+		ic.ep.mTimeouts.Inc(ic.ep.mShard)
 		sp.End()
 		return out.resp, out.err
 	}

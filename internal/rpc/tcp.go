@@ -32,13 +32,19 @@ type Peer struct {
 	closed  bool                    // guarded by mu
 	done    chan struct{}           // created at construction; closed (once) under mu, readable always
 
-	tracer *trace.Tracer // optional wall-clock tracer for served calls
+	tracer  *trace.Tracer   // optional wall-clock tracer for served calls
+	metrics *trace.Registry // optional registry for served-call latency
 }
 
 // SetTracer installs a tracer recording a span per call this peer serves.
 // Real clients do not propagate trace context, so each served call begins a
 // new root (see Tracer.StartRemote). Call before traffic flows.
 func (p *Peer) SetTracer(t *trace.Tracer) { p.tracer = t }
+
+// SetMetrics installs a registry observing the wall-clock service time of
+// every call this peer serves into the canonical rpc.serve.latency
+// histogram. Call before traffic flows; a nil registry is inert.
+func (p *Peer) SetMetrics(reg *trace.Registry) { p.metrics = reg }
 
 // DialPeer authenticates as user over conn (handshake messages 1-4) and
 // returns a connected peer. server, which may be nil, handles calls the far
@@ -240,6 +246,8 @@ func (p *Peer) serve(seq uint32, tc wire.TraceHeader, req Request) {
 	}
 	sp.End()
 	// Wall-clock service time stands in for the simulator's virtual measure.
-	plain := append([]byte{kindReply}, encodeReply(seq, time.Since(started), resp)...) //itcvet:allow wallclock -- real transport: service time here IS wall time
-	_ = p.writeSealed(plain)                                                           // a write failure kills the readLoop shortly
+	elapsed := time.Since(started) //itcvet:allow wallclock -- real transport: service time here IS wall time
+	p.metrics.Histogram(trace.MetricRPCServeLatency).Observe(elapsed)
+	plain := append([]byte{kindReply}, encodeReply(seq, elapsed, resp)...)
+	_ = p.writeSealed(plain) // a write failure kills the readLoop shortly
 }

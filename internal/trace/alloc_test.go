@@ -38,6 +38,45 @@ func TestDisabledPathsAllocFree(t *testing.T) {
 	}
 }
 
+// TestSampledOutPathAllocFree asserts the scaled-tracing contract: with a
+// live tracer whose policy samples an operation out, Begin/End must recycle
+// pooled suppressed spans and never allocate — the cost of tracing at 30k
+// clients is paid only by the kept fraction. AllocsPerRun's warm-up call
+// primes the pool before measurement.
+func TestSampledOutPathAllocFree(t *testing.T) {
+	clk := &fakeClock{}
+	tr := New(clk.now)
+	tr.SetPolicy(SamplePolicy{Default: ClassPolicy{Rate: 1 << 30, SlowKeep: time.Hour}})
+	tr.Begin(nil, "venus.open", "ws0").End() // burn the phase-0 kept root
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"suppressed-root", func() { tr.Begin(nil, "venus.open", "ws0").End() }},
+		{"suppressed-nest", func() {
+			root := tr.Begin(nil, "venus.open", "ws0")
+			tr.BeginRemote(nil, root.Context(), "rpc.serve", "srv").End()
+			root.End()
+		}},
+	}
+	for _, c := range cases {
+		if allocs := testing.AllocsPerRun(200, c.fn); allocs != 0 {
+			t.Errorf("%s: %v allocs per run on the sampled-out path, want 0", c.name, allocs)
+		}
+	}
+}
+
+// TestStripedCounterAllocFree asserts the sharded hot path: Inc on a cached
+// striped-counter handle must not allocate.
+func TestStripedCounterAllocFree(t *testing.T) {
+	reg := NewRegistry()
+	sc := reg.Striped(MetricRPCRetries)
+	key := ShardKey("ws7")
+	if allocs := testing.AllocsPerRun(200, func() { sc.Inc(key); sc.Add(key+1, 2) }); allocs != 0 {
+		t.Errorf("striped Inc/Add: %v allocs per run, want 0", allocs)
+	}
+}
+
 // TestRegistryConcurrentStress hammers one registry from many goroutines —
 // observations, lookups, snapshots and exports all racing — so `go test
 // -race` proves the locking. The simulator never needs this (one runnable

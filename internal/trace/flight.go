@@ -33,10 +33,25 @@ type Recorder struct {
 	now func() sim.Time
 
 	mu     sync.Mutex
-	events []Event // guarded by mu — ring storage
-	head   int     // guarded by mu — oldest event once full
-	cap    int     // guarded by mu — ring capacity
-	seq    uint64  // guarded by mu — events ever logged
+	events []Event  // guarded by mu — ring storage
+	head   int      // guarded by mu — oldest event once full
+	cap    int      // guarded by mu — ring capacity
+	seq    uint64   // guarded by mu — events ever logged
+	drops  *Counter // guarded by mu — MetricFlightDropped, when attached
+}
+
+// AttachMetrics makes ring evictions visible in the metrics plane: every
+// event overwritten by wrap increments MetricFlightDropped, so a lossy audit
+// trail announces itself instead of silently forgetting. No-op on a nil
+// recorder or registry.
+func (r *Recorder) AttachMetrics(reg *Registry) {
+	if r == nil || reg == nil {
+		return
+	}
+	c := reg.Counter(MetricFlightDropped)
+	r.mu.Lock()
+	r.drops = c
+	r.mu.Unlock()
 }
 
 // NewRecorder returns a recorder holding the most recent capacity events
@@ -65,7 +80,18 @@ func (r *Recorder) Log(kind, node, detail string) {
 	} else {
 		r.events[r.head] = e
 		r.head = (r.head + 1) % len(r.events)
+		r.drops.Inc()
 	}
+}
+
+// Dropped returns how many events the ring has evicted.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq - uint64(len(r.events))
 }
 
 // Events returns the retained events in arrival order.
@@ -99,8 +125,8 @@ func (r *Recorder) WriteText(w io.Writer) {
 	}
 	evs := r.Events()
 	total := r.Total()
-	fmt.Fprintf(w, "flight recorder: %d events retained, %d evicted\n",
-		len(evs), total-uint64(len(evs)))
+	fmt.Fprintf(w, "flight recorder: %d events retained, %d dropped (counted in %s)\n",
+		len(evs), total-uint64(len(evs)), MetricFlightDropped)
 	for _, e := range evs {
 		fmt.Fprintf(w, "[%6d] %-14v %-28s %-12s %s\n", e.Seq, e.At, e.Kind, e.Node, e.Detail)
 	}

@@ -58,7 +58,7 @@ func TestRecorderWriteText(t *testing.T) {
 		t.Error("identical recorders dumped different bytes")
 	}
 	out := a.String()
-	if !strings.Contains(out, "2 events retained, 1 evicted") {
+	if !strings.Contains(out, "2 events retained, 1 dropped") {
 		t.Errorf("header missing eviction count:\n%s", out)
 	}
 	if strings.Contains(out, "rpc.retry") {

@@ -95,8 +95,11 @@ func (r *Registry) Snapshot() Snapshot {
 		h    *Histogram
 	}
 	r.mu.Lock()
-	counters := make([]NamedValue, 0, len(r.counters))
+	counters := make([]NamedValue, 0, len(r.counters)+len(r.striped))
 	for n, c := range r.counters {
+		counters = append(counters, NamedValue{Name: n, Value: c.Value()})
+	}
+	for n, c := range r.striped {
 		counters = append(counters, NamedValue{Name: n, Value: c.Value()})
 	}
 	gauges := make([]NamedValue, 0, len(r.gauges))
@@ -118,6 +121,11 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	return s
 }
+
+// State copies the histogram's current state under its lock, labeled with
+// name — the single-instrument twin of Registry.Snapshot, for consumers (the
+// SLO layer) that window one histogram on their own cadence.
+func (h *Histogram) State(name string) HistSnapshot { return h.snapshot(name) }
 
 // snapshot copies the histogram's state under its lock.
 func (h *Histogram) snapshot(name string) HistSnapshot {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -19,6 +20,15 @@ import (
 // cadence. Sampling only reads state, so a run with sampling off is
 // byte-identical — in every workload-visible outcome — to one with sampling
 // on, and identical seeds yield identical series.
+//
+// Two scale features bound the plane's own footprint. Collapse rules cap the
+// series cardinality of per-entity families (per-volume ops, per-volume
+// latency): each window only the top-K members by activity keep their own
+// ring, the rest fold into an "other" series — the delta/snapshot maps still
+// track every instrument (cheap), only rings are budgeted. AttachExemplars
+// harvests each window's worst sampled spans per class, so the series plane
+// carries trace IDs that explain its own tails; OnSample hooks and Record
+// let derived layers (SLO burn rates) ride the same cadence.
 
 // Point is one sample: the window-end instant and the windowed value.
 type Point struct {
@@ -64,6 +74,26 @@ func (s *Series) points() []Point {
 // Dropped returns how many points the ring has overwritten.
 func (s *Series) Dropped() uint64 { return s.total - uint64(len(s.pts)) }
 
+// collapseRule bounds the cardinality of one per-entity metric family: of
+// the counters (or histograms) named prefix+<entity>+suffix, only the top K
+// by per-window activity get their own series each round; the rest fold into
+// a single prefix+"other"+suffix series. Rankings re-run every window from
+// window deltas, with ties broken by name, so the series set is a
+// deterministic function of the workload — and the Sampler's ring memory
+// stops growing linearly with cell size.
+type collapseRule struct {
+	prefix, suffix string
+	k              int
+}
+
+// DefaultSeriesTopK is the per-family series budget a collapse rule gets
+// when registered with a non-positive K.
+const DefaultSeriesTopK = 16
+
+// exemplarCap bounds the per-class exemplar ring: enough recent windows to
+// attribute a burn-rate episode without retaining the whole run.
+const exemplarCap = 16
+
 // probe is one external instrument sampled on the cadence.
 type probe struct {
 	name       string
@@ -90,6 +120,11 @@ type Sampler struct {
 	// guarded by mu
 	lastH   map[string]HistSnapshot
 	samples int64 // guarded by mu — completed sampling rounds
+
+	rules  []collapseRule        // guarded by mu — cardinality bounds
+	hooks  []func(now sim.Time)  // guarded by mu — run after each round, unlocked
+	takeEx func() []Exemplar     // guarded by mu — exemplar harvest source
+	exRing map[string][]Exemplar // guarded by mu — recent exemplars per class
 }
 
 // NewSampler creates a sampler over reg (which may be nil: probes still
@@ -147,6 +182,103 @@ func (s *Sampler) addProbe(name string, fn func() int64, cumulative bool) {
 	s.probes = append(s.probes, p)
 }
 
+// Collapse registers a cardinality bound for the metric family named
+// prefix+<entity>+suffix: each round, only the top k members by window delta
+// (histograms: by window count) keep their own series; the rest merge into
+// prefix+"other"+suffix. k <= 0 means DefaultSeriesTopK. No-op on a nil
+// sampler. Register before sampling starts.
+func (s *Sampler) Collapse(prefix, suffix string, k int) {
+	if s == nil {
+		return
+	}
+	if k <= 0 {
+		k = DefaultSeriesTopK
+	}
+	s.mu.Lock()
+	s.rules = append(s.rules, collapseRule{prefix: prefix, suffix: suffix, k: k})
+	s.mu.Unlock()
+}
+
+// Record appends one point to the named series directly — the hook for
+// derived series (the SLO layer's burn rates) that have no registry
+// instrument behind them. No-op on a nil sampler.
+func (s *Sampler) Record(name string, p Point) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.appendLocked(name, p)
+	s.mu.Unlock()
+}
+
+// OnSample registers fn to run after every sampling round, outside the
+// sampler's lock, with the round's timestamp — how the SLO layer evaluates
+// burn rates on the sampling cadence. No-op on a nil sampler.
+func (s *Sampler) OnSample(fn func(now sim.Time)) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.hooks = append(s.hooks, fn)
+	s.mu.Unlock()
+}
+
+// AttachExemplars wires an exemplar source — typically Tracer.TakeExemplars —
+// harvested once per round before instruments are read, so every metric
+// window carries the trace IDs of its worst sampled spans. No-op on a nil
+// sampler.
+func (s *Sampler) AttachExemplars(take func() []Exemplar) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.takeEx = take
+	if s.exRing == nil {
+		s.exRing = make(map[string][]Exemplar)
+	}
+	s.mu.Unlock()
+}
+
+// Exemplars returns the retained exemplars of one class, oldest first.
+func (s *Sampler) Exemplars(class string) []Exemplar {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Exemplar, len(s.exRing[class]))
+	copy(out, s.exRing[class])
+	return out
+}
+
+// WorstExemplar returns the slowest retained exemplar of the class; ok is
+// false when none have been harvested. Ties keep the earlier exemplar.
+func (s *Sampler) WorstExemplar(class string) (Exemplar, bool) {
+	var worst Exemplar
+	ok := false
+	for _, e := range s.Exemplars(class) {
+		if !ok || e.Dur > worst.Dur {
+			worst, ok = e, true
+		}
+	}
+	return worst, ok
+}
+
+// ExemplarClasses returns every class with retained exemplars, sorted.
+func (s *Sampler) ExemplarClasses() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.exRing))
+	for n := range s.exRing {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Start schedules sampling ticks on the kernel every cadence until the
 // horizon. The horizon bounds the self-renewing tick events so Kernel.Run
 // still terminates once real work drains (the sim.Gauge convention). Reads
@@ -180,10 +312,32 @@ func (s *Sampler) Sample(now sim.Time) {
 	}
 	snap := s.reg.Snapshot()
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	take := s.takeEx
+	s.mu.Unlock()
+	var exs []Exemplar
+	if take != nil {
+		exs = take() // harvest outside s.mu: the source holds its own lock
+	}
+	s.mu.Lock()
+	type winC struct {
+		name string
+		v    int64
+	}
+	type winH struct {
+		name string
+		diff [histBuckets]int64
+		n    int64
+	}
+	collC := make([][]winC, len(s.rules))
+	collH := make([][]winH, len(s.rules))
 	for _, c := range snap.Counters {
-		s.appendLocked(c.Name, Point{At: now, V: c.Value - s.lastC[c.Name]})
+		d := c.Value - s.lastC[c.Name]
 		s.lastC[c.Name] = c.Value
+		if ri := s.ruleForLocked(c.Name); ri >= 0 {
+			collC[ri] = append(collC[ri], winC{name: c.Name, v: d})
+		} else {
+			s.appendLocked(c.Name, Point{At: now, V: d})
+		}
 	}
 	for _, g := range snap.Gauges {
 		s.appendLocked(g.Name, Point{At: now, V: g.Value})
@@ -196,11 +350,55 @@ func (s *Sampler) Sample(now sim.Time) {
 			diff[b] = h.Buckets[b] - prev.Buckets[b]
 		}
 		n := h.Count - prev.Count
-		s.appendLocked(h.Name+".n", Point{At: now, V: n})
-		s.appendLocked(h.Name+".p50", Point{At: now, V: int64(bucketQuantile(&diff, n, 0.50))})
-		s.appendLocked(h.Name+".p90", Point{At: now, V: int64(bucketQuantile(&diff, n, 0.90))})
-		s.appendLocked(h.Name+".p99", Point{At: now, V: int64(bucketQuantile(&diff, n, 0.99))})
 		s.lastH[h.Name] = *h
+		if ri := s.ruleForLocked(h.Name); ri >= 0 {
+			collH[ri] = append(collH[ri], winH{name: h.Name, diff: diff, n: n})
+			continue
+		}
+		s.appendHistLocked(h.Name, now, &diff, n)
+	}
+	for ri, r := range s.rules {
+		cs := collC[ri]
+		sort.Slice(cs, func(i, j int) bool {
+			if cs[i].v != cs[j].v {
+				return cs[i].v > cs[j].v
+			}
+			return cs[i].name < cs[j].name
+		})
+		for i, c := range cs {
+			if i < r.k {
+				s.appendLocked(c.name, Point{At: now, V: c.v})
+			}
+		}
+		if len(cs) > r.k {
+			var other int64
+			for _, c := range cs[r.k:] {
+				other += c.v
+			}
+			s.appendLocked(r.prefix+"other"+r.suffix, Point{At: now, V: other})
+		}
+		hs := collH[ri]
+		sort.Slice(hs, func(i, j int) bool {
+			if hs[i].n != hs[j].n {
+				return hs[i].n > hs[j].n
+			}
+			return hs[i].name < hs[j].name
+		})
+		for i := range hs {
+			if i < r.k {
+				s.appendHistLocked(hs[i].name, now, &hs[i].diff, hs[i].n)
+			}
+		}
+		if len(hs) > r.k {
+			var merged winH
+			for i := r.k; i < len(hs); i++ {
+				merged.n += hs[i].n
+				for b := range merged.diff {
+					merged.diff[b] += hs[i].diff[b]
+				}
+			}
+			s.appendHistLocked(r.prefix+"other"+r.suffix, now, &merged.diff, merged.n)
+		}
 	}
 	for _, p := range s.probes {
 		v := p.fn()
@@ -211,7 +409,45 @@ func (s *Sampler) Sample(now sim.Time) {
 			s.appendLocked(p.name, Point{At: now, V: v})
 		}
 	}
+	for _, e := range exs {
+		ring := append(s.exRing[e.Class], e)
+		if len(ring) > exemplarCap {
+			ring = ring[len(ring)-exemplarCap:]
+		}
+		s.exRing[e.Class] = ring
+	}
 	s.samples++
+	hooks := s.hooks
+	s.mu.Unlock()
+	for _, fn := range hooks {
+		fn(now)
+	}
+}
+
+// ruleForLocked returns the index of the first collapse rule matching name,
+// or -1. A match needs a non-empty entity between prefix and suffix, so the
+// family's own "other" series never re-collapses.
+//
+//itcvet:holds mu
+func (s *Sampler) ruleForLocked(name string) int {
+	for i, r := range s.rules {
+		if len(name) > len(r.prefix)+len(r.suffix) &&
+			strings.HasPrefix(name, r.prefix) && strings.HasSuffix(name, r.suffix) {
+			return i
+		}
+	}
+	return -1
+}
+
+// appendHistLocked emits one histogram's four per-window series from its
+// bucket diff.
+//
+//itcvet:holds mu
+func (s *Sampler) appendHistLocked(name string, now sim.Time, diff *[histBuckets]int64, n int64) {
+	s.appendLocked(name+".n", Point{At: now, V: n})
+	s.appendLocked(name+".p50", Point{At: now, V: int64(bucketQuantile(diff, n, 0.50))})
+	s.appendLocked(name+".p90", Point{At: now, V: int64(bucketQuantile(diff, n, 0.90))})
+	s.appendLocked(name+".p99", Point{At: now, V: int64(bucketQuantile(diff, n, 0.99))})
 }
 
 //itcvet:holds mu
@@ -308,6 +544,31 @@ func (s *Sampler) WriteJSON(w io.Writer) error {
 				sep = ""
 			}
 			if _, err := fmt.Fprintf(w, "%s[%d, %d]", sep, int64(p.At), p.V); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "]"); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n},\n\"exemplars\": {"); err != nil {
+		return err
+	}
+	for i, class := range s.ExemplarClasses() {
+		comma := ","
+		if i == 0 {
+			comma = ""
+		}
+		if _, err := fmt.Fprintf(w, "%s\n %s: [", comma, jsonStr(class)); err != nil {
+			return err
+		}
+		for j, e := range s.Exemplars(class) {
+			sep := ", "
+			if j == 0 {
+				sep = ""
+			}
+			if _, err := fmt.Fprintf(w, "%s{\"trace\": %d, \"span\": %d, \"dur_ns\": %d, \"at_ns\": %d}",
+				sep, e.Trace, e.Span, int64(e.Dur), int64(e.At)); err != nil {
 				return err
 			}
 		}

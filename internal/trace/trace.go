@@ -16,11 +16,16 @@
 // a sampled-out root yields a *suppressed* span (non-nil, recording nothing)
 // that still maintains the ambient stack and propagates a zero context, so an
 // entire operation is traced or not traced as a unit across machines.
+// Suppressed spans come from a pool and return to it at End, so the
+// sampled-off path is allocation-free too (see sample.go for the policy:
+// seeded per-class rates, slow always-keep, exemplars). The pool makes End a
+// hard boundary: no Span may be used after its End returns.
 package trace
 
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"itcfs/internal/sim"
 	"itcfs/internal/wire"
@@ -73,36 +78,48 @@ type Span struct {
 
 	proc *sim.Proc // proc whose ambient slot this span occupies, until End
 	prev any       // saved previous ambient value
+
+	// Suppressed spans only: the tracer whose pool the span returns to at
+	// End, and the class's slow always-keep threshold (set on suppressed
+	// roots; zero elsewhere).
+	owner *Tracer
+	slow  time.Duration
 }
 
 // Tracer records spans against a clock. Create one with New; a nil *Tracer
 // is valid and disables tracing entirely.
 type Tracer struct {
 	mu        sync.Mutex
-	now       func() sim.Time // set at construction, immutable afterwards
-	sample    int             // guarded by mu
-	nextTrace uint64          // guarded by mu
-	nextSpan  uint64          // guarded by mu
-	roots     uint64          // guarded by mu
-	spans     []*Span         // guarded by mu
+	now       func() sim.Time        // set at construction, immutable afterwards
+	def       ClassPolicy            // guarded by mu — default per-class policy
+	seed      int64                  // guarded by mu — rotates class keep phases
+	overrides map[string]ClassPolicy // guarded by mu — per-class policy overrides
+	classes   map[string]*classState // guarded by mu — per-class arrival counters
+	worst     map[string]Exemplar    // guarded by mu — worst root per class since harvest
+	nextTrace uint64                 // guarded by mu
+	nextSpan  uint64                 // guarded by mu
+	spans     []*Span                // guarded by mu
+
+	// pool recycles suppressed spans; sync.Pool carries its own sync.
+	pool sync.Pool
 }
 
 // New returns a tracer reading timestamps from now — typically the simulation
 // kernel's clock, or a monotonic wall offset for real transports.
 func New(now func() sim.Time) *Tracer {
-	return &Tracer{now: now, sample: 1}
+	return &Tracer{
+		now:     now,
+		def:     ClassPolicy{Rate: 1},
+		classes: make(map[string]*classState),
+		worst:   make(map[string]Exemplar),
+	}
 }
 
 // SetSample records every nth root operation (and, transitively, its whole
-// distributed trace); n <= 1 records everything. Sampling decisions are made
-// only at roots, in arrival order, so they are deterministic.
+// distributed trace); n <= 1 records everything. Shorthand for a SamplePolicy
+// with one flat default rate and no seed, kept for the common case.
 func (t *Tracer) SetSample(n int) {
-	if t == nil {
-		return
-	}
-	t.mu.Lock()
-	t.sample = n
-	t.mu.Unlock()
+	t.SetPolicy(SamplePolicy{Default: ClassPolicy{Rate: n}})
 }
 
 // Reset discards recorded spans — the boundary between an observation
@@ -152,22 +169,36 @@ func (t *Tracer) Begin(p *sim.Proc, name, node string) *Span {
 	}
 	parent := Current(p)
 	if parent != nil && parent.tr == nil {
-		return (&Span{}).install(p) // suppressed parent: stay suppressed
+		return t.getSuppressed().install(p) // suppressed parent: stay suppressed
 	}
 	t.mu.Lock()
 	var s *Span
 	if parent != nil {
 		s = t.startLocked(name, node, parent.ctx.Trace, parent.ctx.Span)
+		t.mu.Unlock()
 	} else {
-		t.roots++
-		if t.sample > 1 && (t.roots-1)%uint64(t.sample) != 0 {
-			s = &Span{} // sampled out: suppress the whole operation
+		cs := t.classLocked(name)
+		n := cs.n
+		cs.n++
+		if cs.rate > 1 && (n+cs.offset)%uint64(cs.rate) != 0 {
+			// Sampled out: suppress the whole operation. The root remembers
+			// its class and (when the class has a slow threshold) its start,
+			// so End can still promote a tail-latency operation to a
+			// recorded span.
+			slow := cs.slow
+			t.mu.Unlock()
+			s = t.getSuppressed()
+			s.name, s.node = name, node
+			if slow > 0 {
+				s.slow = slow
+				s.start = t.now()
+			}
 		} else {
 			t.nextTrace++
 			s = t.startLocked(name, node, t.nextTrace, 0)
+			t.mu.Unlock()
 		}
 	}
-	t.mu.Unlock()
 	return s.install(p)
 }
 
@@ -181,7 +212,7 @@ func (t *Tracer) BeginRemote(p *sim.Proc, ctx SpanContext, name, node string) *S
 		return nil
 	}
 	if ctx == (SpanContext{}) {
-		return (&Span{}).install(p)
+		return t.getSuppressed().install(p)
 	}
 	t.mu.Lock()
 	s := t.startLocked(name, node, ctx.Trace, ctx.Span)
@@ -220,7 +251,9 @@ func (t *Tracer) startLocked(name, node string, traceID, parent uint64) *Span {
 }
 
 // End finishes the span, restoring the process's previous ambient span and
-// stamping the end time. Safe on nil and suppressed spans, and idempotent.
+// stamping the end time. Safe on nil spans. A span must not be used after
+// End: suppressed spans return to their tracer's pool here (after the slow
+// always-keep check), and recorded roots update the exemplar table.
 func (s *Span) End() {
 	if s == nil {
 		return
@@ -229,12 +262,21 @@ func (s *Span) End() {
 		s.proc.Trace = s.prev
 		s.proc, s.prev = nil, nil
 	}
-	if s.tr == nil || s.ended {
+	if s.tr == nil {
+		if s.owner != nil {
+			s.owner.finishSuppressed(s)
+		}
+		return
+	}
+	if s.ended {
 		return
 	}
 	s.tr.mu.Lock()
 	s.end = s.tr.now()
 	s.ended = true
+	if s.parent == 0 {
+		s.tr.noteRootEndLocked(s)
+	}
 	s.tr.mu.Unlock()
 }
 

@@ -8,6 +8,7 @@ import (
 	"itcfs/internal/proto"
 	"itcfs/internal/rpc"
 	"itcfs/internal/sim"
+	"itcfs/internal/trace"
 	"itcfs/internal/unixfs"
 	"itcfs/internal/vice"
 )
@@ -254,7 +255,7 @@ func (v *Venus) callAt(p *sim.Proc, servers []string, path string, cr proto.Cust
 		v.mu.Unlock()
 		v.mFailover.Inc()
 		if fl := v.cfg.Flight; fl != nil {
-			fl.Log("venus.failover", v.cfg.Machine,
+			fl.Log(trace.EventVenusFailover, v.cfg.Machine,
 				fmt.Sprintf("%s unreachable (%v), trying replica %s", server, err, servers[si]))
 		}
 		server = servers[si]

@@ -6,6 +6,7 @@ import (
 	"itcfs/internal/proto"
 	"itcfs/internal/rpc"
 	"itcfs/internal/sim"
+	"itcfs/internal/trace"
 )
 
 // Batched revalidation (the client half of BulkTestValid): instead of one
@@ -36,7 +37,7 @@ type revalCandidate struct {
 // reports the last custodian that could not be reached (entries it covered
 // stay unrefreshed and fall back to per-open validation).
 func (v *Venus) Revalidate(p *sim.Proc, force bool) (checked, stale int, err error) {
-	sp := v.cfg.Tracer.Begin(p, "venus.revalidate", v.cfg.Machine)
+	sp := v.cfg.Tracer.Begin(p, trace.SpanVenusRevalidate, v.cfg.Machine)
 	defer sp.End()
 	now := v.now(p)
 	v.mu.Lock()
@@ -171,7 +172,7 @@ func (v *Venus) applyRevalidation(p *sim.Proc, chunk []revalCandidate, verdicts 
 // volumes are immutable — so a Valid answer from any replica is as good as
 // the custodian's.
 func (v *Venus) bulkTestValid(p *sim.Proc, servers []string, args proto.BulkTestValidArgs) (proto.BulkTestValidReply, error) {
-	sp := v.cfg.Tracer.Begin(p, "venus.validate.bulk", v.cfg.Machine)
+	sp := v.cfg.Tracer.Begin(p, trace.SpanVenusValidateBulk, v.cfg.Machine)
 	defer sp.End()
 	v.mu.Lock()
 	v.stats.BulkValidations++

@@ -129,8 +129,8 @@ type entry struct {
 	// replaced in place by patchDir; resolution walks read it on every path
 	// component, so re-decoding per walk would dominate the client's
 	// allocation profile. Callers must not modify the returned slice.
-	dirEnts []proto.DirEntry
-	valid   bool // revised: callback promise still held
+	dirEnts   []proto.DirEntry
+	valid     bool     // revised: callback promise still held
 	dirty     bool     // modified locally, not yet stored
 	open      int      // open handle count (pinned)
 	fetchedAt sim.Time // when the copy (and its promise) was last confirmed
@@ -207,12 +207,12 @@ func New(cfg Config) *Venus {
 		lru:        list.New(),
 		volLoc:     make(map[uint32]proto.CustodianReply),
 		pathLoc:    make(map[string]proto.CustodianReply),
-		mCacheHits: cfg.Metrics.Counter("venus.cache.hits"),
-		mCacheMiss: cfg.Metrics.Counter("venus.cache.misses"),
-		mFailover:  cfg.Metrics.Counter("venus.failover"),
-		mBreaks:    cfg.Metrics.Counter("venus.callback_breaks"),
-		mOpenLat:   cfg.Metrics.Histogram("venus.open.latency"),
-		mStoreLat:  cfg.Metrics.Histogram("venus.store.latency"),
+		mCacheHits: cfg.Metrics.Counter(trace.MetricVenusCacheHits),
+		mCacheMiss: cfg.Metrics.Counter(trace.MetricVenusCacheMisses),
+		mFailover:  cfg.Metrics.Counter(trace.MetricVenusFailover),
+		mBreaks:    cfg.Metrics.Counter(trace.MetricVenusCallbackBreaks),
+		mOpenLat:   cfg.Metrics.Histogram(trace.MetricVenusOpenLatency),
+		mStoreLat:  cfg.Metrics.Histogram(trace.MetricVenusStoreLatency),
 	}
 }
 
@@ -298,7 +298,7 @@ func (v *Venus) Open(p *sim.Proc, path string, flags OpenFlag) (*Handle, error) 
 	// Opens are the hot path: when observability is off entirely, skip even
 	// the stats snapshots the hit/miss accounting needs.
 	if v.cfg.Tracer != nil || v.cfg.Metrics != nil {
-		sp := v.cfg.Tracer.Begin(p, "venus.open", v.cfg.Machine)
+		sp := v.cfg.Tracer.Begin(p, trace.SpanVenusOpen, v.cfg.Machine)
 		sp.SetStr("path", path)
 		started := v.now(p)
 		v.mu.Lock()
@@ -417,7 +417,7 @@ func (v *Venus) degraded(e *entry, flags OpenFlag) (*entry, bool) {
 	v.degradedMode = true
 	v.mu.Unlock()
 	if first && v.cfg.Flight != nil {
-		v.cfg.Flight.Log("venus.degraded.enter", v.cfg.Machine,
+		v.cfg.Flight.Log(trace.EventVenusDegradedEnter, v.cfg.Machine,
 			"custodian unreachable; serving cached copies read-only (first: "+e.path+")")
 	}
 	return e, true
@@ -437,10 +437,10 @@ func (v *Venus) noteSweep(force bool, checked, stale int, err error) {
 	if fl == nil {
 		return
 	}
-	fl.Log("venus.reconnect.sweep", v.cfg.Machine,
+	fl.Log(trace.EventVenusReconnectSweep, v.cfg.Machine,
 		fmt.Sprintf("forced=%t checked=%d stale=%d ok=%t", force, checked, stale, err == nil))
 	if wasDegraded && err == nil {
-		fl.Log("venus.degraded.exit", v.cfg.Machine, "revalidation sweep reached every custodian")
+		fl.Log(trace.EventVenusDegradedExit, v.cfg.Machine, "revalidation sweep reached every custodian")
 	}
 }
 
@@ -551,7 +551,7 @@ func (v *Venus) lookupRevised(p *sim.Proc, path string, flags OpenFlag) (*entry,
 
 // testValid asks the custodian whether a cached version is current.
 func (v *Venus) testValid(p *sim.Proc, ref proto.Ref, version uint64) (bool, uint64, error) {
-	sp := v.cfg.Tracer.Begin(p, "venus.validate", v.cfg.Machine)
+	sp := v.cfg.Tracer.Begin(p, trace.SpanVenusValidate, v.cfg.Machine)
 	defer sp.End()
 	v.mu.Lock()
 	v.stats.Validations++
@@ -575,7 +575,7 @@ func (v *Venus) testValid(p *sim.Proc, ref proto.Ref, version uint64) (bool, uin
 
 // fetchEntry fetches the whole file from its custodian into the cache.
 func (v *Venus) fetchEntry(p *sim.Proc, ref proto.Ref, path string, flags OpenFlag) (*entry, error) {
-	sp := v.cfg.Tracer.Begin(p, "venus.fetch", v.cfg.Machine)
+	sp := v.cfg.Tracer.Begin(p, trace.SpanVenusFetch, v.cfg.Machine)
 	sp.SetStr("path", path)
 	defer sp.End()
 	v.mu.Lock()
@@ -924,7 +924,7 @@ func (h *Handle) Close(p *sim.Proc) error {
 
 // storeEntry transmits the cached copy back to the custodian.
 func (v *Venus) storeEntry(p *sim.Proc, e *entry) error {
-	sp := v.cfg.Tracer.Begin(p, "venus.store", v.cfg.Machine)
+	sp := v.cfg.Tracer.Begin(p, trace.SpanVenusStore, v.cfg.Machine)
 	sp.SetStr("path", e.path)
 	started := v.now(p)
 	defer func() {

@@ -8,6 +8,7 @@ import (
 	"itcfs/internal/proto"
 	"itcfs/internal/rpc"
 	"itcfs/internal/sim"
+	"itcfs/internal/trace"
 	"itcfs/internal/volume"
 	"itcfs/internal/wire"
 )
@@ -312,7 +313,7 @@ func (s *Server) handleVolMove(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 		return respErr(err)
 	}
 	if fl := s.cfg.Flight; fl != nil {
-		fl.Log("vice.volume.move", s.cfg.Name,
+		fl.Log(trace.EventViceVolumeMove, s.cfg.Name,
 			fmt.Sprintf("volume %d (%s) handed to %s", args.Volume, v.Name(), args.Target))
 	}
 	return rpc.Response{}
@@ -359,7 +360,7 @@ func (s *Server) handleVolSalvage(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 		links += rep.LinksFixed
 	}
 	if fl := s.cfg.Flight; fl != nil {
-		fl.Log("vice.salvage", s.cfg.Name,
+		fl.Log(trace.EventViceSalvage, s.cfg.Name,
 			fmt.Sprintf("volume %d: %d volumes scanned, %d orphans removed, %d dangling entries, %d links fixed",
 				args.Volume, len(reports), orphans, dangling, links))
 	}

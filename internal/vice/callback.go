@@ -280,11 +280,11 @@ func (t *CallbackTable) BreakBatch(p *sim.Proc, targets []BreakTarget, skip rpc.
 		if m != nil {
 			// Fan-out: how many workstations one update invalidates — the
 			// server-load term callbacks add per mutation (§3.2).
-			m.Counter("vice.callback.breaks").Add(int64(len(backs)))
-			m.Histogram("vice.callback.fanout").ObserveN(int64(len(backs)))
+			m.Counter(trace.MetricViceCallbackBreaks).Add(int64(len(backs)))
+			m.Histogram(trace.MetricViceCallbackFanout).ObserveN(int64(len(backs)))
 		}
 		if fl != nil && len(backs) >= stormFanout {
-			fl.Log("vice.callback.storm", server,
+			fl.Log(trace.EventViceCallbackStorm, server,
 				fmt.Sprintf("break of %s fans out to %d workstations", tg.Path, len(backs)))
 		}
 		for _, back := range backs {
@@ -345,8 +345,8 @@ func (t *CallbackTable) countRPC(m *trace.Registry, n int) {
 	t.breakRPCs++
 	t.mu.Unlock()
 	if m != nil {
-		m.Counter("vice.callback.break_rpcs").Add(1)
-		m.Histogram("vice.callback.batch").ObserveN(int64(n))
+		m.Counter(trace.MetricViceCallbackBreakRPCs).Add(1)
+		m.Histogram(trace.MetricViceCallbackBatch).ObserveN(int64(n))
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"itcfs/internal/prot"
 	"itcfs/internal/proto"
 	"itcfs/internal/rpc"
+	"itcfs/internal/trace"
 	"itcfs/internal/unixfs"
 	"itcfs/internal/volume"
 )
@@ -596,7 +597,7 @@ func (s *Server) handleSetLock(ctx rpc.Ctx, req rpc.Request) rpc.Response {
 	if err := s.locks.Lock(fid, ctx.User, args.Exclusive); err != nil {
 		// Advisory locks never block (§3.4): a busy lock is refused, so the
 		// observable contention signal is the conflict count, not a wait time.
-		s.cfg.Metrics.Counter("vice.lock_conflicts").Inc()
+		s.cfg.Metrics.Counter(trace.MetricViceLockConflicts).Inc()
 		return respErr(err)
 	}
 	return rpc.Response{}

@@ -14,6 +14,7 @@ import (
 	"itcfs/internal/replica"
 	"itcfs/internal/rpc"
 	"itcfs/internal/sim"
+	"itcfs/internal/trace"
 	"itcfs/internal/volume"
 )
 
@@ -82,7 +83,7 @@ func (s *Server) ResumeReleases(p *sim.Proc) (resumed []uint32, err error) {
 		resumed = append(resumed, le.Volume)
 	}
 	if fl := s.cfg.Flight; fl != nil && len(resumed) > 0 {
-		fl.Log("replica.release", s.cfg.Name,
+		fl.Log(trace.EventReplicaRelease, s.cfg.Name,
 			fmt.Sprintf("resumed %d releases after recovery", len(resumed)))
 	}
 	return resumed, err

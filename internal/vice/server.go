@@ -267,16 +267,13 @@ func (s *Server) noteAccess(ctx rpc.Ctx, vol uint32) {
 }
 
 // VolLatencyMetric names the per-volume service-time histogram; monitoring
-// tools look latencies up under the same name.
-func VolLatencyMetric(vol uint32) string {
-	return fmt.Sprintf("vice.vol.%d.latency", vol)
-}
+// tools look latencies up under the same name. Delegates to the canonical
+// table in trace.
+func VolLatencyMetric(vol uint32) string { return trace.VolLatencyMetric(vol) }
 
 // VolOpsMetric names the per-volume hot-path operation counter; the overload
 // detector reads its per-window rate to find the volume behind a hot server.
-func VolOpsMetric(vol uint32) string {
-	return fmt.Sprintf("vice.vol.%d.ops", vol)
-}
+func VolOpsMetric(vol uint32) string { return trace.VolOpsMetric(vol) }
 
 // ObserveCall is the rpc Observe hook: after each served call it records the
 // measured service time against the volume the call touched (if any). svc is

@@ -21,6 +21,7 @@ import (
 	"itcfs/internal/prot"
 	"itcfs/internal/proto"
 	"itcfs/internal/store"
+	"itcfs/internal/trace"
 	"itcfs/internal/volume"
 )
 
@@ -226,17 +227,17 @@ func (s *Server) RecoverStore() (*store.Report, error) {
 	s.mu.Unlock()
 	if fl := s.cfg.Flight; fl != nil {
 		for _, line := range rep.Lines() {
-			fl.Log("vice.salvage", s.cfg.Name, line)
+			fl.Log(trace.EventViceSalvage, s.cfg.Name, line)
 		}
 	}
 	if m := s.cfg.Metrics; m != nil {
-		m.Counter("vice.salvage.replayed").Add(int64(rep.Replayed))
-		m.Counter("vice.salvage.discarded_records").Add(int64(rep.DiscardedRecords))
-		m.Counter("vice.salvage.discarded_bytes").Add(rep.DiscardedBytes)
+		m.Counter(trace.MetricViceSalvageReplayed).Add(int64(rep.Replayed))
+		m.Counter(trace.MetricViceSalvageDiscardedRecords).Add(int64(rep.DiscardedRecords))
+		m.Counter(trace.MetricViceSalvageDiscardedBytes).Add(rep.DiscardedBytes)
 		for _, vr := range rep.Volumes {
-			m.Counter("vice.salvage.orphans_removed").Add(int64(vr.Salvage.OrphansRemoved))
-			m.Counter("vice.salvage.dangling_entries").Add(int64(vr.Salvage.DanglingEntries))
-			m.Counter("vice.salvage.links_fixed").Add(int64(vr.Salvage.LinksFixed))
+			m.Counter(trace.MetricViceSalvageOrphansRemoved).Add(int64(vr.Salvage.OrphansRemoved))
+			m.Counter(trace.MetricViceSalvageDanglingEntries).Add(int64(vr.Salvage.DanglingEntries))
+			m.Counter(trace.MetricViceSalvageLinksFixed).Add(int64(vr.Salvage.LinksFixed))
 		}
 	}
 	if err := s.CheckpointStore(); err != nil {

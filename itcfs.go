@@ -132,6 +132,16 @@ type CellConfig struct {
 	// keep all). Sampling decides per operation, so a kept operation is
 	// always complete.
 	TraceSample int
+	// TracePolicy, when set, replaces TraceSample with the full deterministic
+	// sampling policy: seeded per-op-class rates and slow always-keep
+	// thresholds (see trace.SamplePolicy). Ignored unless Trace is set.
+	TracePolicy *trace.SamplePolicy
+	// SeriesTopK bounds per-volume series cardinality in StartSampling: each
+	// sampling window only the K busiest volumes keep their own ops/latency
+	// series, the rest fold into a "vice.vol.other.*" series. 0 = the default
+	// budget (trace.DefaultSeriesTopK); negative = unbounded (the pre-collapse
+	// behaviour).
+	SeriesTopK int
 	// Metrics, when set, receives counters and histograms from every layer
 	// (cache hits, RPC latency, link utilization, per-volume service time).
 	Metrics *trace.Registry
@@ -237,7 +247,11 @@ func NewCell(cfg CellConfig) *Cell {
 	}
 	if cfg.Trace {
 		c.Tracer = trace.New(func() sim.Time { return k.Now() })
-		c.Tracer.SetSample(cfg.TraceSample)
+		if cfg.TracePolicy != nil {
+			c.Tracer.SetPolicy(*cfg.TracePolicy)
+		} else {
+			c.Tracer.SetSample(cfg.TraceSample)
+		}
 	}
 	c.Metrics = cfg.Metrics
 	if c.Metrics != nil {
@@ -245,6 +259,7 @@ func NewCell(cfg CellConfig) *Cell {
 	}
 	if cfg.FlightEvents > 0 {
 		c.Flight = trace.NewRecorder(cfg.FlightEvents, func() sim.Time { return k.Now() })
+		c.Flight.AttachMetrics(c.Metrics)
 	}
 	serverKey, err := secure.NewSessionKey()
 	if err != nil {
@@ -387,18 +402,19 @@ func (c *Cell) Now() sim.Time { return c.Kernel.Now() }
 // ServerCPUSeries names the sampled per-window CPU busy-time series (in
 // nanoseconds of busy time per window) for a server; divide by the sampling
 // cadence for utilization. The overload detector reads it by this name.
-func ServerCPUSeries(server string) string { return "server." + server + ".cpu.busy_ns" }
+// These helpers delegate to the canonical name table in trace.
+func ServerCPUSeries(server string) string { return trace.ServerCPUSeries(server) }
 
 // ServerDiskSeries names the sampled per-window disk busy-time series.
-func ServerDiskSeries(server string) string { return "server." + server + ".disk.busy_ns" }
+func ServerDiskSeries(server string) string { return trace.ServerDiskSeries(server) }
 
 // ServerQueueSeries names the sampled instantaneous CPU queue-depth series —
 // the LWP backlog of §5.2's saturated servers.
-func ServerQueueSeries(server string) string { return "server." + server + ".cpu.queue" }
+func ServerQueueSeries(server string) string { return trace.ServerQueueSeries(server) }
 
 // LinkBusySeries names the sampled per-window busy-time series for a network
 // link (the backbone or a cluster LAN).
-func LinkBusySeries(link string) string { return "net." + link + ".link_busy_ns" }
+func LinkBusySeries(link string) string { return trace.LinkBusySeries(link) }
 
 // StartSampling installs a time-series sampler over the cell: every registry
 // instrument plus probes for per-server CPU/disk busy time and queue depth
@@ -409,6 +425,16 @@ func LinkBusySeries(link string) string { return "net." + link + ".link_busy_ns"
 // is also stored in Cell.Sampler.
 func (c *Cell) StartSampling(every, horizon time.Duration) *trace.Sampler {
 	s := trace.NewSampler(c.Metrics, every, 0)
+	if c.cfg.SeriesTopK >= 0 {
+		// Bound per-volume series cardinality: the registry still tracks
+		// every volume's instruments, but only the top-K per window get their
+		// own rings; the rest fold into "vice.vol.other.*".
+		s.Collapse("vice.vol.", ".ops", c.cfg.SeriesTopK)
+		s.Collapse("vice.vol.", ".latency", c.cfg.SeriesTopK)
+	}
+	if c.Tracer != nil {
+		s.AttachExemplars(c.Tracer.TakeExemplars)
+	}
 	for _, srv := range c.Servers {
 		srv := srv
 		s.AddCumulative(ServerCPUSeries(srv.Vice.Name()), func() int64 { return int64(srv.CPU.BusyTime()) })

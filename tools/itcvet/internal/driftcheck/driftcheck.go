@@ -2,7 +2,7 @@
 // grows a new surface but the harness that was supposed to exercise it is
 // never told.
 //
-// Three invariants, each cheap to state and easy to silently lose:
+// Four invariants, each cheap to state and easy to silently lose:
 //
 //  1. Every Fuzz* target is exercised by ci.sh. A fuzz function that is not
 //     in the CI fuzz gate runs zero iterations forever; the check word-
@@ -26,11 +26,22 @@
 //     annotations — exactly the state the MemFS and FaultFS mutexes had
 //     drifted into when this check was written.
 //
+//  4. Every metric and flight-event name is canonical. Outside
+//     internal/trace (where the tables live), the first argument to
+//     Registry.Counter/Gauge/Histogram/FindHistogram/Striped and
+//     Recorder.Log must not be a raw string literal: a name minted at the
+//     call site is invisible to the canonical tables in names.go, so
+//     dashboards, the SLO layer and the conformance tests silently stop
+//     agreeing on one spelling. Composed names (VolOpsMetric(v),
+//     "net."+link+".frames") and named constants pass; test files are
+//     exempt — tests mint ad-hoc names freely.
+//
 // Findings carry category "drift" for the standard //itcvet:allow hatch.
 package driftcheck
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
@@ -44,7 +55,7 @@ import (
 // Analyzer is the driftcheck pass.
 var Analyzer = &check.Analyzer{
 	Name:     "driftcheck",
-	Doc:      "coverage drift: Fuzz* targets absent from ci.sh, Encode* without Decode*/round-trip tests in wire and proto, mutexes without a guarded-by contract",
+	Doc:      "coverage drift: Fuzz* targets absent from ci.sh, Encode* without Decode*/round-trip tests in wire and proto, mutexes without a guarded-by contract, metric/flight-event names minted as literals outside internal/trace's canonical tables",
 	Category: "drift",
 	Run:      run,
 }
@@ -58,6 +69,7 @@ func run(pass *check.Pass) {
 		checkCodecPairs(pass)
 	}
 	checkMutexContracts(pass)
+	checkCanonicalNames(pass)
 }
 
 // --- invariant 1: fuzz targets vs ci.sh -------------------------------
@@ -293,4 +305,65 @@ func isMutexType(t types.Type) bool {
 		return false
 	}
 	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// --- invariant 4: canonical metric and flight-event names -------------
+
+// nameMethods maps the observability entry points whose first argument
+// names a metric instrument or a flight-event kind.
+var nameMethods = map[string]map[string]bool{
+	"Registry": {"Counter": true, "Gauge": true, "Histogram": true, "FindHistogram": true, "Striped": true},
+	"Recorder": {"Log": true},
+}
+
+func checkCanonicalNames(pass *check.Pass) {
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/trace") {
+		return // the canonical tables themselves live here
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue // tests mint ad-hoc names freely
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv := traceReceiver(pass, sel)
+			if recv == "" || !nameMethods[recv][sel.Sel.Name] {
+				return true
+			}
+			if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+				pass.Reportf(lit.Pos(),
+					"%s.%s name %s is a raw string literal at the call site; spell it via the canonical tables in internal/trace (names.go), so dashboards, the SLO layer and the conformance tests agree on one name",
+					recv, sel.Sel.Name, lit.Value)
+			}
+			return true
+		})
+	}
+}
+
+// traceReceiver returns the receiver type name ("Registry", "Recorder")
+// when sel selects a method on an internal/trace type, else "".
+func traceReceiver(pass *check.Pass, sel *ast.SelectorExpr) string {
+	t := pass.Info.TypeOf(sel.X)
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/trace") {
+		return ""
+	}
+	return obj.Name()
 }

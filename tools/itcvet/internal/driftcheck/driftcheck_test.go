@@ -14,3 +14,7 @@ func TestFuzzAndMutexDrift(t *testing.T) {
 func TestCodecPairs(t *testing.T) {
 	checktest.Run(t, driftcheck.Analyzer, "testdata", "wire")
 }
+
+func TestCanonicalNames(t *testing.T) {
+	checktest.Run(t, driftcheck.Analyzer, "testdata", "obs")
+}
